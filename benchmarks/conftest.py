@@ -1,0 +1,87 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper as text,
+prints it, and writes it to ``benchmarks/results/<name>.txt`` so the
+full set can be diffed against EXPERIMENTS.md.
+
+Scale: the paper runs 1000 BFS trees per input on native C++/CUDA;
+pure Python cannot.  Each experiment declares its own tree count
+(default scaling factors below) and prints the scale it ran at.  Set
+``REPRO_BENCH_SCALE=1.0`` to run closer to paper scale (slow).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.graph.components import largest_connected_component
+from repro.graph.datasets import CATALOG, load
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Global effort multiplier (1.0 = the defaults documented per bench).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Inputs used for the small-graph experiments (Table 2 / Fig. 7).
+SMALL_INPUTS = [
+    "A*_Instruments_core5",
+    "A*_Music_core5",
+    "A*_Video_core5",
+    "S*_wiki",
+]
+
+#: The 16 larger inputs (Table 3 / Figs. 8–9), in the paper's order.
+LARGE_INPUTS = [
+    "A*_Android",
+    "A*_Automotive",
+    "A*_Baby",
+    "A*_Book",
+    "A*_Electronics",
+    "A*_Games",
+    "A*_Garden",
+    "A*_Instruments",
+    "A*_Jewelry",
+    "A*_Music",
+    "A*_Outdoors",
+    "A*_TV",
+    "A*_Video",
+    "A*_Vinyl",
+    "S*_opinion",
+    "S*_slashdot",
+]
+
+
+def trees(default: int) -> int:
+    """Scale a per-bench tree count by REPRO_BENCH_SCALE (min 1)."""
+    return max(int(round(default * BENCH_SCALE)), 1)
+
+
+def save_table(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+
+
+_graph_cache: dict[str, object] = {}
+
+
+def dataset_lcc(name: str, seed: int = 0):
+    """Largest connected component of a catalog stand-in (cached per
+    session — the large builds dominate bench setup time otherwise)."""
+    key = f"{name}:{seed}"
+    if key not in _graph_cache:
+        graph = load(name, seed=seed)
+        sub, _ = largest_connected_component(graph)
+        _graph_cache[key] = sub
+    return _graph_cache[key]
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,91 @@
+"""Ablation: degree-aware parent selection (the §6.6 hint made real).
+
+§6.6 finds that cycles route through hubs and suggests the observation
+"may prove useful to further enhance the performance of graphB+".  The
+``bfs-low-degree`` sampler implements that hint; this bench measures
+the reduction in on-cycle tree degree and the modeled runtime effect on
+all three machines, at unchanged cycle lengths (still BFS-minimal).
+"""
+
+import numpy as np
+
+from repro.core import balance
+from repro.parallel import (
+    CUDA_MACHINE,
+    OPENMP_MACHINE,
+    SERIAL_MACHINE,
+    collect_workload,
+)
+from repro.perf.report import TextTable
+from repro.trees import TreeSampler
+
+from benchmarks.conftest import dataset_lcc, save_table, trees
+
+INPUTS = ["A*_Instruments_core5", "S*_wiki", "A*_Video_core5"]
+MACHINES = {
+    "serial": SERIAL_MACHINE,
+    "openmp": OPENMP_MACHINE,
+    "cuda": CUDA_MACHINE,
+}
+
+
+def _measure(graph, method: str, num_trees: int):
+    sampler = TreeSampler(graph, method=method, seed=0)
+    lengths, tdegs, cyc_seconds = [], [], {m: [] for m in MACHINES}
+    for i in range(num_trees):
+        tree = sampler.tree(i)
+        r = balance(graph, tree, collect_stats=True)
+        lengths.append(r.stats.avg_length)
+        tdegs.append(float(r.stats.tree_degree_sums.sum() / r.stats.lengths.sum()))
+        w = collect_workload(graph, tree)
+        for name, machine in MACHINES.items():
+            cyc_seconds[name].append(machine.times(w).cycle_processing)
+    return (
+        float(np.mean(lengths)),
+        float(np.mean(tdegs)),
+        {m: float(np.mean(v)) for m, v in cyc_seconds.items()},
+    )
+
+
+def _run():
+    num_trees = trees(3)
+    rows = []
+    for name in INPUTS:
+        g = dataset_lcc(name)
+        plain = _measure(g, "bfs", num_trees)
+        aware = _measure(g, "bfs-low-degree", num_trees)
+        rows.append((name, plain, aware))
+    return rows
+
+
+def test_ablation_degree_aware(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = TextTable(
+        "Ablation (§6.6 hint): plain BFS vs low-degree-preferring BFS — "
+        "avg cycle length, avg on-cycle tree degree, and modeled "
+        "cycle-phase time per tree",
+        [
+            "input", "variant", "cycle len", "on-cycle tree deg",
+            "serial ms", "openmp ms", "cuda ms",
+        ],
+    )
+    for name, plain, aware in rows:
+        for label, (length, tdeg, secs) in (("bfs", plain), ("low-degree", aware)):
+            table.add_row(
+                name,
+                label,
+                round(length, 2),
+                round(tdeg, 1),
+                round(secs["serial"] * 1e3, 3),
+                round(secs["openmp"] * 1e3, 3),
+                round(secs["cuda"] * 1e3, 3),
+            )
+    save_table("ablation_degree_aware", table.render())
+
+    for name, plain, aware in rows:
+        # Hub avoidance cuts on-cycle tree degree and serial cycle cost...
+        assert aware[1] < plain[1], name
+        assert aware[2]["serial"] < plain[2]["serial"], name
+        # ...without lengthening cycles much (still a BFS).
+        assert aware[0] < plain[0] * 1.3, name

@@ -1,0 +1,104 @@
+"""Ablation (§3.3.1): why level-synchronous labeling needs shallow trees.
+
+The paper argues the Alg. 4 parallelization works *because* social
+graphs give shallow BFS trees (few, wide parallel regions).  This bench
+tests that claim directly by pricing the labeling phase on a shallow
+social stand-in vs a deep grid of comparable size: the grid pays ~40x
+more fork/join overhead per vertex, and hyper-deep trees erase the
+parallel labeling's advantage entirely.
+"""
+
+from repro.graph.components import largest_connected_component
+from repro.graph.generators import chung_lu_signed, grid_graph
+from repro.parallel import CpuMachine, collect_workload
+from repro.perf.report import TextTable
+from repro.trees import bfs_tree
+
+from benchmarks.conftest import save_table
+
+
+def _case(name, graph, seed):
+    tree = bfs_tree(graph, seed=seed)
+    w = collect_workload(graph, tree)
+    serial = CpuMachine(threads=1).times(w)
+    openmp = CpuMachine(threads=16).times(w)
+    return {
+        "name": name,
+        "n": graph.num_vertices,
+        "levels": tree.num_levels,
+        "serial_label_ms": serial.labeling * 1e3,
+        "openmp_label_ms": openmp.labeling * 1e3,
+        "speedup": serial.labeling / openmp.labeling,
+    }
+
+
+def _scaled_case(name, graph, seed, factor):
+    """Model a graph `factor`x larger with the same level structure —
+    the paper-scale extrapolation (10M-vertex social graphs)."""
+    from dataclasses import replace
+
+    tree = bfs_tree(graph, seed=seed)
+    w = collect_workload(graph, tree)
+    big = replace(
+        w,
+        num_vertices=w.num_vertices * factor,
+        num_edges=w.num_edges * factor,
+        level_items=w.level_items * factor,
+        treegen_ops=w.treegen_ops * factor,
+        harary_ops=w.harary_ops * factor,
+    )
+    serial = CpuMachine(threads=1).times(big)
+    openmp = CpuMachine(threads=16).times(big)
+    return {
+        "name": name,
+        "n": big.num_vertices,
+        "levels": tree.num_levels,
+        "serial_label_ms": serial.labeling * 1e3,
+        "openmp_label_ms": openmp.labeling * 1e3,
+        "speedup": serial.labeling / openmp.labeling,
+    }
+
+
+def _run():
+    social, _ = largest_connected_component(
+        chung_lu_signed(10_000, 30_000, exponent=2.1, seed=0)
+    )
+    deep = grid_graph(100, 100, seed=0)  # same vertex count, deep tree
+    return [
+        _case("social (shallow)", social, 0),
+        _case("grid (deep)", deep, 0),
+        _scaled_case("social @ 1000x (paper scale)", social, 0, 1000),
+    ]
+
+
+def test_ablation_labeling(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = TextTable(
+        "Ablation (§3.3.1): level-synchronous labeling on shallow vs deep "
+        "trees (modeled per-tree labeling phase; 16 threads pay one "
+        "fork/join per level per pass)",
+        ["input", "vertices", "BFS levels", "serial label ms",
+         "openmp label ms", "label speedup"],
+    )
+    for r in rows:
+        table.add_row(
+            r["name"], r["n"], r["levels"],
+            round(r["serial_label_ms"], 3),
+            round(r["openmp_label_ms"], 3),
+            round(r["speedup"], 2),
+        )
+    save_table("ablation_labeling", table.render())
+
+    social, deep, full = rows
+    # The social graph has an order of magnitude fewer levels…
+    assert social["levels"] * 8 < deep["levels"]
+    # …and its parallel labeling fares strictly better relative to
+    # serial than the deep grid's (the paper's efficiency argument).
+    assert social["speedup"] > deep["speedup"]
+    # On the deep grid, per-level overhead makes 16-thread labeling
+    # *slower* than serial — exactly why shallowness matters.
+    assert deep["speedup"] < 1.0
+    # At paper scale (millions of vertices, same shallow levels) the
+    # level-synchronous labeling speeds up properly.
+    assert full["speedup"] > 3.5

@@ -1,0 +1,39 @@
+"""Figs. 1–2: all spanning trees of the example Σ and its frustration
+cloud (8 trees converging to 5 unique nearest balanced states).
+"""
+
+from repro.cloud import exact_cloud
+from repro.graph.datasets import fig1_sigma
+from repro.perf.report import TextTable
+from repro.trees import count_spanning_trees
+
+from benchmarks.conftest import save_table
+
+
+def _run():
+    graph = fig1_sigma()
+    cloud = exact_cloud(graph)
+    return graph, cloud
+
+
+def test_fig01_02_frustration_cloud(benchmark):
+    graph, cloud = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = TextTable(
+        "Fig. 1-2: frustration cloud of the example graph Sigma "
+        "(paper: 8 spanning trees, 5 unique nearest balanced states)",
+        ["quantity", "paper", "measured"],
+    )
+    num_trees = count_spanning_trees(graph)
+    table.add_row("spanning trees", 8, num_trees)
+    table.add_row("balanced states (one per tree)", 8, cloud.num_states)
+    table.add_row("unique nearest states", 5, cloud.num_unique_states)
+    table.add_row("frustration index", 1, cloud.frustration_upper_bound())
+
+    mult = sorted(cloud.unique_states().values(), reverse=True)
+    table.add_row("state multiplicities", "one state dominates", str(mult))
+    save_table("fig01_02_frustration_cloud", table.render())
+
+    assert num_trees == 8
+    assert cloud.num_states == 8
+    assert cloud.num_unique_states == 5

@@ -1,0 +1,33 @@
+"""Fig. 3: Harary bipartitions of Σ's balanced states and the vertex
+*status* (top-left vertex belongs to the larger side 6 of 8 times).
+"""
+
+import numpy as np
+
+from repro.cloud import exact_cloud
+from repro.graph.datasets import fig1_sigma
+from repro.perf.report import TextTable
+
+from benchmarks.conftest import save_table
+
+
+def _run():
+    return exact_cloud(fig1_sigma())
+
+
+def test_fig03_status(benchmark):
+    cloud = benchmark.pedantic(_run, rounds=1, iterations=1)
+    status = cloud.status()
+
+    table = TextTable(
+        "Fig. 3: vertex status of Sigma over all 8 tree states "
+        "(paper anchor: top-left vertex = 6/8 = 0.75)",
+        ["vertex", "status"],
+    )
+    names = ["0 (top-left)", "1 (top-right)", "2 (bottom-left)", "3 (bottom-right)"]
+    for v, name in enumerate(names):
+        table.add_row(name, float(status[v]))
+    save_table("fig03_status", table.render())
+
+    assert status[0] == 0.75
+    assert np.all(status >= 0) and np.all(status <= 1)

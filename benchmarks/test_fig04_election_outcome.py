@@ -1,0 +1,83 @@
+"""Fig. 4: wiki-Elec outcome analysis — spectral clusters carry little
+outcome signal; balancing-based status separates winners from losers.
+
+Substitution: synthetic election network (see repro.analysis.election);
+the statistic replacing the scatter plot is the winner-vs-loser status
+AUC and the per-cluster win-fraction table.
+"""
+
+import numpy as np
+
+from repro.analysis.election import election_report, generate_election
+from repro.analysis.spectral import cluster_outcome_table
+from repro.perf.report import TextTable
+
+from benchmarks.conftest import save_table, trees
+
+
+def _run():
+    election = generate_election(
+        num_users=600, num_candidates=120, votes_per_candidate=30,
+        temporal_ids=True, seed=2,
+    )
+    report = election_report(
+        election, num_states=trees(60), k_clusters=10, seed=0
+    )
+    return election, report
+
+
+def _cluster_id_concentration(labels, k):
+    """Mean per-cluster user-id std, normalized by the global std —
+    << 1 means clusters occupy narrow id ranges (the Fig. 4(a) boxes)."""
+    import numpy as np
+
+    ids = np.arange(len(labels), dtype=np.float64)
+    global_std = ids.std()
+    stds = [
+        ids[labels == c].std()
+        for c in range(k)
+        if np.count_nonzero(labels == c) > 3
+    ]
+    return float(np.mean(stds) / global_std) if stds else 1.0
+
+
+def test_fig04_election_outcome(benchmark):
+    election, report = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    cand = election.candidates
+    table = TextTable(
+        "Fig. 4: election outcome vs spectral clustering vs status "
+        "(synthetic wiki-Elec; paper: status correlates with winning, "
+        "clusters do not)",
+        ["cluster", "winners", "losers", "win fraction"],
+    )
+    counts = cluster_outcome_table(
+        report.spectral_labels, report.outcome, mask=election.outcome != 0
+    )
+    for c, (w, l) in enumerate(counts):
+        total = w + l
+        frac = w / total if total else float("nan")
+        table.add_row(f"spectral-{c}", int(w), int(l), frac)
+    lines = [table.render(), ""]
+    lines.append(
+        f"status AUC (winner > loser):        {report.status_auc:.3f}  (paper: visibly high)"
+    )
+    lines.append(
+        f"mean status winners / losers:       "
+        f"{report.mean_status_winners:.3f} / {report.mean_status_losers:.3f}"
+    )
+    lines.append(
+        f"cluster win-fraction spread:        {report.cluster_win_spread:.3f}  (paper: clusters similar)"
+    )
+    concentration = _cluster_id_concentration(report.spectral_labels, 10)
+    lines.append(
+        f"cluster user-id concentration:      {concentration:.3f}  "
+        "(paper Fig. 4(a): clusters form over id ranges; << 1 = narrow boxes)"
+    )
+    save_table("fig04_election_outcome", "\n".join(lines))
+
+    assert report.status_auc > 0.7
+    assert report.mean_status_winners > report.mean_status_losers
+    # Fig. 4(a): spectral clusters track adjacency/ids, i.e. occupy
+    # visibly narrower id ranges than a random partition would.
+    assert concentration < 0.8

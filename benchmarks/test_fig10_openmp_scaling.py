@@ -1,0 +1,63 @@
+"""Fig. 10: OpenMP strong scaling — speedup over serial for 1, 2, 4, 8,
+16, and 32 threads, inputs sorted by fundamental-cycle count.
+
+Paper shape: speedups grow with input size (2–8x small, 8–12x large on
+16 cores), and hyperthreading (32 threads on 16 cores) helps little or
+hurts, especially on the smallest inputs.
+"""
+
+from repro.graph.datasets import CATALOG
+from repro.parallel import CpuMachine, model_run_multi
+from repro.perf.report import TextTable
+
+from benchmarks.conftest import LARGE_INPUTS, SMALL_INPUTS, dataset_lcc, save_table
+
+THREADS = [1, 2, 4, 8, 16, 32]
+
+
+def _run():
+    names = SMALL_INPUTS + LARGE_INPUTS
+    machines = {f"t{k}": CpuMachine(threads=k) for k in THREADS}
+    rows = []
+    for name in names:
+        g = dataset_lcc(name)
+        runs = model_run_multi(g, machines, 1000, sample_trees=2, seed=0)
+        rows.append((name, g.num_fundamental_cycles, runs))
+    rows.sort(key=lambda r: r[1])  # the paper sorts by cycle count
+    return rows
+
+
+def test_fig10_openmp_scaling(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = TextTable(
+        "Fig. 10: OpenMP speedup over serial by thread count "
+        "(inputs sorted by cycle count; paper: larger inputs scale better, "
+        "hyperthreading [32t on 16 cores] helps little)",
+        ["input", "cycles"] + [f"{k}t" for k in THREADS],
+    )
+    speedups = {}
+    for name, cycles, runs in rows:
+        serial = runs["t1"].graphb_seconds
+        sp = [serial / runs[f"t{k}"].graphb_seconds for k in THREADS]
+        speedups[name] = sp
+        table.add_row(name, cycles, *[round(x, 2) for x in sp])
+    save_table("fig10_openmp_scaling", table.render())
+
+    # Shape assertions.
+    largest = rows[-1][0]
+    smallest = rows[0][0]
+    sp_large = speedups[largest]
+    sp_small = speedups[smallest]
+    # 16 threads on the largest input beats 16 threads on the smallest.
+    assert sp_large[THREADS.index(16)] > sp_small[THREADS.index(16)]
+    # Hyperthreading adds < 25% on every input (paper: little or negative).
+    for name, sp in speedups.items():
+        assert sp[THREADS.index(32)] < 1.25 * sp[THREADS.index(16)], name
+    # Speedup on the largest input grows monotonically with threads in
+    # the parallel configurations (2..16; 1->2 can dip below 1.0 from
+    # fork/join overhead at stand-in scale, as on the paper's smallest
+    # inputs).
+    mono = sp_large[THREADS.index(2) : THREADS.index(16) + 1]
+    assert mono == sorted(mono)
+    assert sp_large[THREADS.index(16)] > 4.0

@@ -1,0 +1,52 @@
+"""Fig. 9: speedup of the OpenMP and CUDA configurations over serial on
+the larger inputs (paper: CUDA 2.6–53x, geomean 21.6; OpenMP 5.7–12.1x,
+geomean 8.5; CPU beats GPU on two inputs).
+"""
+
+from repro.parallel import CUDA_MACHINE, OPENMP_MACHINE, SERIAL_MACHINE, model_run_multi
+from repro.perf.report import TextTable, geomean
+
+from benchmarks.conftest import LARGE_INPUTS, dataset_lcc, save_table
+
+MACHINES = {
+    "serial": SERIAL_MACHINE,
+    "openmp": OPENMP_MACHINE,
+    "cuda": CUDA_MACHINE,
+}
+
+
+def _run():
+    rows = []
+    for name in LARGE_INPUTS:
+        g = dataset_lcc(name)
+        runs = model_run_multi(g, MACHINES, 1000, sample_trees=2, seed=0)
+        rows.append((name, runs))
+    return rows
+
+
+def test_fig9_speedup(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = TextTable(
+        "Fig. 9: speedup over serial on the larger inputs "
+        "(paper geomeans: OpenMP 8.5x, CUDA 21.6x)",
+        ["input", "openmp speedup", "cuda speedup"],
+    )
+    omp_sp, cud_sp = [], []
+    for name, runs in rows:
+        s = runs["serial"].graphb_seconds
+        o = s / runs["openmp"].graphb_seconds
+        c = s / runs["cuda"].graphb_seconds
+        table.add_row(name, round(o, 1), round(c, 1))
+        omp_sp.append(o)
+        cud_sp.append(c)
+    table.add_row("GEOMEAN", round(geomean(omp_sp), 1), round(geomean(cud_sp), 1))
+    save_table("fig9_speedup", table.render())
+
+    # Shape: parallel wins on these (scaled-down) inputs at geomean;
+    # CUDA above OpenMP at geomean (the paper's 2.5x gap).
+    assert geomean(cud_sp) > geomean(omp_sp) > 1.0
+    # The stand-ins are ~1/100 scale, so speedups trail the paper's;
+    # they must still be in a sensible band.
+    assert 1.5 < geomean(omp_sp) < 20.0
+    assert 3.0 < geomean(cud_sp) < 80.0

@@ -1,0 +1,60 @@
+"""Future-work study (§7): tree-sampling frequency — how many sampled
+states does the status need?
+
+The paper samples 1000 trees per input but defers the convergence
+question.  This bench traces the status estimate on the S*_wiki
+stand-in and reports split-half reliability at increasing sample sizes.
+"""
+
+import numpy as np
+
+from repro.cloud.convergence import split_half_agreement, status_trajectory
+from repro.perf.report import TextTable
+
+from benchmarks.conftest import dataset_lcc, save_table, trees
+
+INPUT = "A*_Instruments_core5"
+
+
+def _run():
+    g = dataset_lcc(INPUT)
+    cps = [trees(x) for x in (8, 16, 32, 64, 128)]
+    # Deduplicate in case of scaling collisions.
+    cps = sorted(set(cps))
+    traj = status_trajectory(g, cps, seed=0)
+    agreements = [
+        (size, split_half_agreement(g, size, seed=1))
+        for size in cps
+        if size >= 4
+    ]
+    return g, traj, agreements
+
+
+def test_futurework_convergence(benchmark):
+    g, traj, agreements = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    t1 = TextTable(
+        f"Status convergence on {INPUT}: max per-vertex change between "
+        "consecutive checkpoints (Cauchy criterion)",
+        ["states", "max |delta status|"],
+    )
+    for cp, change in zip(traj.checkpoints, traj.max_step_change):
+        t1.add_row(int(cp), "-" if np.isinf(change) else round(float(change), 4))
+
+    t2 = TextTable(
+        "Split-half reliability of the status estimate "
+        "(correlation of two disjoint half-samples; -> 1 = converged)",
+        ["states", "split-half r"],
+    )
+    for size, r in agreements:
+        t2.add_row(size, round(r, 3))
+    save_table(
+        "futurework_convergence", t1.render() + "\n\n" + t2.render()
+    )
+
+    # Shape: estimates stabilize and reliability improves with samples.
+    finite = traj.max_step_change[np.isfinite(traj.max_step_change)]
+    assert finite[-1] <= finite[0]
+    rs = [r for _s, r in agreements]
+    assert rs[-1] > rs[0]
+    assert rs[-1] > 0.4

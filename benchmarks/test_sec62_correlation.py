@@ -1,0 +1,59 @@
+"""§6.2 correlation study: the GPU runtime correlates strongly with the
+graph size and *especially* with the maximum degree (paper: r > 0.9
+with vertices/edges/cycles, r = 0.96 with max degree).
+"""
+
+import numpy as np
+
+from repro.parallel import CUDA_MACHINE, model_run
+from repro.perf.report import TextTable
+
+from benchmarks.conftest import LARGE_INPUTS, dataset_lcc, save_table
+
+
+def _run():
+    rows = []
+    for name in LARGE_INPUTS:
+        g = dataset_lcc(name)
+        run = model_run(g, CUDA_MACHINE, 1000, sample_trees=2, seed=0)
+        rows.append(
+            (
+                name,
+                g.num_vertices,
+                g.num_edges,
+                g.num_fundamental_cycles,
+                g.max_degree,
+                run.graphb_seconds,
+            )
+        )
+    return rows
+
+
+def test_sec62_correlation(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    arr = np.array([[r[1], r[2], r[3], r[4], r[5]] for r in rows], dtype=np.float64)
+
+    def corr(i):
+        return float(np.corrcoef(arr[:, i], arr[:, 4])[0, 1])
+
+    table = TextTable(
+        "Sec. 6.2: correlation of modeled CUDA runtime with graph "
+        "properties (paper: r > 0.9 for V/E/cycles, r = 0.96 for max degree)",
+        ["property", "pearson r", "paper"],
+    )
+    r_v, r_e, r_c, r_d = corr(0), corr(1), corr(2), corr(3)
+    table.add_row("vertices", round(r_v, 3), "> 0.9")
+    table.add_row("edges", round(r_e, 3), "> 0.9")
+    table.add_row("fundamental cycles", round(r_c, 3), "> 0.9")
+    table.add_row("max degree", round(r_d, 3), "0.96")
+    lines = [table.render(), ""]
+    lines.append(
+        "scale note: hub degrees shrink with the 1/100 edge sampling "
+        "(43k -> ~450 for A*_Book), which weakens the max-degree signal "
+        "relative to the paper's full-size hubs; the correlation remains "
+        "strongly positive."
+    )
+    save_table("sec62_correlation", "\n".join(lines))
+
+    assert r_v > 0.8 and r_e > 0.8 and r_c > 0.8
+    assert r_d > 0.6

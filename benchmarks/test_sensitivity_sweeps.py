@@ -1,0 +1,66 @@
+"""Future-work study (§7): how sparsity and the percentage of negative
+signs affect graphB+'s behaviour — the quantification the paper defers.
+"""
+
+import numpy as np
+
+from repro.analysis.sensitivity import density_sweep, negativity_sweep
+from repro.perf.report import TextTable
+
+from benchmarks.conftest import save_table, trees
+
+
+def _run():
+    num_trees = trees(3)
+    dens = density_sweep(
+        [1.5, 2.5, 4.0, 6.0, 10.0], num_vertices=2000, num_trees=num_trees, seed=0
+    )
+    negs = negativity_sweep(
+        [0.0, 0.1, 0.25, 0.5, 0.75, 1.0],
+        num_vertices=2000,
+        avg_degree=4.0,
+        num_trees=num_trees,
+        seed=0,
+    )
+    return dens, negs
+
+
+def test_sensitivity_sweeps(benchmark):
+    dens, negs = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    t1 = TextTable(
+        "Sensitivity to sparsity (Chung-Lu n=2000, 20% negative): denser "
+        "graphs -> more but shorter cycles; total work grows ~with m",
+        ["avg degree", "cycles", "avg cycle len", "on-cycle deg",
+         "work/tree (ops)", "flip rate"],
+    )
+    for r in dens:
+        t1.add_row(
+            r.parameter, r.num_cycles, round(r.avg_cycle_length, 2),
+            round(r.avg_on_cycle_degree, 1),
+            round(r.cycle_work_per_tree, 0), round(r.flip_rate, 3),
+        )
+
+    t2 = TextTable(
+        "Sensitivity to negative-sign fraction (same structure, coupled "
+        "signs): traversal work is sign-independent; flips/frustration "
+        "rise with negativity",
+        ["neg fraction", "work/tree (ops)", "flip rate",
+         "frustration bound"],
+    )
+    for r in negs:
+        t2.add_row(
+            r.parameter, round(r.cycle_work_per_tree, 0),
+            round(r.flip_rate, 3), r.frustration_bound,
+        )
+    save_table("sensitivity_sweeps", t1.render() + "\n\n" + t2.render())
+
+    # Density shape: cycles up, lengths down.
+    assert dens[-1].num_cycles > dens[0].num_cycles
+    assert dens[-1].avg_cycle_length < dens[0].avg_cycle_length
+    # Negativity shape: work flat (< 25% CV), flips monotone up to 0.5.
+    work = np.array([r.cycle_work_per_tree for r in negs])
+    assert work.std() / work.mean() < 0.25
+    half = [r.flip_rate for r in negs if r.parameter <= 0.5]
+    assert half == sorted(half)
+    assert negs[0].flip_rate == 0.0

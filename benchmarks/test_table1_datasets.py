@@ -1,0 +1,73 @@
+"""Table 1: dataset statistics — vertices, edges, fundamental cycles,
+max/avg degree of the largest connected component of every input.
+
+Stand-ins are synthetic (DESIGN.md §2): large ratings inputs at 1/100
+scale, review cores and S*_wiki at full scale.  Columns show measured
+values next to the published ones (published values scaled for the
+scaled inputs, marked with *).
+"""
+
+from repro.graph.datasets import CATALOG
+from repro.perf.report import TextTable
+
+from benchmarks.conftest import dataset_lcc, save_table
+
+_INPUTS = list(CATALOG)
+
+
+def _run():
+    rows = []
+    for name in _INPUTS:
+        spec = CATALOG[name]
+        sub = dataset_lcc(name)
+        rows.append((name, spec, sub))
+    return rows
+
+
+def test_table1_datasets(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = TextTable(
+        "Table 1: largest-connected-component statistics "
+        "(synthetic stand-ins; 'paper' columns scaled by the build scale, * = scaled)",
+        [
+            "input",
+            "scale",
+            "vertices",
+            "paper V",
+            "edges",
+            "paper E",
+            "cycles",
+            "paper C",
+            "max deg",
+            "paper maxd",
+            "avg deg",
+            "paper avgd",
+        ],
+    )
+    for name, spec, sub in rows:
+        s = spec.default_scale
+        mark = "*" if s != 1.0 else ""
+        table.add_row(
+            name,
+            f"{s:g}{mark}",
+            sub.num_vertices,
+            int(spec.paper_vertices * s),
+            sub.num_edges,
+            int(spec.paper_edges * s),
+            sub.num_fundamental_cycles,
+            int(spec.paper_cycles * s),
+            sub.max_degree,
+            int(spec.paper_max_degree * s),
+            round(sub.avg_degree, 2),
+            spec.paper_avg_degree,
+        )
+    save_table("table1_datasets", table.render())
+
+    # Shape assertions: sizes within 2x of the scaled targets, ordering
+    # of input sizes preserved.
+    for name, spec, sub in rows:
+        s = spec.default_scale
+        assert sub.num_edges > 0.4 * spec.paper_edges * s, name
+        assert sub.num_edges < 2.0 * spec.paper_edges * s, name
+        assert sub.max_degree < 4.0 * max(spec.paper_max_degree * s, 8), name

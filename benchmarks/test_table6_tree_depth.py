@@ -1,0 +1,86 @@
+"""Table 6: min/max/average BFS-spanning-tree depth per input.
+
+Paper (1000 trees): every tree is shallow — max depth 21 over all
+inputs, average under 18 — which is what makes the level-synchronous
+parallelization effective.  We sample 50 trees per input.
+"""
+
+import numpy as np
+
+from repro.perf.report import TextTable
+from repro.trees import TreeSampler, depth_stats
+
+from benchmarks.conftest import LARGE_INPUTS, SMALL_INPUTS, dataset_lcc, save_table, trees
+
+#: Published Table 6: (min, max, avg) BFS tree depth.
+PAPER = {
+    "A*_Android": (10, 13, 12.2),
+    "A*_Automotive": (15, 19, 17.3),
+    "A*_Baby": (11, 15, 12.9),
+    "A*_Book": (15, 19, 17.1),
+    "A*_Electronics": (11, 12, 11.7),
+    "A*_Games": (15, 18, 16.8),
+    "A*_Garden": (12, 15, 13.6),
+    "A*_Instruments": (14, 21, 17.2),
+    "A*_Instruments_core5": (5, 6, 5.7),
+    "A*_Jewelry": (14, 16, 15.7),
+    "A*_Music": (14, 18, 15.8),
+    "A*_Music_core5": (5, 7, 6.0),
+    "A*_Outdoors": (14, 17, 15.2),
+    "A*_TV": (12, 15, 13.9),
+    "A*_Video": (11, 15, 12.9),
+    "A*_Video_core5": (5, 7, 5.8),
+    "A*_Vinyl": (13, 15, 13.7),
+    "S*_opinion": (8, 11, 9.5),
+    "S*_slashdot": (7, 9, 7.9),
+    "S*_wiki": (4, 5, 4.9),
+}
+
+NUM_TREES_DEFAULT = 50
+
+
+def _run():
+    num_trees = trees(NUM_TREES_DEFAULT)
+    rows = []
+    for name in SMALL_INPUTS + LARGE_INPUTS:
+        g = dataset_lcc(name)
+        stats = depth_stats(TreeSampler(g, seed=0), num_trees)
+        rows.append((name, stats))
+    return num_trees, rows
+
+
+def test_table6_tree_depth(benchmark):
+    num_trees, rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = TextTable(
+        f"Table 6: BFS spanning-tree depth over {num_trees} trees "
+        "(paper used 1000; all-input averages: min 10.8, max 13.7, avg 12.3)",
+        ["input", "min", "paper", "max", "paper", "avg", "paper"],
+    )
+    avgs = []
+    for name, stats in rows:
+        p = PAPER[name]
+        table.add_row(
+            name,
+            stats.min_depth, p[0],
+            stats.max_depth, p[1],
+            round(stats.avg_depth, 1), p[2],
+        )
+        avgs.append(stats.avg_depth)
+    table.add_row(
+        "AVERAGE",
+        round(float(np.mean([s.min_depth for _, s in rows])), 1), 10.8,
+        round(float(np.mean([s.max_depth for _, s in rows])), 1), 13.7,
+        round(float(np.mean(avgs)), 1), 12.3,
+    )
+    save_table("table6_tree_depth", table.render())
+
+    # Shape: every tree is shallow (paper max is 21; allow headroom for
+    # synthetic variation), and ordering holds — the dense core5 and
+    # wiki graphs are the shallowest.
+    for name, stats in rows:
+        assert stats.max_depth <= 30, name
+    wiki = dict(rows)["S*_wiki"]
+    deepest = max(stats.avg_depth for _, stats in rows)
+    assert wiki.avg_depth < deepest
+    assert float(np.mean(avgs)) < 20.0

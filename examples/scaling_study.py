@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Scaling study: price one input on the paper's machines.
+
+Profiles real per-tree workloads of a Table-1 stand-in and prices them
+on the simulated serial CPU, the 16-core OpenMP machine across thread
+counts (Fig. 10's sweep), and the Titan-V-shaped GPU model — then
+checks the memory budget with the Table 4 allocation model.
+
+Run:  python examples/scaling_study.py [dataset-name]
+"""
+
+import sys
+
+from repro.graph.datasets import CATALOG, load, paper_stats
+from repro.graph.components import largest_connected_component
+from repro.parallel import (
+    CUDA_MACHINE,
+    CpuMachine,
+    model_run_multi,
+)
+from repro.perf.memory import cuda_device_mb, cuda_host_mb, openmp_host_mb
+
+name = sys.argv[1] if len(sys.argv) > 1 else "A*_Video"
+if name not in CATALOG:
+    raise SystemExit(f"unknown dataset {name!r}; choose from {sorted(CATALOG)}")
+
+graph, _ = largest_connected_component(load(name, seed=0))
+spec = paper_stats(name)
+print(f"{name}: stand-in LCC {graph} (scale {spec.default_scale:g})")
+
+machines = {f"cpu-{k}t": CpuMachine(threads=k) for k in (1, 2, 4, 8, 16, 32)}
+machines["cuda"] = CUDA_MACHINE
+runs = model_run_multi(graph, machines, num_trees=1000, sample_trees=3, seed=0)
+
+print(f"\nmodeled graphB+ time for 1000 BFS trees "
+      f"(~{runs['cuda'].num_cycles_per_tree:,.0f} cycles/tree):")
+serial = runs["cpu-1t"].graphb_seconds
+for label, run in runs.items():
+    speedup = serial / run.graphb_seconds
+    print(f"  {label:>8s}: {run.graphb_seconds:8.2f} s  "
+          f"({run.throughput_mcps:6.1f} Mcycles/s, {speedup:5.1f}x)")
+
+print("\nphase breakdown on the GPU model (Fig. 11 view):")
+phase = runs["cuda"].phase
+total = phase.total
+for pname, seconds in [
+    ("cycle processing", phase.cycle_processing),
+    ("labeling", phase.labeling),
+    ("bipartition", phase.bipartition),
+    ("tree generation", phase.tree_generation),
+]:
+    print(f"  {pname:>18s}: {seconds / total:6.1%}")
+
+print(f"\nTable 4 memory model at the PAPER's full size "
+      f"({spec.paper_vertices:,} vertices, {spec.paper_edges:,} edges):")
+n, m = spec.paper_vertices, spec.paper_edges
+print(f"  OpenMP host:  {openmp_host_mb(n, m):10.1f} MB")
+print(f"  CUDA device:  {cuda_device_mb(n, m):10.1f} MB")
+print(f"  CUDA host:    {cuda_host_mb(n, m):10.1f} MB")

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""One-shot reproduction driver.
+
+Runs the full validation and regenerates every table/figure, collecting
+logs under ``artifacts/``:
+
+    python scripts/reproduce.py            # tests + benches
+    python scripts/reproduce.py --quick    # tests + the exact-anchor benches only
+    python scripts/reproduce.py --examples # also run the example scripts
+
+Exit code is nonzero if any stage fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+ARTIFACTS = REPO / "artifacts"
+
+QUICK_BENCHES = [
+    "benchmarks/test_fig01_02_frustration_cloud.py",
+    "benchmarks/test_fig03_status.py",
+    "benchmarks/test_fig06_worked_example.py",
+    "benchmarks/test_table4_memory.py",
+]
+
+EXAMPLES = [
+    "examples/quickstart.py",
+    "examples/election_analysis.py",
+    "examples/consensus_pipeline.py",
+    "examples/scaling_study.py",
+    "examples/frustration_cloud_tour.py",
+    "examples/dynamic_updates.py",
+    "examples/checkpointed_campaign.py",
+]
+
+
+def run_stage(name: str, cmd: list[str]) -> bool:
+    """Run one stage, teeing output to artifacts/<name>.log."""
+    ARTIFACTS.mkdir(exist_ok=True)
+    log = ARTIFACTS / f"{name}.log"
+    print(f"[{name}] {' '.join(cmd)}")
+    start = time.perf_counter()
+    with open(log, "w", encoding="utf-8") as fh:
+        proc = subprocess.run(
+            cmd, cwd=REPO, stdout=fh, stderr=subprocess.STDOUT
+        )
+    elapsed = time.perf_counter() - start
+    status = "ok" if proc.returncode == 0 else f"FAILED (rc={proc.returncode})"
+    print(f"[{name}] {status} in {elapsed:.1f}s -> {log.relative_to(REPO)}")
+    return proc.returncode == 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="run only the exact-anchor benches")
+    parser.add_argument("--examples", action="store_true",
+                        help="also run the example scripts")
+    parser.add_argument("--skip-tests", action="store_true")
+    args = parser.parse_args(argv)
+
+    ok = True
+    if not args.skip_tests:
+        ok &= run_stage(
+            "tests", [sys.executable, "-m", "pytest", "tests/", "-q"]
+        )
+    bench_targets = QUICK_BENCHES if args.quick else ["benchmarks/"]
+    ok &= run_stage(
+        "benchmarks",
+        [sys.executable, "-m", "pytest", *bench_targets, "--benchmark-only", "-q"],
+    )
+    if args.examples:
+        for script in EXAMPLES:
+            name = Path(script).stem
+            ok &= run_stage(f"example-{name}", [sys.executable, script])
+
+    print()
+    if ok:
+        print("reproduction complete; tables under benchmarks/results/, "
+              "logs under artifacts/")
+        return 0
+    print("reproduction FAILED; see artifacts/*.log")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+This offline environment lacks the ``wheel`` package, so PEP-517
+editable installs (which build a wheel) fail.  With this shim,
+``pip install -e . --no-build-isolation`` falls back to the classic
+``setup.py develop`` path, which works without wheel.  Configuration
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,84 @@
+"""Partition-agreement metrics: ARI and NMI, implemented from scratch.
+
+Used to score how well spectral clusters and cloud-derived consensus
+communities recover planted structure (the quantitative backbone of the
+Figs. 4–5 comparison).  No sklearn in this environment, so both metrics
+are implemented directly:
+
+* **Adjusted Rand Index** — pair-counting agreement corrected for
+  chance; 1 = identical partitions, ≈0 = random relabeling.
+* **Normalized Mutual Information** — information-theoretic overlap
+  normalized by the arithmetic mean of the entropies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["adjusted_rand_index", "normalized_mutual_information", "contingency"]
+
+
+def contingency(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Contingency table of two integer labelings of the same items."""
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ReproError("labelings must be equal-length 1-D arrays")
+    if len(a) == 0:
+        return np.zeros((0, 0), dtype=np.int64)
+    if a.min() < 0 or b.min() < 0:
+        raise ReproError("labels must be non-negative")
+    ka, kb = int(a.max()) + 1, int(b.max()) + 1
+    table = np.zeros((ka, kb), dtype=np.int64)
+    np.add.at(table, (a, b), 1)
+    return table
+
+
+def adjusted_rand_index(a: np.ndarray, b: np.ndarray) -> float:
+    """Adjusted Rand Index between two labelings (1 = identical)."""
+    table = contingency(a, b)
+    n = int(table.sum())
+    if n < 2:
+        return 1.0
+
+    def comb2(x):
+        x = x.astype(np.float64)
+        return x * (x - 1.0) / 2.0
+
+    sum_cells = comb2(table).sum()
+    sum_rows = comb2(table.sum(axis=1)).sum()
+    sum_cols = comb2(table.sum(axis=0)).sum()
+    total = comb2(np.array([n]))[0]
+    expected = sum_rows * sum_cols / total
+    max_index = (sum_rows + sum_cols) / 2.0
+    if max_index == expected:
+        return 1.0  # both partitions trivial (all-one-cluster etc.)
+    return float((sum_cells - expected) / (max_index - expected))
+
+
+def normalized_mutual_information(a: np.ndarray, b: np.ndarray) -> float:
+    """NMI between two labelings (arithmetic-mean normalization)."""
+    table = contingency(a, b).astype(np.float64)
+    n = table.sum()
+    if n == 0:
+        return 1.0
+    p = table / n
+    pa = p.sum(axis=1)
+    pb = p.sum(axis=0)
+
+    # Sum only over positive cells to avoid 0·log(0/0) noise.
+    rows, cols = np.nonzero(p)
+    cell = p[rows, cols]
+    mi = float((cell * np.log(cell / (pa[rows] * pb[cols]))).sum())
+
+    def entropy(q):
+        q = q[q > 0]
+        return float(-(q * np.log(q)).sum())
+
+    ha, hb = entropy(pa), entropy(pb)
+    denom = (ha + hb) / 2.0
+    if denom == 0.0:
+        return 1.0  # both partitions trivial
+    return float(max(min(mi / denom, 1.0), 0.0))

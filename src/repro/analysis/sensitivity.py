@@ -1,0 +1,147 @@
+"""Sensitivity of graphB+ to graph characteristics (paper future work, §7).
+
+The paper closes with: "we want to quantify how various graph
+characteristics, such as sparsity and the percentage of negative signs,
+affect the algorithm's performance."  This module runs that study on
+controlled Chung-Lu families:
+
+* sweep **density** (average degree) at fixed sign mix, and
+* sweep **negative fraction** at fixed density,
+
+measuring, per configuration: cycle count, average cycle length,
+on-cycle degree, per-tree cycle work (the serial cost driver), flip
+rate (fraction of cycles balanced by switching), and the frustration
+cloud's upper bound on the frustration index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cloud.cloud import FrustrationCloud
+from repro.core.balancer import balance
+from repro.graph.components import largest_connected_component
+from repro.graph.generators import chung_lu_signed
+from repro.rng import SeedLike, spawn
+
+__all__ = ["SensitivityRow", "density_sweep", "negativity_sweep"]
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """Measurements for one generated configuration."""
+
+    parameter: float            # the swept value (avg degree or neg fraction)
+    num_vertices: int
+    num_edges: int
+    num_cycles: int
+    avg_cycle_length: float
+    avg_on_cycle_degree: float
+    cycle_work_per_tree: float  # Σ per-cycle traversal ops
+    flip_rate: float            # flips / cycles per tree
+    frustration_bound: int
+
+
+def _measure(
+    graph, num_trees: int, seed: SeedLike
+) -> tuple[float, float, float, float, int]:
+    cloud = FrustrationCloud(graph)
+    lengths, degs, work, flips = [], [], [], []
+    for i in range(num_trees):
+        r = balance(graph, tree=None, seed=spawn(seed, i), collect_stats=True)
+        lengths.append(r.stats.avg_length)
+        degs.append(float(r.stats.degree_sums.sum() / r.stats.lengths.sum()))
+        work.append(
+            float(r.stats.lengths.sum() + 0.27 * r.stats.tree_degree_sums.sum())
+        )
+        flips.append(r.num_flips / max(r.num_cycles, 1))
+        cloud.add_result(r)
+    return (
+        float(np.mean(lengths)),
+        float(np.mean(degs)),
+        float(np.mean(work)),
+        float(np.mean(flips)),
+        cloud.frustration_upper_bound(),
+    )
+
+
+def density_sweep(
+    avg_degrees: Sequence[float],
+    num_vertices: int = 2000,
+    negative_fraction: float = 0.2,
+    num_trees: int = 3,
+    seed: SeedLike = 0,
+) -> list[SensitivityRow]:
+    """Vary sparsity at a fixed sign mix.
+
+    Denser graphs have more fundamental cycles per tree but *shorter*
+    ones (BFS trees get shallower), so per-cycle work drops while total
+    work grows roughly with m.
+    """
+    rows = []
+    for k, avg_deg in enumerate(avg_degrees):
+        m = int(round(avg_deg * num_vertices))
+        g = chung_lu_signed(
+            num_vertices, m, negative_fraction=negative_fraction,
+            seed=spawn(seed, k),
+        )
+        sub, _ = largest_connected_component(g)
+        length, deg, work, flip, bound = _measure(sub, num_trees, spawn(seed, 1000 + k))
+        rows.append(
+            SensitivityRow(
+                parameter=float(avg_deg),
+                num_vertices=sub.num_vertices,
+                num_edges=sub.num_edges,
+                num_cycles=sub.num_fundamental_cycles,
+                avg_cycle_length=length,
+                avg_on_cycle_degree=deg,
+                cycle_work_per_tree=work,
+                flip_rate=flip,
+                frustration_bound=bound,
+            )
+        )
+    return rows
+
+
+def negativity_sweep(
+    negative_fractions: Sequence[float],
+    num_vertices: int = 2000,
+    avg_degree: float = 4.0,
+    num_trees: int = 3,
+    seed: SeedLike = 0,
+) -> list[SensitivityRow]:
+    """Vary the percentage of negative signs at fixed density.
+
+    Structure (cycles, lengths, work) is sign-independent — graphB+'s
+    running time does not depend on the sign mix — but the *flip rate*
+    and frustration grow toward the 50% point and fall back as the
+    graph approaches all-negative (bipartite-like) territory.
+    """
+    rows = []
+    base = spawn(seed, 0)
+    struct_seed = int(base.integers(0, 2**62))
+    for k, frac in enumerate(negative_fractions):
+        # Same structure for every fraction: only signs differ.
+        m = int(round(avg_degree * num_vertices))
+        g = chung_lu_signed(
+            num_vertices, m, negative_fraction=frac, seed=struct_seed
+        )
+        sub, _ = largest_connected_component(g)
+        length, deg, work, flip, bound = _measure(sub, num_trees, spawn(seed, 2000 + k))
+        rows.append(
+            SensitivityRow(
+                parameter=float(frac),
+                num_vertices=sub.num_vertices,
+                num_edges=sub.num_edges,
+                num_cycles=sub.num_fundamental_cycles,
+                avg_cycle_length=length,
+                avg_on_cycle_degree=deg,
+                cycle_work_per_tree=work,
+                flip_rate=flip,
+                frustration_bound=bound,
+            )
+        )
+    return rows

@@ -1,0 +1,421 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+stats        Table-1-style statistics of a signed graph file
+balance      compute one nearest balanced state and report the switches
+cloud        sample a frustration cloud; write status/influence CSV
+frustration  frustration-index bounds (exact / local search / cloud)
+dataset      materialize a Table-1 synthetic stand-in to a file
+model        modeled serial/OpenMP/CUDA campaign times (Tables 2–3)
+memory       Table-4 memory model for given sizes or a named dataset
+
+Graph files are auto-detected by extension: ``.mtx`` (Matrix Market),
+``.tsv`` (KONECT), ``.npz`` (repro snapshot), anything else is parsed
+as a ``u v sign`` edge list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser", "load_graph_file"]
+
+
+def load_graph_file(path: str):
+    """Load a signed graph, dispatching on the file extension."""
+    from repro.graph.io import load_npz, read_edgelist
+    from repro.graph.io_formats import read_konect, read_matrix_market
+
+    suffix = Path(path).suffix.lower()
+    if suffix == ".mtx":
+        return read_matrix_market(path)
+    if suffix == ".tsv":
+        return read_konect(path)
+    if suffix == ".npz":
+        return load_npz(path)
+    return read_edgelist(path)
+
+
+def _write_graph(graph, path: str) -> None:
+    from repro.graph.io import save_npz, write_edgelist
+    from repro.graph.io_formats import write_konect, write_matrix_market
+
+    suffix = Path(path).suffix.lower()
+    if suffix == ".mtx":
+        write_matrix_market(graph, path)
+    elif suffix == ".tsv":
+        write_konect(graph, path)
+    elif suffix == ".npz":
+        save_npz(graph, path)
+    else:
+        write_edgelist(graph, path)
+
+
+def _lcc(graph):
+    from repro.graph.components import largest_connected_component
+
+    sub, ids = largest_connected_component(graph)
+    return sub, ids
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations (each returns an exit code)
+# ----------------------------------------------------------------------
+def _cmd_stats(args) -> int:
+    graph = load_graph_file(args.input)
+    print(f"input: {args.input}")
+    print(f"  vertices:           {graph.num_vertices:,}")
+    print(f"  edges:              {graph.num_edges:,}")
+    print(f"  negative edges:     {graph.num_negative_edges:,} "
+          f"({graph.num_negative_edges / max(graph.num_edges, 1):.1%})")
+    sub, _ = _lcc(graph)
+    print("largest connected component:")
+    print(f"  vertices:           {sub.num_vertices:,}")
+    print(f"  edges:              {sub.num_edges:,}")
+    print(f"  fundamental cycles: {sub.num_fundamental_cycles:,}")
+    print(f"  max degree:         {sub.max_degree:,}")
+    print(f"  avg degree:         {sub.avg_degree:.2f}")
+    if args.profile:
+        from repro.graph.stats import profile_graph
+
+        print("profile:")
+        for line in profile_graph(sub).render().splitlines():
+            print(f"  {line}")
+    return 0
+
+
+def _cmd_balance(args) -> int:
+    from repro.core import balance
+    from repro.harary import harary_bipartition
+
+    graph = load_graph_file(args.input)
+    sub, ids = _lcc(graph)
+    result = balance(sub, kernel=args.kernel, seed=args.seed)
+    print(f"balanced {sub.num_fundamental_cycles:,} fundamental cycles; "
+          f"{result.num_flips:,} edge sign(s) switched")
+    bip = harary_bipartition(sub, result.signs)
+    print(f"Harary bipartition sizes: {bip.sizes}")
+    if args.show_flips:
+        for e in np.nonzero(result.flipped)[0][: args.show_flips]:
+            u = int(ids[sub.edge_u[e]])
+            v = int(ids[sub.edge_v[e]])
+            print(f"  flipped {u} {v}")
+    if args.output:
+        _write_graph(result.balanced_graph, args.output)
+        print(f"balanced state written to {args.output}")
+    return 0
+
+
+def _cmd_cloud(args) -> int:
+    from repro.cloud import sample_cloud
+    from repro.parallel.pool import sample_cloud_pool
+
+    graph = load_graph_file(args.input)
+    sub, ids = _lcc(graph)
+    if args.resume:
+        from repro.cloud.checkpoint import load_cloud, resume_cloud
+
+        cloud = load_cloud(args.resume, sub)
+        print(f"resuming from {args.resume} ({cloud.num_states} states)")
+        cloud = resume_cloud(
+            cloud,
+            args.states,
+            method=args.method,
+            seed=args.seed,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+        )
+    elif args.workers > 1:
+        cloud = sample_cloud_pool(
+            sub, args.states, workers=args.workers,
+            method=args.method, seed=args.seed,
+        )
+    else:
+        cloud = sample_cloud(sub, args.states, method=args.method, seed=args.seed)
+    if args.checkpoint and not args.resume:
+        from repro.cloud.checkpoint import save_cloud
+
+        save_cloud(cloud, args.checkpoint)
+        print(f"checkpoint written to {args.checkpoint}")
+    status = cloud.status()
+    print(f"cloud of {cloud.num_states} states over {sub.num_vertices:,} vertices")
+    print(f"  status:    mean {status.mean():.3f} "
+          f"[{status.min():.3f}, {status.max():.3f}]")
+    print(f"  frustration index <= {cloud.frustration_upper_bound():,}")
+    if args.output:
+        from repro.cloud.export import write_vertex_csv
+
+        write_vertex_csv(cloud, args.output, original_ids=ids)
+        print(f"per-vertex attributes written to {args.output}")
+    if args.edge_output:
+        from repro.cloud.export import write_edge_csv
+
+        write_edge_csv(cloud, args.edge_output, original_ids=ids)
+        print(f"per-edge attributes written to {args.edge_output}")
+    return 0
+
+
+def _cmd_frustration(args) -> int:
+    from repro.cloud import (
+        frustration_index_exact,
+        frustration_local_search,
+        sample_cloud,
+    )
+
+    graph = load_graph_file(args.input)
+    sub, _ = _lcc(graph)
+    if args.exact:
+        fr, _ = frustration_index_exact(sub)
+        print(f"exact frustration index: {fr}")
+    heur, _ = frustration_local_search(sub, restarts=args.restarts, seed=args.seed)
+    print(f"local-search upper bound: {heur}")
+    if args.states:
+        bound = sample_cloud(sub, args.states, seed=args.seed).frustration_upper_bound()
+        print(f"cloud upper bound ({args.states} states): {bound}")
+    return 0
+
+
+def _cmd_dataset(args) -> int:
+    from repro.graph.datasets import CATALOG, load
+
+    if args.list:
+        for name, spec in CATALOG.items():
+            print(f"{name:24s} {spec.category:16s} "
+                  f"paper: {spec.paper_vertices:>10,} v  "
+                  f"{spec.paper_edges:>11,} e  scale {spec.default_scale:g}")
+        return 0
+    if not args.name:
+        print("dataset: provide a name or --list", file=sys.stderr)
+        return 2
+    graph = load(args.name, scale=args.scale, seed=args.seed)
+    print(f"built {args.name}: {graph}")
+    if args.output:
+        _write_graph(graph, args.output)
+        print(f"written to {args.output}")
+    return 0
+
+
+def _cmd_model(args) -> int:
+    from repro.parallel import (
+        CUDA_MACHINE,
+        OPENMP_MACHINE,
+        SERIAL_MACHINE,
+        model_run_multi,
+    )
+
+    graph = load_graph_file(args.input)
+    sub, _ = _lcc(graph)
+    machines = {
+        "serial": SERIAL_MACHINE,
+        "openmp": OPENMP_MACHINE,
+        "cuda": CUDA_MACHINE,
+    }
+    runs = model_run_multi(
+        sub, machines, num_trees=args.trees, sample_trees=args.sample_trees,
+        seed=args.seed,
+    )
+    print(f"modeled graphB+ campaign: {args.trees} BFS trees, "
+          f"{runs['serial'].num_cycles_per_tree:,.0f} cycles/tree")
+    for name, run in runs.items():
+        print(f"  {name:>7s}: {run.graphb_seconds:10.2f} s   "
+              f"{run.throughput_mcps:8.1f} Mcycles/s")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.core.trace import trace_cycle
+    from repro.trees import TreeSampler
+
+    graph = load_graph_file(args.input)
+    sub, _ = _lcc(graph)
+    tree = TreeSampler(sub, seed=args.seed).tree(0)
+    non_tree = tree.non_tree_edge_ids()
+    if len(non_tree) == 0:
+        print("the graph is a tree: no fundamental cycles to trace")
+        return 0
+    count = min(args.cycles, len(non_tree))
+    for e in non_tree[:count]:
+        print(trace_cycle(sub, tree, int(e)).describe())
+        print()
+    return 0
+
+
+def _cmd_communities(args) -> int:
+    from repro.cloud import consensus_communities, polarization, sample_cloud
+
+    graph = load_graph_file(args.input)
+    sub, ids = _lcc(graph)
+    cloud = sample_cloud(sub, args.states, seed=args.seed)
+    labels = consensus_communities(cloud, threshold=args.threshold)
+    sizes = np.bincount(labels)
+    order = np.argsort(sizes)[::-1]
+    print(f"{int(labels.max()) + 1} consensus communities at "
+          f"co-side threshold {args.threshold} ({args.states} states)")
+    print(f"graph polarization: {polarization(cloud):.3f}")
+    for rank, c in enumerate(order[: args.top]):
+        print(f"  community #{rank + 1}: {int(sizes[c])} vertices")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write("vertex,community\n")
+            for i in range(sub.num_vertices):
+                fh.write(f"{int(ids[i])},{int(labels[i])}\n")
+        print(f"memberships written to {args.output}")
+    return 0
+
+
+def _cmd_convergence(args) -> int:
+    from repro.cloud.convergence import split_half_agreement, status_trajectory
+
+    graph = load_graph_file(args.input)
+    sub, _ = _lcc(graph)
+    cps = sorted({max(args.max_states // (2**k), 4) for k in range(4)})
+    traj = status_trajectory(sub, cps, seed=args.seed)
+    print("status convergence (max per-vertex change between checkpoints):")
+    for cp, change in zip(traj.checkpoints, traj.max_step_change):
+        shown = "-" if np.isinf(change) else f"{change:.4f}"
+        print(f"  {int(cp):>6d} states: {shown}")
+    r = split_half_agreement(sub, args.max_states, seed=args.seed + 1)
+    print(f"split-half reliability at {args.max_states} states: {r:.3f}")
+    return 0
+
+
+def _cmd_memory(args) -> int:
+    from repro.perf.memory import cuda_device_mb, cuda_host_mb, openmp_host_mb
+
+    if args.dataset:
+        from repro.graph.datasets import paper_stats
+
+        spec = paper_stats(args.dataset)
+        n, m = spec.paper_vertices, spec.paper_edges
+        print(f"{args.dataset} at full published size: n={n:,}, m={m:,}")
+    else:
+        if args.vertices is None or args.edges is None:
+            print("memory: provide --dataset or both --vertices/--edges",
+                  file=sys.stderr)
+            return 2
+        n, m = args.vertices, args.edges
+    print(f"  OpenMP host: {openmp_host_mb(n, m):12.1f} MB")
+    print(f"  CUDA device: {cuda_device_mb(n, m):12.1f} MB")
+    print(f"  CUDA host:   {cuda_host_mb(n, m):12.1f} MB")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="graphB+ — balance signed graphs and analyze consensus",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="graph statistics (Table-1 style)")
+    p.add_argument("input")
+    p.add_argument("--profile", action="store_true",
+                   help="also fit degree percentiles / power-law / assortativity")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("balance", help="compute one nearest balanced state")
+    p.add_argument("input")
+    p.add_argument("--kernel", choices=["walk", "lockstep", "parity"],
+                   default="lockstep")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--show-flips", type=int, default=0, metavar="K",
+                   help="print up to K switched edges")
+    p.add_argument("--output", help="write the balanced state to a file")
+    p.set_defaults(func=_cmd_balance)
+
+    p = sub.add_parser("cloud", help="sample a frustration cloud (Alg. 2)")
+    p.add_argument("input")
+    p.add_argument("--states", type=int, default=100)
+    p.add_argument("--method", choices=["bfs", "bfs-low-degree", "dfs", "wilson"],
+                   default="bfs")
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", help="write the per-vertex attribute CSV")
+    p.add_argument("--edge-output", help="write the per-edge attribute CSV")
+    p.add_argument("--checkpoint", help="write an NPZ cloud checkpoint")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   help="with --resume: re-checkpoint every N new states")
+    p.add_argument("--resume", help="resume a campaign from an NPZ checkpoint")
+    p.set_defaults(func=_cmd_cloud)
+
+    p = sub.add_parser("frustration", help="frustration-index bounds")
+    p.add_argument("input")
+    p.add_argument("--exact", action="store_true",
+                   help="exact enumeration (n <= 24 only)")
+    p.add_argument("--states", type=int, default=0,
+                   help="also report the cloud bound over N states")
+    p.add_argument("--restarts", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_frustration)
+
+    p = sub.add_parser("dataset", help="materialize a Table-1 stand-in")
+    p.add_argument("name", nargs="?")
+    p.add_argument("--list", action="store_true")
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output")
+    p.set_defaults(func=_cmd_dataset)
+
+    p = sub.add_parser("model", help="modeled serial/OpenMP/CUDA campaign")
+    p.add_argument("input")
+    p.add_argument("--trees", type=int, default=1000)
+    p.add_argument("--sample-trees", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_model)
+
+    p = sub.add_parser("trace", help="narrate cycle traversals (Fig. 6 style)")
+    p.add_argument("input")
+    p.add_argument("--cycles", type=int, default=3,
+                   help="number of fundamental cycles to narrate")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("communities", help="consensus communities from the cloud")
+    p.add_argument("input")
+    p.add_argument("--states", type=int, default=50)
+    p.add_argument("--threshold", type=float, default=0.9)
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", help="write vertex,community CSV")
+    p.set_defaults(func=_cmd_communities)
+
+    p = sub.add_parser("convergence", help="status sampling-convergence check")
+    p.add_argument("input")
+    p.add_argument("--max-states", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_convergence)
+
+    p = sub.add_parser("memory", help="Table-4 memory model")
+    p.add_argument("--dataset")
+    p.add_argument("--vertices", type=int)
+    p.add_argument("--edges", type=int)
+    p.set_defaults(func=_cmd_memory)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Frustration-cloud layer: Alg. 2 sampling, consensus attributes
+(status / influence / agreement), frustration-index computation, and
+nearest-state verification.
+"""
+
+from repro.cloud.cloud import FrustrationCloud, exact_cloud, sample_cloud
+from repro.cloud.convergence import (
+    StatusTrajectory,
+    recommend_sample_size,
+    split_half_agreement,
+    status_trajectory,
+)
+from repro.cloud.branch_bound import frustration_branch_bound
+from repro.cloud.checkpoint import (
+    graph_fingerprint,
+    load_cloud,
+    resume_cloud,
+    save_cloud,
+)
+from repro.cloud.export import (
+    edge_attribute_table,
+    vertex_attribute_table,
+    write_edge_csv,
+    write_vertex_csv,
+)
+from repro.cloud.frustration import (
+    frustration_index_exact,
+    frustration_local_search,
+    frustration_of_switching,
+)
+from repro.cloud.metrics import (
+    consensus_communities,
+    edge_controversy,
+    polarization,
+    state_diversity,
+)
+from repro.cloud.nearest import flip_set, is_nearest_state
+from repro.cloud.weighted import (
+    sample_min_weight_state,
+    weighted_flip_cost,
+    weighted_frustration_exact,
+    weighted_frustration_local_search,
+    weighted_frustration_of_switching,
+)
+
+__all__ = [
+    "FrustrationCloud",
+    "sample_cloud",
+    "exact_cloud",
+    "frustration_index_exact",
+    "frustration_branch_bound",
+    "frustration_local_search",
+    "frustration_of_switching",
+    "is_nearest_state",
+    "flip_set",
+    "StatusTrajectory",
+    "status_trajectory",
+    "split_half_agreement",
+    "recommend_sample_size",
+    "consensus_communities",
+    "state_diversity",
+    "polarization",
+    "edge_controversy",
+    "weighted_flip_cost",
+    "weighted_frustration_of_switching",
+    "weighted_frustration_exact",
+    "weighted_frustration_local_search",
+    "sample_min_weight_state",
+    "save_cloud",
+    "load_cloud",
+    "resume_cloud",
+    "graph_fingerprint",
+    "vertex_attribute_table",
+    "edge_attribute_table",
+    "write_vertex_csv",
+    "write_edge_csv",
+]

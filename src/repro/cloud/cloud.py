@@ -1,0 +1,259 @@
+"""Frustration-cloud accumulation (Alg. 2 and §2.2–2.3).
+
+A *frustration cloud* is the multiset of nearest balanced states
+reached from sampled (or, for tiny graphs, all) spanning trees.  The
+:class:`FrustrationCloud` accumulator consumes one balanced state at a
+time and maintains exactly the running statistics the consensus
+attributes need — per-vertex majority counts, coalition sizes,
+per-edge sign preservation — in O(n + m) memory, so clouds over
+thousands of states never store the states themselves (storing unique
+states is opt-in for the small-graph experiments that need Fig. 2's
+"5 unique states").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+import numpy as np
+
+from repro.core.balancer import balance
+from repro.core.state import BalanceResult
+from repro.errors import ReproError
+from repro.graph.csr import SignedGraph
+from repro.harary.bipartition import HararyBipartition, harary_bipartition
+from repro.perf.timers import PhaseTimer
+from repro.rng import SeedLike
+from repro.trees.sampler import TreeSampler
+from repro.trees.enumeration import all_spanning_trees
+
+__all__ = ["FrustrationCloud", "sample_cloud", "exact_cloud"]
+
+
+@dataclass
+class FrustrationCloud:
+    """Streaming accumulator over nearest balanced states.
+
+    Parameters
+    ----------
+    graph:
+        The input graph Σ (fixed structure for every state).
+    store_states:
+        Keep a count per *unique* balanced state (keyed by the sign
+        array).  Needed for the Fig. 2 experiment; off by default since
+        it costs O(m) per unique state.
+    """
+
+    graph: SignedGraph
+    store_states: bool = False
+
+    num_states: int = 0
+    _majority: np.ndarray = field(init=False, repr=False)
+    _majority_sq: np.ndarray = field(init=False, repr=False)
+    _coalition: np.ndarray = field(init=False, repr=False)
+    _edge_preserved: np.ndarray = field(init=False, repr=False)
+    _edge_coside: np.ndarray = field(init=False, repr=False)
+    _flip_counts: list[int] = field(init=False, repr=False)
+    _unique: Dict[bytes, int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        n, m = self.graph.num_vertices, self.graph.num_edges
+        self._majority = np.zeros(n, dtype=np.float64)
+        self._majority_sq = np.zeros(n, dtype=np.float64)
+        self._coalition = np.zeros(n, dtype=np.float64)
+        self._edge_preserved = np.zeros(m, dtype=np.int64)
+        self._edge_coside = np.zeros(m, dtype=np.int64)
+        self._flip_counts = []
+        self._unique = {}
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def add_signs(self, signs: np.ndarray) -> HararyBipartition:
+        """Fold one balanced state (a length-m sign array) into the cloud.
+
+        Returns the state's Harary bipartition (so callers can reuse it).
+        Raises :class:`~repro.errors.NotBalancedError` if *signs* is not
+        balanced — the cloud only contains balanced states by definition.
+        """
+        signs = np.asarray(signs, dtype=np.int8)
+        bip = harary_bipartition(self.graph, signs)
+        n = self.graph.num_vertices
+
+        delta = bip.in_majority()
+        self._majority += delta
+        self._majority_sq += delta * delta
+        size0, size1 = bip.sizes
+        side_size = np.where(bip.side == 0, size0, size1).astype(np.float64)
+        if n > 1:
+            self._coalition += (side_size - 1.0) / (n - 1.0)
+        self._edge_preserved += signs == self.graph.edge_sign
+        self._edge_coside += (
+            bip.side[self.graph.edge_u] == bip.side[self.graph.edge_v]
+        )
+        self._flip_counts.append(
+            int(np.count_nonzero(signs != self.graph.edge_sign))
+        )
+        if self.store_states:
+            key = signs.tobytes()
+            self._unique[key] = self._unique.get(key, 0) + 1
+        self.num_states += 1
+        return bip
+
+    def add_result(self, result: BalanceResult) -> HararyBipartition:
+        """Fold a :class:`BalanceResult` into the cloud."""
+        return self.add_signs(result.signs)
+
+    # ------------------------------------------------------------------
+    # Attributes (defined in §2.3 / the frustration-cloud paper [33])
+    # ------------------------------------------------------------------
+    def _require_states(self) -> None:
+        if self.num_states == 0:
+            raise ReproError("the cloud is empty; add states first")
+
+    def status(self) -> np.ndarray:
+        """Per-vertex status (§2.3): mean of δ_T(v) over the states,
+        where δ is 1 in the larger bipartition, 0.5 on ties, 0 else."""
+        self._require_states()
+        return self._majority / self.num_states
+
+    def influence(self) -> np.ndarray:
+        """Per-vertex influence: the expected fraction of the *other*
+        vertices that share v's side of the bipartition.
+
+        Interpretation note (documented substitution): the cloud paper
+        [33] derives several attributes from the bipartitions; the
+        exact formula is not reproduced in the SC paper, so we use the
+        natural "expected coalition size" — it is 0.5-centred, spreads
+        vertices vertically in the Fig. 5 status–influence plane, and
+        is monotone in how often large groups side with v.
+        """
+        self._require_states()
+        return self._coalition / self.num_states
+
+    def edge_agreement(self) -> np.ndarray:
+        """Per-edge agreement: fraction of states preserving the edge's
+        original sentiment (never-flipped edges score 1.0)."""
+        self._require_states()
+        return self._edge_preserved / self.num_states
+
+    def vertex_agreement(self) -> np.ndarray:
+        """Per-vertex agreement: mean agreement of incident edges."""
+        self._require_states()
+        edge_agree = self.edge_agreement()
+        n = self.graph.num_vertices
+        total = np.zeros(n, dtype=np.float64)
+        half_agree = edge_agree[self.graph.adj_edge]
+        src = np.repeat(np.arange(n), np.diff(self.graph.indptr))
+        np.add.at(total, src, half_agree)
+        deg = np.diff(self.graph.indptr)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            out = np.where(deg > 0, total / np.maximum(deg, 1), 0.0)
+        return out
+
+    def edge_coside(self) -> np.ndarray:
+        """Per-edge co-side probability: fraction of states in which the
+        edge's endpoints land on the same side of the Harary bipartition.
+
+        This is the edge-level consensus signal the community metrics in
+        :mod:`repro.cloud.metrics` build on: a positive edge whose
+        endpoints keep ending up on opposite sides marks a contested
+        relationship.
+        """
+        self._require_states()
+        return self._edge_coside / self.num_states
+
+    def status_volatility(self) -> np.ndarray:
+        """Per-vertex variance of the majority-membership score δ_T(v)
+        across states — 0 for vertices always (or never) in the
+        majority, maximal (0.25) for coin-flip vertices."""
+        self._require_states()
+        mean = self._majority / self.num_states
+        mean_sq = self._majority_sq / self.num_states
+        return np.maximum(mean_sq - mean * mean, 0.0)
+
+    def frustration_upper_bound(self) -> int:
+        """Minimum flip count over the sampled states — an upper bound
+        on (and for exhaustive clouds, equal to) the frustration index
+        L(Σ) *restricted to tree-based nearest states*."""
+        self._require_states()
+        return min(self._flip_counts)
+
+    def flip_counts(self) -> np.ndarray:
+        """Flip count of every ingested state, in ingestion order."""
+        return np.asarray(self._flip_counts, dtype=np.int64)
+
+    def merge(self, other: "FrustrationCloud") -> None:
+        """Fold another cloud over the *same* graph into this one.
+
+        This is the reduction step of the parallel drivers: per-worker
+        clouds accumulate independently and merge at the end, giving
+        results identical to a single sequential cloud over the union
+        of their states.
+        """
+        from repro.graph.validation import assert_same_structure
+
+        assert_same_structure(self.graph, other.graph)
+        if self.store_states != other.store_states:
+            raise ReproError("cannot merge clouds with different store_states")
+        self._majority += other._majority
+        self._majority_sq += other._majority_sq
+        self._coalition += other._coalition
+        self._edge_preserved += other._edge_preserved
+        self._edge_coside += other._edge_coside
+        self._flip_counts.extend(other._flip_counts)
+        if self.store_states:
+            for key, count in other._unique.items():
+                self._unique[key] = self._unique.get(key, 0) + count
+        self.num_states += other.num_states
+
+    def unique_states(self) -> Dict[bytes, int]:
+        """Multiplicity per unique balanced state (requires
+        ``store_states=True``)."""
+        if not self.store_states:
+            raise ReproError("cloud was built with store_states=False")
+        return dict(self._unique)
+
+    @property
+    def num_unique_states(self) -> int:
+        """Number of distinct balanced states seen."""
+        if not self.store_states:
+            raise ReproError("cloud was built with store_states=False")
+        return len(self._unique)
+
+
+def sample_cloud(
+    graph: SignedGraph,
+    num_states: int,
+    method: str = "bfs",
+    kernel: str = "lockstep",
+    seed: SeedLike = None,
+    store_states: bool = False,
+    timers: PhaseTimer | None = None,
+) -> FrustrationCloud:
+    """Alg. 2: sample ``num_states`` spanning trees, balance each, and
+    accumulate the Harary bipartitions into a cloud."""
+    sampler = TreeSampler(graph, method=method, seed=seed)
+    cloud = FrustrationCloud(graph, store_states=store_states)
+    timers = timers if timers is not None else PhaseTimer()
+    for i in range(num_states):
+        with timers.phase("tree_generation"):
+            tree = sampler.tree(i)
+        result = balance(graph, tree, kernel=kernel, timers=timers)
+        with timers.phase("harary_and_status"):
+            cloud.add_result(result)
+    return cloud
+
+
+def exact_cloud(graph: SignedGraph, root: int = 0) -> FrustrationCloud:
+    """The exhaustive cloud over *all* spanning trees (tiny graphs only).
+
+    This is how the Fig. 1–3 anchors are computed: 8 trees for the
+    example Σ, 5 unique states, status 6/8 for the best-placed vertex.
+    """
+    cloud = FrustrationCloud(graph, store_states=True)
+    for tree in all_spanning_trees(graph, root=root):
+        result = balance(graph, tree, kernel="lockstep")
+        cloud.add_result(result)
+    return cloud

@@ -1,0 +1,116 @@
+"""Exporting consensus attributes.
+
+Downstream analyses (notebooks, BI pipelines) consume the per-vertex
+and per-edge attributes as flat tables; these helpers materialize them
+from a :class:`FrustrationCloud` with optional original-id remapping
+(for clouds computed on an extracted largest component).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.cloud.cloud import FrustrationCloud
+from repro.errors import ReproError
+
+__all__ = [
+    "vertex_attribute_table",
+    "edge_attribute_table",
+    "write_vertex_csv",
+    "write_edge_csv",
+]
+
+PathLike = Union[str, Path]
+
+
+def vertex_attribute_table(
+    cloud: FrustrationCloud,
+    original_ids: np.ndarray | None = None,
+) -> dict[str, np.ndarray]:
+    """Per-vertex attributes as named columns.
+
+    Columns: ``vertex`` (original ids when given), ``status``,
+    ``influence``, ``agreement``, ``volatility``.
+    """
+    n = cloud.graph.num_vertices
+    ids = (
+        np.asarray(original_ids, dtype=np.int64)
+        if original_ids is not None
+        else np.arange(n, dtype=np.int64)
+    )
+    if ids.shape != (n,):
+        raise ReproError(f"original_ids must have length {n}")
+    return {
+        "vertex": ids,
+        "status": cloud.status(),
+        "influence": cloud.influence(),
+        "agreement": cloud.vertex_agreement(),
+        "volatility": cloud.status_volatility(),
+    }
+
+
+def edge_attribute_table(
+    cloud: FrustrationCloud,
+    original_ids: np.ndarray | None = None,
+) -> dict[str, np.ndarray]:
+    """Per-edge attributes as named columns.
+
+    Columns: ``u``/``v`` (original ids when given), ``sign``,
+    ``agreement`` (original sign preserved), ``coside``, ``controversy``.
+    """
+    from repro.cloud.metrics import edge_controversy
+
+    graph = cloud.graph
+    ids = (
+        np.asarray(original_ids, dtype=np.int64)
+        if original_ids is not None
+        else np.arange(graph.num_vertices, dtype=np.int64)
+    )
+    if ids.shape != (graph.num_vertices,):
+        raise ReproError(f"original_ids must have length {graph.num_vertices}")
+    return {
+        "u": ids[graph.edge_u],
+        "v": ids[graph.edge_v],
+        "sign": graph.edge_sign.astype(np.int64),
+        "agreement": cloud.edge_agreement(),
+        "coside": cloud.edge_coside(),
+        "controversy": edge_controversy(cloud),
+    }
+
+
+def _write_csv(table: dict[str, np.ndarray], path: PathLike) -> None:
+    cols = list(table)
+    arrays = [table[c] for c in cols]
+    length = len(arrays[0])
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(",".join(cols) + "\n")
+        for i in range(length):
+            cells = []
+            for arr in arrays:
+                x = arr[i]
+                cells.append(
+                    str(int(x)) if np.issubdtype(arr.dtype, np.integer)
+                    else f"{float(x):.6f}"
+                )
+            fh.write(",".join(cells) + "\n")
+
+
+def write_vertex_csv(
+    cloud: FrustrationCloud,
+    path: PathLike,
+    original_ids: np.ndarray | None = None,
+) -> None:
+    """Write the per-vertex attribute table as CSV."""
+    _write_csv(vertex_attribute_table(cloud, original_ids), path)
+
+
+def write_edge_csv(
+    cloud: FrustrationCloud,
+    path: PathLike,
+    original_ids: np.ndarray | None = None,
+) -> None:
+    """Write the per-edge attribute table as CSV."""
+    _write_csv(edge_attribute_table(cloud, original_ids), path)

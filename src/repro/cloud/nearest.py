@@ -1,0 +1,56 @@
+"""Nearest-state verification (the minimality property of §2).
+
+A balanced state is *nearest* when no proper subset of its edge-sign
+switches already yields balance.  The theory ([33], restated in §2.1)
+guarantees that every tree-based state from Alg. 1 / Alg. 3 is nearest;
+:func:`is_nearest_state` verifies that claim by brute force on small
+flip sets, serving as the oracle behind the minimality tests.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.verify import is_balanced
+from repro.errors import ReproError
+from repro.graph.csr import SignedGraph
+
+__all__ = ["is_nearest_state", "flip_set"]
+
+_SUBSET_LIMIT = 18
+
+
+def flip_set(graph: SignedGraph, signs: np.ndarray) -> np.ndarray:
+    """Edge ids whose sign differs between *signs* and the original."""
+    signs = np.asarray(signs, dtype=np.int8)
+    return np.nonzero(signs != graph.edge_sign)[0]
+
+
+def is_nearest_state(graph: SignedGraph, signs: np.ndarray) -> bool:
+    """Whether *signs* is a *nearest* balanced state of *graph*.
+
+    Checks that (a) the state is balanced and (b) no proper subset of
+    its flips is already balanced.  Exponential in the flip count;
+    refuses more than 18 flips.
+    """
+    signs = np.asarray(signs, dtype=np.int8)
+    if not is_balanced(graph.with_signs(signs)):
+        return False
+    flips = flip_set(graph, signs)
+    k = len(flips)
+    if k > _SUBSET_LIMIT:
+        raise ReproError(
+            f"nearest-state check enumerates 2^k flip subsets; k={k} > {_SUBSET_LIMIT}"
+        )
+    base = graph.edge_sign
+    for size in range(k):  # proper subsets only
+        for subset in combinations(flips.tolist(), size):
+            trial = base.copy()
+            idx = np.asarray(subset, dtype=np.int64)
+            if len(idx):
+                trial[idx] = -trial[idx]
+            if is_balanced(graph.with_signs(trial)):
+                return False
+    return True

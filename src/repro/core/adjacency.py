@@ -1,0 +1,102 @@
+"""Partitioned adjacency lists (§3.2.2).
+
+For a fixed spanning tree, graphB+ reorders each vertex's adjacency
+slice so that
+
+1. the **parent edge** (if any) comes first — it is the most likely
+   edge to follow during a cycle walk, since on average it leads to the
+   most vertices;
+2. the remaining **tree edges** (child edges) follow;
+3. **non-tree edges** fill the back of the slice.
+
+Loops over tree edges then scan front-to-back and stop at the first
+non-tree edge; loops over non-tree edges scan back-to-front.  The
+reorder is a single O(m) vectorized sort here (linear bucketing in the
+C++ code); the cycle-walk ablation quantifies the scan savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import SignedGraph
+from repro.trees.tree import SpanningTree
+
+__all__ = ["PartitionedAdjacency", "partition_adjacency"]
+
+
+@dataclass(frozen=True)
+class PartitionedAdjacency:
+    """Tree-aware reordering of a graph's CSR adjacency.
+
+    ``indptr`` is shared with the host graph; ``adj_vertex``/``adj_edge``
+    are permuted copies.  ``tree_end[v]`` is the position one past the
+    last tree edge of vertex ``v``, so
+
+    * tree edges of ``v``:      ``[indptr[v], tree_end[v])`` (parent first),
+    * non-tree edges of ``v``:  ``[tree_end[v], indptr[v+1])``.
+
+    ``has_parent_first[v]`` is True when position ``indptr[v]`` holds
+    the parent edge (always, except at the root).
+    """
+
+    indptr: np.ndarray
+    adj_vertex: np.ndarray
+    adj_edge: np.ndarray
+    tree_end: np.ndarray
+    has_parent_first: np.ndarray
+
+    def tree_slice(self, v: int) -> slice:
+        """Slice of vertex *v*'s tree edges (parent edge first)."""
+        return slice(int(self.indptr[v]), int(self.tree_end[v]))
+
+    def non_tree_slice(self, v: int) -> slice:
+        """Slice of vertex *v*'s non-tree edges (back of the row)."""
+        return slice(int(self.tree_end[v]), int(self.indptr[v + 1]))
+
+
+def partition_adjacency(
+    graph: SignedGraph, tree: SpanningTree
+) -> PartitionedAdjacency:
+    """Reorder adjacency as parent edge / child tree edges / non-tree.
+
+    Within each category the original neighbor-sorted order is kept, so
+    the result is deterministic.
+    """
+    n = graph.num_vertices
+    src = np.repeat(np.arange(n), np.diff(graph.indptr))
+    is_tree = tree.in_tree[graph.adj_edge]
+    # The parent half-edge of v points at parent[v] *and* carries v's
+    # parent edge id (a vertex can also see its parent through a
+    # non-tree multi-edge only if multigraphs were allowed — they are
+    # not, so the edge-id check is belt and braces).
+    is_parent = is_tree & (graph.adj_edge == tree.parent_edge[src])
+
+    category = np.full(len(src), 2, dtype=np.int8)
+    category[is_tree] = 1
+    category[is_parent] = 0
+
+    # Stable sort by (src, category) keeps neighbor order inside each
+    # category.
+    order = np.lexsort((np.arange(len(src)), category, src))
+    adj_vertex = graph.adj_vertex[order]
+    adj_edge = graph.adj_edge[order]
+
+    tree_counts = np.zeros(n, dtype=np.int64)
+    np.add.at(tree_counts, src[is_tree], 1)
+    tree_end = graph.indptr[:-1] + tree_counts
+
+    has_parent_first = np.zeros(n, dtype=bool)
+    has_parent = np.nonzero(tree.parent >= 0)[0]
+    has_parent_first[has_parent] = (
+        adj_vertex[graph.indptr[has_parent]] == tree.parent[has_parent]
+    )
+    return PartitionedAdjacency(
+        indptr=graph.indptr,
+        adj_vertex=adj_vertex,
+        adj_edge=adj_edge,
+        tree_end=tree_end,
+        has_parent_first=has_parent_first,
+    )

@@ -1,0 +1,222 @@
+"""Fundamental-cycle discovery, traversal, and balancing (Alg. 3, step 3).
+
+This is the faithful *serial* walker.  For each non-tree edge
+``e = (src, dst)`` it starts at ``src`` and repeatedly follows the tree
+edge whose recorded range contains ``dst``'s new ID:
+
+* if ``dst`` is **not** in the subtree of the current vertex, the only
+  edge leading to it is the parent edge (whose reachable set is the
+  complement of the subtree range) — this is the O(1) check the
+  parent-first adjacency layout makes almost free;
+* otherwise exactly one child edge's range contains ``dst`` — found by
+  scanning the tree-edge prefix of the adjacency slice.
+
+The walk touches only vertices *on the cycle*; the per-cycle cost is
+O(cycle length × tree degree), independent of the graph size — the
+paper's headline property.  Negative tree edges are counted along the
+way and the non-tree edge's sign is set so the cycle ends up positive
+(Alg. 3's switch rule expressed as prose in §3: "set the sign of the
+non-tree edge such that the cycle has an even number of negative
+signs").
+
+The lockstep vectorized implementation lives in
+:mod:`repro.core.cycles_vectorized`; both produce identical states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.adjacency import PartitionedAdjacency, partition_adjacency
+from repro.core.labeling import Labeling
+from repro.graph.csr import SignedGraph
+from repro.perf.counters import Counters
+from repro.trees.tree import SpanningTree
+
+__all__ = ["CycleStats", "process_cycles_serial"]
+
+
+@dataclass(frozen=True)
+class CycleStats:
+    """Per-cycle measurements collected during traversal (Table 5).
+
+    Arrays are indexed by non-tree-edge position (the order of
+    ``tree.non_tree_edge_ids()``).
+    """
+
+    edge_ids: np.ndarray      # undirected edge id of each fundamental cycle
+    lengths: np.ndarray       # cycle length in edges (tree path + 1)
+    degree_sums: np.ndarray   # sum of graph degrees over the cycle's vertices
+    tree_degree_sums: np.ndarray  # sum of tree degrees over the cycle's vertices
+
+    @property
+    def avg_length(self) -> float:
+        """Average fundamental-cycle length (Table 5 column 1)."""
+        return float(self.lengths.mean()) if len(self.lengths) else 0.0
+
+    @property
+    def avg_degree_on_cycles(self) -> float:
+        """Average graph degree of the vertices on each cycle, averaged
+        over cycles (Table 5 column 2).  Cycle vertex count = length."""
+        if len(self.lengths) == 0:
+            return 0.0
+        per_cycle = self.degree_sums / self.lengths
+        return float(per_cycle.mean())
+
+
+def process_cycles_serial(
+    graph: SignedGraph,
+    tree: SpanningTree,
+    labeling: Labeling,
+    padj: PartitionedAdjacency | None = None,
+    counters: Counters | None = None,
+    collect_stats: bool = False,
+) -> tuple[np.ndarray, np.ndarray, CycleStats | None]:
+    """Balance every fundamental cycle; return the new sign array.
+
+    Parameters
+    ----------
+    padj:
+        Partitioned adjacency (§3.2.2).  Built on demand when omitted.
+        Pass ``None`` *and* set ``counters`` to measure the
+        unpartitioned scan cost in the adjacency ablation — the walk is
+        correct either way; only scan counts differ.
+    collect_stats:
+        Also record cycle lengths and on-cycle degree sums (Table 5).
+
+    Returns
+    -------
+    (new_signs, flipped, stats):
+        ``new_signs`` is a fresh length-``m`` sign array equal to the
+        input except on flipped non-tree edges; ``flipped`` is a bool
+        mask over edges; ``stats`` is ``None`` unless requested.
+    """
+    n = graph.num_vertices
+    scan_partitioned = padj is not None
+    if padj is None:
+        padj = _raw_adjacency_view(graph)
+
+    new_id = labeling.new_id
+    sub_size = labeling.subtree_size
+    parent = tree.parent
+    parent_edge = tree.parent_edge
+    in_tree = tree.in_tree
+    signs = graph.edge_sign
+    degrees = np.diff(graph.indptr)
+    tree_deg = tree.tree_degree
+
+    non_tree = tree.non_tree_edge_ids()
+    new_signs = signs.copy()
+    flipped = np.zeros(graph.num_edges, dtype=bool)
+
+    lengths = np.zeros(len(non_tree), dtype=np.int64) if collect_stats else None
+    deg_sums = np.zeros(len(non_tree), dtype=np.int64) if collect_stats else None
+    tdeg_sums = np.zeros(len(non_tree), dtype=np.int64) if collect_stats else None
+
+    edges_scanned = 0
+    vertices_visited = 0
+
+    indptr = padj.indptr
+    adj_vertex = padj.adj_vertex
+    adj_edge = padj.adj_edge
+    tree_end = padj.tree_end
+
+    for idx, e in enumerate(non_tree):
+        src = int(graph.edge_u[e])
+        dst = int(graph.edge_v[e])
+        dst_id = int(new_id[dst])
+
+        neg = 0
+        length = 1  # the non-tree edge itself
+        dsum = int(degrees[src]) if collect_stats else 0
+        tsum = int(tree_deg[src]) if collect_stats else 0
+
+        v = src
+        guard = 0
+        while v != dst:
+            vertices_visited += 1
+            lo = int(new_id[v])
+            if not (lo <= dst_id <= lo + int(sub_size[v]) - 1):
+                # dst is outside v's subtree: the parent edge (range
+                # complement) is the only way.  With the partitioned
+                # layout this is the first slot — one scan.
+                edges_scanned += 1
+                g = int(parent_edge[v])
+                nxt = int(parent[v])
+            else:
+                g = -1
+                nxt = -1
+                if scan_partitioned:
+                    row = range(int(indptr[v]), int(tree_end[v]))
+                else:
+                    row = range(int(indptr[v]), int(indptr[v + 1]))
+                for pos in row:
+                    edges_scanned += 1
+                    eid = int(adj_edge[pos])
+                    if not in_tree[eid]:
+                        if scan_partitioned:
+                            break  # tree prefix exhausted (cannot happen
+                            # before a hit, kept for symmetry)
+                        continue
+                    w = int(adj_vertex[pos])
+                    if w == parent[v]:
+                        continue
+                    # Child edge v -> w covers [new_id[w], +size).
+                    wlo = int(new_id[w])
+                    if wlo <= dst_id <= wlo + int(sub_size[w]) - 1:
+                        g = eid
+                        nxt = w
+                        break
+                assert g >= 0, "range labels must locate dst"
+            if signs[g] < 0:
+                neg += 1
+            v = nxt
+            length += 1
+            if collect_stats:
+                dsum += int(degrees[v])
+                tsum += int(tree_deg[v])
+            guard += 1
+            if guard > n:
+                raise AssertionError("cycle walk failed to terminate")
+
+        # Set e's sign so the cycle has an even number of negatives.
+        want = 1 if neg % 2 == 0 else -1
+        if int(signs[e]) != want:
+            new_signs[e] = want
+            flipped[e] = True
+        if collect_stats:
+            lengths[idx] = length
+            deg_sums[idx] = dsum
+            tdeg_sums[idx] = tsum
+
+    if counters is not None:
+        counters.add("cycle.count", len(non_tree))
+        counters.add("cycle.edges_scanned", edges_scanned)
+        counters.add("cycle.vertices_visited", vertices_visited)
+
+    stats = None
+    if collect_stats:
+        stats = CycleStats(
+            edge_ids=non_tree,
+            lengths=lengths,
+            degree_sums=deg_sums,
+            tree_degree_sums=tdeg_sums,
+        )
+    return new_signs, flipped, stats
+
+
+def _raw_adjacency_view(graph: SignedGraph) -> PartitionedAdjacency:
+    """Wrap the unpartitioned adjacency in the partition interface.
+
+    ``tree_end`` is set to the row end, so scans cover the full slice —
+    the 'no §3.2.2 optimization' configuration of the ablation.
+    """
+    return PartitionedAdjacency(
+        indptr=graph.indptr,
+        adj_vertex=graph.adj_vertex,
+        adj_edge=graph.adj_edge,
+        tree_end=graph.indptr[1:].copy(),
+        has_parent_first=np.zeros(graph.num_vertices, dtype=bool),
+    )

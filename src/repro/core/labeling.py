@@ -1,0 +1,124 @@
+"""Vertex relabeling and tree-edge range labeling (Alg. 3, steps 1–2).
+
+This is the paper's central data-structure idea: after relabeling
+vertices by a pre-order traversal of the spanning tree, the set of
+vertices reachable through any tree edge (in the parent→child
+direction) is a *contiguous* ID range ``[new_id[c], new_id[c] +
+subtree_size[c] − 1]``, expressible in two words per edge.  Traversing
+the edge child→parent reaches exactly the complement of that range.
+
+This module is the *serial* reference: an explicit-stack pre-order
+traversal assigning IDs, with subtree sizes accumulated on the way back
+up (the post-order part).  The level-synchronous parallel formulation
+(Alg. 4) lives in :mod:`repro.core.labeling_parallel` and must produce
+bit-identical output (tested).
+
+Children are visited in ascending vertex-id order (the deterministic
+order exposed by :attr:`SpanningTree.children`), so both
+implementations agree on the resulting permutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.trees.tree import SpanningTree
+
+__all__ = ["Labeling", "label_tree"]
+
+
+@dataclass(frozen=True)
+class Labeling:
+    """The output of graphB+ steps 1–2 for one spanning tree.
+
+    Attributes
+    ----------
+    new_id:
+        Pre-order ID of each vertex (root gets 0).
+    subtree_size:
+        Number of vertices in the subtree rooted at each vertex
+        (the "count" of Alg. 4; root's count is n).
+    range_lo / range_hi:
+        Inclusive new-ID range reachable through the tree edge
+        *parent(v) → v*, indexed by the child ``v``.  Undefined (−1) at
+        the root, which has no parent edge.  ``range_lo[v] ==
+        new_id[v]`` and ``range_hi[v] == new_id[v] + subtree_size[v] −
+        1`` — stored explicitly because they *are* the edge labels of
+        Fig. 6(e).
+    """
+
+    new_id: np.ndarray
+    subtree_size: np.ndarray
+    range_lo: np.ndarray
+    range_hi: np.ndarray
+
+    @cached_property
+    def old_of_new(self) -> np.ndarray:
+        """Inverse permutation: original vertex id of each new ID."""
+        inv = np.empty_like(self.new_id)
+        inv[self.new_id] = np.arange(len(self.new_id))
+        return inv
+
+    def edge_contains(self, child: int, target_new_id: int) -> bool:
+        """Whether the tree edge *parent → child*, traversed downward,
+        leads to the vertex with the given new ID."""
+        return bool(
+            self.range_lo[child] <= target_new_id <= self.range_hi[child]
+        )
+
+    def in_subtree(self, v: int, target_new_id: int) -> bool:
+        """Whether the target new ID lies in the subtree rooted at *v*
+        (this is the O(1) "which way to walk" test of the cycle
+        traversal)."""
+        lo = self.new_id[v]
+        return bool(lo <= target_new_id <= lo + self.subtree_size[v] - 1)
+
+
+def label_tree(tree: SpanningTree) -> Labeling:
+    """Serial pre/post-order labeling of *tree* (reference implementation).
+
+    Work is O(n): each vertex is pushed and popped exactly once.
+    """
+    n = tree.num_vertices
+    child_ptr, child_list = tree.children
+
+    new_id = np.full(n, -1, dtype=np.int64)
+    subtree_size = np.ones(n, dtype=np.int64)
+
+    # Explicit-stack pre-order.  Children are pushed in reverse so the
+    # smallest-id child is visited first; a sentinel marks the
+    # post-order return, at which point the subtree size is folded
+    # into the parent (this is the post-order traversal of Alg. 3's
+    # edge-labeling step).
+    counter = 0
+    stack: list[int] = [tree.root]
+    post: list[int] = []
+    while stack:
+        v = stack.pop()
+        if v < 0:
+            # Post-order visit of vertex ~v: fold size into parent.
+            u = ~v
+            p = tree.parent[u]
+            if p >= 0:
+                subtree_size[p] += subtree_size[u]
+            continue
+        new_id[v] = counter
+        counter += 1
+        stack.append(~v)
+        kids = child_list[child_ptr[v] : child_ptr[v + 1]]
+        for c in kids[::-1]:
+            stack.append(int(c))
+
+    range_lo = np.where(tree.parent >= 0, new_id, -1)
+    range_hi = np.where(
+        tree.parent >= 0, new_id + subtree_size - 1, -1
+    )
+    return Labeling(
+        new_id=new_id,
+        subtree_size=subtree_size,
+        range_lo=range_lo,
+        range_hi=range_hi,
+    )

@@ -1,0 +1,161 @@
+"""Cycle-traversal tracing: the Fig. 6 narration, automated.
+
+:func:`trace_cycle` replays the faithful range walk for one non-tree
+edge and records every decision — which vertex, which range test, which
+edge was taken — producing the kind of step-by-step explanation §3
+gives for the 6→7 cycle ("first, we search the edges in vertex 7's
+adjacency list … we select edge 0→7 and traverse it to reach vertex 0
+…").  Used by tests to pin the worked example and by humans to see why
+a cycle was balanced the way it was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.labeling import Labeling, label_tree
+from repro.errors import ReproError
+from repro.graph.csr import SignedGraph
+from repro.trees.tree import SpanningTree
+
+__all__ = ["TraceStep", "CycleTrace", "trace_cycle"]
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One hop of the walk: the vertex we stood on, the move chosen."""
+
+    at_vertex: int
+    used_parent_edge: bool
+    next_vertex: int
+    edge_id: int
+    edge_sign: int
+    children_scanned: int  # child ranges tested before the hit (0 if parent)
+
+    def describe(self) -> str:
+        """One-line human-readable rendering of this step."""
+        direction = "up (inverse range)" if self.used_parent_edge else "down"
+        return (
+            f"at {self.at_vertex}: take edge {self.at_vertex}"
+            f"->{self.next_vertex} {direction}, sign {self.edge_sign:+d}"
+            + (
+                f", after scanning {self.children_scanned} child range(s)"
+                if self.children_scanned
+                else ""
+            )
+        )
+
+
+@dataclass(frozen=True)
+class CycleTrace:
+    """Full record of balancing one fundamental cycle."""
+
+    edge_id: int
+    src: int
+    dst: int
+    steps: List[TraceStep]
+    negative_tree_edges: int
+    original_sign: int
+    balanced_sign: int
+
+    @property
+    def cycle_length(self) -> int:
+        """Edges on the cycle (tree path + the non-tree edge)."""
+        return len(self.steps) + 1
+
+    @property
+    def flipped(self) -> bool:
+        return self.original_sign != self.balanced_sign
+
+    def describe(self) -> str:
+        """Multi-line narration of the whole cycle (Fig. 6 style)."""
+        lines = [
+            f"cycle of non-tree edge {self.src}-{self.dst} "
+            f"(edge id {self.edge_id}, sign {self.original_sign:+d}):"
+        ]
+        for step in self.steps:
+            lines.append("  " + step.describe())
+        lines.append(
+            f"  tree path has {self.negative_tree_edges} negative edge(s) "
+            f"-> set edge sign to {self.balanced_sign:+d}"
+            + (" (switched)" if self.flipped else " (unchanged)")
+        )
+        return "\n".join(lines)
+
+
+def trace_cycle(
+    graph: SignedGraph,
+    tree: SpanningTree,
+    edge_id: int,
+    labeling: Labeling | None = None,
+) -> CycleTrace:
+    """Trace the range walk that balances one fundamental cycle.
+
+    ``edge_id`` must be a non-tree edge of *tree*.  The walk starts at
+    the edge's first endpoint and follows, at each vertex, the parent
+    edge when the destination lies outside the current subtree and the
+    covering child edge otherwise — exactly Alg. 3's loop.
+    """
+    if tree.in_tree[edge_id]:
+        raise ReproError(f"edge {edge_id} is a tree edge; cycles come from non-tree edges")
+    lab = labeling if labeling is not None else label_tree(tree)
+
+    src = int(graph.edge_u[edge_id])
+    dst = int(graph.edge_v[edge_id])
+    dst_id = int(lab.new_id[dst])
+
+    steps: List[TraceStep] = []
+    neg = 0
+    v = src
+    guard = 0
+    while v != dst:
+        lo = int(lab.new_id[v])
+        hi = lo + int(lab.subtree_size[v]) - 1
+        if not (lo <= dst_id <= hi):
+            g = int(tree.parent_edge[v])
+            nxt = int(tree.parent[v])
+            scanned = 0
+            used_parent = True
+        else:
+            used_parent = False
+            g = -1
+            nxt = -1
+            scanned = 0
+            for c in tree.children_of(v):
+                scanned += 1
+                clo = int(lab.range_lo[c])
+                chi = int(lab.range_hi[c])
+                if clo <= dst_id <= chi:
+                    g = int(tree.parent_edge[c])
+                    nxt = int(c)
+                    break
+            assert g >= 0, "ranges must locate the destination"
+        sign = int(graph.edge_sign[g])
+        if sign < 0:
+            neg += 1
+        steps.append(
+            TraceStep(
+                at_vertex=v,
+                used_parent_edge=used_parent,
+                next_vertex=nxt,
+                edge_id=g,
+                edge_sign=sign,
+                children_scanned=scanned if not used_parent else 0,
+            )
+        )
+        v = nxt
+        guard += 1
+        if guard > graph.num_vertices:
+            raise AssertionError("trace failed to terminate")
+
+    balanced = 1 if neg % 2 == 0 else -1
+    return CycleTrace(
+        edge_id=edge_id,
+        src=src,
+        dst=dst,
+        steps=steps,
+        negative_tree_edges=neg,
+        original_sign=int(graph.edge_sign[edge_id]),
+        balanced_sign=balanced,
+    )

@@ -1,0 +1,179 @@
+"""Balance verification and switching functions.
+
+Harary's theorem: a signed graph is balanced iff its vertices admit a
+±1 *switching function* ``s`` with ``sign(u, v) = s[u] · s[v]`` for
+every edge — equivalently, iff every cycle is positive, iff removing
+the negative edges leaves components that a 2-coloring separates.
+
+:func:`is_balanced` runs the 2-coloring in level-synchronous vectorized
+sweeps and, on failure, returns a concrete violating edge so tests can
+print *why* a state is unbalanced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NotBalancedError
+from repro.graph.csr import SignedGraph
+from repro.util.arrays import gather_adjacency
+
+__all__ = [
+    "BalanceCertificate",
+    "check_balance",
+    "is_balanced",
+    "switch",
+    "violating_cycle",
+]
+
+
+@dataclass(frozen=True)
+class BalanceCertificate:
+    """Outcome of a balance check.
+
+    ``switching`` holds the ±1 per-vertex function when balanced (one
+    valid choice; per connected component it is unique up to global
+    negation).  ``violating_edge`` names an edge whose sign contradicts
+    the 2-coloring when unbalanced.
+    """
+
+    balanced: bool
+    switching: np.ndarray | None
+    violating_edge: int | None
+
+
+def check_balance(graph: SignedGraph) -> BalanceCertificate:
+    """Check balance and return a certificate (works per component)."""
+    n = graph.num_vertices
+    color = np.zeros(n, dtype=np.int8)  # 0 = unvisited, else ±1
+    for seed in range(n):
+        if color[seed] != 0:
+            continue
+        color[seed] = 1
+        frontier = np.array([seed], dtype=np.int64)
+        while len(frontier):
+            pos, src = gather_adjacency(graph.indptr, frontier)
+            if len(pos) == 0:
+                break
+            nbrs = graph.adj_vertex[pos]
+            want = (
+                color[src] * graph.edge_sign[graph.adj_edge[pos]]
+            ).astype(np.int8)
+            known = color[nbrs] != 0
+            bad = known & (color[nbrs] != want)
+            if np.any(bad):
+                e = int(graph.adj_edge[pos[np.nonzero(bad)[0][0]]])
+                return BalanceCertificate(False, None, e)
+            fresh_mask = ~known
+            if not np.any(fresh_mask):
+                break
+            fresh = nbrs[fresh_mask]
+            fresh_want = want[fresh_mask]
+            # A vertex may be offered twice in one sweep with
+            # conflicting colors; detect by first-occurrence compare.
+            order = np.argsort(fresh, kind="stable")
+            fresh, fresh_want = fresh[order], fresh_want[order]
+            first = np.empty(len(fresh), dtype=bool)
+            first[0] = True
+            first[1:] = fresh[1:] != fresh[:-1]
+            # Conflict inside the sweep?
+            grp = np.cumsum(first) - 1
+            ref = fresh_want[first][grp]
+            if np.any(ref != fresh_want):
+                bad_at = int(np.nonzero(ref != fresh_want)[0][0])
+                e = int(graph.adj_edge[pos[fresh_mask.nonzero()[0][order[bad_at]]]])
+                return BalanceCertificate(False, None, e)
+            uniq = fresh[first]
+            color[uniq] = fresh_want[first]
+            frontier = uniq
+    return BalanceCertificate(True, color, None)
+
+
+def is_balanced(graph: SignedGraph) -> bool:
+    """Whether every cycle of *graph* is positive."""
+    return check_balance(graph).balanced
+
+
+def violating_cycle(graph: SignedGraph) -> list[int] | None:
+    """A concrete negative cycle of an unbalanced graph (or ``None``).
+
+    Returns the cycle as a vertex list ``[v0, v1, ..., vk]`` with
+    ``v0 == vk``, whose edge-sign product is −1 — the witness that no
+    switching can balance the graph.  Built from the violating edge of
+    :func:`check_balance` plus the spanning-tree path between its
+    endpoints (the fundamental cycle of that edge), so the cycle sign
+    is certifiably negative.
+    """
+    cert = check_balance(graph)
+    if cert.balanced:
+        return None
+    from repro.graph.components import connected_components
+    from repro.trees.bfs import bfs_tree
+    from repro.graph.subgraph import induced_subgraph
+
+    e = cert.violating_edge
+    u = int(graph.edge_u[e])
+    v = int(graph.edge_v[e])
+
+    # Work inside u's component so BFS succeeds on disconnected inputs.
+    label = connected_components(graph)
+    members = np.nonzero(label == label[u])[0]
+    sub, old = induced_subgraph(graph, members)
+    remap = {int(o): i for i, o in enumerate(old)}
+    su, sv = remap[u], remap[v]
+
+    tree = bfs_tree(sub, root=su, seed=0)
+    # path_to_root(sv) = [sv, ..., su]; appending sv closes the
+    # fundamental cycle of the edge (su, sv).
+    path = [int(x) for x in tree.path_to_root(sv)]
+    cycle_sub = path + [sv]
+    # Verify the sign product is negative; if the BFS-path cycle happens
+    # to be positive (possible when the violating edge's fundamental
+    # cycle is positive but another was negative), fall back to scanning
+    # all fundamental cycles of this tree.
+    def cyc_sign(cyc: list[int]) -> int:
+        sign = 1
+        for a, b in zip(cyc, cyc[1:]):
+            sign *= sub.sign_of(a, b)
+        return sign
+
+    if cyc_sign(cycle_sub) > 0:
+        for nte in tree.non_tree_edge_ids():
+            a = int(sub.edge_u[nte])
+            b = int(sub.edge_v[nte])
+            pa = [int(x) for x in tree.path_to_root(a)]
+            pb = [int(x) for x in tree.path_to_root(b)]
+            shared = set(pa) & set(pb)
+            lca = next(x for x in pa if x in shared)
+            up = pa[: pa.index(lca) + 1]
+            down = pb[: pb.index(lca)][::-1]
+            cand = up + down + [a]
+            if cyc_sign(cand) < 0:
+                cycle_sub = cand
+                break
+        else:  # pragma: no cover - check_balance guarantees a witness
+            raise AssertionError("no negative fundamental cycle found")
+
+    return [int(old[x]) for x in cycle_sub]
+
+
+def switch(graph: SignedGraph, s: np.ndarray) -> SignedGraph:
+    """Apply the switching function *s* (±1 per vertex).
+
+    Returns the graph with ``sign'(u, v) = s[u] · sign(u, v) · s[v]``.
+    Switching preserves cycle signs — it is the symmetry underlying the
+    frustration cloud — so a balanced graph stays balanced.
+    """
+    s = np.asarray(s, dtype=np.int8)
+    if s.shape != (graph.num_vertices,):
+        raise NotBalancedError("switching function must have length n")
+    if not np.all(np.abs(s) == 1):
+        raise NotBalancedError("switching values must be +1 or -1")
+    new = (
+        s[graph.edge_u].astype(np.int16)
+        * graph.edge_sign.astype(np.int16)
+        * s[graph.edge_v].astype(np.int16)
+    ).astype(np.int8)
+    return graph.with_signs(new)

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so downstream code can distinguish library failures
+from programming mistakes with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphFormatError",
+    "DisconnectedGraphError",
+    "NotASpanningTreeError",
+    "NotBalancedError",
+    "DatasetError",
+    "EngineError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when edge input is malformed (bad signs, self loops, etc.)."""
+
+
+class DisconnectedGraphError(ReproError):
+    """Raised when an operation requires a connected graph but the input
+    has more than one connected component.
+
+    graphB+ (like the paper) processes the largest connected component;
+    callers should extract it first via
+    :func:`repro.graph.components.largest_connected_component`.
+    """
+
+
+class NotASpanningTreeError(ReproError):
+    """Raised when a purported spanning tree fails validation
+    (wrong edge count, cycle, edge not in the graph, ...)."""
+
+
+class NotBalancedError(ReproError):
+    """Raised when a graph expected to be balanced fails the Harary
+    bipartition condition."""
+
+
+class DatasetError(ReproError):
+    """Raised when a named dataset is unknown or cannot be materialized."""
+
+
+class EngineError(ReproError):
+    """Raised for invalid parallel-engine configurations (zero threads,
+    unknown schedule, ...)."""

@@ -1,0 +1,20 @@
+"""Signed-graph substrate: CSR storage, builders, IO, components,
+generators, and the dataset catalog used by the benchmarks.
+"""
+
+from repro.graph.csr import SignedGraph
+from repro.graph.build import from_edges, from_arrays
+from repro.graph.components import (
+    connected_components,
+    largest_connected_component,
+    num_connected_components,
+)
+
+__all__ = [
+    "SignedGraph",
+    "from_edges",
+    "from_arrays",
+    "connected_components",
+    "largest_connected_component",
+    "num_connected_components",
+]

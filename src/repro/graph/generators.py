@@ -1,0 +1,309 @@
+"""Synthetic signed-graph generators.
+
+These stand in for the paper's Amazon/SNAP inputs (see DESIGN.md §2):
+the graphB+ algorithm's behaviour depends on the degree distribution,
+diameter, and sign distribution, all of which the generators control.
+
+All generators accept a ``seed`` (int, Generator, or None) and are
+fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.build import from_arrays
+from repro.graph.csr import SignedGraph
+from repro.rng import SeedLike, as_generator
+
+__all__ = [
+    "chung_lu_signed",
+    "bipartite_ratings_graph",
+    "erdos_renyi_signed",
+    "complete_signed",
+    "cycle_graph",
+    "grid_graph",
+    "planted_partition_signed",
+    "random_signs",
+    "ensure_connected",
+]
+
+
+def random_signs(m: int, negative_fraction: float, rng: np.random.Generator) -> np.ndarray:
+    """An ``int8`` ±1 array with the given expected negative fraction."""
+    if not 0.0 <= negative_fraction <= 1.0:
+        raise GraphFormatError("negative_fraction must be in [0, 1]")
+    return np.where(rng.random(m) < negative_fraction, -1, 1).astype(np.int8)
+
+
+def _powerlaw_weights(n: int, exponent: float, rng: np.random.Generator) -> np.ndarray:
+    """Expected-degree weights following a power law with the given
+    exponent (classic Chung-Lu construction: ``w_i ∝ (i + i0)^(-1/(γ-1))``)."""
+    if exponent <= 1.0:
+        raise GraphFormatError("power-law exponent must be > 1")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    rng.shuffle(ranks)  # decouple vertex id from degree rank
+    return ranks ** (-1.0 / (exponent - 1.0))
+
+
+def _cap_weights(
+    w: np.ndarray, draws: int, max_expected_degree: float | None
+) -> np.ndarray:
+    """Clip weights so the largest expected degree ≈ the requested cap.
+
+    The expected degree of vertex *i* under endpoint sampling is
+    ``draws · w_i / Σw``; clipping changes the sum, so iterate a few
+    times (converges quickly because the tail mass is small).  Used to
+    calibrate synthetic stand-ins to a dataset's published max degree.
+    """
+    if max_expected_degree is None:
+        return w
+    if max_expected_degree <= 0:
+        raise GraphFormatError("max_expected_degree must be positive")
+    w = w.astype(np.float64).copy()
+    for _ in range(8):
+        cap = max_expected_degree * w.sum() / draws
+        if w.max() <= cap * 1.001:
+            break
+        np.minimum(w, cap, out=w)
+    return w
+
+
+def chung_lu_signed(
+    num_vertices: int,
+    num_edges: int,
+    exponent: float = 2.5,
+    negative_fraction: float = 0.2,
+    max_expected_degree: float | None = None,
+    seed: SeedLike = None,
+) -> SignedGraph:
+    """Power-law signed graph via Chung-Lu endpoint sampling.
+
+    Endpoints of each edge are drawn independently with probability
+    proportional to a power-law weight sequence, which reproduces the
+    heavy-tailed degree distributions of the paper's social/ratings
+    networks (a few very-high-degree hubs, shallow BFS trees).
+
+    Self loops and duplicates are dropped, so the realized edge count
+    is slightly below ``num_edges``; callers needing exact counts should
+    oversample.
+    """
+    if num_vertices < 2:
+        raise GraphFormatError("need at least 2 vertices")
+    rng = as_generator(seed)
+    w = _powerlaw_weights(num_vertices, exponent, rng)
+    w = _cap_weights(w, 2 * num_edges, max_expected_degree)
+    p = w / w.sum()
+    # Oversample 15% to compensate for dropped loops/duplicates.
+    m_try = int(num_edges * 1.15) + 8
+    u = rng.choice(num_vertices, size=m_try, p=p)
+    v = rng.choice(num_vertices, size=m_try, p=p)
+    keep = u != v
+    u, v = u[keep], v[keep]
+    # Deduplicate here (keep="first") so the final trim hits the target m.
+    lo, hi = np.minimum(u, v), np.maximum(u, v)
+    _, first = np.unique(lo * np.int64(num_vertices) + hi, return_index=True)
+    first.sort()
+    lo, hi = lo[first], hi[first]
+    lo, hi = lo[:num_edges], hi[:num_edges]
+    signs = random_signs(len(lo), negative_fraction, rng)
+    return from_arrays(lo, hi, signs, num_vertices=num_vertices, dedup="first")
+
+
+def bipartite_ratings_graph(
+    num_users: int,
+    num_items: int,
+    num_ratings: int,
+    user_exponent: float = 2.2,
+    item_exponent: float = 2.0,
+    negative_fraction: float = 0.18,
+    max_expected_degree: float | None = None,
+    seed: SeedLike = None,
+) -> SignedGraph:
+    """Amazon-style user–item ratings graph.
+
+    Users occupy ids ``[0, num_users)`` and items
+    ``[num_users, num_users + num_items)``.  Both sides have power-law
+    activity/popularity, yielding the very-low average degree but very
+    high max degree of the Amazon rows in Table 1.  Ratings are already
+    mapped to signs (positive = rating above threshold).
+    """
+    rng = as_generator(seed)
+    wu = _powerlaw_weights(num_users, user_exponent, rng)
+    wi = _powerlaw_weights(num_items, item_exponent, rng)
+    wu = _cap_weights(wu, num_ratings, max_expected_degree)
+    wi = _cap_weights(wi, num_ratings, max_expected_degree)
+    m_try = int(num_ratings * 1.15) + 8
+    u = rng.choice(num_users, size=m_try, p=wu / wu.sum())
+    i = rng.choice(num_items, size=m_try, p=wi / wi.sum()) + num_users
+    key = u * np.int64(num_items) + (i - num_users)
+    _, first = np.unique(key, return_index=True)
+    first.sort()
+    u, i = u[first][:num_ratings], i[first][:num_ratings]
+    signs = random_signs(len(u), negative_fraction, rng)
+    return from_arrays(u, i, signs, num_vertices=num_users + num_items, dedup="first")
+
+
+def erdos_renyi_signed(
+    num_vertices: int,
+    num_edges: int,
+    negative_fraction: float = 0.5,
+    seed: SeedLike = None,
+) -> SignedGraph:
+    """Uniform random signed graph with exactly ``num_edges`` distinct edges."""
+    n = num_vertices
+    max_edges = n * (n - 1) // 2
+    if num_edges > max_edges:
+        raise GraphFormatError(f"{num_edges} edges exceed the maximum {max_edges}")
+    rng = as_generator(seed)
+    # Sample distinct unordered pairs by index into the triangle.
+    idx = rng.choice(max_edges, size=num_edges, replace=False)
+    u, v = _triangle_unrank(idx, n)
+    signs = random_signs(num_edges, negative_fraction, rng)
+    return from_arrays(u, v, signs, num_vertices=n, dedup="first")
+
+
+def _triangle_unrank(idx: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Map linear indices into the strict upper triangle to (u, v) pairs."""
+    idx = np.asarray(idx, dtype=np.float64)
+    # Row r starts at offset r*n - r*(r+1)/2; invert the quadratic.
+    b = 2 * n - 1
+    u = np.floor((b - np.sqrt(b * b - 8 * idx)) / 2).astype(np.int64)
+    offset = u * n - u * (u + 1) // 2
+    v = (idx - offset).astype(np.int64) + u + 1
+    return u, v
+
+
+def complete_signed(
+    num_vertices: int,
+    negative_fraction: float = 0.5,
+    seed: SeedLike = None,
+) -> SignedGraph:
+    """Complete signed graph K_n with random signs."""
+    n = num_vertices
+    u, v = np.triu_indices(n, k=1)
+    rng = as_generator(seed)
+    signs = random_signs(len(u), negative_fraction, rng)
+    return from_arrays(u, v, signs, num_vertices=n, dedup="first")
+
+
+def cycle_graph(signs: Sequence[int]) -> SignedGraph:
+    """A single cycle ``0-1-...-k-0`` with the given edge signs.
+
+    ``signs[i]`` labels edge ``i -(i+1 mod k)``.  The smallest graph
+    with exactly one fundamental cycle — the unit fixture for balance
+    parity tests.
+    """
+    k = len(signs)
+    if k < 3:
+        raise GraphFormatError("a cycle needs at least 3 edges")
+    u = np.arange(k)
+    v = (u + 1) % k
+    return from_arrays(u, v, np.asarray(signs), num_vertices=k, dedup="first")
+
+
+def grid_graph(
+    rows: int,
+    cols: int,
+    negative_fraction: float = 0.3,
+    seed: SeedLike = None,
+) -> SignedGraph:
+    """2D grid with random signs — a high-diameter stress case.
+
+    Social graphs are shallow; grids are the opposite, exercising deep
+    BFS trees and long fundamental cycles in the traversal kernels.
+    """
+    if rows < 1 or cols < 1:
+        raise GraphFormatError("grid dimensions must be positive")
+    ids = np.arange(rows * cols).reshape(rows, cols)
+    right_u = ids[:, :-1].ravel()
+    right_v = ids[:, 1:].ravel()
+    down_u = ids[:-1, :].ravel()
+    down_v = ids[1:, :].ravel()
+    u = np.concatenate([right_u, down_u])
+    v = np.concatenate([right_v, down_v])
+    rng = as_generator(seed)
+    signs = random_signs(len(u), negative_fraction, rng)
+    return from_arrays(u, v, signs, num_vertices=rows * cols, dedup="first")
+
+
+def planted_partition_signed(
+    group_sizes: Sequence[int],
+    intra_degree: float = 6.0,
+    inter_degree: float = 2.0,
+    flip_noise: float = 0.05,
+    seed: SeedLike = None,
+) -> SignedGraph:
+    """Signed graph with a planted Harary bipartition structure.
+
+    Vertices are split into groups; intra-group edges are positive and
+    inter-group edges negative, then each sign flips independently with
+    probability ``flip_noise``.  With zero noise the graph is exactly
+    balanced w.r.t. the *union-of-groups* bipartitions, so the planted
+    structure gives ground truth for bipartition and status tests.
+    """
+    sizes = np.asarray(group_sizes, dtype=np.int64)
+    if len(sizes) < 2 or np.any(sizes <= 0):
+        raise GraphFormatError("need at least two positive group sizes")
+    rng = as_generator(seed)
+    n = int(sizes.sum())
+    group = np.repeat(np.arange(len(sizes)), sizes)
+
+    us, vs, ss = [], [], []
+    starts = np.concatenate([[0], np.cumsum(sizes)])
+    # Intra-group positive edges.
+    for g, size in enumerate(sizes):
+        if size < 2:
+            continue
+        m_g = int(round(intra_degree * size / 2))
+        base = starts[g]
+        u = rng.integers(0, size, size=m_g) + base
+        v = rng.integers(0, size, size=m_g) + base
+        keep = u != v
+        us.append(u[keep])
+        vs.append(v[keep])
+        ss.append(np.ones(int(keep.sum()), dtype=np.int8))
+    # Inter-group negative edges.
+    for g in range(len(sizes)):
+        for h in range(g + 1, len(sizes)):
+            m_gh = int(round(inter_degree * min(sizes[g], sizes[h]) / 2)) + 1
+            u = rng.integers(0, sizes[g], size=m_gh) + starts[g]
+            v = rng.integers(0, sizes[h], size=m_gh) + starts[h]
+            us.append(u)
+            vs.append(v)
+            ss.append(-np.ones(m_gh, dtype=np.int8))
+    u = np.concatenate(us)
+    v = np.concatenate(vs)
+    s = np.concatenate(ss).astype(np.int64)
+    flip = rng.random(len(s)) < flip_noise
+    s[flip] = -s[flip]
+    return from_arrays(u, v, s, num_vertices=n, dedup="first")
+
+
+def ensure_connected(graph: SignedGraph, seed: SeedLike = None) -> SignedGraph:
+    """Add one positive edge per extra component to make *graph* connected.
+
+    Each added edge attaches a random vertex of a smaller component to a
+    random vertex of the first component.  Used by generators/tests that
+    need connectivity without the bias of discarding vertices.
+    """
+    from repro.graph.components import connected_components
+
+    label = connected_components(graph)
+    num_comp = int(label.max() + 1) if graph.num_vertices else 0
+    if num_comp <= 1:
+        return graph
+    rng = as_generator(seed)
+    anchors = []
+    for c in range(num_comp):
+        members = np.nonzero(label == c)[0]
+        anchors.append(int(members[rng.integers(0, len(members))]))
+    extra_u = np.full(num_comp - 1, anchors[0], dtype=np.int64)
+    extra_v = np.asarray(anchors[1:], dtype=np.int64)
+    u = np.concatenate([graph.edge_u, np.minimum(extra_u, extra_v)])
+    v = np.concatenate([graph.edge_v, np.maximum(extra_u, extra_v)])
+    s = np.concatenate([graph.edge_sign, np.ones(num_comp - 1, dtype=np.int8)])
+    return from_arrays(u, v, s, num_vertices=graph.num_vertices, dedup="first")

@@ -1,0 +1,167 @@
+"""Additional interchange formats.
+
+* **Matrix Market** (``.mtx``) — the SuiteSparse collection [11] the
+  paper cites distributes signed graphs (e.g. the highland tribes
+  network) as coordinate-format symmetric matrices.  We read/write the
+  ``coordinate real/integer/pattern symmetric`` subset.
+* **KONECT TSV** — the other common distribution format for signed
+  networks: a ``% ...`` header followed by ``u v [weight [timestamp]]``
+  rows with 1-based vertex ids.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.build import from_arrays
+from repro.graph.csr import SignedGraph
+
+__all__ = [
+    "read_matrix_market",
+    "write_matrix_market",
+    "read_konect",
+    "write_konect",
+]
+
+PathLike = Union[str, Path]
+
+
+def _open(path, mode: str):
+    if isinstance(path, (str, Path)):
+        return open(path, mode, encoding="utf-8"), True
+    return path, False
+
+
+# ----------------------------------------------------------------------
+# Matrix Market
+# ----------------------------------------------------------------------
+def read_matrix_market(
+    path: PathLike | _io.TextIOBase, dedup: str = "product"
+) -> SignedGraph:
+    """Read a symmetric coordinate Matrix Market file as a signed graph.
+
+    Off-diagonal entries become edges whose sign is the sign of the
+    stored value (``pattern`` files are all-positive).  Diagonal
+    entries (self loops) are ignored, matching the paper's inputs.
+    """
+    fh, close = _open(path, "r")
+    try:
+        header = fh.readline().strip().lower()
+        if not header.startswith("%%matrixmarket"):
+            raise GraphFormatError("missing MatrixMarket header")
+        parts = header.split()
+        if len(parts) < 5 or parts[1] != "matrix" or parts[2] != "coordinate":
+            raise GraphFormatError(f"unsupported MatrixMarket header: {header!r}")
+        field, symmetry = parts[3], parts[4]
+        if field not in ("real", "integer", "pattern"):
+            raise GraphFormatError(f"unsupported field type {field!r}")
+        if symmetry not in ("symmetric", "general"):
+            raise GraphFormatError(f"unsupported symmetry {symmetry!r}")
+
+        # Skip comments, read the size line.
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        dims = line.split()
+        if len(dims) < 3:
+            raise GraphFormatError(f"bad size line: {line!r}")
+        rows, cols, _nnz = int(dims[0]), int(dims[1]), int(dims[2])
+        if rows != cols:
+            raise GraphFormatError("adjacency matrices must be square")
+
+        us, vs, ws = [], [], []
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            toks = line.split()
+            i, j = int(toks[0]) - 1, int(toks[1]) - 1
+            if i == j:
+                continue  # self loop: ignored
+            w = 1.0 if field == "pattern" else float(toks[2])
+            if w == 0.0:
+                continue
+            us.append(i)
+            vs.append(j)
+            ws.append(w)
+    finally:
+        if close:
+            fh.close()
+
+    return from_arrays(
+        np.asarray(us, dtype=np.int64),
+        np.asarray(vs, dtype=np.int64),
+        np.asarray(ws),
+        num_vertices=rows,
+        dedup=dedup,
+    )
+
+
+def write_matrix_market(graph: SignedGraph, path: PathLike) -> None:
+    """Write the signed adjacency as ``coordinate integer symmetric``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("%%MatrixMarket matrix coordinate integer symmetric\n")
+        fh.write(f"% signed graph written by repro {graph!r}\n")
+        fh.write(f"{graph.num_vertices} {graph.num_vertices} {graph.num_edges}\n")
+        for u, v, s in graph.iter_edges():
+            # Lower triangle (row >= col) per MM symmetric convention.
+            fh.write(f"{v + 1} {u + 1} {s}\n")
+
+
+# ----------------------------------------------------------------------
+# KONECT
+# ----------------------------------------------------------------------
+def read_konect(
+    path: PathLike | _io.TextIOBase, dedup: str = "sum"
+) -> SignedGraph:
+    """Read a KONECT-style TSV (1-based ids, optional weight column).
+
+    Rows without a weight default to +1; extra columns (timestamps) are
+    ignored.  Duplicate votes are resolved by summed sentiment, the
+    convention KONECT's signed networks use.
+    """
+    fh, close = _open(path, "r")
+    try:
+        us, vs, ws = [], [], []
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith(("%", "#")):
+                continue
+            toks = line.split()
+            if len(toks) < 2:
+                raise GraphFormatError(f"line {lineno}: expected 'u v [w]'")
+            try:
+                u, v = int(toks[0]) - 1, int(toks[1]) - 1
+                w = float(toks[2]) if len(toks) >= 3 else 1.0
+            except ValueError as exc:
+                raise GraphFormatError(f"line {lineno}: {exc}") from exc
+            if u == v or w == 0.0:
+                continue
+            us.append(u)
+            vs.append(v)
+            ws.append(w)
+    finally:
+        if close:
+            fh.close()
+    if us and (min(min(us), min(vs)) < 0):
+        raise GraphFormatError("KONECT ids must be 1-based")
+    return from_arrays(
+        np.asarray(us, dtype=np.int64),
+        np.asarray(vs, dtype=np.int64),
+        np.asarray(ws),
+        dedup=dedup,
+    )
+
+
+def write_konect(graph: SignedGraph, path: PathLike) -> None:
+    """Write ``u v sign`` rows with 1-based ids and a KONECT header."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("% sym signed\n")
+        fh.write(f"% {graph.num_edges} {graph.num_vertices} {graph.num_vertices}\n")
+        for u, v, s in graph.iter_edges():
+            fh.write(f"{u + 1}\t{v + 1}\t{s}\n")

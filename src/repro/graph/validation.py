@@ -1,0 +1,70 @@
+"""Structural validation helpers used by tests and by paranoid callers.
+
+These check the CSR invariants that the rest of the library assumes
+(sorted adjacency, symmetric half-edges, canonical undirected edges)
+and the graph-theory facts the algorithms rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import SignedGraph
+
+__all__ = ["validate_graph", "assert_same_structure"]
+
+
+def validate_graph(graph: SignedGraph) -> None:
+    """Raise :class:`GraphFormatError` if any CSR invariant is violated.
+
+    Checks performed:
+
+    * ``indptr`` is non-decreasing, starts at 0, ends at ``2m``;
+    * every adjacency row is sorted and free of duplicates/self loops;
+    * each undirected edge appears exactly once in each endpoint's row;
+    * edges are canonical (``u < v``) and signs are ±1.
+    """
+    n, m = graph.num_vertices, graph.num_edges
+    if graph.indptr[0] != 0 or graph.indptr[-1] != 2 * m:
+        raise GraphFormatError("indptr must span exactly 2m half-edges")
+    if np.any(np.diff(graph.indptr) < 0):
+        raise GraphFormatError("indptr must be non-decreasing")
+    if len(graph.adj_vertex) != 2 * m or len(graph.adj_edge) != 2 * m:
+        raise GraphFormatError("adjacency arrays must have length 2m")
+    if m and (graph.adj_vertex.min() < 0 or graph.adj_vertex.max() >= n):
+        raise GraphFormatError("adjacency contains out-of-range vertex ids")
+    if not np.all(np.abs(graph.edge_sign) == 1):
+        raise GraphFormatError("edge signs must be +1 or -1")
+    if np.any(graph.edge_u >= graph.edge_v):
+        raise GraphFormatError("undirected edges must be canonical (u < v)")
+
+    # Row-level checks, vectorized per row boundary.
+    src = np.repeat(np.arange(n), np.diff(graph.indptr))
+    if np.any(src == graph.adj_vertex):
+        raise GraphFormatError("self loop found in adjacency")
+    same_row = src[1:] == src[:-1]
+    if np.any(same_row & (graph.adj_vertex[1:] <= graph.adj_vertex[:-1])):
+        raise GraphFormatError("adjacency rows must be strictly sorted")
+
+    # Half-edge symmetry: edge id e must appear once from u and once from v.
+    counts = np.bincount(graph.adj_edge, minlength=m)
+    if np.any(counts != 2):
+        raise GraphFormatError("each undirected edge must have two half-edges")
+    expected = graph.edge_u + graph.edge_v
+    got = np.zeros(m, dtype=np.int64)
+    np.add.at(got, graph.adj_edge, src)
+    if np.any(expected != got):
+        raise GraphFormatError("half-edge endpoints disagree with edge arrays")
+
+
+def assert_same_structure(a: SignedGraph, b: SignedGraph) -> None:
+    """Raise unless *a* and *b* share vertex/edge structure (signs may
+    differ) — the precondition for comparing balanced states."""
+    if (
+        a.num_vertices != b.num_vertices
+        or a.num_edges != b.num_edges
+        or not np.array_equal(a.edge_u, b.edge_u)
+        or not np.array_equal(a.edge_v, b.edge_v)
+    ):
+        raise GraphFormatError("graphs do not share the same structure")

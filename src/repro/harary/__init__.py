@@ -1,0 +1,18 @@
+"""Harary bipartitioning of balanced states and cut extraction."""
+
+from repro.harary.bipartition import (
+    HararyBipartition,
+    harary_bipartition,
+    positive_components,
+)
+from repro.harary.cuts import crossing_edges, cut_size, harary_cut, verify_cut
+
+__all__ = [
+    "HararyBipartition",
+    "harary_bipartition",
+    "positive_components",
+    "harary_cut",
+    "crossing_edges",
+    "verify_cut",
+    "cut_size",
+]

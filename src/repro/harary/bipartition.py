@@ -1,0 +1,196 @@
+"""Harary bipartitioning of balanced states (§3, Fig. 6(h–i)).
+
+For a balanced graph the vertices split into two camps such that every
+positive edge stays inside a camp and every negative edge crosses —
+the *Harary bipartition*.  The paper computes it by
+
+1. ignoring the negative edges and labeling the connected components
+   (the "agreement islands", Fig. 6(h)),
+2. collapsing each component to a super-vertex and 2-coloring the
+   collapsed graph with a BFS: even levels form one side, odd levels
+   the other (Fig. 6(i)).
+
+For a *balanced* input the collapsed graph is bipartite by
+construction; :func:`harary_bipartition` verifies this and raises
+:class:`NotBalancedError` otherwise, so it doubles as a balance check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import NotBalancedError
+from repro.graph.csr import SignedGraph
+from repro.perf.counters import Counters
+from repro.util.arrays import gather_adjacency
+
+__all__ = ["HararyBipartition", "harary_bipartition", "positive_components"]
+
+
+@dataclass(frozen=True)
+class HararyBipartition:
+    """A two-coloring of a balanced state.
+
+    ``side`` assigns each vertex 0 or 1.  Side ids are normalized so
+    vertex 0's component is on side 0, making equal states produce
+    identical arrays.  ``components`` is the positive-subgraph
+    component labeling from which the bipartition was built.
+    """
+
+    side: np.ndarray
+    components: np.ndarray
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.side)
+
+    @cached_property
+    def sizes(self) -> tuple[int, int]:
+        """(|side 0|, |side 1|)."""
+        ones = int(self.side.sum())
+        return len(self.side) - ones, ones
+
+    @cached_property
+    def majority_side(self) -> int:
+        """0 or 1: the larger side; ties return -1 (paper scores ties
+        as δ = 0.5 for *both* sides in the status computation)."""
+        a, b = self.sizes
+        if a == b:
+            return -1
+        return 0 if a > b else 1
+
+    def in_majority(self) -> np.ndarray:
+        """Per-vertex status contribution δ_T(v): 1.0 for the larger
+        side, 0.5 on ties, 0.0 otherwise (§2.3)."""
+        maj = self.majority_side
+        if maj == -1:
+            return np.full(len(self.side), 0.5)
+        return (self.side == maj).astype(np.float64)
+
+    def key(self) -> bytes:
+        """Hashable identity of the bipartition."""
+        return self.side.tobytes()
+
+
+def _check_signs(graph: SignedGraph, signs: np.ndarray | None) -> np.ndarray:
+    """Normalize and validate an optional external sign array."""
+    if signs is None:
+        return graph.edge_sign
+    signs = np.asarray(signs, dtype=np.int8)
+    if signs.shape != (graph.num_edges,):
+        raise NotBalancedError(
+            f"sign array has shape {signs.shape}, expected ({graph.num_edges},)"
+        )
+    return signs
+
+
+def positive_components(
+    graph: SignedGraph, signs: np.ndarray | None = None
+) -> np.ndarray:
+    """Component labels of the subgraph keeping only positive edges.
+
+    Vectorized frontier BFS restricted to positive half-edges.
+    """
+    n = graph.num_vertices
+    signs = _check_signs(graph, signs)
+    half_pos = signs[graph.adj_edge] > 0
+
+    label = np.full(n, -1, dtype=np.int64)
+    comp = 0
+    for seed in range(n):
+        if label[seed] != -1:
+            continue
+        label[seed] = comp
+        frontier = np.array([seed], dtype=np.int64)
+        while len(frontier):
+            pos, _src = gather_adjacency(graph.indptr, frontier)
+            if len(pos) == 0:
+                break
+            pos = pos[half_pos[pos]]
+            nbrs = graph.adj_vertex[pos]
+            fresh = np.unique(nbrs[label[nbrs] == -1])
+            if len(fresh) == 0:
+                break
+            label[fresh] = comp
+            frontier = fresh
+        comp += 1
+    return label
+
+
+def harary_bipartition(
+    graph: SignedGraph,
+    signs: np.ndarray | None = None,
+    counters: Counters | None = None,
+) -> HararyBipartition:
+    """Compute the Harary bipartition of a balanced state.
+
+    Parameters
+    ----------
+    graph:
+        The structure; must be connected for the bipartition to be
+        unique (up to side swap).
+    signs:
+        Balanced sign array to use instead of ``graph.edge_sign``
+        (lets callers avoid materializing a :class:`SignedGraph` per
+        balanced state).
+
+    Raises
+    ------
+    NotBalancedError
+        If some negative edge fails to cross the induced cut, i.e. the
+        signs are not balanced.
+    """
+    n = graph.num_vertices
+    use_signs = _check_signs(graph, signs)
+    comp = positive_components(graph, use_signs)
+    num_comp = int(comp.max() + 1) if n else 0
+    if counters is not None:
+        counters.parallel_region("harary.components", n)
+
+    # Collapse: negative edges become edges between super-vertices.
+    neg = np.nonzero(use_signs < 0)[0]
+    cu = comp[graph.edge_u[neg]]
+    cv = comp[graph.edge_v[neg]]
+    inside = cu == cv
+    if np.any(inside):
+        e = int(neg[np.nonzero(inside)[0][0]])
+        raise NotBalancedError(
+            f"negative edge {e} connects vertices of the same positive "
+            "component; the sign assignment is not balanced"
+        )
+
+    # 2-color the collapsed graph with a BFS over super-vertices,
+    # implemented on (cu, cv) pairs via a simple adjacency dict — the
+    # collapsed graph is tiny compared to Σ.
+    side_of_comp = np.full(num_comp, -1, dtype=np.int8)
+    adj: list[list[int]] = [[] for _ in range(num_comp)]
+    for a, b in zip(cu.tolist(), cv.tolist()):
+        adj[a].append(b)
+        adj[b].append(a)
+    for seed in range(num_comp):
+        if side_of_comp[seed] != -1:
+            continue
+        side_of_comp[seed] = 0
+        queue = [seed]
+        while queue:
+            c = queue.pop()
+            for d in adj[c]:
+                if side_of_comp[d] == -1:
+                    side_of_comp[d] = 1 - side_of_comp[c]
+                    queue.append(d)
+                elif side_of_comp[d] == side_of_comp[c]:
+                    raise NotBalancedError(
+                        "collapsed negative-edge graph contains an odd "
+                        "cycle; the sign assignment is not balanced"
+                    )
+    if counters is not None:
+        counters.parallel_region("harary.two_coloring", num_comp)
+
+    side = side_of_comp[comp]
+    # Normalize: vertex 0 on side 0.
+    if n and side[0] == 1:
+        side = (1 - side).astype(np.int8)
+    return HararyBipartition(side=side.astype(np.int8), components=comp)

@@ -1,0 +1,56 @@
+"""Harary cutsets: the negative edge sets of balanced states.
+
+In a balanced state every negative edge crosses the bipartition, so the
+negative edge set *is* the Harary cut (Fig. 1(b) calls these the
+negative-edge cutsets).  These helpers extract and sanity-check cuts
+and map a cut back onto the *original* graph's sentiments, which is
+what the frustration-cloud analysis consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotBalancedError
+from repro.graph.csr import SignedGraph
+from repro.harary.bipartition import HararyBipartition
+
+__all__ = ["harary_cut", "verify_cut", "cut_size", "crossing_edges"]
+
+
+def harary_cut(graph: SignedGraph, signs: np.ndarray) -> np.ndarray:
+    """Edge ids of the Harary cut of the balanced state *signs*."""
+    signs = np.asarray(signs, dtype=np.int8)
+    return np.nonzero(signs < 0)[0]
+
+
+def crossing_edges(graph: SignedGraph, bipartition: HararyBipartition) -> np.ndarray:
+    """Edge ids crossing the given bipartition."""
+    side = bipartition.side
+    return np.nonzero(side[graph.edge_u] != side[graph.edge_v])[0]
+
+
+def verify_cut(
+    graph: SignedGraph, signs: np.ndarray, bipartition: HararyBipartition
+) -> None:
+    """Assert the defining cut property of a balanced state.
+
+    Every negative edge must cross the bipartition and every positive
+    edge must not; raises :class:`NotBalancedError` otherwise.
+    """
+    signs = np.asarray(signs, dtype=np.int8)
+    side = bipartition.side
+    crosses = side[graph.edge_u] != side[graph.edge_v]
+    bad_neg = (signs < 0) & ~crosses
+    bad_pos = (signs > 0) & crosses
+    if np.any(bad_neg):
+        e = int(np.nonzero(bad_neg)[0][0])
+        raise NotBalancedError(f"negative edge {e} does not cross the cut")
+    if np.any(bad_pos):
+        e = int(np.nonzero(bad_pos)[0][0])
+        raise NotBalancedError(f"positive edge {e} crosses the cut")
+
+
+def cut_size(graph: SignedGraph, signs: np.ndarray) -> int:
+    """Number of edges in the Harary cut (= negative edges)."""
+    return len(harary_cut(graph, signs))

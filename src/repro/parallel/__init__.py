@@ -1,0 +1,59 @@
+"""Parallel execution layer: workload profiling, schedule simulators,
+simulated CPU/GPU machine models, the campaign modeler, and the
+simulated distributed (MPI-pattern) status driver.
+"""
+
+from repro.parallel.workload import Workload, collect_workload
+from repro.parallel.schedule import (
+    makespan_bounds,
+    makespan_dynamic,
+    makespan_guided,
+    makespan_static,
+)
+from repro.parallel.machine import (
+    OPENMP_MACHINE,
+    SERIAL_MACHINE,
+    CpuMachine,
+    PhaseTimes,
+)
+from repro.parallel.simgpu import CUDA_MACHINE, GpuMachine
+from repro.parallel.engine import (
+    Machine,
+    ModeledRun,
+    measure_python_seconds,
+    model_run,
+    model_run_multi,
+)
+from repro.parallel.distributed import (
+    RankResult,
+    distributed_status,
+    partition_indices,
+)
+from repro.parallel.pool import sample_cloud_pool
+from repro.parallel.mpi_model import ClusterEstimate, ClusterModel
+
+__all__ = [
+    "Workload",
+    "collect_workload",
+    "makespan_dynamic",
+    "makespan_static",
+    "makespan_guided",
+    "makespan_bounds",
+    "CpuMachine",
+    "GpuMachine",
+    "PhaseTimes",
+    "SERIAL_MACHINE",
+    "OPENMP_MACHINE",
+    "CUDA_MACHINE",
+    "Machine",
+    "ModeledRun",
+    "model_run",
+    "model_run_multi",
+    "measure_python_seconds",
+    "RankResult",
+    "distributed_status",
+    "partition_indices",
+    "sample_cloud_pool",
+    "ClusterModel",
+    "ClusterEstimate",
+]

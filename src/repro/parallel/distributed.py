@@ -1,0 +1,100 @@
+"""Simulated distributed-memory driver (§3.3's MPI pattern).
+
+The paper's multi-node parallelization is embarrassingly simple: give
+every rank the whole graph and a subset of the tree roots, let each
+rank balance its trees and count per-vertex majority membership, then
+``MPI_Reduce`` the counters.  We reproduce that dataflow in-process:
+ranks are simulated sequentially (a single core is available), but the
+partitioning, per-rank accumulation, and reduction are the real thing —
+and because :class:`TreeSampler` hands out tree *i* deterministically,
+the reduced result is bit-identical to the single-driver cloud, which
+is exactly the property an MPI deployment needs and what the tests
+assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.cloud import FrustrationCloud
+from repro.core.balancer import balance
+from repro.errors import EngineError
+from repro.graph.csr import SignedGraph
+from repro.rng import SeedLike
+from repro.trees.sampler import TreeSampler
+
+__all__ = ["RankResult", "distributed_status", "partition_indices"]
+
+
+@dataclass(frozen=True)
+class RankResult:
+    """What one rank would send to the reduction."""
+
+    rank: int
+    num_states: int
+    majority_counts: np.ndarray  # Σ δ_T(v) over this rank's trees
+
+
+def partition_indices(num_items: int, num_ranks: int) -> list[np.ndarray]:
+    """Block partition of tree indices over ranks (the paper hands each
+    compute node 'a subset of the tree roots')."""
+    if num_ranks < 1:
+        raise EngineError("need at least one rank")
+    return [
+        np.arange(num_items)[r::num_ranks] for r in range(num_ranks)
+    ]
+
+
+def _run_rank(
+    graph: SignedGraph,
+    sampler: TreeSampler,
+    indices: np.ndarray,
+    rank: int,
+    kernel: str,
+) -> RankResult:
+    """Balance this rank's trees and accumulate majority counts."""
+    cloud = FrustrationCloud(graph)
+    for i in indices.tolist():
+        tree = sampler.tree(i)
+        result = balance(graph, tree, kernel=kernel)
+        cloud.add_result(result)
+    counts = (
+        cloud.status() * cloud.num_states
+        if cloud.num_states
+        else np.zeros(graph.num_vertices)
+    )
+    return RankResult(
+        rank=rank, num_states=cloud.num_states, majority_counts=counts
+    )
+
+
+def distributed_status(
+    graph: SignedGraph,
+    num_states: int,
+    num_ranks: int,
+    method: str = "bfs",
+    kernel: str = "lockstep",
+    seed: SeedLike = 0,
+) -> np.ndarray:
+    """Per-vertex status computed with the rank-partitioned dataflow.
+
+    Equivalent to ``sample_cloud(graph, num_states, ...).status()`` for
+    the same seed — the reduction step is a plain sum of the per-rank
+    majority counters divided by the total state count (the single
+    ``MPI_Reduce`` of §3.3).
+    """
+    sampler = TreeSampler(graph, method=method, seed=seed)
+    parts = partition_indices(num_states, num_ranks)
+    results = [
+        _run_rank(graph, sampler, idx, rank, kernel)
+        for rank, idx in enumerate(parts)
+    ]
+    total_states = sum(r.num_states for r in results)
+    if total_states == 0:
+        raise EngineError("no states were produced")
+    reduced = np.zeros(graph.num_vertices, dtype=np.float64)
+    for r in results:
+        reduced += r.majority_counts
+    return reduced / total_states

@@ -1,0 +1,117 @@
+"""Multi-node scaling model (§3.3's distributed layer, quantified).
+
+The paper sketches the MPI deployment — every node gets the graph and a
+subset of tree roots, balances independently, and a single
+``MPI_Reduce`` combines the per-vertex majority counters — but reports
+no multi-node numbers.  This model fills that in:
+
+* per-node time = (trees assigned to the node) × (per-tree pipeline
+  time on the node's machine model), with the usual ceil-imbalance when
+  trees don't divide evenly;
+* one-time costs: broadcasting the graph (CSR bytes over the
+  interconnect bandwidth) and the final counter reduction
+  (tree-structured: ``log2(nodes)`` rounds of an n-word message);
+* the result is a classic strong-scaling curve with a bandwidth-bound
+  startup floor — exactly what an SC audience would expect the sketch
+  to produce.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import EngineError
+from repro.parallel.engine import Machine
+from repro.parallel.workload import Workload
+
+__all__ = ["ClusterModel", "ClusterEstimate"]
+
+
+@dataclass(frozen=True)
+class ClusterEstimate:
+    """Modeled campaign times for one node count."""
+
+    nodes: int
+    compute_seconds: float
+    broadcast_seconds: float
+    reduce_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.broadcast_seconds + self.reduce_seconds
+
+
+@dataclass(frozen=True)
+class ClusterModel:
+    """A homogeneous cluster of nodes running one machine model each.
+
+    ``link_bytes_per_second`` defaults to ~11 GB/s (100 Gb/s
+    InfiniBand); ``latency_seconds`` is the per-message overhead of the
+    collective rounds.
+    """
+
+    node_machine: Machine
+    link_bytes_per_second: float = 11.0e9
+    latency_seconds: float = 5.0e-6
+
+    def estimate(
+        self,
+        workload: Workload,
+        num_trees: int,
+        nodes: int,
+        graph_bytes: float | None = None,
+    ) -> ClusterEstimate:
+        """Model a ``num_trees`` campaign on ``nodes`` nodes.
+
+        ``graph_bytes`` defaults to the Table-4 OpenMP-host footprint of
+        the workload's graph (what each node must receive).
+        """
+        if nodes < 1:
+            raise EngineError("need at least one node")
+        if num_trees < 1:
+            raise EngineError("need at least one tree")
+        per_tree = self.node_machine.times(workload).total
+        my_trees = math.ceil(num_trees / nodes)
+        compute = my_trees * per_tree
+
+        if graph_bytes is None:
+            from repro.perf.memory import OPENMP_HOST
+
+            graph_bytes = OPENMP_HOST.bytes(
+                workload.num_vertices, workload.num_edges
+            )
+        rounds = math.ceil(math.log2(nodes)) if nodes > 1 else 0
+        # Scatter the graph once (pipelined broadcast ~ one full copy
+        # per round is pessimistic; use bandwidth-optimal 2x copy cost).
+        broadcast = (
+            0.0
+            if nodes == 1
+            else 2.0 * graph_bytes / self.link_bytes_per_second
+            + rounds * self.latency_seconds
+        )
+        # Reduce one 8-byte counter per vertex, tree-structured.
+        counter_bytes = 8.0 * workload.num_vertices
+        reduce = (
+            0.0
+            if nodes == 1
+            else rounds
+            * (self.latency_seconds + counter_bytes / self.link_bytes_per_second)
+        )
+        return ClusterEstimate(
+            nodes=nodes,
+            compute_seconds=compute,
+            broadcast_seconds=broadcast,
+            reduce_seconds=reduce,
+        )
+
+    def scaling_curve(
+        self,
+        workload: Workload,
+        num_trees: int,
+        node_counts: list[int],
+    ) -> list[ClusterEstimate]:
+        """Estimates for each node count (a strong-scaling sweep)."""
+        return [
+            self.estimate(workload, num_trees, nodes) for nodes in node_counts
+        ]

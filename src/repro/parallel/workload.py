@@ -1,0 +1,122 @@
+"""Workload extraction: the per-tree work profile the machine models consume.
+
+The simulated OpenMP/CUDA machines (DESIGN.md §2) do not guess — they
+replay the *actual* work of balancing one tree:
+
+* per-level item counts of the two labeling passes (Alg. 4),
+* per-cycle traversal costs, measured as the number of tree-edge
+  range checks the faithful walker performs (cycle length for the
+  upward parent-first steps + child scans on descents — bounded by the
+  on-cycle tree degrees the lockstep kernel records),
+* the owner vertex of each cycle (the paper parallelizes cycle
+  processing over vertices, with each vertex's non-tree edges handled
+  by one thread / one warp),
+* linear op counts for tree generation and Harary bipartitioning.
+
+Everything is collected by one lockstep run with statistics enabled, so
+profiling a tree costs the same as balancing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.cycles_vectorized import process_cycles_lockstep
+from repro.graph.csr import SignedGraph
+from repro.trees.properties import level_widths
+from repro.trees.tree import SpanningTree
+
+__all__ = ["Workload", "collect_workload"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Work profile of balancing one spanning tree of one graph.
+
+    Cost unit: one *op* is one adjacency-word access (range check,
+    neighbor load, or count update).  The machine models convert ops to
+    seconds with their per-op latencies.
+    """
+
+    num_vertices: int
+    num_edges: int
+    num_cycles: int
+    level_items: np.ndarray      # vertices per tree level (labeling passes)
+    cycle_costs: np.ndarray      # ops per fundamental cycle
+    cycle_owner: np.ndarray      # owning vertex per cycle
+    treegen_ops: int             # BFS tree construction (≈ 2m + n)
+    harary_ops: int              # bipartition + status update (≈ 2m + 2n)
+
+    @cached_property
+    def cycle_ops(self) -> int:
+        """Total cycle-processing ops."""
+        return int(self.cycle_costs.sum())
+
+    @cached_property
+    def label_ops(self) -> int:
+        """Total labeling ops: both passes touch every vertex once,
+        and the top-down pass also touches every tree edge."""
+        return int(3 * self.level_items.sum())
+
+    @cached_property
+    def owner_costs(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(owners, costs)``: cycle cost aggregated by owning vertex —
+        the schedulable task list for vertex-parallel cycle processing."""
+        owners, inverse = np.unique(self.cycle_owner, return_inverse=True)
+        costs = np.zeros(len(owners), dtype=np.float64)
+        np.add.at(costs, inverse, self.cycle_costs)
+        return owners, costs
+
+    @cached_property
+    def max_owner_cost(self) -> float:
+        """Largest per-vertex cycle workload (the critical path of the
+        vertex-parallel schedule; driven by the max degree — §6.2's
+        r = 0.96 correlation)."""
+        _owners, costs = self.owner_costs
+        return float(costs.max()) if len(costs) else 0.0
+
+
+def collect_workload(
+    graph: SignedGraph,
+    tree: SpanningTree,
+    scan_fraction: float = 0.27,
+) -> Workload:
+    """Profile the balancing of *tree* on *graph*.
+
+    ``scan_fraction`` models how much of a vertex's tree-degree the
+    walker scans per visited vertex: upward parent-first steps are
+    O(1), and descending steps scan children in order until the
+    covering range is found, so only part of each on-cycle tree degree
+    is touched.  The default 0.27 was measured against the faithful
+    walker's exact ``cycle.edges_scanned`` counter (α = 0.25–0.29 on
+    the calibration inputs; see EXPERIMENTS.md):
+
+    ``cost(cycle) = length + scan_fraction · Σ tree_deg(v on cycle)``.
+    """
+    _signs, _flipped, stats = process_cycles_lockstep(
+        graph, tree, collect_stats=True
+    )
+    assert stats is not None
+    cycle_costs = (
+        stats.lengths.astype(np.float64)
+        + scan_fraction * stats.tree_degree_sums.astype(np.float64)
+    )
+    non_tree = tree.non_tree_edge_ids()
+    # The paper processes each non-tree edge in one direction only; the
+    # owning vertex is the canonical first endpoint.
+    cycle_owner = graph.edge_u[non_tree]
+
+    n, m = graph.num_vertices, graph.num_edges
+    return Workload(
+        num_vertices=n,
+        num_edges=m,
+        num_cycles=len(non_tree),
+        level_items=level_widths(tree).astype(np.int64),
+        cycle_costs=cycle_costs,
+        cycle_owner=cycle_owner,
+        treegen_ops=2 * m + n,
+        harary_ops=2 * m + 2 * n,
+    )

@@ -1,0 +1,34 @@
+"""Performance infrastructure: counters, phase timers, the Table-4
+memory model, and text table/series rendering.
+"""
+
+from repro.perf.counters import Counters, RegionStat
+from repro.perf.timers import PhaseTimer
+from repro.perf.memory import (
+    CUDA_DEVICE,
+    CUDA_HOST,
+    OPENMP_HOST,
+    MemoryModel,
+    cuda_device_mb,
+    cuda_host_mb,
+    openmp_host_mb,
+    python_actual_mb,
+)
+from repro.perf.report import TextTable, format_series, geomean
+
+__all__ = [
+    "Counters",
+    "RegionStat",
+    "PhaseTimer",
+    "MemoryModel",
+    "OPENMP_HOST",
+    "CUDA_DEVICE",
+    "CUDA_HOST",
+    "openmp_host_mb",
+    "cuda_device_mb",
+    "cuda_host_mb",
+    "python_actual_mb",
+    "TextTable",
+    "format_series",
+    "geomean",
+]

@@ -1,0 +1,96 @@
+"""Dynamic-memory model (Table 4).
+
+The paper reports the dynamically allocated megabytes of the OpenMP and
+CUDA codes per input.  Allocation is fixed up front and linear in the
+graph size (§6.4), so the three columns are linear functions of
+``(n, m)``.  We model each column as a component ledger whose
+coefficients were fitted to the published Table 4 (fit residual < 1 MB
+on 18 of 20 rows; see EXPERIMENTS.md):
+
+* **OpenMP host** ≈ 26 B/vertex + 48 B/edge.
+  Decomposition: per vertex — parent, level, new ID, subtree count
+  (4 B each), status accumulator (8 B), bipartition side + flags (2 B);
+  per edge — two directed CSR entries × (4 B neighbor + 16 B
+  two-word range/sign encoding, §3.2.1) + 8 B edge endpoints.
+* **CUDA device** ≈ 24 B/vertex + 62.5 B/edge.
+  The +22% over OpenMP (§6.4) comes from the two level worklists used
+  by the Harary bipartitioning, which the fit attributes to the edge
+  term (≈ 14.5 B/edge averaged over the inputs).
+* **CUDA host** ≈ 19 B/vertex + 30.5 B/edge — the host mirror minus
+  the device-only arrays (≈ ⅔ of the OpenMP footprint, §6.4).
+
+These model the *paper's C++/CUDA* codes, not this Python library;
+:func:`python_actual_mb` reports our own CSR footprint for contrast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.csr import SignedGraph
+
+__all__ = [
+    "MemoryModel",
+    "OPENMP_HOST",
+    "CUDA_DEVICE",
+    "CUDA_HOST",
+    "openmp_host_mb",
+    "cuda_device_mb",
+    "cuda_host_mb",
+    "python_actual_mb",
+]
+
+_MB = 1.0e6  # Table 4 uses decimal megabytes
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Linear allocation model ``bytes = per_vertex·n + per_edge·m``."""
+
+    name: str
+    bytes_per_vertex: float
+    bytes_per_edge: float
+
+    def bytes(self, num_vertices: int, num_edges: int) -> float:
+        """Modeled allocation in bytes for an (n, m) graph."""
+        return (
+            self.bytes_per_vertex * num_vertices
+            + self.bytes_per_edge * num_edges
+        )
+
+    def megabytes(self, num_vertices: int, num_edges: int) -> float:
+        """Modeled allocation in decimal MB (Table 4 units)."""
+        return self.bytes(num_vertices, num_edges) / _MB
+
+
+OPENMP_HOST = MemoryModel("openmp_host", 26.0, 48.0)
+CUDA_DEVICE = MemoryModel("cuda_device", 24.0, 62.5)
+CUDA_HOST = MemoryModel("cuda_host", 19.0, 30.5)
+
+
+def openmp_host_mb(num_vertices: int, num_edges: int) -> float:
+    """Modeled OpenMP host allocation in MB."""
+    return OPENMP_HOST.megabytes(num_vertices, num_edges)
+
+
+def cuda_device_mb(num_vertices: int, num_edges: int) -> float:
+    """Modeled CUDA device allocation in MB."""
+    return CUDA_DEVICE.megabytes(num_vertices, num_edges)
+
+
+def cuda_host_mb(num_vertices: int, num_edges: int) -> float:
+    """Modeled CUDA host allocation in MB."""
+    return CUDA_HOST.megabytes(num_vertices, num_edges)
+
+
+def python_actual_mb(graph: SignedGraph) -> float:
+    """Actual bytes held by this library's CSR arrays, in MB."""
+    return graph.nbytes() / _MB
+
+
+def max_edges_within(budget_mb: float, model: MemoryModel, avg_degree: float) -> int:
+    """Largest edge count fitting *budget_mb* under *model*, assuming
+    ``n = m / avg_degree`` — the §6.4 capacity estimate (e.g. ~150 M
+    edges in 12 GB of device memory)."""
+    per_edge = model.bytes_per_edge + model.bytes_per_vertex / max(avg_degree, 1e-9)
+    return int(budget_mb * _MB / per_edge)

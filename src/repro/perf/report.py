@@ -1,0 +1,95 @@
+"""Plain-text table and series rendering for the benchmark harness.
+
+Every benchmark regenerates its table/figure as text (the paper's rows
+or series), so results are diffable and show up directly in pytest
+output.  These helpers keep the formatting uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["TextTable", "geomean", "format_series"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's summary statistic for runtimes)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return 0.0
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive values")
+    log_sum = 0.0
+    for v in vals:
+        import math
+
+        log_sum += math.log(v)
+    import math
+
+    return math.exp(log_sum / len(vals))
+
+
+@dataclass
+class TextTable:
+    """Monospace table with a title, headers, and typed columns."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row; cell count must match the headers."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([_fmt(c) for c in cells])
+
+    def render(self) -> str:
+        """Monospace rendering with aligned, right-justified numbers."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title]
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(c.rjust(w) if _numeric(c) else c.ljust(w)
+                          for c, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _numeric(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace(".", "").replace("-", "")
+    return stripped.isdigit()
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[float]) -> str:
+    """One figure series as aligned ``x: y`` lines."""
+    lines = [name]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {str(x):>12s}: {_fmt(float(y))}")
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Spanning-tree substrate: samplers (BFS/DFS/Wilson), the
+:class:`SpanningTree` container, exhaustive enumeration for tiny
+graphs, and the depth statistics of Table 6.
+"""
+
+from repro.trees.tree import SpanningTree
+from repro.trees.bfs import bfs_tree
+from repro.trees.degree_aware import degree_aware_bfs_tree
+from repro.trees.dfs import dfs_tree
+from repro.trees.random_tree import wilson_tree
+from repro.trees.sampler import TreeSampler, TREE_METHODS
+from repro.trees.enumeration import (
+    all_spanning_trees,
+    count_spanning_trees,
+    tree_from_edge_ids,
+)
+from repro.trees.properties import TreeDepthStats, depth_stats, level_widths
+
+__all__ = [
+    "SpanningTree",
+    "bfs_tree",
+    "degree_aware_bfs_tree",
+    "dfs_tree",
+    "wilson_tree",
+    "TreeSampler",
+    "TREE_METHODS",
+    "all_spanning_trees",
+    "count_spanning_trees",
+    "tree_from_edge_ids",
+    "TreeDepthStats",
+    "depth_stats",
+    "level_widths",
+]

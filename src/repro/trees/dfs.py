@@ -1,0 +1,77 @@
+"""Depth-first-search spanning trees.
+
+DFS trees are the adversarial counterpart to the paper's BFS default:
+they produce the *longest* fundamental cycles instead of the shortest,
+which the tree-sampling ablation (DESIGN.md §5) uses to quantify how
+much the BFS choice matters for graphB+ throughput.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DisconnectedGraphError
+from repro.graph.csr import SignedGraph
+from repro.rng import SeedLike, as_generator
+from repro.trees.tree import SpanningTree
+
+__all__ = ["dfs_tree"]
+
+
+def dfs_tree(
+    graph: SignedGraph,
+    root: int | None = None,
+    seed: SeedLike = None,
+) -> SpanningTree:
+    """Sample a randomized iterative-DFS spanning tree.
+
+    Neighbor visit order is shuffled per vertex, so different seeds
+    give different trees.  Uses an explicit stack (no recursion limit
+    issues on path-like graphs).
+    """
+    n = graph.num_vertices
+    rng = as_generator(seed)
+    if root is None:
+        root = int(rng.integers(0, n))
+
+    parent = np.full(n, -1, dtype=np.int64)
+    parent_edge = np.full(n, -1, dtype=np.int64)
+    discovered = np.zeros(n, dtype=bool)
+    discovered[root] = True
+    reached = 1
+
+    # Stack of (vertex, iterator over shuffled adjacency positions).
+    stack: list[tuple[int, list[int]]] = [(root, _shuffled_row(graph, root, rng))]
+    while stack:
+        v, row = stack[-1]
+        advanced = False
+        while row:
+            pos = row.pop()
+            w = int(graph.adj_vertex[pos])
+            if discovered[w]:
+                continue
+            discovered[w] = True
+            parent[w] = v
+            parent_edge[w] = int(graph.adj_edge[pos])
+            reached += 1
+            stack.append((w, _shuffled_row(graph, w, rng)))
+            advanced = True
+            break
+        if not advanced:
+            stack.pop()
+
+    if reached != n:
+        raise DisconnectedGraphError(
+            f"DFS from root {root} reached {reached} of {n} vertices"
+        )
+    return SpanningTree.from_parents(graph, root, parent, parent_edge)
+
+
+def _shuffled_row(
+    graph: SignedGraph, v: int, rng: np.random.Generator
+) -> list[int]:
+    """Adjacency positions of *v* in random order (as a pop-able list)."""
+    lo, hi = int(graph.indptr[v]), int(graph.indptr[v + 1])
+    positions = np.arange(lo, hi)
+    rng.shuffle(positions)
+    return positions.tolist()

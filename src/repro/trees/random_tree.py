@@ -1,0 +1,88 @@
+"""Uniform random spanning trees via Wilson's algorithm.
+
+The original graphB pipeline fell back to *random* spanning trees when
+BFS trees exhausted memory (§2.5), and the paper's future work asks how
+the choice of spanning tree affects results.  Wilson's loop-erased
+random walk samples exactly from the uniform distribution over all
+spanning trees, giving the unbiased comparator for the tree-sampling
+ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DisconnectedGraphError
+from repro.graph.csr import SignedGraph
+from repro.rng import SeedLike, as_generator
+from repro.trees.tree import SpanningTree
+
+__all__ = ["wilson_tree"]
+
+
+def wilson_tree(
+    graph: SignedGraph,
+    root: int | None = None,
+    seed: SeedLike = None,
+    max_steps: int | None = None,
+) -> SpanningTree:
+    """Sample a uniformly random spanning tree (Wilson 1996).
+
+    Each not-yet-attached vertex performs a random walk until it hits
+    the growing tree; the loop-erased walk is then grafted on.  Expected
+    running time is the mean commute time of the graph — fine for the
+    small/medium graphs the ablations use, but slower than
+    :func:`~repro.trees.bfs.bfs_tree` on large inputs.
+
+    ``max_steps`` bounds the total number of walk steps (default
+    ``50 * n * sqrt(n) + 10_000``) and raises
+    :class:`DisconnectedGraphError` when exceeded, which in practice
+    means the graph is disconnected (the walk can never hit the tree).
+    """
+    n = graph.num_vertices
+    rng = as_generator(seed)
+    if root is None:
+        root = int(rng.integers(0, n))
+    if max_steps is None:
+        max_steps = int(50 * n * max(np.sqrt(n), 1.0)) + 10_000
+
+    parent = np.full(n, -1, dtype=np.int64)
+    parent_edge = np.full(n, -1, dtype=np.int64)
+    in_tree = np.zeros(n, dtype=bool)
+    in_tree[root] = True
+
+    # next_hop[v] remembers the most recent step of the current walk;
+    # loop erasure falls out of overwriting it on revisits.
+    next_hop = np.full(n, -1, dtype=np.int64)
+    next_edge = np.full(n, -1, dtype=np.int64)
+    steps = 0
+
+    for start in range(n):
+        if in_tree[start]:
+            continue
+        v = start
+        while not in_tree[v]:
+            lo, hi = int(graph.indptr[v]), int(graph.indptr[v + 1])
+            if hi == lo:
+                raise DisconnectedGraphError(
+                    f"vertex {v} has no neighbors; graph is disconnected"
+                )
+            pos = int(rng.integers(lo, hi))
+            next_hop[v] = int(graph.adj_vertex[pos])
+            next_edge[v] = int(graph.adj_edge[pos])
+            v = next_hop[v]
+            steps += 1
+            if steps > max_steps:
+                raise DisconnectedGraphError(
+                    "random walk failed to reach the tree within "
+                    f"{max_steps} steps; the graph is likely disconnected"
+                )
+        # Graft the loop-erased path from `start` onto the tree.
+        v = start
+        while not in_tree[v]:
+            in_tree[v] = True
+            parent[v] = next_hop[v]
+            parent_edge[v] = next_edge[v]
+            v = int(next_hop[v])
+
+    return SpanningTree.from_parents(graph, root, parent, parent_edge)

@@ -1,0 +1,73 @@
+"""Tree sampling (the tree-generation half of Alg. 2).
+
+A :class:`TreeSampler` owns a sampling *method* (BFS, DFS, Wilson) and
+a seed, and hands out reproducible independent trees by index: the
+``k``-th tree is the same whether sampled alone, in a batch, or on a
+different simulated rank — the property the distributed driver
+(:mod:`repro.parallel.distributed`) needs for its results to be
+bit-identical to the serial driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.errors import EngineError
+from repro.graph.csr import SignedGraph
+from repro.rng import SeedLike, freeze_seed, spawn
+from repro.trees.bfs import bfs_tree
+from repro.trees.degree_aware import degree_aware_bfs_tree
+from repro.trees.dfs import dfs_tree
+from repro.trees.random_tree import wilson_tree
+from repro.trees.tree import SpanningTree
+
+__all__ = ["TreeSampler", "TREE_METHODS"]
+
+TREE_METHODS: dict[str, Callable[..., SpanningTree]] = {
+    "bfs": bfs_tree,
+    "bfs-low-degree": degree_aware_bfs_tree,
+    "dfs": dfs_tree,
+    "wilson": wilson_tree,
+}
+
+
+@dataclass(frozen=True)
+class TreeSampler:
+    """Reproducible indexed sampler of spanning trees.
+
+    Parameters
+    ----------
+    graph:
+        Connected signed graph to sample from.
+    method:
+        ``"bfs"`` (paper default), ``"dfs"``, or ``"wilson"``.
+    seed:
+        Root seed; tree *i* uses the ``i``-th spawned child stream.
+    root:
+        Optional pinned root vertex (default: random per tree).
+    """
+
+    graph: SignedGraph
+    method: str = "bfs"
+    seed: SeedLike = None
+    root: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.method not in TREE_METHODS:
+            raise EngineError(
+                f"unknown tree method {self.method!r}; known: {sorted(TREE_METHODS)}"
+            )
+        # Freeze the seed so tree(i) is stable regardless of call order,
+        # even when constructed with None or a live generator.
+        object.__setattr__(self, "seed", freeze_seed(self.seed))
+
+    def tree(self, index: int) -> SpanningTree:
+        """The *index*-th tree of this sampler's stream."""
+        rng = spawn(self.seed, index)
+        return TREE_METHODS[self.method](self.graph, root=self.root, seed=rng)
+
+    def trees(self, count: int, start: int = 0) -> Iterator[SpanningTree]:
+        """Yield trees ``start .. start + count - 1``."""
+        for i in range(start, start + count):
+            yield self.tree(i)

@@ -1,0 +1,201 @@
+"""The :class:`SpanningTree` container shared by every tree algorithm.
+
+A spanning tree is stored as a rooted parent forest over the host
+graph's vertices plus derived level structure.  graphB+ (Alg. 3/4)
+needs, per tree:
+
+* ``parent``/``parent_edge`` — one word per vertex,
+* ``level_of`` — the BFS depth used by the level-synchronous labeling,
+* ``in_tree`` — a 1-bit flag per undirected edge (§3.2.2),
+
+which is exactly the linear storage budget the paper claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import NotASpanningTreeError
+from repro.graph.csr import SignedGraph
+
+__all__ = ["SpanningTree"]
+
+
+@dataclass(frozen=True)
+class SpanningTree:
+    """A rooted spanning tree of a connected :class:`SignedGraph`.
+
+    Construct via :meth:`from_parents` (which validates and derives the
+    level structure) or one of the samplers in :mod:`repro.trees`.
+    """
+
+    root: int
+    parent: np.ndarray        # (n,) parent vertex, -1 at the root
+    parent_edge: np.ndarray   # (n,) undirected edge id to parent, -1 at root
+    level_of: np.ndarray      # (n,) tree depth, 0 at the root
+    in_tree: np.ndarray       # (m,) bool, True for the n-1 tree edges
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_parents(
+        cls,
+        graph: SignedGraph,
+        root: int,
+        parent: np.ndarray,
+        parent_edge: np.ndarray,
+    ) -> "SpanningTree":
+        """Validate a parent forest and derive levels / tree-edge flags.
+
+        Raises :class:`NotASpanningTreeError` when the structure does
+        not describe a spanning tree of *graph* (unreached vertices,
+        cycles, or parent edges absent from the graph).
+        """
+        n = graph.num_vertices
+        parent = np.asarray(parent, dtype=np.int64)
+        parent_edge = np.asarray(parent_edge, dtype=np.int64)
+        if parent.shape != (n,) or parent_edge.shape != (n,):
+            raise NotASpanningTreeError("parent arrays must have length n")
+        if not 0 <= root < n:
+            raise NotASpanningTreeError(f"root {root} out of range")
+        if parent[root] != -1 or parent_edge[root] != -1:
+            raise NotASpanningTreeError("root must have parent == -1")
+        others = np.delete(np.arange(n), root)
+        if len(others) and (
+            parent[others].min() < 0 or parent[others].max() >= n
+        ):
+            raise NotASpanningTreeError("non-root vertex with invalid parent")
+
+        # Check parent edges really join (v, parent[v]) in the graph.
+        if len(others):
+            pe = parent_edge[others]
+            if pe.min() < 0 or pe.max() >= graph.num_edges:
+                raise NotASpanningTreeError("parent edge id out of range")
+            eu = graph.edge_u[pe]
+            ev = graph.edge_v[pe]
+            pv = parent[others]
+            ok = ((eu == others) & (ev == pv)) | ((ev == others) & (eu == pv))
+            if not np.all(ok):
+                raise NotASpanningTreeError(
+                    "a parent edge does not connect the vertex to its parent"
+                )
+
+        level_of = cls._levels(parent, root, n)
+        in_tree = np.zeros(graph.num_edges, dtype=bool)
+        if len(others):
+            in_tree[parent_edge[others]] = True
+        if int(in_tree.sum()) != n - 1:
+            raise NotASpanningTreeError(
+                "tree edges are not n-1 distinct graph edges"
+            )
+        return cls(
+            root=int(root),
+            parent=parent,
+            parent_edge=parent_edge,
+            level_of=level_of,
+            in_tree=in_tree,
+        )
+
+    @staticmethod
+    def _levels(parent: np.ndarray, root: int, n: int) -> np.ndarray:
+        """Depth of each vertex via repeated parent-pointer relaxation.
+
+        Runs in O(depth) vectorized sweeps; raises if any vertex never
+        reaches the root (i.e., the parent structure has a cycle or a
+        second root).
+        """
+        level = np.full(n, -1, dtype=np.int64)
+        level[root] = 0
+        pending = parent.copy()
+        hops = np.zeros(n, dtype=np.int64)
+        unresolved = np.nonzero(level < 0)[0]
+        for _ in range(n + 1):
+            if len(unresolved) == 0:
+                return level
+            anchor = pending[unresolved]
+            done = level[anchor] >= 0
+            idx = unresolved[done]
+            level[idx] = level[pending[idx]] + hops[idx] + 1
+            rest = unresolved[~done]
+            # Pointer-jump the still-unresolved vertices one hop up.
+            hops[rest] += 1
+            pending[rest] = parent[pending[rest]]
+            unresolved = rest
+        raise NotASpanningTreeError("parent pointers contain a cycle")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self.parent)
+
+    @property
+    def depth(self) -> int:
+        """Maximum tree depth (root = 0)."""
+        return int(self.level_of.max())
+
+    @property
+    def num_levels(self) -> int:
+        return self.depth + 1
+
+    @cached_property
+    def levels(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(order, level_ptr)``: vertices sorted by level, and the
+        offset of each level — the iteration structure of Alg. 4."""
+        order = np.argsort(self.level_of, kind="stable").astype(np.int64)
+        counts = np.bincount(self.level_of, minlength=self.num_levels)
+        level_ptr = np.zeros(self.num_levels + 1, dtype=np.int64)
+        np.cumsum(counts, out=level_ptr[1:])
+        return order, level_ptr
+
+    @cached_property
+    def children(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(child_ptr, child_list)``: CSR of children per vertex,
+        children sorted by vertex id (deterministic)."""
+        n = self.num_vertices
+        mask = self.parent >= 0
+        kids = np.nonzero(mask)[0]
+        par = self.parent[kids]
+        order = np.lexsort((kids, par))
+        kids = kids[order]
+        par = par[order]
+        child_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(child_ptr, par + 1, 1)
+        np.cumsum(child_ptr, out=child_ptr)
+        return child_ptr, kids
+
+    def children_of(self, v: int) -> np.ndarray:
+        """Children of vertex *v* (view)."""
+        ptr, lst = self.children
+        return lst[ptr[v] : ptr[v + 1]]
+
+    @cached_property
+    def tree_degree(self) -> np.ndarray:
+        """Tree degree of each vertex (children + parent edge)."""
+        ptr, _ = self.children
+        deg = np.diff(ptr).astype(np.int64)
+        deg += (self.parent >= 0).astype(np.int64)
+        return deg
+
+    def tree_edge_ids(self) -> np.ndarray:
+        """Undirected edge ids of the n−1 tree edges (sorted)."""
+        return np.nonzero(self.in_tree)[0]
+
+    def non_tree_edge_ids(self) -> np.ndarray:
+        """Undirected edge ids of the fundamental-cycle edges (sorted)."""
+        return np.nonzero(~self.in_tree)[0]
+
+    def path_to_root(self, v: int) -> np.ndarray:
+        """Vertices from *v* up to the root, inclusive."""
+        out = [v]
+        while self.parent[out[-1]] >= 0:
+            out.append(int(self.parent[out[-1]]))
+        return np.asarray(out, dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SpanningTree(root={self.root}, n={self.num_vertices}, "
+            f"depth={self.depth})"
+        )

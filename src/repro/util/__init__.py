@@ -1,0 +1,5 @@
+"""Small shared utilities (vectorized array helpers)."""
+
+from repro.util.arrays import concat_ranges, gather_adjacency
+
+__all__ = ["concat_ranges", "gather_adjacency"]

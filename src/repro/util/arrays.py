@@ -1,0 +1,53 @@
+"""Vectorized array helpers shared by the frontier-style kernels.
+
+These implement the "gather all edges of a vertex set in one shot"
+pattern that replaces per-vertex Python loops everywhere a CUDA kernel
+would map threads to vertices.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["concat_ranges", "gather_adjacency"]
+
+
+def concat_ranges(counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(c)`` for every ``c`` in *counts*.
+
+    Handles zero counts: ``concat_ranges([2, 0, 3])`` is
+    ``[0, 1, 0, 1, 2]``.  This is the index arithmetic behind every
+    vectorized CSR gather.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # Offsets where each non-empty run starts in the output.
+    nonzero = counts > 0
+    run_counts = counts[nonzero]
+    out = np.ones(total, dtype=np.int64)
+    out[0] = 0
+    ends = np.cumsum(run_counts)[:-1]
+    out[ends] = 1 - run_counts[:-1]
+    return np.cumsum(out)
+
+
+def gather_adjacency(
+    indptr: np.ndarray,
+    vertices: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Gather the half-edge positions of a vertex set.
+
+    Returns ``(positions, sources)`` where ``positions`` indexes into
+    the CSR adjacency arrays and ``sources`` repeats each vertex once
+    per incident half-edge.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    starts = indptr[vertices]
+    counts = indptr[vertices + 1] - starts
+    positions = np.repeat(starts, counts) + concat_ranges(counts)
+    sources = np.repeat(vertices, counts)
+    return positions, sources

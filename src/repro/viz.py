@@ -1,0 +1,123 @@
+"""Terminal rendering of small graphs, trees, and consensus attributes.
+
+Pure-text output (no plotting dependencies): adjacency summaries with
+signed edges, tree drawings like the Fig. 6 sketch, bipartition
+listings, and unicode bar charts for per-vertex attributes.  Intended
+for the worked examples and debugging sessions, and capped at sizes a
+terminal can show.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.graph.csr import SignedGraph
+from repro.harary.bipartition import HararyBipartition
+from repro.trees.tree import SpanningTree
+
+__all__ = [
+    "render_edges",
+    "render_tree",
+    "render_bipartition",
+    "render_bars",
+]
+
+_MAX_RENDER = 200
+
+
+def render_edges(graph: SignedGraph, max_vertices: int = _MAX_RENDER) -> str:
+    """Signed adjacency listing: one line per vertex, ``+``/``-`` marks."""
+    n = graph.num_vertices
+    if n > max_vertices:
+        raise ReproError(f"graph too large to render ({n} > {max_vertices})")
+    width = len(str(n - 1))
+    lines = [f"signed graph: {n} vertices, {graph.num_edges} edges"]
+    for v in range(n):
+        parts = []
+        for w, e in zip(graph.neighbors(v), graph.incident_edges(v)):
+            mark = "+" if graph.edge_sign[e] > 0 else "-"
+            parts.append(f"{mark}{int(w)}")
+        lines.append(f"  {v:>{width}d}: " + " ".join(parts))
+    return "\n".join(lines)
+
+
+def render_tree(
+    tree: SpanningTree,
+    labels: np.ndarray | None = None,
+    max_vertices: int = _MAX_RENDER,
+) -> str:
+    """Indented tree drawing (root first, children in id order).
+
+    ``labels`` optionally annotates each vertex (e.g. the new pre-order
+    ids from a :class:`~repro.core.labeling.Labeling`).
+    """
+    n = tree.num_vertices
+    if n > max_vertices:
+        raise ReproError(f"tree too large to render ({n} > {max_vertices})")
+    lines = [f"spanning tree: root {tree.root}, depth {tree.depth}"]
+
+    def visit(v: int, prefix: str, is_last: bool) -> None:
+        connector = "" if v == tree.root else ("└── " if is_last else "├── ")
+        note = f"  [{labels[v]}]" if labels is not None else ""
+        lines.append(f"{prefix}{connector}{v}{note}")
+        kids = list(tree.children_of(v))
+        child_prefix = prefix + (
+            "" if v == tree.root else ("    " if is_last else "│   ")
+        )
+        for i, c in enumerate(kids):
+            visit(int(c), child_prefix, i == len(kids) - 1)
+
+    visit(tree.root, "", True)
+    return "\n".join(lines)
+
+
+def render_bipartition(
+    bip: HararyBipartition, max_vertices: int = _MAX_RENDER
+) -> str:
+    """Two-camp listing with sizes (the Fig. 6(i) view)."""
+    n = bip.num_vertices
+    if n > max_vertices:
+        raise ReproError(f"bipartition too large to render ({n} > {max_vertices})")
+    side0 = np.nonzero(bip.side == 0)[0]
+    side1 = np.nonzero(bip.side == 1)[0]
+    lines = [
+        f"Harary bipartition: {len(side0)} vs {len(side1)}",
+        "  side 0: " + " ".join(str(int(v)) for v in side0),
+        "  side 1: " + " ".join(str(int(v)) for v in side1),
+    ]
+    return "\n".join(lines)
+
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def render_bars(
+    values: np.ndarray,
+    labels: list[str] | None = None,
+    width: int = 30,
+    vmax: float | None = None,
+    max_rows: int = _MAX_RENDER,
+) -> str:
+    """Unicode horizontal bar chart of a non-negative attribute array."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) > max_rows:
+        raise ReproError(f"too many rows to render ({len(values)} > {max_rows})")
+    if np.any(values < 0):
+        raise ReproError("bars require non-negative values")
+    top = float(vmax) if vmax is not None else (float(values.max()) or 1.0)
+    if top <= 0:
+        top = 1.0
+    names = labels if labels is not None else [str(i) for i in range(len(values))]
+    if len(names) != len(values):
+        raise ReproError("labels must match values")
+    name_w = max((len(s) for s in names), default=1)
+    lines = []
+    for name, v in zip(names, values):
+        frac = min(v / top, 1.0)
+        cells = frac * width
+        full = int(cells)
+        rem = int(round((cells - full) * 8))
+        bar = "█" * full + (_BLOCKS[rem] if rem and full < width else "")
+        lines.append(f"{name:>{name_w}s} {bar:<{width}s} {v:.3f}")
+    return "\n".join(lines)

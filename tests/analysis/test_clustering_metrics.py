@@ -1,0 +1,107 @@
+"""Tests for ARI / NMI and their use on consensus communities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.clustering_metrics import (
+    adjusted_rand_index,
+    contingency,
+    normalized_mutual_information,
+)
+from repro.errors import ReproError
+
+
+class TestContingency:
+    def test_basic(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 1, 1])
+        np.testing.assert_array_equal(contingency(a, b), [[1, 1], [0, 2]])
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ReproError):
+            contingency(np.array([0, 1]), np.array([0]))
+
+    def test_rejects_negative_labels(self):
+        with pytest.raises(ReproError):
+            contingency(np.array([-1, 0]), np.array([0, 0]))
+
+
+class TestARI:
+    def test_identical(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        assert adjusted_rand_index(a, a) == pytest.approx(1.0)
+
+    def test_relabeling_invariant(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([2, 2, 0, 0, 1, 1])
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_random_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 5, size=2000)
+        b = rng.integers(0, 5, size=2000)
+        assert abs(adjusted_rand_index(a, b)) < 0.02
+
+    def test_partial_agreement_in_between(self):
+        a = np.array([0] * 50 + [1] * 50)
+        b = a.copy()
+        b[:10] = 1  # corrupt 10%
+        score = adjusted_rand_index(a, b)
+        assert 0.4 < score < 1.0
+
+    def test_trivial_partitions(self):
+        a = np.zeros(10, dtype=int)
+        assert adjusted_rand_index(a, a) == 1.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 4, size=300)
+        b = rng.integers(0, 3, size=300)
+        assert adjusted_rand_index(a, b) == pytest.approx(
+            adjusted_rand_index(b, a)
+        )
+
+
+class TestNMI:
+    def test_identical(self):
+        a = np.array([0, 1, 2, 0, 1, 2])
+        assert normalized_mutual_information(a, a) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 4, size=5000)
+        b = rng.integers(0, 4, size=5000)
+        assert normalized_mutual_information(a, b) < 0.01
+
+    def test_bounds(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 6, size=400)
+        b = (a + rng.integers(0, 2, size=400)) % 6  # noisy copy
+        score = normalized_mutual_information(a, b)
+        assert 0.0 <= score <= 1.0
+        assert score > 0.1
+
+    def test_trivial(self):
+        a = np.zeros(5, dtype=int)
+        assert normalized_mutual_information(a, a) == 1.0
+
+
+class TestOnConsensusCommunities:
+    def test_consensus_recovers_planted_better_than_chance(self):
+        """The Fig. 4/5 story, quantified with ARI: consensus
+        communities track the planted Harary structure."""
+        from repro.cloud import consensus_communities, sample_cloud
+        from repro.graph.generators import (
+            ensure_connected,
+            planted_partition_signed,
+        )
+
+        g = planted_partition_signed(
+            [40, 40], intra_degree=8.0, inter_degree=3.0,
+            flip_noise=0.0, seed=0,
+        )
+        g = ensure_connected(g, seed=1)
+        planted = np.repeat([0, 1], [40, 40])
+        cloud = sample_cloud(g, 6, seed=0)
+        labels = consensus_communities(cloud, threshold=0.9)
+        assert adjusted_rand_index(labels, planted) > 0.95

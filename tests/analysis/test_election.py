@@ -1,0 +1,106 @@
+"""Tests for the synthetic wiki-Elec election experiment (Figs. 4–5)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.election import (
+    election_report,
+    generate_election,
+)
+from repro.graph.validation import validate_graph
+
+
+@pytest.fixture(scope="module")
+def election():
+    return generate_election(
+        num_users=400, num_candidates=80, votes_per_candidate=25, seed=0
+    )
+
+
+class TestGenerator:
+    def test_graph_valid_and_connected(self, election):
+        validate_graph(election.graph)
+        from repro.graph.components import num_connected_components
+
+        assert num_connected_components(election.graph) == 1
+
+    def test_ground_truth_shapes(self, election):
+        n = election.graph.num_vertices
+        assert election.outcome.shape == (n,)
+        assert election.community.shape == (n,)
+        assert election.merit.shape == (n,)
+        assert set(np.unique(election.outcome)) <= {-1, 0, 1}
+
+    def test_has_candidates_both_ways(self, election):
+        cand = election.candidates
+        assert len(cand) > 20
+        assert np.any(election.outcome[cand] > 0)
+        assert np.any(election.outcome[cand] < 0)
+
+    def test_merit_drives_outcome(self, election):
+        """Sanity: the generator's causal chain works — winners have
+        higher latent merit on average."""
+        cand = election.candidates
+        winners = cand[election.outcome[cand] > 0]
+        losers = cand[election.outcome[cand] < 0]
+        assert election.merit[winners].mean() > election.merit[losers].mean()
+
+    def test_deterministic(self):
+        a = generate_election(num_users=120, num_candidates=30, seed=5)
+        b = generate_election(num_users=120, num_candidates=30, seed=5)
+        assert a.graph == b.graph
+        np.testing.assert_array_equal(a.outcome, b.outcome)
+
+    def test_negative_votes_present(self, election):
+        frac_neg = election.graph.num_negative_edges / election.graph.num_edges
+        assert 0.05 < frac_neg < 0.6
+
+    def test_temporal_ids_make_contiguous_communities(self):
+        e = generate_election(
+            num_users=300, num_candidates=60, temporal_ids=True, seed=0
+        )
+        # Communities occupy narrow id ranges (modulo ~10% stragglers):
+        # the per-community id spread is far below the global spread.
+        ids = np.arange(len(e.community), dtype=np.float64)
+        global_std = ids.std()
+        for c in np.unique(e.community):
+            members = ids[e.community == c]
+            if len(members) > 10:
+                assert members.std() < 0.6 * global_std
+
+    def test_random_ids_are_not_contiguous(self):
+        e = generate_election(
+            num_users=300, num_candidates=60, temporal_ids=False, seed=0
+        )
+        ids = np.arange(len(e.community), dtype=np.float64)
+        spreads = [
+            ids[e.community == c].std()
+            for c in np.unique(e.community)
+            if np.count_nonzero(e.community == c) > 10
+        ]
+        assert np.mean(spreads) > 0.8 * ids.std()
+
+
+class TestReport:
+    """The Figs. 4–5 claim: status separates winners from losers;
+    spectral clusters do not."""
+
+    @pytest.fixture(scope="class")
+    def report(self, election):
+        return election_report(election, num_states=40, k_clusters=6, seed=0)
+
+    def test_status_separates_outcomes(self, report):
+        # Fig. 4(c): strong correlation between status and winning.
+        assert report.status_auc > 0.75
+        assert report.mean_status_winners > report.mean_status_losers
+
+    def test_shapes(self, report, election):
+        n = election.graph.num_vertices
+        assert report.status.shape == (n,)
+        assert report.influence.shape == (n,)
+        assert report.spectral_labels.shape == (n,)
+
+    def test_clusters_less_informative_than_status(self, report):
+        # Fig. 4(b): per-cluster win fractions are similar; the spread
+        # across clusters is far from the 0/1 separation status gives.
+        assert report.cluster_win_spread < 0.9

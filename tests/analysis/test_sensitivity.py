@@ -1,0 +1,58 @@
+"""Tests for the sparsity / negativity sensitivity study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import density_sweep, negativity_sweep
+
+
+class TestDensitySweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return density_sweep(
+            [1.5, 3.0, 6.0], num_vertices=600, num_trees=2, seed=0
+        )
+
+    def test_row_per_configuration(self, rows):
+        assert [r.parameter for r in rows] == [1.5, 3.0, 6.0]
+
+    def test_cycles_grow_with_density(self, rows):
+        cycles = [r.num_cycles for r in rows]
+        assert cycles == sorted(cycles)
+
+    def test_cycle_length_shrinks_with_density(self, rows):
+        lengths = [r.avg_cycle_length for r in rows]
+        assert lengths[-1] < lengths[0]
+
+    def test_total_work_grows_with_density(self, rows):
+        work = [r.cycle_work_per_tree for r in rows]
+        assert work[-1] > work[0]
+
+
+class TestNegativitySweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return negativity_sweep(
+            [0.0, 0.25, 0.5], num_vertices=600, num_trees=2, seed=0
+        )
+
+    def test_structure_held_fixed(self, rows):
+        assert len({(r.num_vertices, r.num_edges) for r in rows}) == 1
+
+    def test_work_is_sign_independent(self, rows):
+        """graphB+'s traversal cost does not depend on the sign mix."""
+        work = np.array([r.cycle_work_per_tree for r in rows])
+        assert work.std() / work.mean() < 0.25
+
+    def test_all_positive_has_no_flips(self, rows):
+        assert rows[0].flip_rate == 0.0
+        assert rows[0].frustration_bound == 0
+
+    def test_flip_rate_grows_toward_half(self, rows):
+        rates = [r.flip_rate for r in rows]
+        assert rates == sorted(rates)
+        assert 0.3 < rates[-1] < 0.7  # ~half the cycles are negative
+
+    def test_frustration_grows(self, rows):
+        bounds = [r.frustration_bound for r in rows]
+        assert bounds == sorted(bounds)

@@ -1,0 +1,70 @@
+"""Tests for the spectral-clustering comparator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectral import (
+    cluster_outcome_table,
+    spectral_clusters,
+    spectral_embedding,
+)
+from repro.errors import ReproError
+from repro.graph.generators import ensure_connected, planted_partition_signed
+
+from tests.conftest import make_connected_signed
+
+
+@pytest.fixture(scope="module")
+def community_graph():
+    g = planted_partition_signed(
+        [60, 60, 60], intra_degree=8.0, inter_degree=1.0, flip_noise=0.0, seed=0
+    )
+    return ensure_connected(g, seed=0)
+
+
+class TestEmbedding:
+    def test_shape(self, community_graph):
+        emb = spectral_embedding(community_graph, dim=5, seed=0)
+        assert emb.shape == (community_graph.num_vertices, 5)
+
+    def test_dim_guard(self):
+        g = make_connected_signed(10, 20, seed=0)
+        with pytest.raises(ReproError):
+            spectral_embedding(g, dim=10)
+
+    def test_signed_variant_differs(self, community_graph):
+        a = spectral_embedding(community_graph, dim=4, signed=False, seed=0)
+        b = spectral_embedding(community_graph, dim=4, signed=True, seed=0)
+        assert not np.allclose(np.abs(a), np.abs(b))
+
+
+class TestClusters:
+    def test_recovers_planted_communities(self, community_graph):
+        labels = spectral_clusters(community_graph, k=3, seed=0)
+        # Each planted block should be (near-)pure in one cluster.
+        purities = []
+        for start in (0, 60, 120):
+            block = labels[start : start + 60]
+            counts = np.bincount(block, minlength=3)
+            purities.append(counts.max() / 60)
+        assert min(purities) > 0.8
+
+    def test_label_range(self, community_graph):
+        labels = spectral_clusters(community_graph, k=4, seed=1)
+        assert labels.min() >= 0
+        assert labels.max() < 4
+        assert len(labels) == community_graph.num_vertices
+
+
+class TestOutcomeTable:
+    def test_counts(self):
+        labels = np.array([0, 0, 1, 1, 1, 2])
+        outcome = np.array([1, -1, 1, 1, 0, -1])
+        table = cluster_outcome_table(labels, outcome)
+        np.testing.assert_array_equal(table, [[1, 1], [2, 0], [0, 1]])
+
+    def test_mask(self):
+        labels = np.array([0, 0, 1])
+        outcome = np.array([1, -1, 1])
+        table = cluster_outcome_table(labels, outcome, mask=np.array([True, False, True]))
+        np.testing.assert_array_equal(table, [[1, 0], [1, 0]])

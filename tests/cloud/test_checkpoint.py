@@ -1,0 +1,92 @@
+"""Tests for cloud checkpoint/resume."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import sample_cloud
+from repro.cloud.checkpoint import (
+    graph_fingerprint,
+    load_cloud,
+    resume_cloud,
+    save_cloud,
+)
+from repro.errors import ReproError
+
+from tests.conftest import make_connected_signed
+
+
+@pytest.fixture
+def graph():
+    return make_connected_signed(50, 120, seed=0)
+
+
+class TestFingerprint:
+    def test_stable(self, graph):
+        assert graph_fingerprint(graph) == graph_fingerprint(graph)
+
+    def test_sensitive_to_signs(self, graph):
+        flipped = graph.with_signs(-graph.edge_sign)
+        assert graph_fingerprint(graph) != graph_fingerprint(flipped)
+
+    def test_sensitive_to_structure(self, graph):
+        other = make_connected_signed(50, 121, seed=0)
+        assert graph_fingerprint(graph) != graph_fingerprint(other)
+
+
+class TestSaveLoad:
+    def test_round_trip_attributes(self, graph, tmp_path):
+        cloud = sample_cloud(graph, 12, seed=3, store_states=True)
+        path = tmp_path / "cloud.npz"
+        save_cloud(cloud, path)
+        back = load_cloud(path, graph)
+        assert back.num_states == 12
+        np.testing.assert_allclose(back.status(), cloud.status())
+        np.testing.assert_allclose(back.influence(), cloud.influence())
+        np.testing.assert_allclose(back.edge_coside(), cloud.edge_coside())
+        assert back.num_unique_states == cloud.num_unique_states
+        assert sorted(back.flip_counts()) == sorted(cloud.flip_counts())
+
+    def test_wrong_graph_rejected(self, graph, tmp_path):
+        cloud = sample_cloud(graph, 5, seed=0)
+        path = tmp_path / "cloud.npz"
+        save_cloud(cloud, path)
+        other = make_connected_signed(50, 120, seed=9)
+        with pytest.raises(ReproError, match="fingerprint"):
+            load_cloud(path, other)
+
+    def test_not_a_checkpoint(self, graph, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, stuff=np.ones(3))
+        with pytest.raises(ReproError):
+            load_cloud(path, graph)
+
+
+class TestResume:
+    def test_resume_is_bit_identical_to_uninterrupted(self, graph, tmp_path):
+        # Run 20 states straight through...
+        full = sample_cloud(graph, 20, seed=7)
+        # ...or 8 states, checkpoint, reload, resume to 20.
+        partial = sample_cloud(graph, 8, seed=7)
+        path = tmp_path / "ckpt.npz"
+        save_cloud(partial, path)
+        restored = load_cloud(path, graph)
+        resumed = resume_cloud(restored, 20, seed=7)
+        np.testing.assert_array_equal(full.status(), resumed.status())
+        np.testing.assert_array_equal(
+            full.edge_agreement(), resumed.edge_agreement()
+        )
+        assert resumed.num_states == 20
+
+    def test_periodic_checkpointing(self, graph, tmp_path):
+        path = tmp_path / "rolling.npz"
+        cloud = sample_cloud(graph, 3, seed=1)
+        resume_cloud(
+            cloud, 9, seed=1, checkpoint_path=path, checkpoint_every=2
+        )
+        final = load_cloud(path, graph)
+        assert final.num_states == 9
+
+    def test_target_below_current_rejected(self, graph):
+        cloud = sample_cloud(graph, 5, seed=0)
+        with pytest.raises(ReproError):
+            resume_cloud(cloud, 3, seed=0)

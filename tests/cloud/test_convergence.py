@@ -1,0 +1,94 @@
+"""Tests for status-convergence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.convergence import (
+    recommend_sample_size,
+    split_half_agreement,
+    status_trajectory,
+)
+from repro.errors import ReproError
+from repro.graph.generators import cycle_graph
+
+from tests.conftest import make_connected_signed
+
+
+class TestTrajectory:
+    def test_shapes(self):
+        g = make_connected_signed(40, 100, seed=0)
+        traj = status_trajectory(g, [5, 10, 20], seed=0)
+        assert traj.estimates.shape == (3, 40)
+        assert len(traj.max_step_change) == 3
+        assert traj.max_step_change[0] == np.inf
+
+    def test_shared_prefix_matches_direct_cloud(self):
+        from repro.cloud import sample_cloud
+
+        g = make_connected_signed(40, 100, seed=1)
+        traj = status_trajectory(g, [8, 16], seed=7)
+        direct = sample_cloud(g, 16, seed=7).status()
+        np.testing.assert_allclose(traj.final, direct)
+
+    def test_changes_shrink_with_samples(self):
+        g = make_connected_signed(50, 120, seed=2)
+        traj = status_trajectory(g, [4, 16, 64, 128], seed=0)
+        # Later steps change less than the first real step (stochastic
+        # but extremely reliable at these sizes).
+        assert traj.max_step_change[-1] < traj.max_step_change[1]
+
+    def test_converged_flag(self):
+        g = cycle_graph([1, -1, -1, 1])  # balanced: one state, instant
+        traj = status_trajectory(g, [2, 4], seed=0)
+        assert traj.converged(tolerance=1e-12)
+
+    def test_rejects_bad_checkpoints(self):
+        g = make_connected_signed(10, 20, seed=0)
+        with pytest.raises(ReproError):
+            status_trajectory(g, [], seed=0)
+        with pytest.raises(ReproError):
+            status_trajectory(g, [5, 5], seed=0)
+        with pytest.raises(ReproError):
+            status_trajectory(g, [0, 5], seed=0)
+
+
+class TestSplitHalf:
+    def test_balanced_graph_full_agreement(self):
+        g = cycle_graph([1, -1, -1, 1])
+        assert split_half_agreement(g, 8, seed=0) == 1.0
+
+    def test_agreement_grows_with_samples(self):
+        g = make_connected_signed(60, 150, seed=3)
+        small = split_half_agreement(g, 8, seed=0)
+        large = split_half_agreement(g, 128, seed=0)
+        assert large > small
+
+    def test_bounds(self):
+        g = make_connected_signed(30, 80, seed=4)
+        r = split_half_agreement(g, 20, seed=1)
+        assert -1.0 <= r <= 1.0
+
+    def test_rejects_tiny_sample(self):
+        g = make_connected_signed(10, 20, seed=0)
+        with pytest.raises(ReproError):
+            split_half_agreement(g, 3)
+
+
+class TestRecommend:
+    def test_returns_capped_size(self):
+        g = make_connected_signed(40, 100, seed=5)
+        size, agreement = recommend_sample_size(
+            g, target_agreement=0.999, start=4, max_states=16, seed=0
+        )
+        assert size <= 16
+
+    def test_easy_graph_stops_early(self):
+        g = cycle_graph([1, -1, -1, 1])
+        size, agreement = recommend_sample_size(g, 0.9, start=4, seed=0)
+        assert size == 4
+        assert agreement == 1.0
+
+    def test_rejects_bad_target(self):
+        g = make_connected_signed(10, 20, seed=0)
+        with pytest.raises(ReproError):
+            recommend_sample_size(g, target_agreement=0.0)

@@ -1,0 +1,80 @@
+"""Tests for attribute-table export."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import sample_cloud
+from repro.cloud.export import (
+    edge_attribute_table,
+    vertex_attribute_table,
+    write_edge_csv,
+    write_vertex_csv,
+)
+from repro.errors import ReproError
+
+from tests.conftest import make_connected_signed
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    g = make_connected_signed(30, 70, seed=0)
+    return sample_cloud(g, 8, seed=0)
+
+
+class TestVertexTable:
+    def test_columns_and_lengths(self, cloud):
+        table = vertex_attribute_table(cloud)
+        assert set(table) == {
+            "vertex", "status", "influence", "agreement", "volatility"
+        }
+        for col in table.values():
+            assert len(col) == 30
+
+    def test_original_ids_remap(self, cloud):
+        ids = np.arange(100, 130)
+        table = vertex_attribute_table(cloud, original_ids=ids)
+        np.testing.assert_array_equal(table["vertex"], ids)
+
+    def test_bad_ids_rejected(self, cloud):
+        with pytest.raises(ReproError):
+            vertex_attribute_table(cloud, original_ids=np.arange(5))
+
+    def test_matches_cloud_accessors(self, cloud):
+        table = vertex_attribute_table(cloud)
+        np.testing.assert_array_equal(table["status"], cloud.status())
+        np.testing.assert_array_equal(
+            table["volatility"], cloud.status_volatility()
+        )
+
+
+class TestEdgeTable:
+    def test_columns(self, cloud):
+        table = edge_attribute_table(cloud)
+        assert set(table) == {
+            "u", "v", "sign", "agreement", "coside", "controversy"
+        }
+        for col in table.values():
+            assert len(col) == cloud.graph.num_edges
+
+    def test_signs_match_graph(self, cloud):
+        table = edge_attribute_table(cloud)
+        np.testing.assert_array_equal(table["sign"], cloud.graph.edge_sign)
+
+
+class TestCsv:
+    def test_vertex_csv(self, cloud, tmp_path):
+        path = tmp_path / "v.csv"
+        write_vertex_csv(cloud, path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 31
+        first = lines[1].split(",")
+        assert len(first) == 5
+        float(first[1])  # status parses as a float
+
+    def test_edge_csv(self, cloud, tmp_path):
+        path = tmp_path / "e.csv"
+        write_edge_csv(cloud, path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == cloud.graph.num_edges + 1
+        u, v, sign = lines[1].split(",")[:3]
+        assert int(sign) in (-1, 1)

@@ -1,0 +1,100 @@
+"""Tests for frustration-index computation (exact / local search / cloud)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.cloud import sample_cloud
+from repro.cloud.frustration import (
+    frustration_index_exact,
+    frustration_local_search,
+    frustration_of_switching,
+)
+from repro.core.verify import is_balanced, switch
+from repro.errors import ReproError
+from repro.graph.build import from_edges
+from repro.graph.datasets import fig1_sigma
+from repro.graph.generators import complete_signed, cycle_graph
+
+from tests.conftest import make_connected_signed
+
+
+class TestExact:
+    def test_balanced_graph_is_zero(self):
+        g = cycle_graph([1, -1, -1, 1])
+        fr, s = frustration_index_exact(g)
+        assert fr == 0
+        assert is_balanced(switch(g, s))
+
+    def test_single_negative_triangle(self):
+        g = cycle_graph([1, 1, -1])
+        fr, _ = frustration_index_exact(g)
+        assert fr == 1
+
+    def test_fig1_sigma(self):
+        fr, _ = frustration_index_exact(fig1_sigma())
+        assert fr == 1
+
+    def test_all_negative_k4(self):
+        # K4 with all negative edges: known frustration index 2.
+        g = complete_signed(4, negative_fraction=0.0, seed=0)
+        g = g.with_signs(-np.ones(6, dtype=np.int8))
+        fr, _ = frustration_index_exact(g)
+        assert fr == 2
+
+    def test_optimal_switching_achieves_minimum(self):
+        g = make_connected_signed(12, 25, seed=0)
+        fr, s = frustration_index_exact(g)
+        assert frustration_of_switching(g, s) == fr
+
+    def test_flipping_certificate_balances(self):
+        g = make_connected_signed(12, 25, seed=1)
+        fr, s = frustration_index_exact(g)
+        # Negate the violated edges: the result must be balanced.
+        agree = (s[g.edge_u] * s[g.edge_v]).astype(np.int8)
+        assert is_balanced(g.with_signs(agree))
+        assert int(np.count_nonzero(agree != g.edge_sign)) == fr
+
+    def test_size_guard(self):
+        g = make_connected_signed(30, 60, seed=0)
+        with pytest.raises(ReproError):
+            frustration_index_exact(g)
+
+    def test_empty(self):
+        fr, s = frustration_index_exact(from_edges([]))
+        assert fr == 0 and len(s) == 0
+
+
+class TestLocalSearch:
+    def test_never_below_exact(self):
+        for seed in range(4):
+            g = make_connected_signed(14, 30, seed=seed)
+            exact, _ = frustration_index_exact(g)
+            heur, s = frustration_local_search(g, restarts=6, seed=seed)
+            assert heur >= exact
+            assert frustration_of_switching(g, s) == heur
+
+    def test_finds_zero_on_balanced(self):
+        g = cycle_graph([1, -1, -1, 1, 1, -1, -1, 1])
+        heur, _ = frustration_local_search(g, restarts=4, seed=0)
+        assert heur == 0
+
+    def test_often_matches_exact_on_small(self):
+        hits = 0
+        for seed in range(6):
+            g = make_connected_signed(10, 20, seed=seed)
+            exact, _ = frustration_index_exact(g)
+            heur, _ = frustration_local_search(g, restarts=10, seed=seed)
+            hits += heur == exact
+        assert hits >= 4  # greedy should usually find the optimum here
+
+
+class TestCloudBound:
+    def test_cloud_bound_at_least_exact(self):
+        g = make_connected_signed(14, 30, seed=2)
+        exact, _ = frustration_index_exact(g)
+        cloud = sample_cloud(g, 30, seed=2)
+        assert cloud.frustration_upper_bound() >= exact
+
+    def test_cloud_bound_tight_on_fig1(self):
+        cloud = sample_cloud(fig1_sigma(), 10, seed=0)
+        assert cloud.frustration_upper_bound() == 1

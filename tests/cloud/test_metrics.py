@@ -1,0 +1,122 @@
+"""Tests for cloud-derived consensus metrics."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    FrustrationCloud,
+    consensus_communities,
+    edge_controversy,
+    exact_cloud,
+    polarization,
+    sample_cloud,
+    state_diversity,
+)
+from repro.errors import ReproError
+from repro.graph.datasets import fig1_sigma
+from repro.graph.generators import (
+    cycle_graph,
+    ensure_connected,
+    planted_partition_signed,
+)
+
+from tests.conftest import make_connected_signed
+
+
+@pytest.fixture(scope="module")
+def planted():
+    g = planted_partition_signed(
+        [30, 30], intra_degree=8.0, inter_degree=3.0, flip_noise=0.0, seed=0
+    )
+    return ensure_connected(g, seed=1)
+
+
+class TestEdgeCoside:
+    def test_bounds(self):
+        g = make_connected_signed(40, 100, seed=0)
+        cloud = sample_cloud(g, 10, seed=0)
+        cs = cloud.edge_coside()
+        assert np.all(cs >= 0) and np.all(cs <= 1)
+
+    def test_balanced_graph_deterministic(self, planted):
+        # Zero-noise planted graph is balanced: every state is the graph
+        # itself, so co-side = 1 on positive edges, 0 on negative.
+        cloud = sample_cloud(planted, 5, seed=0)
+        cs = cloud.edge_coside()
+        pos = planted.edge_sign > 0
+        assert np.all(cs[pos] == 1.0)
+        assert np.all(cs[~pos] == 0.0)
+
+
+class TestCommunities:
+    def test_planted_groups_recovered(self, planted):
+        cloud = sample_cloud(planted, 5, seed=0)
+        labels = consensus_communities(cloud, threshold=0.9)
+        # Left block one community, right block another (the connector
+        # edge from ensure_connected may merge at low thresholds; with
+        # positive connector both stay same side... so allow >= 2 labels
+        # but require block purity).
+        assert len(set(labels[:30].tolist())) == 1
+        assert len(set(labels[30:].tolist())) == 1
+
+    def test_threshold_monotone(self):
+        g = make_connected_signed(50, 120, seed=1)
+        cloud = sample_cloud(g, 15, seed=1)
+        few = consensus_communities(cloud, threshold=0.5).max()
+        many = consensus_communities(cloud, threshold=0.99).max()
+        assert many >= few  # higher threshold -> more fragmentation
+
+    def test_rejects_bad_threshold(self):
+        g = make_connected_signed(10, 20, seed=0)
+        cloud = sample_cloud(g, 3, seed=0)
+        with pytest.raises(ReproError):
+            consensus_communities(cloud, threshold=0.0)
+
+
+class TestDiversity:
+    def test_fig1_entropy(self):
+        cloud = exact_cloud(fig1_sigma())
+        h = state_diversity(cloud)
+        # 5 unique states over 8 trees: 0 < H < log2(8).
+        assert 0.0 < h < 3.0
+
+    def test_single_state_zero_entropy(self):
+        g = cycle_graph([1, -1, -1, 1])  # balanced
+        cloud = sample_cloud(g, 6, seed=0, store_states=True)
+        assert state_diversity(cloud) == 0.0
+
+    def test_requires_store_states(self):
+        g = make_connected_signed(10, 20, seed=0)
+        cloud = sample_cloud(g, 3, seed=0, store_states=False)
+        with pytest.raises(ReproError):
+            state_diversity(cloud)
+
+
+class TestPolarization:
+    def test_frozen_split_is_one(self, planted):
+        cloud = sample_cloud(planted, 5, seed=0)
+        assert polarization(cloud) == 1.0
+
+    def test_noisy_graph_below_one(self):
+        g = make_connected_signed(50, 150, negative_fraction=0.5, seed=2)
+        cloud = sample_cloud(g, 20, seed=2)
+        assert 0.0 <= polarization(cloud) < 1.0
+
+    def test_controversy_complements_polarization(self):
+        g = make_connected_signed(50, 150, negative_fraction=0.5, seed=2)
+        cloud = sample_cloud(g, 20, seed=2)
+        contr = edge_controversy(cloud)
+        assert np.all(contr >= 0) and np.all(contr <= 1)
+        assert polarization(cloud) == pytest.approx(1.0 - contr.mean())
+
+
+class TestVolatility:
+    def test_bounds_and_consistency(self):
+        g = make_connected_signed(40, 100, seed=3)
+        cloud = sample_cloud(g, 20, seed=3)
+        vol = cloud.status_volatility()
+        assert np.all(vol >= 0.0) and np.all(vol <= 0.25 + 1e-12)
+
+    def test_frozen_vertices_zero(self, planted):
+        cloud = sample_cloud(planted, 5, seed=0)
+        assert np.allclose(cloud.status_volatility(), 0.0)

@@ -1,0 +1,71 @@
+"""Tests for nearest-state (minimality) verification — the theoretical
+guarantee of Alg. 1 / Alg. 3 checked by brute force."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.nearest import flip_set, is_nearest_state
+from repro.core import balance
+from repro.errors import ReproError
+from repro.graph.datasets import fig1_sigma
+from repro.graph.generators import cycle_graph
+from repro.trees import all_spanning_trees
+
+from tests.conftest import make_connected_signed
+
+
+class TestFlipSet:
+    def test_identity_state(self):
+        g = fig1_sigma()
+        assert len(flip_set(g, g.edge_sign)) == 0
+
+    def test_reports_changed_edges(self):
+        g = fig1_sigma()
+        signs = g.edge_sign.copy()
+        signs[2] = -signs[2]
+        np.testing.assert_array_equal(flip_set(g, signs), [2])
+
+
+class TestNearest:
+    def test_unbalanced_state_is_not_nearest(self):
+        g = cycle_graph([1, 1, -1])
+        assert not is_nearest_state(g, g.edge_sign)
+
+    def test_every_tree_state_of_fig1_is_nearest(self):
+        """§2.1's theorem, verified exhaustively on the example Σ."""
+        g = fig1_sigma()
+        for tree in all_spanning_trees(g):
+            r = balance(g, tree)
+            assert is_nearest_state(g, r.signs)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_tree_states_are_nearest_on_random_graphs(self, seed):
+        g = make_connected_signed(12, 18, negative_fraction=0.5, seed=seed)
+        r = balance(g, seed=seed)
+        if r.num_flips <= 10:  # keep brute force tractable
+            assert is_nearest_state(g, r.signs)
+
+    def test_non_minimal_state_detected(self):
+        # Flip two independent cycles' chords *and* gratuitously flip a
+        # tree edge pair that cancels: balanced but not minimal.
+        g = cycle_graph([1, 1, -1])
+        # Balanced alternative: flip edges 0 and 1 instead of just 2.
+        signs = g.edge_sign.copy()
+        signs[0] = -signs[0]
+        signs[1] = -signs[1]
+        signs[2] = -signs[2]
+        # Now all three edges flipped: cycle sign flipped thrice ->
+        # still negative? (-1)^3 * original(-1) = +1: balanced, but the
+        # single flip of edge 2 is a proper subset achieving balance...
+        # except {2} IS a subset of {0,1,2}. So not nearest.
+        from repro.core.verify import is_balanced
+
+        assert is_balanced(g.with_signs(signs))
+        assert not is_nearest_state(g, signs)
+
+    def test_subset_limit_guard(self):
+        g = make_connected_signed(60, 200, negative_fraction=0.5, seed=0)
+        r = balance(g, seed=0)
+        if r.num_flips > 18:
+            with pytest.raises(ReproError):
+                is_nearest_state(g, r.signs)

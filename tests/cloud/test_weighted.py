@@ -1,0 +1,115 @@
+"""Tests for weighted frustration."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.frustration import frustration_index_exact
+from repro.cloud.weighted import (
+    sample_min_weight_state,
+    weighted_flip_cost,
+    weighted_frustration_exact,
+    weighted_frustration_local_search,
+    weighted_frustration_of_switching,
+)
+from repro.core.verify import is_balanced, switch
+from repro.errors import GraphFormatError, ReproError
+from repro.graph.build import from_edges
+from repro.graph.generators import cycle_graph
+from repro.rng import as_generator
+
+from tests.conftest import make_connected_signed
+
+
+def unit_weights(g):
+    return np.ones(g.num_edges)
+
+
+class TestFlipCost:
+    def test_zero_for_identity(self):
+        g = make_connected_signed(20, 40, seed=0)
+        assert weighted_flip_cost(g, unit_weights(g), g.edge_sign) == 0.0
+
+    def test_counts_weights(self):
+        g = from_edges([(0, 1, 1), (1, 2, 1), (0, 2, 1)])
+        w = np.array([5.0, 2.0, 1.0])
+        signs = g.edge_sign.copy()
+        signs[0] = -1
+        assert weighted_flip_cost(g, w, signs) == 5.0
+
+    def test_rejects_bad_weights(self):
+        g = from_edges([(0, 1, 1)])
+        with pytest.raises(GraphFormatError):
+            weighted_flip_cost(g, np.array([-1.0]), g.edge_sign)
+        with pytest.raises(GraphFormatError):
+            weighted_flip_cost(g, np.ones(3), g.edge_sign)
+
+
+class TestExact:
+    def test_unit_weights_match_unweighted(self):
+        for seed in range(4):
+            g = make_connected_signed(12, 24, negative_fraction=0.5, seed=seed)
+            fr, _ = frustration_index_exact(g)
+            wfr, _ = weighted_frustration_exact(g, unit_weights(g))
+            assert wfr == pytest.approx(float(fr))
+
+    def test_weights_steer_the_optimum(self):
+        # Negative triangle: must flip one edge; the optimum flips the
+        # cheapest.
+        g = cycle_graph([1, 1, -1])
+        w = np.array([10.0, 10.0, 0.5])
+        cost, s = weighted_frustration_exact(g, w)
+        assert cost == pytest.approx(0.5)
+        assert weighted_frustration_of_switching(g, w, s) == pytest.approx(0.5)
+
+    def test_certificate_balances(self):
+        g = make_connected_signed(10, 20, negative_fraction=0.5, seed=1)
+        rng = as_generator(0)
+        w = rng.random(g.num_edges) + 0.1
+        _cost, s = weighted_frustration_exact(g, w)
+        agree = (s[g.edge_u] * s[g.edge_v]).astype(np.int8)
+        assert is_balanced(g.with_signs(agree))
+
+    def test_size_guard(self):
+        g = make_connected_signed(30, 60, seed=0)
+        with pytest.raises(ReproError):
+            weighted_frustration_exact(g, unit_weights(g))
+
+
+class TestLocalSearch:
+    def test_never_below_exact(self):
+        for seed in range(3):
+            g = make_connected_signed(12, 25, negative_fraction=0.5, seed=seed)
+            rng = as_generator(seed)
+            w = rng.random(g.num_edges) + 0.1
+            exact, _ = weighted_frustration_exact(g, w)
+            heur, s = weighted_frustration_local_search(g, w, restarts=8, seed=seed)
+            assert heur >= exact - 1e-9
+            assert weighted_frustration_of_switching(g, w, s) == pytest.approx(heur)
+
+    def test_balanced_graph_zero(self):
+        g = cycle_graph([1, -1, -1, 1])
+        heur, _ = weighted_frustration_local_search(g, unit_weights(g), seed=0)
+        assert heur == 0.0
+
+
+class TestSampledState:
+    def test_bound_above_exact(self):
+        g = make_connected_signed(12, 25, negative_fraction=0.5, seed=2)
+        rng = as_generator(1)
+        w = rng.random(g.num_edges) + 0.1
+        exact, _ = weighted_frustration_exact(g, w)
+        cost, signs = sample_min_weight_state(g, w, num_states=20, seed=1)
+        assert cost >= exact - 1e-9
+        assert is_balanced(g.with_signs(signs))
+
+    def test_picks_lighter_state_with_more_samples(self):
+        g = make_connected_signed(30, 90, negative_fraction=0.5, seed=3)
+        w = as_generator(2).random(g.num_edges) + 0.1
+        few, _ = sample_min_weight_state(g, w, num_states=2, seed=0)
+        many, _ = sample_min_weight_state(g, w, num_states=25, seed=0)
+        assert many <= few + 1e-9
+
+    def test_rejects_zero_states(self):
+        g = cycle_graph([1, 1, -1])
+        with pytest.raises(ReproError):
+            sample_min_weight_state(g, unit_weights(g), num_states=0)

@@ -1,0 +1,70 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.build import from_arrays, from_edges
+from repro.graph.csr import SignedGraph
+from repro.rng import as_generator
+
+
+def make_connected_signed(
+    n: int,
+    extra_edges: int,
+    negative_fraction: float = 0.4,
+    seed: int = 0,
+) -> SignedGraph:
+    """Random connected signed graph: a random spanning chain plus
+    ``extra_edges`` random chords.  Connectivity is guaranteed by
+    construction, so tests never need retry loops."""
+    rng = as_generator(seed)
+    perm = rng.permutation(n)
+    chain_u = perm[:-1]
+    chain_v = perm[1:]
+    if extra_edges > 0:
+        cu = rng.integers(0, n, size=extra_edges * 3)
+        cv = rng.integers(0, n, size=extra_edges * 3)
+        keep = cu != cv
+        cu, cv = cu[keep][:extra_edges], cv[keep][:extra_edges]
+    else:
+        cu = np.empty(0, dtype=np.int64)
+        cv = np.empty(0, dtype=np.int64)
+    u = np.concatenate([chain_u, cu])
+    v = np.concatenate([chain_v, cv])
+    s = np.where(rng.random(len(u)) < negative_fraction, -1, 1)
+    return from_arrays(u, v, s, num_vertices=n, dedup="first")
+
+
+@pytest.fixture
+def triangle() -> SignedGraph:
+    """Positive triangle (balanced)."""
+    return from_edges([(0, 1, 1), (1, 2, 1), (0, 2, 1)])
+
+
+@pytest.fixture
+def neg_triangle() -> SignedGraph:
+    """Triangle with one negative edge (unbalanced, Fr = 1)."""
+    return from_edges([(0, 1, 1), (1, 2, 1), (0, 2, -1)])
+
+
+@pytest.fixture
+def medium_graph() -> SignedGraph:
+    """~300-vertex connected signed graph for integration tests."""
+    return make_connected_signed(300, 500, seed=42)
+
+
+def make_hub_graph(n: int = 80) -> SignedGraph:
+    """A hub-and-spoke graph with chords: exercises high max degree."""
+    edges = []
+    for v in range(1, n):
+        edges.append((0, v, 1 if v % 3 else -1))
+    for v in range(1, n - 1, 2):
+        edges.append((v, v + 1, -1 if v % 5 == 0 else 1))
+    return from_edges(edges, num_vertices=n)
+
+
+@pytest.fixture
+def skewed_graph() -> SignedGraph:
+    return make_hub_graph()

@@ -1,0 +1,80 @@
+"""Tests for the §3.2.2 partitioned adjacency layout."""
+
+import numpy as np
+import pytest
+
+from repro.core.adjacency import partition_adjacency
+from repro.graph.datasets import fig6_graph, fig6_tree_edges
+from repro.trees import bfs_tree, tree_from_edge_ids
+
+from tests.conftest import make_connected_signed, make_hub_graph
+
+
+@pytest.fixture
+def case():
+    g = make_connected_signed(60, 150, seed=0)
+    t = bfs_tree(g, seed=0)
+    return g, t, partition_adjacency(g, t)
+
+
+class TestPartition:
+    def test_tree_prefix_nontree_suffix(self, case):
+        g, t, padj = case
+        for v in range(g.num_vertices):
+            row = slice(int(padj.indptr[v]), int(padj.indptr[v + 1]))
+            eids = padj.adj_edge[row]
+            in_tree = t.in_tree[eids]
+            boundary = int(padj.tree_end[v] - padj.indptr[v])
+            assert in_tree[:boundary].all()
+            assert not in_tree[boundary:].any()
+
+    def test_parent_edge_first(self, case):
+        g, t, padj = case
+        for v in range(g.num_vertices):
+            if t.parent[v] >= 0:
+                assert padj.adj_vertex[padj.indptr[v]] == t.parent[v]
+                assert padj.adj_edge[padj.indptr[v]] == t.parent_edge[v]
+                assert padj.has_parent_first[v]
+            else:
+                assert not padj.has_parent_first[v]
+
+    def test_is_a_permutation_of_the_row(self, case):
+        g, _t, padj = case
+        for v in range(g.num_vertices):
+            row = slice(int(padj.indptr[v]), int(padj.indptr[v + 1]))
+            assert sorted(padj.adj_vertex[row]) == sorted(g.adj_vertex[row])
+            assert sorted(padj.adj_edge[row]) == sorted(g.adj_edge[row])
+
+    def test_tree_counts(self, case):
+        g, t, padj = case
+        total_tree_slots = int((padj.tree_end - padj.indptr[:-1]).sum())
+        assert total_tree_slots == 2 * (g.num_vertices - 1)
+
+    def test_category_order_stable_within_groups(self, case):
+        g, t, padj = case
+        # Child tree edges and non-tree edges keep neighbor-sorted order.
+        for v in range(g.num_vertices):
+            ts = padj.tree_slice(v)
+            start = ts.start + (1 if padj.has_parent_first[v] else 0)
+            kids = padj.adj_vertex[start : ts.stop]
+            assert np.all(np.diff(kids) > 0) or len(kids) <= 1
+            nts = padj.non_tree_slice(v)
+            rest = padj.adj_vertex[nts]
+            assert np.all(np.diff(rest) > 0) or len(rest) <= 1
+
+    def test_hub_graph(self):
+        g = make_hub_graph()
+        t = bfs_tree(g, root=0, seed=0)
+        padj = partition_adjacency(g, t)
+        # Root has no parent; its tree prefix holds all its children.
+        kids = len(t.children_of(0))
+        assert padj.tree_end[0] - padj.indptr[0] == kids
+
+    def test_fig6_layout(self):
+        g = fig6_graph()
+        ids = tuple(g.find_edge(p, c) for p, c in fig6_tree_edges())
+        t = tree_from_edge_ids(g, ids, root=0)
+        padj = partition_adjacency(g, t)
+        # Vertex 7's first slot is its parent 0 (the edge whose inverse
+        # range the paper uses to walk 7 -> 0).
+        assert padj.adj_vertex[padj.indptr[7]] == 0

@@ -1,0 +1,50 @@
+"""Tests for whole-input (multi-component) balancing."""
+
+import numpy as np
+import pytest
+
+from repro.core import balance_forest, is_balanced
+from repro.graph.build import from_edges
+from repro.graph.generators import chung_lu_signed
+
+from tests.conftest import make_connected_signed
+
+
+class TestBalanceForest:
+    def test_disconnected_input(self):
+        g = from_edges(
+            [
+                # triangle with one negative (unbalanced)
+                (0, 1, 1), (1, 2, 1), (0, 2, -1),
+                # separate negative 4-cycle (unbalanced)
+                (3, 4, 1), (4, 5, 1), (5, 6, 1), (3, 6, -1),
+            ]
+        )
+        signs = balance_forest(g, seed=0)
+        assert is_balanced(g.with_signs(signs))
+
+    def test_connected_matches_balance_semantics(self):
+        g = make_connected_signed(40, 100, seed=0)
+        signs = balance_forest(g, seed=0)
+        assert is_balanced(g.with_signs(signs))
+
+    def test_isolated_vertices_and_trivial_components(self):
+        g = from_edges([(0, 1, -1)], num_vertices=5)
+        signs = balance_forest(g, seed=0)
+        np.testing.assert_array_equal(signs, g.edge_sign)  # already balanced
+
+    def test_generated_disconnected(self):
+        g = chung_lu_signed(600, 700, seed=3)  # typically several components
+        signs = balance_forest(g, seed=3)
+        assert is_balanced(g.with_signs(signs))
+
+    def test_deterministic(self):
+        g = chung_lu_signed(300, 350, seed=4)
+        a = balance_forest(g, seed=9)
+        b = balance_forest(g, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_empty_graph(self):
+        g = from_edges([])
+        signs = balance_forest(g, seed=0)
+        assert len(signs) == 0

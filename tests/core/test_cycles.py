@@ -1,0 +1,213 @@
+"""Tests for fundamental-cycle traversal and balancing (all kernels).
+
+Correctness oracle: a state balances iff every fundamental cycle has an
+even number of negatives, which is checked independently via brute
+force tree-path search (networkx-free, pure parent-pointer climbing).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.adjacency import partition_adjacency
+from repro.core.cycles import process_cycles_serial
+from repro.core.cycles_vectorized import balance_by_parity, process_cycles_lockstep
+from repro.core.labeling import label_tree
+from repro.core.verify import is_balanced
+from repro.graph.build import from_edges
+from repro.graph.datasets import fig6_graph, fig6_tree_edges
+from repro.graph.generators import cycle_graph, grid_graph
+from repro.perf.counters import Counters
+from repro.trees import bfs_tree, dfs_tree, tree_from_edge_ids, wilson_tree
+
+from tests.conftest import make_connected_signed
+
+
+def brute_force_flips(graph, tree):
+    """Oracle: cycle parity via explicit tree-path walk per non-tree edge."""
+    flips = np.zeros(graph.num_edges, dtype=bool)
+    for e in tree.non_tree_edge_ids():
+        u, v = int(graph.edge_u[e]), int(graph.edge_v[e])
+        # Collect ancestor chains, find LCA.
+        anc_u = {}
+        x = u
+        d = 0
+        while x != -1:
+            anc_u[x] = d
+            x = int(tree.parent[x])
+            d += 1
+        y = v
+        path_sign = 1
+        while y not in anc_u:
+            path_sign *= int(graph.edge_sign[tree.parent_edge[y]])
+            y = int(tree.parent[y])
+        lca = y
+        x = u
+        while x != lca:
+            path_sign *= int(graph.edge_sign[tree.parent_edge[x]])
+            x = int(tree.parent[x])
+        want = path_sign
+        flips[e] = want != graph.edge_sign[e]
+    return flips
+
+
+def run_kernel(kernel, graph, tree, **kw):
+    lab = label_tree(tree)
+    if kernel == "walk":
+        padj = partition_adjacency(graph, tree)
+        return process_cycles_serial(graph, tree, lab, padj=padj, **kw)
+    if kernel == "walk-unpartitioned":
+        return process_cycles_serial(graph, tree, lab, padj=None, **kw)
+    if kernel == "lockstep":
+        return process_cycles_lockstep(graph, tree, **kw)
+    raise AssertionError(kernel)
+
+
+KERNELS = ["walk", "walk-unpartitioned", "lockstep"]
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+class TestKernelCorrectness:
+    def test_single_negative_cycle_flips_chord(self, kernel):
+        g = cycle_graph([1, 1, 1, -1])
+        t = bfs_tree(g, root=0, seed=0)
+        signs, flipped, _ = run_kernel(kernel, g, t)
+        assert flipped.sum() == 1
+        assert flipped[t.non_tree_edge_ids()[0]]
+        assert is_balanced(g.with_signs(signs))
+
+    def test_positive_cycle_untouched(self, kernel):
+        g = cycle_graph([1, -1, -1, 1, 1])
+        t = bfs_tree(g, root=0, seed=0)
+        signs, flipped, _ = run_kernel(kernel, g, t)
+        assert flipped.sum() == 0
+        np.testing.assert_array_equal(signs, g.edge_sign)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force_oracle(self, kernel, seed):
+        g = make_connected_signed(70, 160, seed=seed)
+        t = bfs_tree(g, seed=seed)
+        signs, flipped, _ = run_kernel(kernel, g, t)
+        np.testing.assert_array_equal(flipped, brute_force_flips(g, t))
+        assert is_balanced(g.with_signs(signs))
+
+    def test_only_non_tree_edges_flip(self, kernel):
+        g = make_connected_signed(60, 140, seed=3)
+        t = bfs_tree(g, seed=3)
+        _signs, flipped, _ = run_kernel(kernel, g, t)
+        assert not flipped[t.tree_edge_ids()].any()
+
+    def test_works_on_dfs_and_wilson_trees(self, kernel):
+        g = make_connected_signed(50, 120, seed=5)
+        for t in (dfs_tree(g, seed=5), wilson_tree(g, seed=5)):
+            signs, flipped, _ = run_kernel(kernel, g, t)
+            np.testing.assert_array_equal(flipped, brute_force_flips(g, t))
+
+    def test_tree_input_is_noop(self, kernel):
+        g = make_connected_signed(40, 0, seed=1)  # a tree: no cycles
+        t = bfs_tree(g, seed=1)
+        signs, flipped, _ = run_kernel(kernel, g, t)
+        assert flipped.sum() == 0
+
+
+class TestKernelAgreement:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_all_kernels_identical(self, seed):
+        g = make_connected_signed(90, 250, seed=seed)
+        t = bfs_tree(g, seed=seed)
+        results = [run_kernel(k, g, t)[0] for k in KERNELS]
+        parity_signs, _ = balance_by_parity(g, t)
+        for r in results[1:]:
+            np.testing.assert_array_equal(results[0], r)
+        np.testing.assert_array_equal(results[0], parity_signs)
+
+    def test_stats_agree_between_walk_and_lockstep(self):
+        g = make_connected_signed(80, 200, seed=9)
+        t = bfs_tree(g, seed=9)
+        _, _, s_walk = run_kernel("walk", g, t, collect_stats=True)
+        _, _, s_lock = run_kernel("lockstep", g, t, collect_stats=True)
+        np.testing.assert_array_equal(s_walk.lengths, s_lock.lengths)
+        np.testing.assert_array_equal(s_walk.degree_sums, s_lock.degree_sums)
+        np.testing.assert_array_equal(
+            s_walk.tree_degree_sums, s_lock.tree_degree_sums
+        )
+
+
+class TestFig6Cycle:
+    def test_worked_example_path(self):
+        """The paper walks the 6–7 cycle as 7 → 0 → 3 → 6 (length 4)."""
+        g = fig6_graph()
+        ids = tuple(g.find_edge(p, c) for p, c in fig6_tree_edges())
+        t = tree_from_edge_ids(g, ids, root=0)
+        _, _, stats = run_kernel("walk", g, t, collect_stats=True)
+        e67 = g.find_edge(6, 7)
+        idx = list(stats.edge_ids).index(e67)
+        assert stats.lengths[idx] == 4  # edges 6-7, 7-0, 0-3, 3-6
+
+    def test_worked_example_balances(self):
+        g = fig6_graph()
+        ids = tuple(g.find_edge(p, c) for p, c in fig6_tree_edges())
+        t = tree_from_edge_ids(g, ids, root=0)
+        signs, _flipped, _ = run_kernel("walk", g, t)
+        assert is_balanced(g.with_signs(signs))
+
+
+class TestCycleStats:
+    def test_lengths_match_depth_formula(self):
+        g = make_connected_signed(60, 150, seed=4)
+        t = bfs_tree(g, seed=4)
+        _, _, stats = run_kernel("lockstep", g, t, collect_stats=True)
+        for e, length in zip(stats.edge_ids, stats.lengths):
+            u, v = int(g.edge_u[e]), int(g.edge_v[e])
+            lca = _lca(t, u, v)
+            expect = (
+                t.level_of[u] + t.level_of[v] - 2 * t.level_of[lca] + 1
+            )
+            assert length == expect
+
+    def test_avg_properties(self):
+        g = grid_graph(8, 8, seed=0)
+        t = bfs_tree(g, seed=0)
+        _, _, stats = run_kernel("lockstep", g, t, collect_stats=True)
+        assert stats.avg_length >= 3.0  # shortest possible cycle is a triangle
+        assert stats.avg_degree_on_cycles <= 4.0  # grid max degree
+
+    def test_empty_stats(self):
+        g = make_connected_signed(10, 0, seed=0)
+        t = bfs_tree(g, seed=0)
+        _, _, stats = run_kernel("lockstep", g, t, collect_stats=True)
+        assert stats.avg_length == 0.0
+        assert stats.avg_degree_on_cycles == 0.0
+
+
+class TestCounters:
+    def test_walk_counts_scans(self):
+        g = make_connected_signed(50, 120, seed=2)
+        t = bfs_tree(g, seed=2)
+        lab = label_tree(t)
+        c_part = Counters()
+        padj = partition_adjacency(g, t)
+        process_cycles_serial(g, t, lab, padj=padj, counters=c_part)
+        c_raw = Counters()
+        process_cycles_serial(g, t, lab, padj=None, counters=c_raw)
+        # §3.2.2: partitioning never increases the scan count.
+        assert c_part.get("cycle.edges_scanned") <= c_raw.get("cycle.edges_scanned")
+        assert c_part.get("cycle.count") == len(t.non_tree_edge_ids())
+
+    def test_lockstep_round_count_bounded_by_depth(self):
+        g = make_connected_signed(80, 200, seed=6)
+        t = bfs_tree(g, seed=6)
+        c = Counters()
+        process_cycles_lockstep(g, t, counters=c)
+        assert c.get("cycle.lockstep_rounds") <= t.depth + 1
+
+
+def _lca(tree, u, v):
+    seen = set()
+    x = u
+    while x != -1:
+        seen.add(x)
+        x = int(tree.parent[x])
+    y = v
+    while y not in seen:
+        y = int(tree.parent[y])
+    return y

@@ -1,0 +1,164 @@
+"""Tests for incremental rebalancing under edge updates."""
+
+import numpy as np
+import pytest
+
+from repro.core import balance, is_balanced
+from repro.core.incremental import IncrementalBalancer
+from repro.errors import GraphFormatError, ReproError
+from repro.graph.generators import cycle_graph
+from repro.rng import as_generator
+from repro.trees import bfs_tree
+
+from tests.conftest import make_connected_signed
+
+
+@pytest.fixture
+def case():
+    g = make_connected_signed(60, 140, seed=0)
+    t = bfs_tree(g, seed=0)
+    return g, t, IncrementalBalancer(g, t)
+
+
+class TestInitialState:
+    def test_matches_full_balance(self, case):
+        g, t, inc = case
+        full = balance(g, t)
+        np.testing.assert_array_equal(inc.balanced_signs(), full.signs)
+        np.testing.assert_array_equal(inc.flipped(), full.flipped)
+
+    def test_balanced(self, case):
+        g, _t, inc = case
+        assert is_balanced(g.with_signs(inc.balanced_signs()))
+
+
+class TestNonTreeUpdates:
+    def test_non_tree_flip_keeps_state(self, case):
+        g, t, inc = case
+        e = int(t.non_tree_edge_ids()[0])
+        before = inc.balanced_signs()
+        affected = inc.flip_sign(e)
+        assert affected == 0
+        np.testing.assert_array_equal(inc.balanced_signs(), before)
+
+    def test_non_tree_flip_changes_flip_mask(self, case):
+        g, t, inc = case
+        e = int(t.non_tree_edge_ids()[0])
+        was_flipped = bool(inc.flipped()[e])
+        inc.flip_sign(e)
+        assert bool(inc.flipped()[e]) != was_flipped
+
+
+class TestTreeUpdates:
+    @pytest.mark.parametrize("which", range(5))
+    def test_tree_flip_matches_recompute(self, case, which):
+        g, t, inc = case
+        e = int(t.tree_edge_ids()[which * 7 % (g.num_vertices - 1)])
+        affected = inc.flip_sign(e)
+        assert affected >= 0
+        # Oracle: full rebalance of the updated input graph on the same tree.
+        updated = g.with_signs(inc.input_signs())
+        full = balance(updated, t)
+        np.testing.assert_array_equal(inc.balanced_signs(), full.signs)
+
+    def test_many_random_updates_stay_consistent(self, case):
+        g, t, inc = case
+        rng = as_generator(3)
+        for _ in range(25):
+            e = int(rng.integers(0, g.num_edges))
+            inc.flip_sign(e)
+        updated = g.with_signs(inc.input_signs())
+        full = balance(updated, t)
+        np.testing.assert_array_equal(inc.balanced_signs(), full.signs)
+        assert is_balanced(updated.with_signs(inc.balanced_signs()))
+
+    def test_double_flip_is_identity(self, case):
+        g, t, inc = case
+        e = int(t.tree_edge_ids()[3])
+        before = inc.balanced_signs()
+        inc.flip_sign(e)
+        inc.flip_sign(e)
+        np.testing.assert_array_equal(inc.balanced_signs(), before)
+
+    def test_set_same_sign_is_noop(self, case):
+        g, _t, inc = case
+        assert inc.set_sign(0, int(g.edge_sign[0])) == 0
+
+    def test_affected_count_names_real_cycles(self):
+        # A single 4-cycle: flipping a tree edge affects exactly the one
+        # fundamental cycle through it.
+        g = cycle_graph([1, 1, 1, 1])
+        t = bfs_tree(g, root=0, seed=0)
+        inc = IncrementalBalancer(g, t)
+        e = int(t.tree_edge_ids()[0])
+        assert inc.flip_sign(e) == 1
+
+
+class TestAddEdge:
+    def test_added_edge_balanced_sign(self, case):
+        g, t, inc = case
+        sign = inc.add_edge(5, 40, +1)
+        assert sign in (-1, 1)
+        # Oracle: rebuild the whole graph with the new edge.
+        full = balance(inc.current_graph(), kernel="parity", tree=None, seed=1)
+        # The tree differs, but the balanced state of the *same* cycle
+        # structure must still be balanced; check via is_balanced on the
+        # incremental state extended with the new edge sign.
+        ext = inc.current_graph()
+        signs = np.concatenate([inc.balanced_signs(), inc.extra_balanced_signs()])
+        # current_graph canonicalizes order; map via edge lookup.
+        e_new = ext.find_edge(5, 40)
+        assert int(signs[-1]) == inc.extra_balanced_signs()[-1]
+        assert is_balanced_with(ext, inc)
+
+    def test_add_then_tree_flip_updates_extra(self, case):
+        g, t, inc = case
+        inc.add_edge(2, 50, -1)
+        before = int(inc.extra_balanced_signs()[0])
+        # Flip tree edges until the extra edge's balanced sign changes.
+        changed = False
+        for e in t.tree_edge_ids():
+            inc.flip_sign(int(e))
+            if int(inc.extra_balanced_signs()[0]) != before:
+                changed = True
+                break
+        assert changed
+        assert is_balanced_with(inc.current_graph(), inc)
+
+    def test_add_edge_rejects_bad_input(self, case):
+        _g, _t, inc = case
+        with pytest.raises(GraphFormatError):
+            inc.add_edge(0, 0, 1)
+        with pytest.raises(GraphFormatError):
+            inc.add_edge(0, 1, 0)
+
+    def test_remove_extra(self, case):
+        _g, _t, inc = case
+        inc.add_edge(1, 30, 1)
+        inc.remove_extra_edge(0)
+        assert len(inc.extra_balanced_signs()) == 0
+        with pytest.raises(ReproError):
+            inc.remove_extra_edge(0)
+
+
+def is_balanced_with(graph, inc) -> bool:
+    """Check the incremental state (original + extra edges) is balanced
+    on the extended graph."""
+    # Build the sign array for the extended graph by edge lookup.
+    balanced = inc.balanced_signs()
+    base = inc._graph  # noqa: SLF001 - test introspection
+    signs = np.empty(graph.num_edges, dtype=np.int8)
+    for e in range(graph.num_edges):
+        u = int(graph.edge_u[e])
+        v = int(graph.edge_v[e])
+        if base.has_edge(u, v):
+            signs[e] = balanced[base.find_edge(u, v)]
+        else:
+            # appended edge
+            idx = [
+                i
+                for i in range(len(inc._extra_u))  # noqa: SLF001
+                if {inc._extra_u[i], inc._extra_v[i]} == {u, v}
+            ][0]
+            signs[e] = inc.extra_balanced_signs()[idx]
+    return is_balanced(graph.with_signs(signs))

@@ -1,0 +1,178 @@
+"""Tests for the pre/post-order labeling (graphB+ steps 1–2).
+
+The Fig. 6 walkthrough is encoded verbatim: the fixture tree's
+pre-order relabeling is the identity and the edge ranges match the
+values narrated in §3 (edge 0→3 covers [3,6], edge 0→7 covers [7,9],
+edge 3→6 covers [6,6]).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.labeling import label_tree
+from repro.core.labeling_parallel import label_tree_parallel
+from repro.graph.datasets import fig6_graph, fig6_tree_edges
+from repro.graph.generators import grid_graph
+from repro.perf.counters import Counters
+from repro.trees import bfs_tree, dfs_tree, tree_from_edge_ids
+
+from tests.conftest import make_connected_signed
+
+
+@pytest.fixture
+def fig6():
+    g = fig6_graph()
+    edge_ids = tuple(g.find_edge(p, c) for p, c in fig6_tree_edges())
+    t = tree_from_edge_ids(g, edge_ids, root=0)
+    return g, t
+
+
+class TestFig6Walkthrough:
+    def test_preorder_ids_match_paper(self, fig6):
+        _g, t = fig6
+        lab = label_tree(t)
+        # The fixture is constructed so pre-order = identity.
+        np.testing.assert_array_equal(lab.new_id, np.arange(10))
+
+    def test_subtree_sizes(self, fig6):
+        _g, t = fig6
+        lab = label_tree(t)
+        np.testing.assert_array_equal(
+            lab.subtree_size, [10, 2, 1, 4, 1, 1, 1, 3, 1, 1]
+        )
+
+    def test_narrated_ranges(self, fig6):
+        _g, t = fig6
+        lab = label_tree(t)
+        assert (lab.range_lo[3], lab.range_hi[3]) == (3, 6)   # edge 0→3
+        assert (lab.range_lo[7], lab.range_hi[7]) == (7, 9)   # edge 0→7
+        assert (lab.range_lo[6], lab.range_hi[6]) == (6, 6)   # edge 3→6
+
+    def test_root_has_no_range(self, fig6):
+        _g, t = fig6
+        lab = label_tree(t)
+        assert lab.range_lo[0] == -1 and lab.range_hi[0] == -1
+
+    def test_edge_contains(self, fig6):
+        _g, t = fig6
+        lab = label_tree(t)
+        # Traversing 0→7 reaches 7..9 but not 6 (the paper's example
+        # uses the *inverse* of this range to walk 7 → 0).
+        assert lab.edge_contains(7, 8)
+        assert not lab.edge_contains(7, 6)
+
+    def test_in_subtree(self, fig6):
+        _g, t = fig6
+        lab = label_tree(t)
+        assert lab.in_subtree(3, 6)
+        assert not lab.in_subtree(3, 7)
+        assert lab.in_subtree(0, 9)
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_new_ids_are_a_permutation(self, seed):
+        g = make_connected_signed(120, 240, seed=seed)
+        t = bfs_tree(g, seed=seed)
+        lab = label_tree(t)
+        assert sorted(lab.new_id.tolist()) == list(range(120))
+        assert lab.new_id[t.root] == 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ranges_are_contiguous_subtrees(self, seed):
+        """The paper's key claim: each subtree is a contiguous ID range."""
+        g = make_connected_signed(80, 150, seed=seed)
+        t = bfs_tree(g, seed=seed)
+        lab = label_tree(t)
+        for v in range(80):
+            ids = {int(lab.new_id[x]) for x in _subtree(t, v)}
+            lo, hi = min(ids), max(ids)
+            assert ids == set(range(lo, hi + 1))
+            assert lo == lab.new_id[v]
+            assert hi - lo + 1 == lab.subtree_size[v]
+
+    def test_sibling_ranges_disjoint_and_ordered(self):
+        g = make_connected_signed(60, 120, seed=3)
+        t = bfs_tree(g, seed=3)
+        lab = label_tree(t)
+        for v in range(60):
+            kids = t.children_of(v)
+            prev_hi = lab.new_id[v]
+            for c in kids:  # children sorted by id; ranges sorted by lo
+                assert lab.range_lo[c] > prev_hi
+                prev_hi = lab.range_hi[c]
+
+    def test_old_of_new_inverse(self):
+        g = make_connected_signed(50, 90, seed=1)
+        t = bfs_tree(g, seed=1)
+        lab = label_tree(t)
+        np.testing.assert_array_equal(
+            lab.new_id[lab.old_of_new], np.arange(50)
+        )
+
+    def test_deep_tree_no_recursion_limit(self):
+        # A 3000-vertex path tree: recursion would blow the stack.
+        g = make_connected_signed(3000, 0, seed=0)
+        t = bfs_tree(g, seed=0)
+        lab = label_tree(t)
+        assert lab.subtree_size[t.root] == 3000
+
+
+def _subtree(tree, v):
+    out = [v]
+    stack = [v]
+    while stack:
+        x = stack.pop()
+        for c in tree.children_of(x):
+            out.append(int(c))
+            stack.append(int(c))
+    return out
+
+
+class TestParallelLabeling:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bit_identical_to_serial_bfs(self, seed):
+        g = make_connected_signed(150, 300, seed=seed)
+        t = bfs_tree(g, seed=seed)
+        a = label_tree(t)
+        b = label_tree_parallel(t)
+        np.testing.assert_array_equal(a.new_id, b.new_id)
+        np.testing.assert_array_equal(a.subtree_size, b.subtree_size)
+        np.testing.assert_array_equal(a.range_lo, b.range_lo)
+        np.testing.assert_array_equal(a.range_hi, b.range_hi)
+
+    def test_bit_identical_on_dfs_tree(self):
+        g = make_connected_signed(100, 200, seed=2)
+        t = dfs_tree(g, seed=2)
+        a = label_tree(t)
+        b = label_tree_parallel(t)
+        np.testing.assert_array_equal(a.new_id, b.new_id)
+
+    def test_bit_identical_on_grid(self):
+        g = grid_graph(15, 15, seed=0)
+        t = bfs_tree(g, seed=4)
+        a = label_tree(t)
+        b = label_tree_parallel(t)
+        np.testing.assert_array_equal(a.new_id, b.new_id)
+
+    def test_counters_record_level_regions(self):
+        g = make_connected_signed(100, 200, seed=2)
+        t = bfs_tree(g, seed=2)
+        c = Counters()
+        label_tree_parallel(t, counters=c)
+        stats = c.region_stats()
+        assert stats["label.bottom_up"].launches == t.depth
+        assert stats["label.bottom_up"].total_items == 100 - 1
+        # Top-down regions cover every vertex that has children.
+        assert stats["label.top_down"].total_items == 100 - 1
+
+    def test_single_vertex_tree(self):
+        from repro.graph.build import from_edges
+        from repro.trees.tree import SpanningTree
+
+        g = from_edges([], num_vertices=1)
+        t = SpanningTree.from_parents(g, 0, np.array([-1]), np.array([-1]))
+        a = label_tree(t)
+        b = label_tree_parallel(t)
+        assert a.new_id[0] == b.new_id[0] == 0
+        assert a.subtree_size[0] == b.subtree_size[0] == 1

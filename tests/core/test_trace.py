@@ -1,0 +1,77 @@
+"""Tests for cycle-traversal tracing."""
+
+import numpy as np
+import pytest
+
+from repro.core import balance
+from repro.core.trace import trace_cycle
+from repro.errors import ReproError
+from repro.graph.datasets import fig6_graph, fig6_tree_edges
+from repro.trees import bfs_tree, tree_from_edge_ids
+
+from tests.conftest import make_connected_signed
+
+
+@pytest.fixture
+def fig6():
+    g = fig6_graph()
+    ids = tuple(g.find_edge(p, c) for p, c in fig6_tree_edges())
+    return g, tree_from_edge_ids(g, ids, root=0)
+
+
+class TestFig6Narration:
+    def test_worked_cycle_path(self, fig6):
+        """The paper's walkthrough: start at 7(=src side), go up to 0 via
+        the inverse range, down to 3, down to 6."""
+        g, t = fig6
+        trace = trace_cycle(g, t, g.find_edge(6, 7))
+        visited = [s.at_vertex for s in trace.steps] + [trace.steps[-1].next_vertex]
+        # Canonical edge is (6, 7): src = 6, dst = 7; the walk from 6 is
+        # 6 -> 3 -> 0 -> 7 (the reverse of the paper's 7 -> 0 -> 3 -> 6).
+        assert visited == [6, 3, 0, 7]
+        assert trace.cycle_length == 4
+
+    def test_step_directions(self, fig6):
+        g, t = fig6
+        trace = trace_cycle(g, t, g.find_edge(6, 7))
+        assert trace.steps[0].used_parent_edge      # 6 -> 3 upward
+        assert trace.steps[1].used_parent_edge      # 3 -> 0 upward
+        assert not trace.steps[2].used_parent_edge  # 0 -> 7 downward
+
+    def test_balanced_sign_matches_kernel(self, fig6):
+        g, t = fig6
+        result = balance(g, t)
+        for e in t.non_tree_edge_ids():
+            trace = trace_cycle(g, t, int(e))
+            assert trace.balanced_sign == int(result.signs[e])
+            assert trace.flipped == bool(result.flipped[e])
+
+    def test_describe_renders(self, fig6):
+        g, t = fig6
+        text = trace_cycle(g, t, g.find_edge(6, 7)).describe()
+        assert "cycle of non-tree edge 6-7" in text
+        assert "take edge" in text
+
+
+class TestGeneral:
+    def test_matches_stats_lengths(self):
+        g = make_connected_signed(60, 150, seed=0)
+        t = bfs_tree(g, seed=0)
+        r = balance(g, t, collect_stats=True)
+        for idx, e in enumerate(t.non_tree_edge_ids()[:20]):
+            trace = trace_cycle(g, t, int(e))
+            assert trace.cycle_length == r.stats.lengths[idx]
+
+    def test_rejects_tree_edge(self):
+        g = make_connected_signed(20, 50, seed=1)
+        t = bfs_tree(g, seed=1)
+        with pytest.raises(ReproError):
+            trace_cycle(g, t, int(t.tree_edge_ids()[0]))
+
+    def test_negative_count_parity(self):
+        g = make_connected_signed(40, 100, negative_fraction=0.5, seed=2)
+        t = bfs_tree(g, seed=2)
+        for e in t.non_tree_edge_ids()[:10]:
+            trace = trace_cycle(g, t, int(e))
+            want = 1 if trace.negative_tree_edges % 2 == 0 else -1
+            assert trace.balanced_sign == want

@@ -1,0 +1,100 @@
+"""Tests for balance checking and switching functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.verify import check_balance, is_balanced, switch
+from repro.errors import NotBalancedError
+from repro.graph.build import from_edges
+from repro.graph.generators import cycle_graph, planted_partition_signed
+from repro.rng import as_generator
+
+from tests.conftest import make_connected_signed
+
+
+class TestCheckBalance:
+    def test_all_positive_is_balanced(self):
+        g = make_connected_signed(30, 60, seed=0).all_positive()
+        cert = check_balance(g)
+        assert cert.balanced
+        assert np.all(cert.switching == 1)
+
+    def test_negative_cycle_unbalanced(self):
+        g = cycle_graph([1, 1, -1])
+        cert = check_balance(g)
+        assert not cert.balanced
+        assert cert.violating_edge is not None
+
+    def test_even_negative_cycle_balanced(self):
+        assert is_balanced(cycle_graph([1, -1, -1, 1]))
+
+    def test_certificate_explains_signs(self):
+        g = cycle_graph([-1, -1, 1, 1, -1, -1])
+        cert = check_balance(g)
+        assert cert.balanced
+        s = cert.switching
+        for u, v, sign in g.iter_edges():
+            assert s[u] * s[v] == sign
+
+    def test_per_component(self):
+        # Two components: one balanced, one not.
+        g = from_edges([(0, 1, 1), (2, 3, -1), (3, 4, 1), (2, 4, 1)])
+        assert not is_balanced(g)
+
+    def test_isolated_vertices_fine(self):
+        g = from_edges([(0, 1, -1)], num_vertices=5)
+        assert is_balanced(g)
+
+    def test_violating_edge_is_real(self):
+        g = make_connected_signed(50, 150, seed=1)
+        cert = check_balance(g)
+        if not cert.balanced:
+            e = cert.violating_edge
+            assert 0 <= e < g.num_edges
+
+
+class TestSwitch:
+    def test_switching_preserves_balance(self):
+        g = planted_partition_signed([20, 20], flip_noise=0.0, seed=0)
+        from repro.graph.generators import ensure_connected
+
+        g = ensure_connected(g, seed=0)
+        assert is_balanced(g)
+        rng = as_generator(3)
+        s = np.where(rng.random(g.num_vertices) < 0.5, -1, 1)
+        assert is_balanced(switch(g, s))
+
+    def test_switching_is_involution(self):
+        g = make_connected_signed(30, 60, seed=2)
+        rng = as_generator(1)
+        s = np.where(rng.random(30) < 0.5, -1, 1)
+        back = switch(switch(g, s), s)
+        np.testing.assert_array_equal(back.edge_sign, g.edge_sign)
+
+    def test_rejects_bad_length(self):
+        g = make_connected_signed(10, 20, seed=0)
+        with pytest.raises(NotBalancedError):
+            switch(g, np.ones(5, dtype=np.int8))
+
+    def test_rejects_non_unit_values(self):
+        g = make_connected_signed(10, 20, seed=0)
+        with pytest.raises(NotBalancedError):
+            switch(g, np.zeros(10, dtype=np.int8))
+
+    def test_balanced_iff_switching_equivalent_to_all_positive(self):
+        g = make_connected_signed(25, 50, seed=5)
+        cert = check_balance(g)
+        if cert.balanced:
+            switched = switch(g, cert.switching)
+            assert switched.num_negative_edges == 0
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_property_switching_never_changes_balance_status(seed):
+    g = make_connected_signed(20, 40, seed=seed % 100)
+    rng = as_generator(seed)
+    s = np.where(rng.random(20) < 0.5, -1, 1)
+    assert is_balanced(g) == is_balanced(switch(g, s))

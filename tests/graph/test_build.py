@@ -1,0 +1,141 @@
+"""Unit and property tests for the edge-list builders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphFormatError
+from repro.graph.build import from_arrays, from_edges
+from repro.graph.validation import validate_graph
+
+
+class TestBasics:
+    def test_simple_triangle(self):
+        g = from_edges([(0, 1, 1), (1, 2, -1), (0, 2, 1)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+        assert g.sign_of(1, 2) == -1
+
+    def test_reversed_endpoints_canonicalized(self):
+        g = from_edges([(5, 2, -1)])
+        assert g.edge_u[0] == 2 and g.edge_v[0] == 5
+
+    def test_num_vertices_padding(self):
+        g = from_edges([(0, 1, 1)], num_vertices=10)
+        assert g.num_vertices == 10
+        assert g.degree(9) == 0
+
+    def test_num_vertices_too_small(self):
+        with pytest.raises(GraphFormatError):
+            from_edges([(0, 5, 1)], num_vertices=3)
+
+    def test_arbitrary_weights_become_signs(self):
+        g = from_edges([(0, 1, 4.5), (1, 2, -0.1)])
+        assert g.sign_of(0, 1) == 1
+        assert g.sign_of(1, 2) == -1
+
+    def test_empty(self):
+        g = from_edges([])
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+
+class TestRejections:
+    def test_self_loop(self):
+        with pytest.raises(GraphFormatError, match="self loop"):
+            from_edges([(3, 3, 1)])
+
+    def test_zero_sign(self):
+        with pytest.raises(GraphFormatError, match="nonzero"):
+            from_edges([(0, 1, 0)])
+
+    def test_negative_vertex(self):
+        with pytest.raises(GraphFormatError):
+            from_edges([(-1, 2, 1)])
+
+    def test_bad_shape(self):
+        with pytest.raises(GraphFormatError):
+            from_edges(np.ones((3, 2)))
+
+    def test_mismatched_arrays(self):
+        with pytest.raises(GraphFormatError):
+            from_arrays(np.array([0]), np.array([1, 2]), np.array([1]))
+
+    def test_unknown_dedup(self):
+        with pytest.raises(GraphFormatError, match="dedup"):
+            from_edges([(0, 1, 1)], dedup="majority")
+
+
+class TestDedup:
+    def test_product_mode_cancels_pairs(self):
+        g = from_edges([(0, 1, -1), (1, 0, -1)], dedup="product")
+        assert g.num_edges == 1
+        assert g.sign_of(0, 1) == 1
+
+    def test_product_mode_odd_negatives(self):
+        g = from_edges([(0, 1, -1), (0, 1, 1), (0, 1, -1), (0, 1, -1)])
+        assert g.sign_of(0, 1) == -1
+
+    def test_first_mode(self):
+        g = from_edges([(0, 1, -1), (0, 1, 1)], dedup="first")
+        assert g.sign_of(0, 1) == -1
+
+    def test_last_mode(self):
+        g = from_edges([(0, 1, -1), (0, 1, 1)], dedup="last")
+        assert g.sign_of(0, 1) == 1
+
+    def test_sum_mode_majority(self):
+        g = from_edges([(0, 1, -1), (0, 1, -1), (0, 1, 1)], dedup="sum")
+        assert g.sign_of(0, 1) == -1
+
+    def test_sum_mode_tie_positive(self):
+        g = from_edges([(0, 1, -1), (0, 1, 1)], dedup="sum")
+        assert g.sign_of(0, 1) == 1
+
+    def test_dedup_keeps_distinct_edges(self):
+        g = from_edges([(0, 1, 1), (0, 1, 1), (1, 2, -1)])
+        assert g.num_edges == 2
+
+
+@st.composite
+def edge_lists(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    m = draw(st.integers(min_value=0, max_value=40))
+    edges = []
+    for _ in range(m):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            continue
+        s = draw(st.sampled_from([-1, 1]))
+        edges.append((u, v, s))
+    return n, edges
+
+
+class TestProperties:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_built_graph_always_validates(self, case):
+        n, edges = case
+        g = from_edges(edges, num_vertices=n)
+        validate_graph(g)
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_half_edge_symmetry(self, case):
+        n, edges = case
+        g = from_edges(edges, num_vertices=n)
+        # Every edge is visible from both endpoints with the same sign.
+        for u, v, s in g.iter_edges():
+            assert g.sign_of(u, v) == s
+            assert v in g.neighbors(u)
+            assert u in g.neighbors(v)
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_dedup_product_is_order_independent(self, case):
+        n, edges = case
+        g1 = from_edges(edges, num_vertices=n)
+        g2 = from_edges(list(reversed(edges)), num_vertices=n)
+        assert g1 == g2

@@ -1,0 +1,86 @@
+"""Tests for connected-component labeling and largest-CC extraction."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import from_edges
+from repro.graph.components import (
+    component_sizes,
+    connected_components,
+    largest_connected_component,
+    num_connected_components,
+)
+from repro.graph.generators import chung_lu_signed
+from repro.graph.validation import validate_graph
+
+from tests.conftest import make_connected_signed
+
+
+class TestLabeling:
+    def test_single_component(self):
+        g = from_edges([(0, 1, 1), (1, 2, -1)])
+        np.testing.assert_array_equal(connected_components(g), [0, 0, 0])
+
+    def test_two_components(self):
+        g = from_edges([(0, 1, 1), (2, 3, -1)])
+        np.testing.assert_array_equal(connected_components(g), [0, 0, 1, 1])
+
+    def test_isolated_vertices_get_own_component(self):
+        g = from_edges([(0, 1, 1)], num_vertices=4)
+        labels = connected_components(g)
+        assert labels[0] == labels[1] == 0
+        assert labels[2] != labels[3]
+        assert num_connected_components(g) == 3
+
+    def test_labels_ordered_by_smallest_member(self):
+        g = from_edges([(4, 5, 1), (0, 1, 1)], num_vertices=6)
+        labels = connected_components(g)
+        assert labels[0] == 0  # component of vertex 0 is id 0
+        assert labels[4] > 0
+
+    def test_empty(self):
+        g = from_edges([])
+        assert num_connected_components(g) == 0
+
+    def test_sizes(self):
+        g = from_edges([(0, 1, 1), (1, 2, 1), (3, 4, 1)], num_vertices=6)
+        np.testing.assert_array_equal(component_sizes(g), [3, 2, 1])
+
+
+class TestLargestCC:
+    def test_extraction_remaps_ids(self):
+        g = from_edges([(0, 1, 1), (5, 6, -1), (6, 7, 1), (5, 7, 1)])
+        sub, old = largest_connected_component(g)
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+        np.testing.assert_array_equal(old, [5, 6, 7])
+        validate_graph(sub)
+
+    def test_signs_preserved(self):
+        g = from_edges([(0, 1, 1), (5, 6, -1), (6, 7, 1), (5, 7, 1)])
+        sub, old = largest_connected_component(g)
+        # edge 5-6 maps to 0-1 with sign -1
+        assert sub.sign_of(0, 1) == -1
+
+    def test_already_connected_is_identity_shaped(self):
+        g = make_connected_signed(50, 80, seed=3)
+        sub, old = largest_connected_component(g)
+        assert sub.num_vertices == 50
+        assert sub.num_edges == g.num_edges
+        np.testing.assert_array_equal(old, np.arange(50))
+
+    def test_connected_after_extraction(self):
+        g = chung_lu_signed(500, 700, seed=9)
+        sub, _ = largest_connected_component(g)
+        assert num_connected_components(sub) == 1
+
+    def test_empty_graph(self):
+        g = from_edges([])
+        sub, old = largest_connected_component(g)
+        assert sub.num_vertices == 0
+        assert len(old) == 0
+
+    def test_tie_goes_to_smallest_vertex(self):
+        g = from_edges([(2, 3, 1), (0, 1, 1)], num_vertices=4)
+        sub, old = largest_connected_component(g)
+        np.testing.assert_array_equal(old, [0, 1])

@@ -1,0 +1,124 @@
+"""Tests for the dataset catalog and paper fixtures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph.components import largest_connected_component
+from repro.graph.datasets import (
+    CATALOG,
+    catalog_names,
+    fig1_sigma,
+    fig6_graph,
+    fig6_tree_edges,
+    highland_tribes_like,
+    load,
+    paper_stats,
+)
+from repro.graph.validation import validate_graph
+
+
+class TestFig1Sigma:
+    def test_structure(self):
+        g = fig1_sigma()
+        assert g.num_vertices == 4
+        assert g.num_edges == 5
+        assert g.num_fundamental_cycles == 2
+        validate_graph(g)
+
+    def test_exactly_one_negative_edge(self):
+        g = fig1_sigma()
+        assert g.num_negative_edges == 1
+        assert g.sign_of(0, 3) == -1
+
+    def test_eight_spanning_trees(self):
+        from repro.trees import count_spanning_trees
+
+        assert count_spanning_trees(fig1_sigma()) == 8
+
+
+class TestFig6:
+    def test_structure(self):
+        g = fig6_graph()
+        assert g.num_vertices == 10
+        assert g.num_edges == 13  # 9 tree + 4 non-tree
+        validate_graph(g)
+
+    def test_declared_tree_is_spanning(self):
+        g = fig6_graph()
+        tree_edges = fig6_tree_edges()
+        assert len(tree_edges) == 9
+        for p, c in tree_edges:
+            assert g.has_edge(p, c)
+
+    def test_worked_cycle_edge_present(self):
+        g = fig6_graph()
+        assert g.sign_of(6, 7) == -1
+
+
+class TestHighlandTribes:
+    def test_counts_match_published(self):
+        g = highland_tribes_like(seed=0)
+        assert g.num_vertices == 16
+        # 58 relations plus at most a couple of connector edges.
+        assert 58 <= g.num_edges <= 61
+        assert g.num_negative_edges >= 28
+
+    def test_spanning_tree_blowup(self):
+        from repro.trees import count_spanning_trees
+
+        # The paper's point: a 16-vertex graph already has billions of
+        # spanning trees (the real one has ~4.03e11).
+        count = count_spanning_trees(highland_tribes_like(seed=0))
+        assert count > 1_000_000_000
+
+
+class TestCatalog:
+    def test_twenty_inputs(self):
+        assert len(CATALOG) == 20
+        assert len(catalog_names("amazon-ratings")) == 14
+        assert len(catalog_names("amazon-reviews")) == 3
+        assert len(catalog_names("snap-signed")) == 3
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            load("A*_Nonexistent")
+        with pytest.raises(DatasetError):
+            paper_stats("bogus")
+
+    def test_paper_stats_table1_row(self):
+        spec = paper_stats("A*_Book")
+        assert spec.paper_vertices == 9_973_735
+        assert spec.paper_edges == 22_268_630
+        assert spec.paper_cycles == 12_294_896
+        assert spec.paper_max_degree == 43_201
+
+    def test_build_determinism(self):
+        a = load("S*_wiki", seed=3)
+        b = load("S*_wiki", seed=3)
+        assert a == b
+
+    @pytest.mark.parametrize("name", ["A*_Instruments_core5", "S*_wiki"])
+    def test_full_scale_small_inputs_near_published_size(self, name):
+        spec = paper_stats(name)
+        g = load(name, seed=0)
+        sub, _ = largest_connected_component(g)
+        assert sub.num_vertices > 0.8 * spec.paper_vertices
+        assert sub.num_edges > 0.8 * spec.paper_edges
+        # Max degree calibrated to the published value.
+        assert sub.max_degree < 1.6 * spec.paper_max_degree
+
+    def test_scaled_build(self):
+        g = load("A*_Automotive", scale=0.005, seed=0)
+        spec = paper_stats("A*_Automotive")
+        assert g.num_vertices == pytest.approx(spec.paper_vertices * 0.005, rel=0.05)
+        validate_graph(g)
+
+    def test_category_shapes(self):
+        ratings = load("A*_Music", scale=0.02, seed=0)
+        # Bipartite: users before items, so edges go low -> high block.
+        spec = paper_stats("A*_Music")
+        n = max(int(round(spec.paper_vertices * 0.02)), 16)
+        boundary = n - max(n // 5, 8)
+        assert np.all(ratings.edge_u < boundary)
+        assert np.all(ratings.edge_v >= boundary)

@@ -1,0 +1,67 @@
+"""Tests for diameter estimation."""
+
+import pytest
+
+from repro.errors import DisconnectedGraphError
+from repro.graph.build import from_edges
+from repro.graph.diameter import diameter_bounds, double_sweep_diameter, eccentricity
+from repro.graph.generators import complete_signed, cycle_graph, grid_graph
+
+from tests.conftest import make_connected_signed
+
+
+class TestEccentricity:
+    def test_path_endpoints(self):
+        g = from_edges([(0, 1, 1), (1, 2, 1), (2, 3, 1)])
+        assert eccentricity(g, 0) == 3
+        assert eccentricity(g, 1) == 2
+
+    def test_disconnected_raises(self):
+        g = from_edges([(0, 1, 1), (2, 3, 1)])
+        with pytest.raises(DisconnectedGraphError):
+            eccentricity(g, 0)
+
+
+class TestDoubleSweep:
+    def test_exact_on_path(self):
+        g = from_edges([(i, i + 1, 1) for i in range(30)])
+        assert double_sweep_diameter(g, seed=0) == 30
+
+    def test_exact_on_cycle(self):
+        g = cycle_graph([1] * 10)
+        assert double_sweep_diameter(g, seed=0) == 5
+
+    def test_grid(self):
+        g = grid_graph(6, 9, seed=0)
+        assert double_sweep_diameter(g, seed=1) == 5 + 8
+
+    def test_complete(self):
+        g = complete_signed(12, seed=0)
+        assert double_sweep_diameter(g, seed=0) == 1
+
+    def test_single_vertex(self):
+        g = from_edges([], num_vertices=1)
+        assert double_sweep_diameter(g, seed=0) == 0
+
+
+class TestBounds:
+    def test_bracket_true_diameter(self):
+        g = grid_graph(7, 7, seed=0)
+        lower, upper = diameter_bounds(g, samples=4, seed=0)
+        assert lower <= 12 <= upper
+
+    def test_social_graphs_are_shallow(self):
+        """The §3.3.1 expectation on a power-law stand-in."""
+        from repro.graph.components import largest_connected_component
+        from repro.graph.generators import chung_lu_signed
+
+        g, _ = largest_connected_component(
+            chung_lu_signed(3000, 9000, exponent=2.0, seed=0)
+        )
+        lower, upper = diameter_bounds(g, samples=3, seed=0)
+        assert upper <= 20
+
+    def test_ordering(self):
+        g = make_connected_signed(100, 150, seed=1)
+        lower, upper = diameter_bounds(g, samples=3, seed=2)
+        assert 0 < lower <= upper

@@ -1,0 +1,179 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.components import num_connected_components
+from repro.graph.generators import (
+    bipartite_ratings_graph,
+    chung_lu_signed,
+    complete_signed,
+    cycle_graph,
+    ensure_connected,
+    erdos_renyi_signed,
+    grid_graph,
+    planted_partition_signed,
+    random_signs,
+)
+from repro.graph.validation import validate_graph
+from repro.rng import as_generator
+
+
+class TestChungLu:
+    def test_shape_and_validity(self):
+        g = chung_lu_signed(1000, 3000, seed=0)
+        validate_graph(g)
+        assert g.num_vertices == 1000
+        assert 2500 <= g.num_edges <= 3000
+
+    def test_determinism(self):
+        a = chung_lu_signed(500, 1500, seed=5)
+        b = chung_lu_signed(500, 1500, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = chung_lu_signed(500, 1500, seed=5)
+        b = chung_lu_signed(500, 1500, seed=6)
+        assert a != b
+
+    def test_heavy_tail(self):
+        g = chung_lu_signed(2000, 6000, exponent=2.0, seed=1)
+        deg = g.degree()
+        assert deg.max() > 8 * deg.mean()
+
+    def test_degree_cap(self):
+        g = chung_lu_signed(
+            2000, 6000, exponent=1.8, max_expected_degree=50, seed=1
+        )
+        # Soft cap: expected max degree 50, allow sampling noise.
+        assert g.max_degree < 100
+
+    def test_negative_fraction(self):
+        g = chung_lu_signed(1000, 5000, negative_fraction=0.3, seed=2)
+        frac = g.num_negative_edges / g.num_edges
+        assert 0.2 < frac < 0.4
+
+    def test_rejects_tiny(self):
+        with pytest.raises(GraphFormatError):
+            chung_lu_signed(1, 5)
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(GraphFormatError):
+            chung_lu_signed(10, 20, exponent=1.0)
+
+
+class TestBipartite:
+    def test_sides_are_disjoint(self):
+        g = bipartite_ratings_graph(200, 50, 600, seed=0)
+        validate_graph(g)
+        # All edges cross users [0,200) -> items [200, 250).
+        assert np.all(g.edge_u < 200)
+        assert np.all(g.edge_v >= 200)
+
+    def test_bipartite_graphs_have_even_cycles_only(self):
+        g = bipartite_ratings_graph(100, 30, 300, seed=1)
+        from repro.graph.components import largest_connected_component
+        from repro.trees import bfs_tree
+        from repro.core import balance
+
+        sub, _ = largest_connected_component(g)
+        r = balance(sub, seed=0, collect_stats=True)
+        if r.stats is not None and len(r.stats.lengths):
+            assert np.all(r.stats.lengths % 2 == 0)
+
+    def test_determinism(self):
+        a = bipartite_ratings_graph(150, 40, 400, seed=9)
+        b = bipartite_ratings_graph(150, 40, 400, seed=9)
+        assert a == b
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi_signed(50, 200, seed=0)
+        assert g.num_edges == 200
+        validate_graph(g)
+
+    def test_rejects_too_many_edges(self):
+        with pytest.raises(GraphFormatError):
+            erdos_renyi_signed(5, 100)
+
+    def test_all_pairs_valid(self):
+        g = erdos_renyi_signed(30, 400, seed=1)
+        assert np.all(g.edge_u < g.edge_v)
+        assert g.edge_v.max() < 30
+
+
+class TestFixedShapes:
+    def test_complete(self):
+        g = complete_signed(6, seed=0)
+        assert g.num_edges == 15
+        assert g.max_degree == 5
+
+    def test_cycle(self):
+        g = cycle_graph([1, -1, 1, 1])
+        assert g.num_vertices == 4
+        assert g.num_edges == 4
+        assert g.num_fundamental_cycles == 1
+
+    def test_cycle_too_short(self):
+        with pytest.raises(GraphFormatError):
+            cycle_graph([1, -1])
+
+    def test_grid(self):
+        g = grid_graph(4, 5, seed=0)
+        assert g.num_vertices == 20
+        assert g.num_edges == 4 * 4 + 3 * 5  # horizontal + vertical
+        validate_graph(g)
+        assert num_connected_components(g) == 1
+
+    def test_grid_rejects_empty(self):
+        with pytest.raises(GraphFormatError):
+            grid_graph(0, 5)
+
+
+class TestPlantedPartition:
+    def test_zero_noise_is_balanced(self):
+        g = planted_partition_signed([30, 30], flip_noise=0.0, seed=0)
+        g = ensure_connected(g, seed=1)
+        from repro.core import is_balanced
+
+        assert is_balanced(g)
+
+    def test_noise_breaks_balance(self):
+        g = planted_partition_signed([40, 40], flip_noise=0.3, seed=0)
+        g = ensure_connected(g, seed=1)
+        from repro.core import is_balanced
+
+        assert not is_balanced(g)
+
+    def test_rejects_single_group(self):
+        with pytest.raises(GraphFormatError):
+            planted_partition_signed([10])
+
+
+class TestHelpers:
+    def test_random_signs_bounds(self):
+        rng = as_generator(0)
+        s = random_signs(1000, 0.25, rng)
+        assert set(np.unique(s)) <= {-1, 1}
+        assert 0.15 < (s == -1).mean() < 0.35
+
+    def test_random_signs_rejects_bad_fraction(self):
+        with pytest.raises(GraphFormatError):
+            random_signs(10, 1.5, as_generator(0))
+
+    def test_ensure_connected(self):
+        from repro.graph.build import from_edges
+
+        g = from_edges([(0, 1, 1), (2, 3, -1), (4, 5, 1)])
+        fixed = ensure_connected(g, seed=0)
+        assert num_connected_components(fixed) == 1
+        # Original edges and signs survive.
+        assert fixed.sign_of(2, 3) == -1
+
+    def test_ensure_connected_noop(self):
+        from repro.graph.build import from_edges
+
+        g = from_edges([(0, 1, 1), (1, 2, 1)])
+        assert ensure_connected(g, seed=0) is g

@@ -1,0 +1,64 @@
+"""Tests for edge-list / NPZ IO round trips."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.build import from_edges
+from repro.graph.io import load_npz, read_edgelist, save_npz, write_edgelist
+
+from tests.conftest import make_connected_signed
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path):
+        g = make_connected_signed(40, 60, seed=7)
+        path = tmp_path / "graph.txt"
+        write_edgelist(g, path)
+        back = read_edgelist(path)
+        assert back == g
+
+    def test_comments_and_blank_lines(self):
+        text = "# header\n\n% other comment\n0 1 1\n1 2 -1\n"
+        g = read_edgelist(io.StringIO(text))
+        assert g.num_edges == 2
+        assert g.sign_of(1, 2) == -1
+
+    def test_rating_threshold(self):
+        text = "0 1 5\n1 2 2\n2 3 3\n"
+        g = read_edgelist(io.StringIO(text), rating_threshold=3)
+        assert g.sign_of(0, 1) == 1
+        assert g.sign_of(1, 2) == -1
+        assert g.sign_of(2, 3) == 1  # at-threshold is positive
+
+    def test_malformed_line(self):
+        with pytest.raises(GraphFormatError, match="line 1"):
+            read_edgelist(io.StringIO("0 1\n"))
+
+    def test_non_numeric(self):
+        with pytest.raises(GraphFormatError, match="line 2"):
+            read_edgelist(io.StringIO("0 1 1\na b c\n"))
+
+    def test_duplicate_votes_resolved(self):
+        text = "0 1 1\n0 1 -1\n"
+        g = read_edgelist(io.StringIO(text), dedup="last")
+        assert g.sign_of(0, 1) == -1
+
+
+class TestNpz:
+    def test_round_trip(self, tmp_path):
+        g = make_connected_signed(30, 45, seed=1)
+        path = tmp_path / "graph.npz"
+        save_npz(g, path)
+        back = load_npz(path)
+        assert back == g
+        np.testing.assert_array_equal(back.indptr, g.indptr)
+        np.testing.assert_array_equal(back.adj_edge, g.adj_edge)
+
+    def test_missing_key(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, indptr=np.zeros(1))
+        with pytest.raises(GraphFormatError):
+            load_npz(path)

@@ -1,0 +1,103 @@
+"""Tests for Matrix Market and KONECT IO."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.io_formats import (
+    read_konect,
+    read_matrix_market,
+    write_konect,
+    write_matrix_market,
+)
+
+from tests.conftest import make_connected_signed
+
+
+class TestMatrixMarket:
+    def test_round_trip(self, tmp_path):
+        g = make_connected_signed(25, 50, seed=0)
+        path = tmp_path / "g.mtx"
+        write_matrix_market(g, path)
+        back = read_matrix_market(path)
+        assert back == g
+
+    def test_reads_real_field_with_signs(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "% comment\n"
+            "3 3 3\n"
+            "2 1 1.5\n"
+            "3 1 -0.25\n"
+            "3 2 2.0\n"
+        )
+        g = read_matrix_market(io.StringIO(text))
+        assert g.num_vertices == 3
+        assert g.sign_of(0, 2) == -1
+        assert g.sign_of(0, 1) == 1
+
+    def test_pattern_field_all_positive(self):
+        text = (
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 2\n"
+            "2 1\n"
+            "3 2\n"
+        )
+        g = read_matrix_market(io.StringIO(text))
+        assert g.num_negative_edges == 0
+
+    def test_diagonal_ignored(self):
+        text = (
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "2 2 2\n"
+            "1 1 5\n"
+            "2 1 -1\n"
+        )
+        g = read_matrix_market(io.StringIO(text))
+        assert g.num_edges == 1
+
+    def test_rejects_missing_header(self):
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(io.StringIO("1 1 0\n"))
+
+    def test_rejects_complex_field(self):
+        text = "%%MatrixMarket matrix coordinate complex symmetric\n1 1 0\n"
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_rejects_rectangular(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 3 0\n"
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(io.StringIO(text))
+
+
+class TestKonect:
+    def test_round_trip(self, tmp_path):
+        g = make_connected_signed(20, 40, seed=1)
+        path = tmp_path / "out.tsv"
+        write_konect(g, path)
+        back = read_konect(path)
+        assert back == g
+
+    def test_default_weight_positive(self):
+        g = read_konect(io.StringIO("% sym\n1 2\n2 3\n"))
+        assert g.num_edges == 2
+        assert g.num_negative_edges == 0
+
+    def test_timestamps_ignored(self):
+        g = read_konect(io.StringIO("1 2 -1 1234567890\n"))
+        assert g.sign_of(0, 1) == -1
+
+    def test_duplicate_votes_summed(self):
+        g = read_konect(io.StringIO("1 2 -1\n1 2 -1\n2 1 1\n"))
+        assert g.sign_of(0, 1) == -1
+
+    def test_rejects_zero_based(self):
+        with pytest.raises(GraphFormatError):
+            read_konect(io.StringIO("0 2 1\n"))
+
+    def test_rejects_short_row(self):
+        with pytest.raises(GraphFormatError):
+            read_konect(io.StringIO("1\n"))

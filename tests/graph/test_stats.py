@@ -1,0 +1,86 @@
+"""Tests for graph profiling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.build import from_edges
+from repro.graph.generators import (
+    chung_lu_signed,
+    complete_signed,
+    erdos_renyi_signed,
+)
+from repro.graph.stats import (
+    degree_percentiles,
+    fit_powerlaw_exponent,
+    profile_graph,
+    sign_assortativity,
+)
+
+from tests.conftest import make_connected_signed, make_hub_graph
+
+
+class TestPowerlawFit:
+    def test_recovers_generator_exponent(self):
+        g = chung_lu_signed(20_000, 60_000, exponent=2.3, seed=0)
+        alpha = fit_powerlaw_exponent(g.degree(), d_min=3)
+        assert alpha is not None
+        assert 1.8 < alpha < 3.0
+
+    def test_uniform_degrees_fit_high_alpha(self):
+        # ER graphs are not power laws; the MLE drifts high/meaningless
+        # but must not crash.
+        g = erdos_renyi_signed(2000, 8000, seed=0)
+        alpha = fit_powerlaw_exponent(g.degree(), d_min=4)
+        assert alpha is None or alpha > 2.0
+
+    def test_too_few_points(self):
+        assert fit_powerlaw_exponent(np.array([5, 6, 7])) is None
+
+    def test_rejects_bad_dmin(self):
+        with pytest.raises(GraphFormatError):
+            fit_powerlaw_exponent(np.arange(100), d_min=0)
+
+
+class TestAssortativity:
+    def test_bounded(self):
+        g = make_connected_signed(200, 500, seed=0)
+        r = sign_assortativity(g)
+        assert -1.0 <= r <= 1.0
+
+    def test_positive_when_hub_edges_positive(self):
+        # Hub spokes positive, peripheral chords negative.
+        edges = [(0, v, 1) for v in range(1, 40)]
+        edges += [(v, v + 1, -1) for v in range(1, 38)]
+        g = from_edges(edges)
+        assert sign_assortativity(g) > 0.3
+
+    def test_degenerate_zero(self):
+        assert sign_assortativity(from_edges([(0, 1, 1)])) == 0.0
+        g = complete_signed(5, negative_fraction=0.0, seed=0)
+        assert sign_assortativity(g) == 0.0  # constant sign
+
+
+class TestProfile:
+    def test_fields(self):
+        g = make_hub_graph(100)
+        p = profile_graph(g)
+        assert p.num_vertices == 100
+        assert p.max_degree == g.max_degree
+        assert p.degree_p50 <= p.degree_p90 <= p.degree_p99
+        assert p.mean_adjacency_degree == pytest.approx(2 * g.num_edges / 100)
+
+    def test_render(self):
+        g = make_connected_signed(50, 120, seed=1)
+        text = profile_graph(g).render()
+        assert "vertices" in text and "assortativity" in text
+
+    def test_empty_graph(self):
+        p = profile_graph(from_edges([]))
+        assert p.num_vertices == 0
+        assert p.powerlaw_alpha is None
+
+    def test_percentiles_shape(self):
+        g = make_connected_signed(30, 60, seed=0)
+        qs = degree_percentiles(g, (25, 75))
+        assert len(qs) == 2

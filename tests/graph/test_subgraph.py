@@ -1,0 +1,103 @@
+"""Tests for induced subgraphs and k-core extraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.build import from_edges
+from repro.graph.generators import chung_lu_signed, complete_signed, grid_graph
+from repro.graph.subgraph import induced_subgraph, k_core
+from repro.graph.validation import validate_graph
+
+from tests.conftest import make_connected_signed
+
+
+class TestInduced:
+    def test_basic(self):
+        g = from_edges([(0, 1, 1), (1, 2, -1), (2, 3, 1), (0, 3, 1)])
+        sub, old = induced_subgraph(g, [0, 1, 2])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 2
+        assert sub.sign_of(1, 2) == -1
+        np.testing.assert_array_equal(old, [0, 1, 2])
+
+    def test_duplicates_collapsed(self):
+        g = from_edges([(0, 1, 1), (1, 2, 1)])
+        sub, old = induced_subgraph(g, [1, 1, 0])
+        assert sub.num_vertices == 2
+
+    def test_empty_selection(self):
+        g = from_edges([(0, 1, 1)])
+        sub, old = induced_subgraph(g, [])
+        assert sub.num_vertices == 0 and sub.num_edges == 0
+
+    def test_out_of_range(self):
+        g = from_edges([(0, 1, 1)])
+        with pytest.raises(GraphFormatError):
+            induced_subgraph(g, [5])
+
+    def test_validates(self):
+        g = make_connected_signed(50, 120, seed=0)
+        sub, _ = induced_subgraph(g, np.arange(0, 50, 2))
+        validate_graph(sub)
+
+
+class TestKCore:
+    def test_min_degree_property(self):
+        g = chung_lu_signed(800, 2400, seed=0)
+        core, _ = k_core(g, 3)
+        if core.num_vertices:
+            assert int(np.diff(core.indptr).min()) >= 3
+            validate_graph(core)
+
+    def test_maximality(self):
+        """No removed vertex could have survived: its degree within the
+        core is below k."""
+        g = chung_lu_signed(400, 1200, seed=1)
+        k = 3
+        core, kept = k_core(g, k)
+        kept_set = set(kept.tolist())
+        for v in range(g.num_vertices):
+            if v in kept_set:
+                continue
+            deg_in_core = sum(1 for w in g.neighbors(v) if int(w) in kept_set)
+            assert deg_in_core <= k  # could be == k only if peeled cascade
+        # Stronger check: re-running k_core on the core is a no-op.
+        core2, kept2 = k_core(core, k)
+        assert core2.num_vertices == core.num_vertices
+
+    def test_complete_graph_survives(self):
+        g = complete_signed(6, seed=0)
+        core, kept = k_core(g, 5)
+        assert core.num_vertices == 6
+        assert core.num_edges == 15
+
+    def test_tree_has_empty_2core(self):
+        g = make_connected_signed(40, 0, seed=0)  # a tree
+        core, kept = k_core(g, 2)
+        assert core.num_vertices == 0
+
+    def test_grid_2core_drops_nothing(self):
+        # Interior grid vertices have degree >= 2 and corners too.
+        g = grid_graph(5, 5, seed=0)
+        core, kept = k_core(g, 2)
+        assert core.num_vertices == 25
+
+    def test_cascading_peel(self):
+        # Path attached to a triangle: the whole path peels away.
+        g = from_edges(
+            [(0, 1, 1), (1, 2, 1), (0, 2, 1), (2, 3, 1), (3, 4, 1)]
+        )
+        core, kept = k_core(g, 2)
+        np.testing.assert_array_equal(kept, [0, 1, 2])
+
+    def test_k_zero_is_identity(self):
+        g = make_connected_signed(20, 40, seed=1)
+        core, kept = k_core(g, 0)
+        assert core.num_vertices == 20
+        assert core == g
+
+    def test_negative_k_rejected(self):
+        g = from_edges([(0, 1, 1)])
+        with pytest.raises(GraphFormatError):
+            k_core(g, -1)

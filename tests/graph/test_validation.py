@@ -1,0 +1,78 @@
+"""Tests for the CSR structural validator."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.errors import GraphFormatError
+from repro.graph.build import from_edges
+from repro.graph.validation import assert_same_structure, validate_graph
+
+from tests.conftest import make_connected_signed
+
+
+@pytest.fixture
+def good():
+    return make_connected_signed(20, 30, seed=0)
+
+
+class TestValidate:
+    def test_good_graph_passes(self, good):
+        validate_graph(good)
+
+    def test_corrupt_indptr_end(self, good):
+        bad = replace(good, indptr=good.indptr.copy())
+        bad.indptr[-1] += 1
+        with pytest.raises(GraphFormatError):
+            validate_graph(bad)
+
+    def test_decreasing_indptr(self, good):
+        ip = good.indptr.copy()
+        ip[1], ip[2] = ip[2] + 1, ip[1]
+        bad = replace(good, indptr=ip)
+        with pytest.raises(GraphFormatError):
+            validate_graph(bad)
+
+    def test_out_of_range_neighbor(self, good):
+        av = good.adj_vertex.copy()
+        av[0] = good.num_vertices + 5
+        bad = replace(good, adj_vertex=av)
+        with pytest.raises(GraphFormatError):
+            validate_graph(bad)
+
+    def test_zero_sign(self, good):
+        es = good.edge_sign.copy()
+        es[0] = 0
+        bad = replace(good, edge_sign=es)
+        with pytest.raises(GraphFormatError):
+            validate_graph(bad)
+
+    def test_non_canonical_edge(self, good):
+        eu, ev = good.edge_u.copy(), good.edge_v.copy()
+        eu[0], ev[0] = ev[0], eu[0]
+        bad = replace(good, edge_u=eu, edge_v=ev)
+        with pytest.raises(GraphFormatError):
+            validate_graph(bad)
+
+    def test_broken_half_edge_pairing(self, good):
+        ae = good.adj_edge.copy()
+        ae[0] = ae[1]
+        bad = replace(good, adj_edge=ae)
+        with pytest.raises(GraphFormatError):
+            validate_graph(bad)
+
+
+class TestSameStructure:
+    def test_same(self, good):
+        assert_same_structure(good, good.all_positive())
+
+    def test_different_sizes(self, good):
+        other = from_edges([(0, 1, 1)])
+        with pytest.raises(GraphFormatError):
+            assert_same_structure(good, other)
+
+    def test_different_edges(self):
+        a = from_edges([(0, 1, 1), (1, 2, 1)])
+        b = from_edges([(0, 1, 1), (0, 2, 1)])
+        with pytest.raises(GraphFormatError):
+            assert_same_structure(a, b)

@@ -1,0 +1,118 @@
+"""Tests for Harary bipartitioning of balanced states."""
+
+import numpy as np
+import pytest
+
+from repro.core import balance
+from repro.errors import NotBalancedError
+from repro.graph.build import from_edges
+from repro.graph.generators import cycle_graph, ensure_connected, planted_partition_signed
+from repro.harary.bipartition import harary_bipartition, positive_components
+from repro.harary.cuts import crossing_edges, cut_size, harary_cut, verify_cut
+
+from tests.conftest import make_connected_signed
+
+
+class TestPositiveComponents:
+    def test_negative_edges_split(self):
+        g = from_edges([(0, 1, 1), (1, 2, -1), (2, 3, 1)])
+        comp = positive_components(g)
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3]
+        assert comp[0] != comp[2]
+
+    def test_all_positive_single_component(self):
+        g = make_connected_signed(30, 60, seed=0).all_positive()
+        assert positive_components(g).max() == 0
+
+    def test_signs_override(self):
+        g = from_edges([(0, 1, 1), (1, 2, 1)])
+        comp = positive_components(g, signs=np.array([1, -1], dtype=np.int8))
+        assert comp[1] != comp[2]
+
+
+class TestBipartition:
+    def test_rejects_unbalanced(self):
+        g = cycle_graph([1, 1, -1])
+        with pytest.raises(NotBalancedError):
+            harary_bipartition(g)
+
+    def test_simple_cut(self):
+        # A balanced 4-cycle with two negative edges: the cut splits it.
+        g = cycle_graph([1, -1, 1, -1])
+        bip = harary_bipartition(g)
+        assert bip.sizes == (2, 2)
+        verify_cut(g, g.edge_sign, bip)
+
+    def test_all_positive_one_side(self):
+        g = make_connected_signed(30, 60, seed=1).all_positive()
+        bip = harary_bipartition(g)
+        assert bip.sizes[1] == 0
+        assert bip.majority_side == 0
+
+    def test_cut_property_holds_for_balanced_states(self):
+        g = make_connected_signed(120, 300, seed=2)
+        r = balance(g, seed=2)
+        bip = harary_bipartition(g, r.signs)
+        verify_cut(g, r.signs, bip)
+
+    def test_planted_partition_recovered(self):
+        g = planted_partition_signed([25, 35], flip_noise=0.0, seed=0)
+        g = ensure_connected(g, seed=1)
+        bip = harary_bipartition(g)
+        side = bip.side
+        # The two planted groups must land on opposite sides.
+        assert len(set(side[:25])) == 1
+        assert len(set(side[25:])) == 1
+        assert side[0] != side[30]
+        assert bip.sizes == (25, 35) or bip.sizes == (35, 25)
+
+    def test_majority_and_delta(self):
+        g = planted_partition_signed([25, 35], flip_noise=0.0, seed=0)
+        g = ensure_connected(g, seed=1)
+        bip = harary_bipartition(g)
+        delta = bip.in_majority()
+        # Majority side has 35 members, each contributing 1.0.
+        assert delta.sum() == 35.0
+
+    def test_tie_scores_half(self):
+        g = cycle_graph([1, -1, 1, -1])
+        bip = harary_bipartition(g)
+        assert bip.majority_side == -1
+        assert np.all(bip.in_majority() == 0.5)
+
+    def test_side_normalized_to_vertex_zero(self):
+        g = cycle_graph([1, -1, 1, -1])
+        bip = harary_bipartition(g)
+        assert bip.side[0] == 0
+
+    def test_key_stable(self):
+        g = make_connected_signed(40, 90, seed=3)
+        r = balance(g, seed=3)
+        k1 = harary_bipartition(g, r.signs).key()
+        k2 = harary_bipartition(g, r.signs).key()
+        assert k1 == k2
+
+
+class TestCuts:
+    def test_cut_is_negative_edges(self):
+        g = cycle_graph([1, -1, 1, -1])
+        cut = harary_cut(g, g.edge_sign)
+        assert len(cut) == 2
+        assert cut_size(g, g.edge_sign) == 2
+
+    def test_crossing_edges_match_cut(self):
+        g = make_connected_signed(60, 150, seed=4)
+        r = balance(g, seed=4)
+        bip = harary_bipartition(g, r.signs)
+        np.testing.assert_array_equal(
+            np.sort(crossing_edges(g, bip)), harary_cut(g, r.signs)
+        )
+
+    def test_verify_cut_detects_violation(self):
+        g = cycle_graph([1, -1, 1, -1])
+        bip = harary_bipartition(g)
+        bad = g.edge_sign.copy()
+        bad[0] = -bad[0]
+        with pytest.raises(NotBalancedError):
+            verify_cut(g, bad, bip)

@@ -1,0 +1,55 @@
+"""Tests for the simulated MPI-pattern distributed driver."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.cloud import sample_cloud
+from repro.errors import EngineError
+from repro.parallel.distributed import (
+    distributed_status,
+    partition_indices,
+)
+
+from tests.conftest import make_connected_signed
+
+
+class TestPartition:
+    def test_covers_all_indices(self):
+        parts = partition_indices(10, 3)
+        joined = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(joined, np.arange(10))
+
+    def test_balanced_sizes(self):
+        parts = partition_indices(10, 3)
+        sizes = sorted(len(p) for p in parts)
+        assert sizes == [3, 3, 4]
+
+    def test_more_ranks_than_items(self):
+        parts = partition_indices(2, 5)
+        assert sum(len(p) for p in parts) == 2
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(EngineError):
+            partition_indices(5, 0)
+
+
+class TestDistributedStatus:
+    @pytest.mark.parametrize("num_ranks", [1, 2, 3, 7])
+    def test_bit_identical_to_serial_driver(self, num_ranks):
+        """The §3.3 requirement: rank partitioning + one reduce must
+        give the same status as the single-driver cloud."""
+        g = make_connected_signed(60, 150, seed=0)
+        serial = sample_cloud(g, 11, seed=42).status()
+        dist = distributed_status(g, 11, num_ranks=num_ranks, seed=42)
+        np.testing.assert_array_equal(serial, dist)
+
+    def test_kernel_choice_irrelevant(self):
+        g = make_connected_signed(40, 100, seed=1)
+        a = distributed_status(g, 8, num_ranks=2, kernel="parity", seed=3)
+        b = distributed_status(g, 8, num_ranks=2, kernel="lockstep", seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_zero_states(self):
+        g = make_connected_signed(20, 40, seed=1)
+        with pytest.raises(EngineError):
+            distributed_status(g, 0, num_ranks=2, seed=0)

@@ -1,0 +1,67 @@
+"""Tests for the campaign modeler."""
+
+import pytest
+
+from repro.errors import EngineError
+from repro.parallel.engine import measure_python_seconds, model_run
+from repro.parallel.machine import OPENMP_MACHINE, SERIAL_MACHINE
+from repro.parallel.simgpu import CUDA_MACHINE
+
+from tests.conftest import make_connected_signed
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return make_connected_signed(300, 900, seed=0)
+
+
+class TestModelRun:
+    def test_extrapolation(self, graph):
+        small = model_run(graph, SERIAL_MACHINE, num_trees=10, sample_trees=2, seed=1)
+        large = model_run(graph, SERIAL_MACHINE, num_trees=1000, sample_trees=2, seed=1)
+        assert large.graphb_seconds == pytest.approx(
+            100 * small.graphb_seconds
+        )
+
+    def test_throughput_definition(self, graph):
+        r = model_run(graph, SERIAL_MACHINE, num_trees=100, sample_trees=2, seed=1)
+        expect = (
+            r.num_cycles_per_tree * r.num_trees / r.graphb_seconds / 1e6
+        )
+        assert r.throughput_mcps == pytest.approx(expect)
+
+    def test_cycles_per_tree_constant(self, graph):
+        # Every spanning tree has exactly m - n + 1 fundamental cycles.
+        r = model_run(graph, CUDA_MACHINE, num_trees=10, sample_trees=3, seed=0)
+        assert r.num_cycles_per_tree == graph.num_fundamental_cycles
+
+    def test_measured_wall_time_recorded(self, graph):
+        r = model_run(graph, OPENMP_MACHINE, num_trees=10, sample_trees=2, seed=0)
+        assert r.measured_sample_seconds > 0
+
+    def test_machine_name(self, graph):
+        r = model_run(graph, SERIAL_MACHINE, 10, 1, machine_name="serial")
+        assert r.machine_name == "serial"
+        r2 = model_run(graph, SERIAL_MACHINE, 10, 1)
+        assert r2.machine_name == "CpuMachine"
+
+    def test_rejects_bad_counts(self, graph):
+        with pytest.raises(EngineError):
+            model_run(graph, SERIAL_MACHINE, num_trees=0)
+        with pytest.raises(EngineError):
+            model_run(graph, SERIAL_MACHINE, num_trees=5, sample_trees=0)
+
+
+class TestMeasurePython:
+    def test_walk_kernel_measured(self, graph):
+        secs = measure_python_seconds(graph, num_trees=4, sample_trees=2)
+        assert secs > 0
+
+    def test_baseline_slower_than_lockstep(self, graph):
+        fast = measure_python_seconds(
+            graph, num_trees=4, sample_trees=2, kernel="lockstep"
+        )
+        slow = measure_python_seconds(
+            graph, num_trees=4, sample_trees=2, use_baseline=True
+        )
+        assert slow > fast

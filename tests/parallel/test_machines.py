@@ -1,0 +1,193 @@
+"""Tests for the simulated CPU and GPU machine models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EngineError
+from repro.parallel.machine import (
+    OPENMP_MACHINE,
+    SERIAL_MACHINE,
+    CpuMachine,
+    PhaseTimes,
+)
+from repro.parallel.simgpu import CUDA_MACHINE, GpuMachine
+from repro.parallel.workload import collect_workload
+from repro.trees import bfs_tree
+
+from tests.conftest import make_connected_signed, make_hub_graph
+
+
+@pytest.fixture(scope="module")
+def workload():
+    g = make_connected_signed(400, 1200, seed=0)
+    t = bfs_tree(g, seed=0)
+    return collect_workload(g, t)
+
+
+@pytest.fixture(scope="module")
+def hub_workload():
+    g = make_hub_graph(400)
+    t = bfs_tree(g, root=0, seed=0)
+    return collect_workload(g, t)
+
+
+class TestPhaseTimes:
+    def test_graphb_excludes_tree_and_harary(self):
+        p = PhaseTimes(1.0, 2.0, 3.0, 4.0)
+        assert p.graphb == 5.0
+        assert p.total == 10.0
+
+    def test_scaled(self):
+        p = PhaseTimes(1.0, 2.0, 3.0, 4.0).scaled(2.0)
+        assert p.total == 20.0
+
+
+class TestCpuMachine:
+    def test_serial_has_no_overhead(self, workload):
+        t = SERIAL_MACHINE.times(workload)
+        expect = workload.cycle_costs.sum() * SERIAL_MACHINE.op_seconds
+        assert t.cycle_processing == pytest.approx(expect, rel=1e-6)
+
+    def test_threads_speed_up_large_work(self, workload):
+        t1 = SERIAL_MACHINE.times(workload)
+        t16 = OPENMP_MACHINE.times(workload)
+        # For this size the overhead may eat gains, but cycle work
+        # itself must shrink.
+        assert t16.cycle_processing < t1.cycle_processing + 1e-12 or (
+            t16.cycle_processing
+            < t1.cycle_processing + 20 * OPENMP_MACHINE.fork_join_seconds
+        )
+
+    def test_monotone_among_parallel_configs(self):
+        g = make_connected_signed(2000, 8000, seed=1)
+        t = bfs_tree(g, seed=1)
+        w = collect_workload(g, t)
+        times = [
+            CpuMachine(threads=k).times(w).graphb for k in (2, 4, 8, 16)
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_sixteen_threads_beat_serial_on_big_work(self):
+        g = make_connected_signed(20_000, 80_000, seed=1)
+        t = bfs_tree(g, seed=1)
+        w = collect_workload(g, t)
+        assert (
+            CpuMachine(threads=16).times(w).graphb
+            < CpuMachine(threads=1).times(w).graphb
+        )
+
+    def test_hyperthreading_gains_little(self, workload):
+        t16 = CpuMachine(threads=16).times(workload).graphb
+        t32 = CpuMachine(threads=32).times(workload).graphb
+        # 32 threads on 16 cores: no more than ~20% better, may be worse.
+        assert t32 > 0.75 * t16
+
+    def test_static_schedule_slower_on_skew(self):
+        # Hand-built workload: heavy owners clustered at the front, the
+        # worst case for a contiguous static split (§3.3.2's motivation
+        # for schedule(dynamic)).
+        from repro.parallel.workload import Workload
+
+        costs = np.concatenate([np.full(40, 500.0), np.full(400, 1.0)])
+        owners = np.arange(len(costs))
+        w = Workload(
+            num_vertices=500,
+            num_edges=1000,
+            num_cycles=len(costs),
+            level_items=np.array([1, 499]),
+            cycle_costs=costs,
+            cycle_owner=owners,
+            treegen_ops=2500,
+            harary_ops=3000,
+        )
+        dyn = CpuMachine(threads=8, schedule="dynamic", dynamic_chunk=1).times(w)
+        sta = CpuMachine(threads=8, schedule="static").times(w)
+        assert sta.cycle_processing > dyn.cycle_processing
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(EngineError):
+            CpuMachine(threads=0)
+        with pytest.raises(EngineError):
+            CpuMachine(schedule="guided3")
+
+    def test_effective_workers_saturate(self):
+        m = CpuMachine(threads=64, physical_cores=16)
+        assert m.effective_workers < 32
+
+
+class TestGpuMachine:
+    def test_times_positive(self, workload):
+        t = CUDA_MACHINE.times(workload)
+        assert t.labeling > 0 and t.cycle_processing > 0
+        assert t.tree_generation > 0 and t.bipartition > 0
+
+    def test_launch_overhead_floor(self, workload):
+        # Even a trivial workload pays at least the launch overheads.
+        t = CUDA_MACHINE.times(workload)
+        min_launches = 2 * len(workload.level_items) - 1
+        assert t.labeling >= min_launches * CUDA_MACHINE.launch_seconds * 0.9
+
+    def test_hub_serializes_warp(self):
+        """§6.2: runtime correlates with max degree — a hub vertex's
+        warp serializes its lane batches and dominates the kernel."""
+        from repro.parallel.workload import Workload
+
+        def hub_workload(hub_cycles: int) -> Workload:
+            costs = np.full(hub_cycles + 5000, 20.0)
+            owners = np.concatenate(
+                [np.zeros(hub_cycles, dtype=np.int64),
+                 np.arange(1, 5001, dtype=np.int64)]
+            )
+            return Workload(
+                num_vertices=6000,
+                num_edges=12000,
+                num_cycles=len(costs),
+                level_items=np.array([1, 5999]),
+                cycle_costs=costs,
+                cycle_owner=owners,
+                treegen_ops=30000,
+                harary_ops=36000,
+            )
+
+        flat = CUDA_MACHINE.times(hub_workload(0)).cycle_processing
+        hubby = CUDA_MACHINE.times(hub_workload(64_000)).cycle_processing
+        # The hub's ~2000 serialized batches dominate everything else.
+        hub_warp_time = (
+            np.ceil(64_000 / 32)
+            * 20.0
+            * CUDA_MACHINE.divergence_factor
+            * CUDA_MACHINE.lane_op_seconds
+        )
+        assert hubby >= hub_warp_time
+        assert hubby > 3 * flat
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(EngineError):
+            GpuMachine(num_sms=0)
+
+    def test_pools(self):
+        m = GpuMachine(num_sms=80, concurrent_warps_per_sm=8)
+        assert m.warp_pool == 640
+        assert m.lane_pool == 640 * 32
+
+
+class TestCrossMachineShape:
+    """The relative ordering the paper reports must hold in the models."""
+
+    def test_gpu_beats_openmp_beats_serial_on_large(self):
+        g = make_connected_signed(3000, 12000, seed=2)
+        t = bfs_tree(g, seed=2)
+        w = collect_workload(g, t)
+        serial = SERIAL_MACHINE.times(w).graphb
+        openmp = OPENMP_MACHINE.times(w).graphb
+        cuda = CUDA_MACHINE.times(w).graphb
+        assert cuda < openmp < serial
+
+    def test_tiny_graph_parallel_overhead_dominates(self):
+        g = make_connected_signed(40, 80, seed=3)
+        t = bfs_tree(g, seed=3)
+        w = collect_workload(g, t)
+        serial = SERIAL_MACHINE.times(w).graphb
+        openmp = OPENMP_MACHINE.times(w).graphb
+        # §6.1: tiny inputs don't benefit from parallelization.
+        assert openmp > serial

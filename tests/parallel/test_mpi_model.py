@@ -1,0 +1,69 @@
+"""Tests for the multi-node scaling model."""
+
+import pytest
+
+from repro.errors import EngineError
+from repro.parallel import CUDA_MACHINE, OPENMP_MACHINE, collect_workload
+from repro.parallel.mpi_model import ClusterModel
+from repro.trees import bfs_tree
+
+from tests.conftest import make_connected_signed
+
+
+@pytest.fixture(scope="module")
+def workload():
+    g = make_connected_signed(2000, 6000, seed=0)
+    t = bfs_tree(g, seed=0)
+    return collect_workload(g, t)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return ClusterModel(node_machine=OPENMP_MACHINE)
+
+
+class TestEstimate:
+    def test_single_node_has_no_communication(self, cluster, workload):
+        est = cluster.estimate(workload, 1000, nodes=1)
+        assert est.broadcast_seconds == 0.0
+        assert est.reduce_seconds == 0.0
+        assert est.compute_seconds > 0
+
+    def test_compute_shrinks_with_nodes(self, cluster, workload):
+        one = cluster.estimate(workload, 1024, nodes=1)
+        eight = cluster.estimate(workload, 1024, nodes=8)
+        assert eight.compute_seconds == pytest.approx(one.compute_seconds / 8)
+
+    def test_ceil_imbalance(self, cluster, workload):
+        # 10 trees on 8 nodes: someone does 2 -> compute = 2 trees' time.
+        est = cluster.estimate(workload, 10, nodes=8)
+        per_tree = cluster.node_machine.times(workload).total
+        assert est.compute_seconds == pytest.approx(2 * per_tree)
+
+    def test_communication_grows_logarithmically(self, cluster, workload):
+        r2 = cluster.estimate(workload, 100, nodes=2).reduce_seconds
+        r16 = cluster.estimate(workload, 100, nodes=16).reduce_seconds
+        assert r16 == pytest.approx(4 * r2)
+
+    def test_rejects_bad_args(self, cluster, workload):
+        with pytest.raises(EngineError):
+            cluster.estimate(workload, 100, nodes=0)
+        with pytest.raises(EngineError):
+            cluster.estimate(workload, 0, nodes=2)
+
+
+class TestScalingCurve:
+    def test_monotone_until_communication_floor(self, cluster, workload):
+        curve = cluster.scaling_curve(workload, 2000, [1, 2, 4, 8, 16])
+        totals = [e.total_seconds for e in curve]
+        # Strong scaling: total time decreases (communication is tiny
+        # at these sizes relative to 2000 trees of compute).
+        assert totals == sorted(totals, reverse=True)
+
+    def test_speedup_saturates_for_tiny_campaigns(self, workload):
+        # 4 trees on many nodes: ceil(4/64)=1 tree each; more nodes
+        # can't help and communication still accrues.
+        cluster = ClusterModel(node_machine=CUDA_MACHINE)
+        few = cluster.estimate(workload, 4, nodes=4).total_seconds
+        many = cluster.estimate(workload, 4, nodes=64).total_seconds
+        assert many >= few * 0.99

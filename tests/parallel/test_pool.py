@@ -1,0 +1,73 @@
+"""Tests for the process-pool cloud driver and cloud merging."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import FrustrationCloud, sample_cloud
+from repro.core import balance
+from repro.errors import EngineError, ReproError
+from repro.graph.build import from_edges
+from repro.parallel.pool import sample_cloud_pool
+
+from tests.conftest import make_connected_signed
+
+
+class TestMerge:
+    def test_merge_equals_sequential(self):
+        g = make_connected_signed(40, 100, seed=0)
+        a = FrustrationCloud(g, store_states=True)
+        b = FrustrationCloud(g, store_states=True)
+        full = FrustrationCloud(g, store_states=True)
+        for i in range(10):
+            r = balance(g, seed=i)
+            (a if i % 2 == 0 else b).add_result(r)
+            full.add_result(r)
+        a.merge(b)
+        np.testing.assert_allclose(a.status(), full.status())
+        np.testing.assert_allclose(a.edge_agreement(), full.edge_agreement())
+        assert a.num_unique_states == full.num_unique_states
+        assert sorted(a.flip_counts()) == sorted(full.flip_counts())
+
+    def test_merge_rejects_different_structure(self):
+        a = FrustrationCloud(make_connected_signed(10, 20, seed=0))
+        b = FrustrationCloud(make_connected_signed(12, 20, seed=0))
+        from repro.errors import GraphFormatError
+
+        with pytest.raises(GraphFormatError):
+            a.merge(b)
+
+    def test_merge_rejects_mixed_store_flags(self):
+        g = make_connected_signed(10, 20, seed=0)
+        a = FrustrationCloud(g, store_states=True)
+        b = FrustrationCloud(g, store_states=False)
+        with pytest.raises(ReproError):
+            a.merge(b)
+
+
+class TestPool:
+    def test_single_worker_matches_sequential(self):
+        g = make_connected_signed(40, 100, seed=1)
+        seq = sample_cloud(g, 9, seed=5)
+        pool = sample_cloud_pool(g, 9, workers=1, seed=5)
+        np.testing.assert_allclose(seq.status(), pool.status())
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_pool_matches_sequential(self, workers):
+        g = make_connected_signed(40, 100, seed=1)
+        seq = sample_cloud(g, 10, seed=5)
+        pool = sample_cloud_pool(g, 10, workers=workers, seed=5)
+        np.testing.assert_allclose(seq.status(), pool.status())
+        np.testing.assert_allclose(seq.influence(), pool.influence())
+        assert pool.num_states == 10
+
+    def test_more_workers_than_states(self):
+        g = make_connected_signed(20, 40, seed=2)
+        pool = sample_cloud_pool(g, 3, workers=8, seed=1)
+        assert pool.num_states == 3
+
+    def test_rejects_bad_args(self):
+        g = from_edges([(0, 1, 1), (1, 2, 1), (0, 2, 1)])
+        with pytest.raises(EngineError):
+            sample_cloud_pool(g, 0)
+        with pytest.raises(EngineError):
+            sample_cloud_pool(g, 5, workers=0)

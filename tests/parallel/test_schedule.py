@@ -1,0 +1,136 @@
+"""Tests for the schedule makespan simulators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EngineError
+from repro.parallel.schedule import (
+    makespan_bounds,
+    makespan_dynamic,
+    makespan_guided,
+    makespan_static,
+)
+
+
+class TestDynamic:
+    def test_single_worker_is_sum(self):
+        costs = np.array([3.0, 1.0, 4.0])
+        assert makespan_dynamic(costs, 1) == 8.0
+
+    def test_perfect_split(self):
+        costs = np.ones(8)
+        assert makespan_dynamic(costs, 4) == 2.0
+
+    def test_one_giant_task_dominates(self):
+        costs = np.array([100.0] + [1.0] * 50)
+        span = makespan_dynamic(costs, 8)
+        assert span >= 100.0
+        assert span <= 100.0 + 50.0  # giant task + some small ones
+
+    def test_chunking_coarsens(self):
+        costs = np.ones(100)
+        fine = makespan_dynamic(costs, 8, chunk=1)
+        coarse = makespan_dynamic(costs, 8, chunk=64)
+        assert coarse >= fine
+
+    def test_empty(self):
+        assert makespan_dynamic(np.array([]), 4) == 0.0
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(EngineError):
+            makespan_dynamic(np.ones(3), 0)
+
+
+class TestStatic:
+    def test_skew_hurts_static(self):
+        # Heavy tasks at the front of a static split land on one worker.
+        costs = np.concatenate([np.full(10, 10.0), np.full(70, 1.0)])
+        static = makespan_static(costs, 8)
+        dynamic = makespan_dynamic(costs, 8)
+        assert static >= dynamic
+
+    def test_uniform_fine(self):
+        costs = np.ones(80)
+        assert makespan_static(costs, 8) == 10.0
+
+    def test_empty(self):
+        assert makespan_static(np.array([]), 4) == 0.0
+
+
+class TestGuided:
+    def test_single_worker_is_sum(self):
+        assert makespan_guided(np.array([3.0, 1.0, 4.0]), 1) == 8.0
+
+    def test_uniform_work_balances(self):
+        costs = np.ones(256)
+        span = makespan_guided(costs, 8)
+        assert span <= 256 / 8 + 32  # first chunk is 32 tasks
+
+    def test_covers_all_tasks(self):
+        # Guided must schedule every task exactly once: with one
+        # worker the makespan equals the total for any cost vector.
+        rng = np.random.default_rng(0)
+        costs = rng.random(137)
+        assert makespan_guided(costs, 1) == pytest.approx(costs.sum())
+
+    def test_within_generic_bounds(self):
+        rng = np.random.default_rng(1)
+        costs = rng.random(200) * 10
+        for workers in (2, 4, 8):
+            span = makespan_guided(costs, workers)
+            lower, _upper = makespan_bounds(costs, workers)
+            assert span >= lower - 1e-9
+            assert span <= costs.sum()  # never worse than serial
+
+    def test_tail_balancing_beats_coarse_dynamic(self):
+        # Heavy tail at the end: guided's shrinking chunks split it,
+        # coarse dynamic chunks lump it onto one worker.
+        costs = np.concatenate([np.full(96, 1.0), np.full(32, 20.0)])
+        guided = makespan_guided(costs, 8, min_chunk=1)
+        coarse = makespan_dynamic(costs, 8, chunk=32)
+        assert guided <= coarse
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(EngineError):
+            makespan_guided(np.ones(3), 0)
+
+    def test_empty(self):
+        assert makespan_guided(np.array([]), 4) == 0.0
+
+    def test_machine_accepts_guided(self):
+        from repro.parallel.machine import CpuMachine
+        from repro.parallel.workload import collect_workload
+        from repro.trees import bfs_tree
+        from tests.conftest import make_connected_signed
+
+        g = make_connected_signed(200, 600, seed=0)
+        w = collect_workload(g, bfs_tree(g, seed=0))
+        t = CpuMachine(threads=8, schedule="guided").times(w)
+        assert t.cycle_processing > 0
+
+
+class TestBounds:
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=50.0), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dynamic_within_bounds(self, costs, workers):
+        costs = np.asarray(costs)
+        lower, upper = makespan_bounds(costs, workers)
+        span = makespan_dynamic(costs, workers)
+        assert span >= lower - 1e-9
+        assert span <= upper + 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=50.0), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_more_workers_never_slower(self, costs, workers):
+        costs = np.asarray(costs)
+        a = makespan_dynamic(costs, workers)
+        b = makespan_dynamic(costs, workers + 4)
+        assert b <= a + 1e-9

@@ -1,0 +1,75 @@
+"""Tests for workload profiling."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.workload import collect_workload
+from repro.trees import bfs_tree
+
+from tests.conftest import make_connected_signed, make_hub_graph
+
+
+@pytest.fixture(scope="module")
+def case():
+    g = make_connected_signed(300, 900, seed=0)
+    t = bfs_tree(g, seed=0)
+    return g, t, collect_workload(g, t)
+
+
+class TestWorkload:
+    def test_shape(self, case):
+        g, t, w = case
+        assert w.num_vertices == g.num_vertices
+        assert w.num_edges == g.num_edges
+        assert w.num_cycles == g.num_fundamental_cycles
+        assert len(w.cycle_costs) == w.num_cycles
+        assert len(w.cycle_owner) == w.num_cycles
+
+    def test_level_items_sum_to_n(self, case):
+        g, t, w = case
+        assert w.level_items.sum() == g.num_vertices
+        assert len(w.level_items) == t.num_levels
+
+    def test_cycle_costs_at_least_length(self, case):
+        g, t, w = case
+        # cost = length + 0.27 * tree-degree sum >= length >= 3.
+        assert np.all(w.cycle_costs >= 3.0)
+
+    def test_owner_is_canonical_endpoint(self, case):
+        g, t, w = case
+        non_tree = t.non_tree_edge_ids()
+        np.testing.assert_array_equal(w.cycle_owner, g.edge_u[non_tree])
+
+    def test_owner_costs_aggregate(self, case):
+        _g, _t, w = case
+        owners, costs = w.owner_costs
+        assert costs.sum() == pytest.approx(w.cycle_costs.sum())
+        assert len(owners) == len(np.unique(w.cycle_owner))
+
+    def test_max_owner_cost_on_hub(self):
+        g = make_hub_graph(200)
+        t = bfs_tree(g, root=0, seed=0)
+        w = collect_workload(g, t)
+        owners, costs = w.owner_costs
+        assert w.max_owner_cost == costs.max()
+
+    def test_scan_fraction_scales_costs(self):
+        g = make_connected_signed(200, 600, seed=1)
+        t = bfs_tree(g, seed=1)
+        lo = collect_workload(g, t, scan_fraction=0.1)
+        hi = collect_workload(g, t, scan_fraction=0.9)
+        assert hi.cycle_costs.sum() > lo.cycle_costs.sum()
+
+    def test_label_and_linear_ops(self, case):
+        g, _t, w = case
+        assert w.label_ops == 3 * g.num_vertices
+        assert w.treegen_ops == 2 * g.num_edges + g.num_vertices
+        assert w.harary_ops == 2 * g.num_edges + 2 * g.num_vertices
+
+    def test_tree_graph_has_empty_cycle_arrays(self):
+        g = make_connected_signed(50, 0, seed=0)
+        t = bfs_tree(g, seed=0)
+        w = collect_workload(g, t)
+        assert w.num_cycles == 0
+        assert w.cycle_ops == 0
+        assert w.max_owner_cost == 0.0

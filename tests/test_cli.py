@@ -1,0 +1,190 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import load_graph_file, main
+from repro.graph.io import write_edgelist
+from repro.graph.io_formats import write_konect, write_matrix_market
+
+from tests.conftest import make_connected_signed
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = make_connected_signed(30, 70, seed=0)
+    path = tmp_path / "graph.txt"
+    write_edgelist(g, path)
+    return str(path), g
+
+
+class TestLoadDispatch:
+    def test_edgelist(self, graph_file):
+        path, g = graph_file
+        assert load_graph_file(path) == g
+
+    def test_mtx(self, tmp_path):
+        g = make_connected_signed(15, 30, seed=1)
+        path = tmp_path / "g.mtx"
+        write_matrix_market(g, path)
+        assert load_graph_file(str(path)) == g
+
+    def test_konect(self, tmp_path):
+        g = make_connected_signed(15, 30, seed=1)
+        path = tmp_path / "g.tsv"
+        write_konect(g, path)
+        assert load_graph_file(str(path)) == g
+
+
+class TestCommands:
+    def test_stats(self, graph_file, capsys):
+        path, g = graph_file
+        assert main(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "fundamental cycles" in out
+        assert f"{g.num_edges:,}" in out
+
+    def test_balance_and_output(self, graph_file, tmp_path, capsys):
+        path, _g = graph_file
+        out_path = tmp_path / "balanced.txt"
+        code = main(
+            ["balance", path, "--seed", "3", "--show-flips", "5",
+             "--output", str(out_path)]
+        )
+        assert code == 0
+        balanced = load_graph_file(str(out_path))
+        from repro.core import is_balanced
+
+        assert is_balanced(balanced)
+
+    def test_cloud_csv(self, graph_file, tmp_path, capsys):
+        path, g = graph_file
+        csv = tmp_path / "attrs.csv"
+        edge_csv = tmp_path / "edges.csv"
+        assert main(
+            ["cloud", path, "--states", "5", "--output", str(csv),
+             "--edge-output", str(edge_csv)]
+        ) == 0
+        lines = csv.read_text().strip().splitlines()
+        assert lines[0] == "vertex,status,influence,agreement,volatility"
+        assert len(lines) == g.num_vertices + 1
+        edge_lines = edge_csv.read_text().strip().splitlines()
+        assert edge_lines[0] == "u,v,sign,agreement,coside,controversy"
+        assert len(edge_lines) == g.num_edges + 1
+
+    def test_cloud_kernel_methods(self, graph_file):
+        path, _g = graph_file
+        assert main(["cloud", path, "--states", "3", "--method", "dfs"]) == 0
+
+    def test_stats_profile(self, graph_file, capsys):
+        path, _g = graph_file
+        assert main(["stats", path, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "assortativity" in out
+
+    def test_cloud_checkpoint_and_resume(self, graph_file, tmp_path, capsys):
+        path, _g = graph_file
+        ckpt = tmp_path / "cloud.npz"
+        assert main(
+            ["cloud", path, "--states", "4", "--checkpoint", str(ckpt)]
+        ) == 0
+        assert ckpt.exists()
+        # Resume to 8 states and compare against a straight 8-state run.
+        csv_resumed = tmp_path / "resumed.csv"
+        assert main(
+            ["cloud", path, "--states", "8", "--resume", str(ckpt),
+             "--output", str(csv_resumed)]
+        ) == 0
+        csv_direct = tmp_path / "direct.csv"
+        assert main(
+            ["cloud", path, "--states", "8", "--output", str(csv_direct)]
+        ) == 0
+        assert csv_resumed.read_text() == csv_direct.read_text()
+
+    def test_frustration(self, tmp_path, capsys):
+        g = make_connected_signed(12, 20, seed=2)
+        path = tmp_path / "small.txt"
+        write_edgelist(g, path)
+        code = main(["frustration", str(path), "--exact", "--states", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exact frustration index" in out
+        assert "cloud upper bound" in out
+
+    def test_dataset_list(self, capsys):
+        assert main(["dataset", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "A*_Book" in out and "S*_wiki" in out
+
+    def test_dataset_build(self, tmp_path, capsys):
+        out_path = tmp_path / "wiki.npz"
+        code = main(
+            ["dataset", "S*_wiki", "--scale", "0.02", "--output", str(out_path)]
+        )
+        assert code == 0
+        g = load_graph_file(str(out_path))
+        assert g.num_vertices > 50
+
+    def test_dataset_requires_name(self, capsys):
+        assert main(["dataset"]) == 2
+
+    def test_model(self, graph_file, capsys):
+        path, _g = graph_file
+        assert main(["model", path, "--trees", "10", "--sample-trees", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "serial" in out and "cuda" in out
+
+    def test_memory_dataset(self, capsys):
+        assert main(["memory", "--dataset", "A*_Book"]) == 0
+        out = capsys.readouterr().out
+        assert "OpenMP host" in out
+
+    def test_memory_sizes(self, capsys):
+        assert main(["memory", "--vertices", "1000", "--edges", "5000"]) == 0
+
+    def test_memory_requires_input(self, capsys):
+        assert main(["memory"]) == 2
+
+    def test_trace(self, graph_file, capsys):
+        path, _g = graph_file
+        assert main(["trace", path, "--cycles", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle of non-tree edge" in out
+
+    def test_trace_on_tree_graph(self, tmp_path, capsys):
+        g = make_connected_signed(10, 0, seed=0)  # acyclic
+        path = tmp_path / "tree.txt"
+        write_edgelist(g, path)
+        assert main(["trace", str(path)]) == 0
+        assert "no fundamental cycles" in capsys.readouterr().out
+
+    def test_communities(self, graph_file, tmp_path, capsys):
+        path, g = graph_file
+        csv = tmp_path / "comm.csv"
+        code = main(
+            ["communities", path, "--states", "5", "--threshold", "0.8",
+             "--output", str(csv)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "consensus communities" in out
+        assert "polarization" in out
+        assert len(csv.read_text().splitlines()) == g.num_vertices + 1
+
+    def test_convergence(self, graph_file, capsys):
+        path, _g = graph_file
+        assert main(["convergence", path, "--max-states", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "split-half reliability" in out
+
+    def test_missing_file_is_error_not_traceback(self, capsys):
+        assert main(["stats", "/nonexistent/graph.txt"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_repro_error_reported(self, tmp_path, capsys):
+        # Exact frustration on a too-large graph -> clean error.
+        g = make_connected_signed(40, 80, seed=0)
+        path = tmp_path / "big.txt"
+        write_edgelist(g, path)
+        assert main(["frustration", str(path), "--exact"]) == 1
+        assert "error" in capsys.readouterr().err

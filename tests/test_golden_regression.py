@@ -1,0 +1,55 @@
+"""Golden regression tests.
+
+These pin exact outputs for fixed seeds, guarding against accidental
+behavioural changes anywhere in the generator → sampler → balancer →
+cloud pipeline.  If an *intentional* change to tie-breaking, RNG
+consumption, or accumulation order lands, re-derive the constants with
+the snippet in each test's docstring and update them deliberately.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.cloud import sample_cloud
+from repro.core import balance
+from repro.trees import bfs_tree
+
+from tests.conftest import make_connected_signed
+
+
+def _sha(arr: np.ndarray) -> str:
+    return hashlib.sha256(arr.tobytes()).hexdigest()[:16]
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    graph = make_connected_signed(120, 300, seed=2024)
+    tree = bfs_tree(graph, seed=7)
+    result = balance(graph, tree)
+    cloud = sample_cloud(graph, 12, seed=11)
+    return graph, tree, result, cloud
+
+
+class TestGolden:
+    def test_generated_graph(self, pipeline):
+        graph, _t, _r, _c = pipeline
+        assert _sha(graph.edges_array()) == "f91d7dd6187d3c35"
+
+    def test_bfs_tree(self, pipeline):
+        _g, tree, _r, _c = pipeline
+        assert tree.root == 113
+        assert tree.depth == 4
+        assert _sha(tree.parent) == "8fda6a290d383dea"
+
+    def test_balanced_state(self, pipeline):
+        _g, _t, result, _c = pipeline
+        assert result.num_flips == 140
+        assert _sha(result.signs) == "b353a5678ce9273b"
+
+    def test_cloud_status(self, pipeline):
+        _g, _t, _r, cloud = pipeline
+        assert _sha(cloud.status()) == "f7a76d57cfcd1395"
+        assert float(cloud.status().sum()) == pytest.approx(66.0833333333)
+        assert cloud.frustration_upper_bound() == 134

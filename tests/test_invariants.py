@@ -1,0 +1,141 @@
+"""Cross-cutting property-based tests of the paper's invariants.
+
+These tie the whole pipeline together on randomly generated connected
+signed graphs:
+
+1. graphB+ always outputs a balanced state (every cycle positive).
+2. The flip set lives entirely on non-tree edges and has size ≤ m−n+1.
+3. All cycle kernels, the parallel labeling, and the Alg. 1 baseline
+   agree bit-for-bit.
+4. The Harary bipartition of the output satisfies the cut condition.
+5. Balancing is idempotent: balancing a balanced graph is a no-op.
+6. Switching-invariance: balancing a switched graph yields the switched
+   balanced state (the frustration cloud's underlying symmetry).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import balance, balance_baseline, is_balanced, switch
+from repro.core.verify import check_balance
+from repro.harary import harary_bipartition, verify_cut
+from repro.rng import as_generator
+from repro.trees import TreeSampler, bfs_tree
+
+from tests.conftest import make_connected_signed
+
+
+graph_params = st.tuples(
+    st.integers(min_value=2, max_value=60),     # vertices
+    st.integers(min_value=0, max_value=120),    # extra edges
+    st.integers(min_value=0, max_value=10_000), # seed
+)
+
+
+@given(graph_params)
+@settings(max_examples=60, deadline=None)
+def test_balance_output_is_always_balanced(params):
+    n, extra, seed = params
+    g = make_connected_signed(n, extra, seed=seed)
+    r = balance(g, seed=seed)
+    assert is_balanced(r.balanced_graph)
+
+
+@given(graph_params)
+@settings(max_examples=60, deadline=None)
+def test_flips_confined_to_non_tree_edges(params):
+    n, extra, seed = params
+    g = make_connected_signed(n, extra, seed=seed)
+    r = balance(g, seed=seed)
+    assert not r.flipped[r.tree.tree_edge_ids()].any()
+    assert r.num_flips <= g.num_fundamental_cycles
+
+
+@given(graph_params)
+@settings(max_examples=40, deadline=None)
+def test_all_implementations_agree(params):
+    n, extra, seed = params
+    g = make_connected_signed(n, extra, seed=seed)
+    t = bfs_tree(g, seed=seed)
+    reference = balance(g, t, kernel="walk", labeling="serial").signs
+    for kernel, labeling in [
+        ("walk", "parallel"),
+        ("lockstep", "parallel"),
+        ("parity", "none"),
+    ]:
+        got = balance(g, t, kernel=kernel, labeling=labeling).signs
+        np.testing.assert_array_equal(reference, got)
+    np.testing.assert_array_equal(reference, balance_baseline(g, t).signs)
+
+
+@given(graph_params)
+@settings(max_examples=40, deadline=None)
+def test_harary_cut_condition(params):
+    n, extra, seed = params
+    g = make_connected_signed(n, extra, seed=seed)
+    r = balance(g, seed=seed)
+    bip = harary_bipartition(g, r.signs)
+    verify_cut(g, r.signs, bip)
+    assert bip.sizes[0] + bip.sizes[1] == n
+
+
+@given(graph_params)
+@settings(max_examples=40, deadline=None)
+def test_balancing_is_idempotent(params):
+    n, extra, seed = params
+    g = make_connected_signed(n, extra, seed=seed)
+    first = balance(g, seed=seed)
+    balanced = first.balanced_graph
+    second = balance(balanced, seed=seed + 1)
+    assert second.num_flips == 0
+    np.testing.assert_array_equal(second.signs, balanced.edge_sign)
+
+
+@given(graph_params)
+@settings(max_examples=30, deadline=None)
+def test_switching_equivariance(params):
+    """balance(switch(G, s), T) == switch(balance(G, T), s).
+
+    Switching relabels which edges look negative but preserves all
+    cycle signs, so the same tree must produce the 'same' state up to
+    the switch — the symmetry the frustration-cloud theory builds on.
+    """
+    n, extra, seed = params
+    g = make_connected_signed(n, extra, seed=seed)
+    rng = as_generator(seed)
+    s = np.where(rng.random(n) < 0.5, -1, 1).astype(np.int8)
+    t = bfs_tree(g, seed=seed)
+    direct = balance(switch(g, s), t).signs
+    roundabout = switch(g.with_signs(balance(g, t).signs), s).edge_sign
+    np.testing.assert_array_equal(direct, roundabout)
+
+
+@given(graph_params)
+@settings(max_examples=30, deadline=None)
+def test_certificate_switching_explains_balanced_state(params):
+    n, extra, seed = params
+    g = make_connected_signed(n, extra, seed=seed)
+    r = balance(g, seed=seed)
+    cert = check_balance(r.balanced_graph)
+    assert cert.balanced
+    s = cert.switching
+    for u, v, sign in r.balanced_graph.iter_edges():
+        assert s[u] * s[v] == sign
+
+
+@given(
+    st.integers(min_value=3, max_value=40),
+    st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=30, deadline=None)
+def test_different_trees_may_differ_but_all_are_balanced(n, seed):
+    g = make_connected_signed(n, n, seed=seed)
+    sampler = TreeSampler(g, seed=seed)
+    keys = set()
+    for i in range(4):
+        r = balance(g, sampler.tree(i))
+        assert is_balanced(r.balanced_graph)
+        keys.add(r.state_key())
+    assert 1 <= len(keys) <= 4

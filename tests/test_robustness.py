@@ -1,0 +1,161 @@
+"""Robustness sweep: extreme shapes and hostile inputs through the
+whole public API.
+
+Every public entry point is exercised on the degenerate graphs that
+break naive implementations: single vertices, single edges, paths
+(no cycles), stars (max-degree hubs), complete graphs (dense), deep
+grids, all-negative graphs — plus malformed files and mid-pipeline
+misuse.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cloud import FrustrationCloud, sample_cloud
+from repro.core import balance, balance_baseline, check_balance, is_balanced
+from repro.errors import (
+    DisconnectedGraphError,
+    GraphFormatError,
+    NotBalancedError,
+)
+from repro.graph.build import from_edges
+from repro.graph.generators import complete_signed, grid_graph
+from repro.harary import harary_bipartition
+from repro.trees import TreeSampler, bfs_tree, dfs_tree, wilson_tree
+
+from tests.conftest import make_hub_graph
+
+
+def star(n=50, neg_every=3):
+    return from_edges(
+        [(0, v, -1 if v % neg_every == 0 else 1) for v in range(1, n)]
+    )
+
+
+def path(n=200):
+    return from_edges([(i, i + 1, (-1) ** i) for i in range(n - 1)])
+
+
+EXTREME_GRAPHS = {
+    "single_edge": from_edges([(0, 1, -1)]),
+    "triangle_all_neg": from_edges([(0, 1, -1), (1, 2, -1), (0, 2, -1)]),
+    "star": star(),
+    "path": path(),
+    "complete": complete_signed(14, negative_fraction=0.5, seed=0),
+    "deep_grid": grid_graph(20, 20, negative_fraction=0.5, seed=0),
+    "hub": make_hub_graph(120),
+}
+
+
+@pytest.mark.parametrize("name", list(EXTREME_GRAPHS))
+class TestExtremeShapes:
+    def test_balance_succeeds_and_is_balanced(self, name):
+        g = EXTREME_GRAPHS[name]
+        r = balance(g, seed=0)
+        assert is_balanced(r.balanced_graph)
+
+    def test_all_samplers_work(self, name):
+        g = EXTREME_GRAPHS[name]
+        for sampler in (bfs_tree, dfs_tree, wilson_tree):
+            t = sampler(g, seed=1)
+            assert t.in_tree.sum() == g.num_vertices - 1
+
+    def test_bipartition_of_balanced_state(self, name):
+        g = EXTREME_GRAPHS[name]
+        r = balance(g, seed=0)
+        bip = harary_bipartition(g, r.signs)
+        assert sum(bip.sizes) == g.num_vertices
+
+    def test_cloud_accumulates(self, name):
+        g = EXTREME_GRAPHS[name]
+        cloud = sample_cloud(g, 4, seed=0)
+        st = cloud.status()
+        assert np.all((st >= 0) & (st <= 1))
+
+    def test_baseline_agrees(self, name):
+        g = EXTREME_GRAPHS[name]
+        t = bfs_tree(g, seed=2)
+        np.testing.assert_array_equal(
+            balance(g, t).signs, balance_baseline(g, t).signs
+        )
+
+
+class TestTreesWithoutCycles:
+    """Acyclic inputs: zero fundamental cycles end to end."""
+
+    def test_path_balance_is_noop(self):
+        g = path(50)
+        r = balance(g, seed=0)
+        assert r.num_flips == 0
+        assert r.num_cycles == 0
+
+    def test_star_always_balanced(self):
+        g = star(30)
+        assert is_balanced(g)  # trees are vacuously balanced
+
+    def test_cloud_on_tree_has_one_state(self):
+        g = path(30)
+        cloud = sample_cloud(g, 5, seed=0, store_states=True)
+        assert cloud.num_unique_states == 1
+
+
+class TestAllNegative:
+    def test_all_negative_complete_graph(self):
+        g = complete_signed(10, negative_fraction=0.0, seed=0)
+        g = g.with_signs(-np.ones(g.num_edges, dtype=np.int8))
+        r = balance(g, seed=0)
+        assert is_balanced(r.balanced_graph)
+        # All-negative K10 is far from balanced: many flips required.
+        assert r.num_flips > 0
+
+    def test_all_negative_even_cycle_balanced(self):
+        from repro.graph.generators import cycle_graph
+
+        g = cycle_graph([-1] * 8)
+        assert is_balanced(g)
+        assert balance(g, seed=0).num_flips == 0
+
+    def test_all_negative_odd_cycle_one_flip(self):
+        from repro.graph.generators import cycle_graph
+
+        g = cycle_graph([-1] * 7)
+        assert not is_balanced(g)
+        assert balance(g, seed=0).num_flips == 1
+
+
+class TestMisuse:
+    def test_balance_rejects_disconnected(self):
+        g = from_edges([(0, 1, 1), (2, 3, 1)])
+        with pytest.raises(DisconnectedGraphError):
+            balance(g, seed=0)
+
+    def test_cloud_rejects_foreign_signs(self):
+        g = from_edges([(0, 1, 1), (1, 2, 1), (0, 2, -1)])
+        cloud = FrustrationCloud(g)
+        with pytest.raises(NotBalancedError):
+            cloud.add_signs(g.edge_sign)  # unbalanced input state
+
+    def test_bipartition_rejects_wrong_length_signs(self):
+        g = from_edges([(0, 1, 1), (1, 2, 1), (0, 2, 1)])
+        with pytest.raises((IndexError, ValueError, NotBalancedError)):
+            harary_bipartition(g, np.ones(99, dtype=np.int8))
+
+    def test_sampler_index_must_be_non_negative(self):
+        g = from_edges([(0, 1, 1), (1, 2, 1), (0, 2, 1)])
+        s = TreeSampler(g, seed=0)
+        with pytest.raises(ValueError):
+            s.tree(-1)
+
+    def test_unparseable_edge_file(self):
+        from repro.graph.io import read_edgelist
+
+        with pytest.raises(GraphFormatError):
+            read_edgelist(io.StringIO("0 1 banana\n"))
+
+    def test_certificate_on_two_vertex_graph(self):
+        g = from_edges([(0, 1, -1)])
+        cert = check_balance(g)
+        assert cert.balanced
+        assert cert.switching[0] * cert.switching[1] == -1

@@ -1,0 +1,85 @@
+"""Tests for the terminal rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import balance, label_tree
+from repro.errors import ReproError
+from repro.graph.datasets import fig1_sigma, fig6_graph, fig6_tree_edges
+from repro.harary import harary_bipartition
+from repro.trees import tree_from_edge_ids
+from repro.viz import render_bars, render_bipartition, render_edges, render_tree
+
+from tests.conftest import make_connected_signed
+
+
+@pytest.fixture
+def fig6():
+    g = fig6_graph()
+    ids = tuple(g.find_edge(p, c) for p, c in fig6_tree_edges())
+    return g, tree_from_edge_ids(g, ids, root=0)
+
+
+class TestRenderEdges:
+    def test_sigma(self):
+        out = render_edges(fig1_sigma())
+        assert "4 vertices, 5 edges" in out
+        assert "-3" in out  # the negative diagonal from vertex 0
+
+    def test_size_guard(self):
+        g = make_connected_signed(300, 400, seed=0)
+        with pytest.raises(ReproError):
+            render_edges(g, max_vertices=100)
+
+
+class TestRenderTree:
+    def test_fig6_shape(self, fig6):
+        _g, t = fig6
+        out = render_tree(t)
+        assert "root 0, depth 2" in out
+        assert "├── " in out and "└── " in out
+        # All ten vertices appear.
+        for v in range(10):
+            assert f" {v}" in out or out.startswith(f"{v}")
+
+    def test_labels_annotation(self, fig6):
+        _g, t = fig6
+        lab = label_tree(t)
+        out = render_tree(t, labels=lab.new_id)
+        assert "[0]" in out and "[9]" in out
+
+    def test_size_guard(self):
+        g = make_connected_signed(300, 400, seed=0)
+        from repro.trees import bfs_tree
+
+        with pytest.raises(ReproError):
+            render_tree(bfs_tree(g, seed=0), max_vertices=100)
+
+
+class TestRenderBipartition:
+    def test_sigma_state(self):
+        g = fig1_sigma()
+        r = balance(g, seed=0)
+        out = render_bipartition(harary_bipartition(g, r.signs))
+        assert "side 0" in out and "side 1" in out
+
+
+class TestRenderBars:
+    def test_basic(self):
+        out = render_bars(np.array([0.0, 0.5, 1.0]), labels=["a", "b", "c"])
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert "1.000" in lines[2]
+        assert "█" in lines[2]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            render_bars(np.array([-1.0]))
+
+    def test_label_mismatch(self):
+        with pytest.raises(ReproError):
+            render_bars(np.array([1.0]), labels=["a", "b"])
+
+    def test_all_zero(self):
+        out = render_bars(np.zeros(3))
+        assert "0.000" in out

@@ -1,0 +1,97 @@
+"""Tests for the degree-aware BFS sampler (§6.6 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import balance
+from repro.errors import DisconnectedGraphError, EngineError
+from repro.graph.build import from_edges
+from repro.graph.generators import chung_lu_signed, grid_graph
+from repro.graph.components import largest_connected_component
+from repro.trees import TreeSampler, bfs_tree, degree_aware_bfs_tree
+
+from tests.conftest import make_connected_signed
+
+
+@pytest.fixture(scope="module")
+def hubby():
+    g = chung_lu_signed(1500, 5000, exponent=1.9, seed=0)
+    sub, _ = largest_connected_component(g)
+    return sub
+
+
+class TestBasics:
+    def test_valid_spanning_tree(self, hubby):
+        t = degree_aware_bfs_tree(hubby, seed=0)
+        assert t.in_tree.sum() == hubby.num_vertices - 1
+
+    def test_levels_are_graph_distances(self):
+        # Still a BFS: levels equal shortest-path distances.
+        g = grid_graph(6, 6, seed=0)
+        t = degree_aware_bfs_tree(g, root=0, seed=1)
+        for v in range(36):
+            r, c = divmod(v, 6)
+            assert t.level_of[v] == r + c
+
+    def test_deterministic(self, hubby):
+        a = degree_aware_bfs_tree(hubby, seed=5)
+        b = degree_aware_bfs_tree(hubby, seed=5)
+        np.testing.assert_array_equal(a.parent, b.parent)
+
+    def test_rejects_bad_prefer(self, hubby):
+        with pytest.raises(EngineError):
+            degree_aware_bfs_tree(hubby, prefer="median")
+
+    def test_disconnected(self):
+        g = from_edges([(0, 1, 1), (2, 3, 1)])
+        with pytest.raises(DisconnectedGraphError):
+            degree_aware_bfs_tree(g, root=0, seed=0)
+
+    def test_available_through_sampler(self, hubby):
+        t = TreeSampler(hubby, method="bfs-low-degree", seed=1).tree(0)
+        assert t.in_tree.sum() == hubby.num_vertices - 1
+
+
+class TestEffect:
+    def test_reduces_hub_children(self, hubby):
+        """Hubs adopt fewer children under low-degree preference."""
+        deg = np.diff(hubby.indptr)
+        hub = int(np.argmax(deg))
+        plain = np.mean(
+            [len(bfs_tree(hubby, seed=s).children_of(hub)) for s in range(5)]
+        )
+        aware = np.mean(
+            [
+                len(degree_aware_bfs_tree(hubby, seed=s).children_of(hub))
+                for s in range(5)
+            ]
+        )
+        assert aware < plain
+
+    def test_reduces_on_cycle_tree_degree(self, hubby):
+        def avg_cost(maker):
+            total = 0.0
+            for s in range(3):
+                t = maker(hubby, seed=s)
+                r = balance(hubby, t, collect_stats=True)
+                total += float(r.stats.tree_degree_sums.sum())
+            return total / 3
+
+        assert avg_cost(degree_aware_bfs_tree) < avg_cost(bfs_tree)
+
+    def test_high_preference_is_adversarial(self, hubby):
+        def cost(maker, **kw):
+            t = maker(hubby, seed=0, **kw)
+            r = balance(hubby, t, collect_stats=True)
+            return float(r.stats.tree_degree_sums.sum())
+
+        low = cost(degree_aware_bfs_tree, prefer="low")
+        high = cost(degree_aware_bfs_tree, prefer="high")
+        assert low < high
+
+    def test_balanced_state_still_valid(self, hubby):
+        from repro.core import is_balanced
+
+        t = degree_aware_bfs_tree(hubby, seed=2)
+        r = balance(hubby, t)
+        assert is_balanced(r.balanced_graph)

@@ -1,0 +1,95 @@
+"""Tests for spanning-tree counting and exhaustive enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import from_edges
+from repro.graph.datasets import fig1_sigma
+from repro.graph.generators import complete_signed, cycle_graph
+from repro.trees.enumeration import (
+    all_spanning_trees,
+    count_spanning_trees,
+    tree_from_edge_ids,
+)
+
+
+class TestCounting:
+    def test_triangle(self):
+        g = from_edges([(0, 1, 1), (1, 2, 1), (0, 2, 1)])
+        assert count_spanning_trees(g) == 3
+
+    def test_tree_has_one(self):
+        g = from_edges([(0, 1, 1), (1, 2, 1), (2, 3, 1)])
+        assert count_spanning_trees(g) == 1
+
+    def test_cycle_n(self):
+        # A cycle of length k has exactly k spanning trees.
+        g = cycle_graph([1] * 7)
+        assert count_spanning_trees(g) == 7
+
+    def test_cayley_formula(self):
+        # K_n has n^(n-2) spanning trees.
+        for n in (3, 4, 5, 6):
+            g = complete_signed(n, negative_fraction=0.0, seed=0)
+            assert count_spanning_trees(g) == n ** (n - 2)
+
+    def test_fig1_has_eight(self):
+        assert count_spanning_trees(fig1_sigma()) == 8
+
+    def test_disconnected_zero(self):
+        g = from_edges([(0, 1, 1), (2, 3, 1)])
+        assert count_spanning_trees(g) == 0
+
+    def test_trivial_sizes(self):
+        assert count_spanning_trees(from_edges([], num_vertices=1)) == 1
+        assert count_spanning_trees(from_edges([])) == 0
+
+    def test_exact_beyond_float53(self):
+        # K_12 has 12^10 = 61,917,364,224 trees — needs exact arithmetic.
+        g = complete_signed(12, negative_fraction=0.0, seed=0)
+        assert count_spanning_trees(g) == 12**10
+
+
+class TestEnumeration:
+    def test_matches_matrix_tree_count(self):
+        g = fig1_sigma()
+        trees = list(all_spanning_trees(g))
+        assert len(trees) == count_spanning_trees(g) == 8
+
+    def test_trees_are_distinct(self):
+        g = fig1_sigma()
+        keys = {t.in_tree.tobytes() for t in all_spanning_trees(g)}
+        assert len(keys) == 8
+
+    def test_every_tree_valid(self):
+        g = complete_signed(5, seed=1)
+        trees = list(all_spanning_trees(g))
+        assert len(trees) == 5**3
+        for t in trees:
+            assert t.in_tree.sum() == 4
+            assert t.root == 0
+
+    def test_respects_root(self):
+        g = fig1_sigma()
+        for t in all_spanning_trees(g, root=2):
+            assert t.root == 2
+            assert t.parent[2] == -1
+
+    def test_limit_guard(self):
+        g = complete_signed(12, seed=0)
+        with pytest.raises(ValueError, match="limit"):
+            list(all_spanning_trees(g, limit=1000))
+
+
+class TestTreeFromEdgeIds:
+    def test_roots_subset(self):
+        g = from_edges([(0, 1, 1), (1, 2, 1), (0, 2, 1)])
+        t = tree_from_edge_ids(g, (0, 1), root=0)
+        assert t.in_tree[0] and t.in_tree[1] and not t.in_tree[2]
+
+    def test_rejects_non_spanning_subset(self):
+        from repro.errors import NotASpanningTreeError
+
+        g = from_edges([(0, 1, 1), (1, 2, 1), (0, 2, 1), (2, 3, 1)])
+        with pytest.raises(NotASpanningTreeError):
+            tree_from_edge_ids(g, (0, 1, 2), root=0)  # cycle, misses 3

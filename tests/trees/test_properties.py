@@ -1,0 +1,53 @@
+"""Tests for tree-depth statistics (Table 6 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import complete_signed, grid_graph
+from repro.trees import TreeSampler, bfs_tree
+from repro.trees.properties import TreeDepthStats, depth_stats, level_widths
+
+from tests.conftest import make_connected_signed
+
+
+class TestDepthStats:
+    def test_bounds_ordering(self):
+        g = make_connected_signed(80, 160, seed=0)
+        stats = depth_stats(TreeSampler(g, seed=1), num_trees=20)
+        assert stats.min_depth <= stats.avg_depth <= stats.max_depth
+        assert stats.num_trees == 20
+
+    def test_requires_positive_count(self):
+        g = make_connected_signed(10, 10, seed=0)
+        with pytest.raises(ValueError):
+            depth_stats(TreeSampler(g, seed=1), num_trees=0)
+
+    def test_dense_graph_is_shallow(self):
+        g = complete_signed(50, seed=0)
+        stats = depth_stats(TreeSampler(g, seed=1), num_trees=10)
+        assert stats.max_depth <= 2
+
+    def test_grid_is_deep(self):
+        g = grid_graph(12, 12, seed=0)
+        stats = depth_stats(TreeSampler(g, seed=1), num_trees=5)
+        assert stats.min_depth >= 11  # at least the grid radius
+
+    def test_row_render(self):
+        stats = TreeDepthStats(10, 4, 7, 5.5)
+        row = stats.row("S*_wiki")
+        assert "S*_wiki" in row and "4" in row and "5.5" in row
+
+
+class TestLevelWidths:
+    def test_widths_sum_to_n(self):
+        g = make_connected_signed(60, 100, seed=2)
+        t = bfs_tree(g, seed=0)
+        widths = level_widths(t)
+        assert widths.sum() == 60
+        assert widths[0] == 1  # the root level
+        assert len(widths) == t.num_levels
+
+    def test_no_empty_levels(self):
+        g = make_connected_signed(60, 100, seed=2)
+        t = bfs_tree(g, seed=0)
+        assert np.all(level_widths(t) > 0)

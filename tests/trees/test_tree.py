@@ -1,0 +1,111 @@
+"""Tests for the SpanningTree container and its validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotASpanningTreeError
+from repro.graph.build import from_edges
+from repro.trees.tree import SpanningTree
+
+from tests.conftest import make_connected_signed
+
+
+@pytest.fixture
+def path_graph():
+    return from_edges([(0, 1, 1), (1, 2, -1), (2, 3, 1)])
+
+
+def path_tree(g):
+    parent = np.array([-1, 0, 1, 2])
+    parent_edge = np.array([-1, g.find_edge(0, 1), g.find_edge(1, 2), g.find_edge(2, 3)])
+    return SpanningTree.from_parents(g, 0, parent, parent_edge)
+
+
+class TestConstruction:
+    def test_path(self, path_graph):
+        t = path_tree(path_graph)
+        assert t.root == 0
+        assert t.depth == 3
+        np.testing.assert_array_equal(t.level_of, [0, 1, 2, 3])
+        assert t.in_tree.all()  # path graph: every edge is a tree edge
+
+    def test_root_parent_must_be_minus_one(self, path_graph):
+        with pytest.raises(NotASpanningTreeError):
+            SpanningTree.from_parents(
+                path_graph,
+                0,
+                np.array([1, 0, 1, 2]),
+                np.array([0, 0, 1, 2]),
+            )
+
+    def test_rejects_wrong_length(self, path_graph):
+        with pytest.raises(NotASpanningTreeError):
+            SpanningTree.from_parents(
+                path_graph, 0, np.array([-1, 0]), np.array([-1, 0])
+            )
+
+    def test_rejects_cycle_in_parents(self, path_graph):
+        g = from_edges([(0, 1, 1), (1, 2, 1), (0, 2, 1), (2, 3, 1)])
+        parent = np.array([-1, 2, 1, 2])  # 1 <-> 2 cycle
+        pe = np.array(
+            [-1, g.find_edge(1, 2), g.find_edge(1, 2), g.find_edge(2, 3)]
+        )
+        with pytest.raises(NotASpanningTreeError):
+            SpanningTree.from_parents(g, 0, parent, pe)
+
+    def test_rejects_parent_edge_mismatch(self, path_graph):
+        g = path_graph
+        parent = np.array([-1, 0, 1, 2])
+        pe = np.array(
+            [-1, g.find_edge(1, 2), g.find_edge(1, 2), g.find_edge(2, 3)]
+        )
+        with pytest.raises(NotASpanningTreeError):
+            SpanningTree.from_parents(g, 0, parent, pe)
+
+    def test_rejects_out_of_range_root(self, path_graph):
+        with pytest.raises(NotASpanningTreeError):
+            SpanningTree.from_parents(
+                path_graph, 9, np.array([-1, 0, 1, 2]), np.array([-1, 0, 1, 2])
+            )
+
+    def test_single_vertex(self):
+        g = from_edges([], num_vertices=1)
+        t = SpanningTree.from_parents(
+            g, 0, np.array([-1]), np.array([-1])
+        )
+        assert t.depth == 0
+        assert t.num_levels == 1
+
+
+class TestDerived:
+    def test_levels_partition_vertices(self, path_graph):
+        t = path_tree(path_graph)
+        order, ptr = t.levels
+        assert len(order) == 4
+        assert ptr[-1] == 4
+        for lvl in range(t.num_levels):
+            members = order[ptr[lvl] : ptr[lvl + 1]]
+            assert np.all(t.level_of[members] == lvl)
+
+    def test_children(self, path_graph):
+        t = path_tree(path_graph)
+        np.testing.assert_array_equal(t.children_of(0), [1])
+        np.testing.assert_array_equal(t.children_of(3), [])
+
+    def test_tree_degree(self, path_graph):
+        t = path_tree(path_graph)
+        np.testing.assert_array_equal(t.tree_degree, [1, 2, 2, 1])
+
+    def test_edge_id_partition(self):
+        g = from_edges([(0, 1, 1), (1, 2, 1), (0, 2, 1)])
+        parent = np.array([-1, 0, 1])
+        pe = np.array([-1, g.find_edge(0, 1), g.find_edge(1, 2)])
+        t = SpanningTree.from_parents(g, 0, parent, pe)
+        assert len(t.tree_edge_ids()) == 2
+        assert len(t.non_tree_edge_ids()) == 1
+        assert set(t.tree_edge_ids()) | set(t.non_tree_edge_ids()) == {0, 1, 2}
+
+    def test_path_to_root(self, path_graph):
+        t = path_tree(path_graph)
+        np.testing.assert_array_equal(t.path_to_root(3), [3, 2, 1, 0])
+        np.testing.assert_array_equal(t.path_to_root(0), [0])
