@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Benchmark the tree-batched cloud engine against sequential Alg. 2.
+
+Writes ``BENCH_cloud.json``: states/sec for the sequential driver
+(``batch_size=1``) and the batched engine at several graph sizes and
+batch sizes, plus an exact seed-for-seed consensus-attribute identity
+check between the two.  This file starts the perf trajectory for the
+cloud pipeline — re-run after optimizations and compare.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_cloud.py              # full run
+    PYTHONPATH=src python scripts/bench_cloud.py --smoke      # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cloud.cloud import sample_cloud
+from repro.graph.generators import ensure_connected, erdos_renyi_signed
+
+
+def build_graph(num_vertices: int, num_edges: int, seed: int):
+    graph = ensure_connected(
+        erdos_renyi_signed(num_vertices, num_edges, negative_fraction=0.3,
+                           seed=seed),
+        seed=seed,
+    )
+    from repro.graph.components import largest_connected_component
+
+    sub, _ = largest_connected_component(graph)
+    return sub
+
+
+def attributes_identical(a, b) -> bool:
+    """Exact equality of every consensus attribute (the acceptance bar
+    for the batched engine)."""
+    checks = [
+        np.array_equal(a.status(), b.status()),
+        np.array_equal(a.influence(), b.influence()),
+        np.array_equal(a.edge_agreement(), b.edge_agreement()),
+        np.array_equal(a.edge_coside(), b.edge_coside()),
+        np.array_equal(a.flip_counts(), b.flip_counts()),
+        a.frustration_upper_bound() == b.frustration_upper_bound(),
+    ]
+    return all(bool(c) for c in checks)
+
+
+def bench_one(graph, num_states: int, batch_size: int, seed: int) -> dict:
+    start = time.perf_counter()
+    cloud = sample_cloud(graph, num_states, seed=seed, batch_size=batch_size)
+    elapsed = time.perf_counter() - start
+    return {
+        "batch_size": batch_size,
+        "seconds": round(elapsed, 4),
+        "states_per_sec": round(num_states / elapsed, 2),
+        "_cloud": cloud,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_cloud.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for CI (seconds, not minutes)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        configs = [
+            {"vertices": 300, "edges": 900, "states": 40,
+             "batch_sizes": [8, 32]},
+        ]
+    else:
+        configs = [
+            {"vertices": 1000, "edges": 4000, "states": 200,
+             "batch_sizes": [8, 32, 64]},
+            {"vertices": 4000, "edges": 20000, "states": 1000,
+             "batch_sizes": [32, 64, 128]},
+            {"vertices": 12000, "edges": 60000, "states": 200,
+             "batch_sizes": [32, 64]},
+        ]
+
+    report = {
+        "benchmark": "cloud_states_per_sec",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "seed": args.seed,
+        "runs": [],
+    }
+    for cfg in configs:
+        graph = build_graph(cfg["vertices"], cfg["edges"], args.seed)
+        entry = {
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+            "states": cfg["states"],
+        }
+        print(f"graph n={graph.num_vertices} m={graph.num_edges} "
+              f"states={cfg['states']}", flush=True)
+
+        seq = bench_one(graph, cfg["states"], 1, args.seed)
+        seq_cloud = seq.pop("_cloud")
+        entry["sequential"] = seq
+        print(f"  sequential          {seq['states_per_sec']:>9.2f} states/s",
+              flush=True)
+
+        entry["batched"] = []
+        for bs in cfg["batch_sizes"]:
+            run = bench_one(graph, cfg["states"], bs, args.seed)
+            cloud = run.pop("_cloud")
+            run["speedup_vs_sequential"] = round(
+                run["states_per_sec"] / seq["states_per_sec"], 2
+            )
+            run["attributes_identical"] = attributes_identical(seq_cloud, cloud)
+            entry["batched"].append(run)
+            print(f"  batch_size={bs:<4d}      {run['states_per_sec']:>9.2f} "
+                  f"states/s  ({run['speedup_vs_sequential']}x, "
+                  f"identical={run['attributes_identical']})", flush=True)
+        report["runs"].append(entry)
+
+    best = max(
+        (run["speedup_vs_sequential"]
+         for entry in report["runs"] for run in entry["batched"]),
+        default=0.0,
+    )
+    report["best_speedup"] = best
+    report["all_identical"] = all(
+        run["attributes_identical"]
+        for entry in report["runs"] for run in entry["batched"]
+    )
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out} (best speedup {best}x, "
+          f"all identical: {report['all_identical']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -131,14 +131,19 @@ def _cmd_cloud(args) -> int:
             seed=args.seed,
             checkpoint_path=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
+            batch_size=args.batch_size,
         )
     elif args.workers > 1:
         cloud = sample_cloud_pool(
             sub, args.states, workers=args.workers,
             method=args.method, seed=args.seed,
+            batch_size=args.batch_size,
         )
     else:
-        cloud = sample_cloud(sub, args.states, method=args.method, seed=args.seed)
+        cloud = sample_cloud(
+            sub, args.states, method=args.method, seed=args.seed,
+            batch_size=args.batch_size,
+        )
     if args.checkpoint and not args.resume:
         from repro.cloud.checkpoint import save_cloud
 
@@ -338,6 +343,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", choices=["bfs", "bfs-low-degree", "dfs", "wilson"],
                    default="bfs")
     p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--batch-size", type=int, default=1, metavar="B",
+                   help="balance B spanning trees per kernel invocation "
+                        "(the tree-batched engine; 1 = sequential)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output", help="write the per-vertex attribute CSV")
     p.add_argument("--edge-output", help="write the per-edge attribute CSV")

@@ -60,7 +60,7 @@ def save_cloud(cloud: FrustrationCloud, path: PathLike) -> None:
         "coalition": cloud._coalition,
         "edge_preserved": cloud._edge_preserved,
         "edge_coside": cloud._edge_coside,
-        "flip_counts": np.asarray(cloud._flip_counts, dtype=np.int64),
+        "flip_counts": cloud.flip_counts(),
     }
     if cloud.store_states:
         keys = list(cloud._unique.keys())
@@ -103,7 +103,8 @@ def load_cloud(path: PathLike, graph: SignedGraph) -> FrustrationCloud:
         cloud._coalition = data["coalition"].copy()
         cloud._edge_preserved = data["edge_preserved"].copy()
         cloud._edge_coside = data["edge_coside"].copy()
-        cloud._flip_counts = data["flip_counts"].tolist()
+        cloud._flip_counts = data["flip_counts"].astype(np.int64).copy()
+        cloud._flip_len = len(cloud._flip_counts)
         if cloud.store_states:
             signs = data["unique_signs"]
             counts = data["unique_counts"]
@@ -121,6 +122,7 @@ def resume_cloud(
     seed: int = 0,
     checkpoint_path: PathLike | None = None,
     checkpoint_every: int = 0,
+    batch_size: int = 1,
 ) -> FrustrationCloud:
     """Continue a seeded campaign until ``target_states`` states.
 
@@ -128,6 +130,8 @@ def resume_cloud(
     checkpointed campaign with the same ``(method, seed)`` therefore
     produces exactly the states an uninterrupted run would have.
     Optionally re-checkpoints every ``checkpoint_every`` new states.
+    ``batch_size > 1`` processes the remaining indices through the
+    tree-batched engine (checkpoints then land on batch boundaries).
     """
     if target_states < cloud.num_states:
         raise ReproError(
@@ -135,9 +139,22 @@ def resume_cloud(
         )
     sampler = TreeSampler(cloud.graph, method=method, seed=seed)
     since_save = 0
-    for i in range(cloud.num_states, target_states):
-        cloud.add_result(balance(cloud.graph, sampler.tree(i), kernel=kernel))
-        since_save += 1
+    start = cloud.num_states
+    while start < target_states:
+        count = min(max(batch_size, 1), target_states - start)
+        if count == 1:
+            cloud.add_result(
+                balance(cloud.graph, sampler.tree(start), kernel=kernel)
+            )
+        else:
+            from repro.core.parity_batch import balance_batch
+            from repro.harary.bipartition import sides_from_sign_to_root
+
+            batch = sampler.batch(count, start=start)
+            signs, s2r = balance_batch(cloud.graph, batch)
+            cloud.add_batch(signs, sides_from_sign_to_root(s2r))
+        start += count
+        since_save += count
         if (
             checkpoint_path is not None
             and checkpoint_every > 0

@@ -20,9 +20,14 @@ import numpy as np
 
 from repro.core.balancer import balance
 from repro.core.state import BalanceResult
-from repro.errors import ReproError
+from repro.errors import NotBalancedError, ReproError
 from repro.graph.csr import SignedGraph
-from repro.harary.bipartition import HararyBipartition, harary_bipartition
+from repro.harary.bipartition import (
+    HararyBipartition,
+    harary_bipartition,
+    sides_from_sign_to_root,
+)
+from repro.perf.counters import Counters
 from repro.perf.timers import PhaseTimer
 from repro.rng import SeedLike
 from repro.trees.sampler import TreeSampler
@@ -54,7 +59,8 @@ class FrustrationCloud:
     _coalition: np.ndarray = field(init=False, repr=False)
     _edge_preserved: np.ndarray = field(init=False, repr=False)
     _edge_coside: np.ndarray = field(init=False, repr=False)
-    _flip_counts: list[int] = field(init=False, repr=False)
+    _flip_counts: np.ndarray = field(init=False, repr=False)
+    _flip_len: int = field(init=False, repr=False)
     _unique: Dict[bytes, int] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -64,8 +70,25 @@ class FrustrationCloud:
         self._coalition = np.zeros(n, dtype=np.float64)
         self._edge_preserved = np.zeros(m, dtype=np.int64)
         self._edge_coside = np.zeros(m, dtype=np.int64)
-        self._flip_counts = []
+        # Flip counts live in a doubling preallocated buffer so batch
+        # ingestion and long campaigns never pay per-state list growth.
+        self._flip_counts = np.zeros(64, dtype=np.int64)
+        self._flip_len = 0
         self._unique = {}
+
+    def _append_flip_counts(self, values: np.ndarray) -> None:
+        """Append per-state flip counts, doubling capacity as needed."""
+        values = np.asarray(values, dtype=np.int64).ravel()
+        need = self._flip_len + len(values)
+        if need > len(self._flip_counts):
+            capacity = max(len(self._flip_counts), 1)
+            while capacity < need:
+                capacity *= 2
+            grown = np.zeros(capacity, dtype=np.int64)
+            grown[: self._flip_len] = self._flip_counts[: self._flip_len]
+            self._flip_counts = grown
+        self._flip_counts[self._flip_len : need] = values
+        self._flip_len = need
 
     # ------------------------------------------------------------------
     # Ingest
@@ -92,8 +115,8 @@ class FrustrationCloud:
         self._edge_coside += (
             bip.side[self.graph.edge_u] == bip.side[self.graph.edge_v]
         )
-        self._flip_counts.append(
-            int(np.count_nonzero(signs != self.graph.edge_sign))
+        self._append_flip_counts(
+            np.array([np.count_nonzero(signs != self.graph.edge_sign)])
         )
         if self.store_states:
             key = signs.tobytes()
@@ -104,6 +127,84 @@ class FrustrationCloud:
     def add_result(self, result: BalanceResult) -> HararyBipartition:
         """Fold a :class:`BalanceResult` into the cloud."""
         return self.add_signs(result.signs)
+
+    def add_batch(
+        self, signs: np.ndarray, sides: np.ndarray | None = None
+    ) -> None:
+        """Fold B balanced states at once with matrix reductions.
+
+        Parameters
+        ----------
+        signs:
+            ``(B, m)`` int8 stack of balanced sign arrays (one state
+            per row).
+        sides:
+            Optional ``(B, n)`` stack of Harary sides matching *signs*
+            (e.g. from :func:`~repro.harary.bipartition.sides_from_sign_to_root`
+            on the batched parity output).  When omitted, each row goes
+            through :meth:`add_signs` and its bipartition oracle.
+
+        The accumulator updates are single ``sum(axis=0)`` reductions
+        over the batch, so the cloud after ``add_batch`` is exactly the
+        cloud after B sequential :meth:`add_signs` calls in row order.
+        Raises :class:`~repro.errors.NotBalancedError` if any row's
+        signs are inconsistent with its sides (every positive edge must
+        stay inside a side, every negative edge must cross).
+        """
+        signs = np.asarray(signs, dtype=np.int8)
+        if signs.ndim != 2 or signs.shape[1] != self.graph.num_edges:
+            raise ReproError(
+                f"sign batch has shape {signs.shape}, expected "
+                f"(B, {self.graph.num_edges})"
+            )
+        if sides is None:
+            for row in signs:
+                self.add_signs(row)
+            return
+        sides = np.asarray(sides, dtype=np.int8)
+        num_new, n = sides.shape
+        if sides.shape != (len(signs), self.graph.num_vertices):
+            raise ReproError(
+                f"side batch has shape {sides.shape}, expected "
+                f"({len(signs)}, {self.graph.num_vertices})"
+            )
+
+        coside = sides[:, self.graph.edge_u] == sides[:, self.graph.edge_v]
+        if np.any((signs > 0) != coside):
+            b = int(np.nonzero(((signs > 0) != coside).any(axis=1))[0][0])
+            raise NotBalancedError(
+                f"state {b} of the batch is not balanced under its sides"
+            )
+
+        size1 = sides.sum(axis=1, dtype=np.int64)
+        size0 = n - size1
+        # majority side per state: 0, 1, or -1 on ties (δ = 0.5 for all).
+        maj = np.where(size0 > size1, 0, np.where(size1 > size0, 1, -1))
+        delta = (sides == maj[:, None]).astype(np.float64)
+        delta[maj == -1] = 0.5
+        self._majority += delta.sum(axis=0)
+        self._majority_sq += (delta * delta).sum(axis=0)
+        if n > 1:
+            side_size = np.where(
+                sides == 0, size0[:, None], size1[:, None]
+            ).astype(np.float64)
+            # Accumulate row by row: coalition contributions are inexact
+            # fractions, and bit-identity with sequential ingestion
+            # requires the same left-to-right addition order (the other
+            # accumulators are exact in float64, so batch reductions are
+            # order-safe).
+            for row in (side_size - 1.0) / (n - 1.0):
+                self._coalition += row
+        self._edge_preserved += (signs == self.graph.edge_sign).sum(axis=0)
+        self._edge_coside += coside.sum(axis=0)
+        self._append_flip_counts(
+            (signs != self.graph.edge_sign).sum(axis=1, dtype=np.int64)
+        )
+        if self.store_states:
+            for row in signs:
+                key = row.tobytes()
+                self._unique[key] = self._unique.get(key, 0) + 1
+        self.num_states += num_new
 
     # ------------------------------------------------------------------
     # Attributes (defined in §2.3 / the frustration-cloud paper [33])
@@ -178,11 +279,11 @@ class FrustrationCloud:
         on (and for exhaustive clouds, equal to) the frustration index
         L(Σ) *restricted to tree-based nearest states*."""
         self._require_states()
-        return min(self._flip_counts)
+        return int(self._flip_counts[: self._flip_len].min())
 
     def flip_counts(self) -> np.ndarray:
         """Flip count of every ingested state, in ingestion order."""
-        return np.asarray(self._flip_counts, dtype=np.int64)
+        return self._flip_counts[: self._flip_len].copy()
 
     def merge(self, other: "FrustrationCloud") -> None:
         """Fold another cloud over the *same* graph into this one.
@@ -202,7 +303,7 @@ class FrustrationCloud:
         self._coalition += other._coalition
         self._edge_preserved += other._edge_preserved
         self._edge_coside += other._edge_coside
-        self._flip_counts.extend(other._flip_counts)
+        self._append_flip_counts(other.flip_counts())
         if self.store_states:
             for key, count in other._unique.items():
                 self._unique[key] = self._unique.get(key, 0) + count
@@ -231,18 +332,49 @@ def sample_cloud(
     seed: SeedLike = None,
     store_states: bool = False,
     timers: PhaseTimer | None = None,
+    batch_size: int = 1,
+    counters: Counters | None = None,
 ) -> FrustrationCloud:
     """Alg. 2: sample ``num_states`` spanning trees, balance each, and
-    accumulate the Harary bipartitions into a cloud."""
+    accumulate the Harary bipartitions into a cloud.
+
+    ``batch_size > 1`` switches to the tree-batched engine: each
+    iteration samples a batch of trees with the stacked BFS kernels,
+    balances all of them with one batched parity pass, derives the
+    Harary sides in O(n) per state from the sign-to-root vectors, and
+    folds the whole batch into the cloud with matrix reductions.  The
+    result is attribute-for-attribute identical to ``batch_size=1``
+    with the same seed (the batched sampler is bit-identical per tree
+    index and the parity kernel produces the same balanced states as
+    every other kernel); only the per-state timing/counter breakdown
+    differs, since batching has no labeling phase.
+    """
+    if batch_size < 1:
+        raise ReproError("batch_size must be positive")
     sampler = TreeSampler(graph, method=method, seed=seed)
     cloud = FrustrationCloud(graph, store_states=store_states)
     timers = timers if timers is not None else PhaseTimer()
-    for i in range(num_states):
+    if batch_size == 1:
+        for i in range(num_states):
+            with timers.phase("tree_generation"):
+                tree = sampler.tree(i)
+            result = balance(
+                graph, tree, kernel=kernel, timers=timers, counters=counters
+            )
+            with timers.phase("harary_and_status"):
+                cloud.add_result(result)
+        return cloud
+
+    from repro.core.parity_batch import balance_batch
+
+    for start in range(0, num_states, batch_size):
+        count = min(batch_size, num_states - start)
         with timers.phase("tree_generation"):
-            tree = sampler.tree(i)
-        result = balance(graph, tree, kernel=kernel, timers=timers)
+            batch = sampler.batch(count, start=start, counters=counters)
+        with timers.phase("cycle_processing"):
+            signs, s2r = balance_batch(graph, batch, counters=counters)
         with timers.phase("harary_and_status"):
-            cloud.add_result(result)
+            cloud.add_batch(signs, sides_from_sign_to_root(s2r))
     return cloud
 
 

@@ -165,14 +165,12 @@ def balance_forest(
         members = np.nonzero(label == comp)[0]
         if len(members) < 2:
             continue
-        sub, old = induced_subgraph(graph, members)
+        sub, _old, host_edges = induced_subgraph(
+            graph, members, return_edge_ids=True
+        )
         if sub.num_edges == 0:
             continue
         result = balance(sub, kernel=kernel, seed=spawn(seed, comp))
-        # Map the component's balanced signs back to the host edges.
-        for e in range(sub.num_edges):
-            host = graph.find_edge(
-                int(old[sub.edge_u[e]]), int(old[sub.edge_v[e]])
-            )
-            signs[host] = result.signs[e]
+        # Scatter the component's balanced signs back to the host edges.
+        signs[host_edges] = result.signs
     return signs

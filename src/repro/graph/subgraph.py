@@ -21,13 +21,20 @@ __all__ = ["induced_subgraph", "k_core"]
 
 
 def induced_subgraph(
-    graph: SignedGraph, vertices: np.ndarray
-) -> Tuple[SignedGraph, np.ndarray]:
+    graph: SignedGraph,
+    vertices: np.ndarray,
+    return_edge_ids: bool = False,
+):
     """The subgraph induced by *vertices*.
 
     Returns ``(subgraph, old_ids)`` with ``old_ids[i]`` the original id
     of subgraph vertex ``i``.  Vertex order is preserved (sorted by
-    original id); duplicate input ids are rejected.
+    original id); duplicate input ids are rejected.  With
+    ``return_edge_ids=True`` the result is ``(subgraph, old_ids,
+    edge_ids)`` where ``edge_ids[e]`` is the host edge id of subgraph
+    edge ``e`` — the scatter map that lets callers push per-edge
+    results (balanced signs, agreements) back to the host graph without
+    per-edge lookups.
     """
     vertices = np.unique(np.asarray(vertices, dtype=np.int64))
     if len(vertices) and (
@@ -45,6 +52,8 @@ def induced_subgraph(
     hi = np.maximum(eu, ev)
     order = np.lexsort((hi, lo))
     sub = csr_from_undirected(len(vertices), lo[order], hi[order], es[order])
+    if return_edge_ids:
+        return sub, vertices, np.nonzero(keep)[0][order]
     return sub, vertices
 
 

@@ -4,6 +4,7 @@ from repro.harary.bipartition import (
     HararyBipartition,
     harary_bipartition,
     positive_components,
+    sides_from_sign_to_root,
 )
 from repro.harary.cuts import crossing_edges, cut_size, harary_cut, verify_cut
 
@@ -11,6 +12,7 @@ __all__ = [
     "HararyBipartition",
     "harary_bipartition",
     "positive_components",
+    "sides_from_sign_to_root",
     "harary_cut",
     "crossing_edges",
     "verify_cut",

@@ -3,11 +3,18 @@
 The simplest parallelization of Alg. 2 runs different trees on
 different workers (§3.3's opening observation).  This driver does that
 with a :class:`concurrent.futures.ProcessPoolExecutor`: each worker
-builds and balances a contiguous block of tree indices, accumulates a
-local :class:`FrustrationCloud`, and the parent merges the per-worker
+builds and balances a block of tree indices, accumulates a local
+:class:`FrustrationCloud`, and the parent merges the per-worker
 clouds — producing results **identical** to the sequential
 :func:`repro.cloud.sample_cloud` for the same seed (tested), because
 :class:`TreeSampler` hands out tree *i* deterministically.
+
+The graph is shipped to each worker exactly once, through the
+executor's *initializer* (one pickle per worker process), instead of
+being re-pickled into every submitted block; blocks then travel as a
+few integers.  Within a worker, ``batch_size > 1`` runs the
+tree-batched engine on each block, stacking the worker's trees into
+shared vectorized kernels.
 
 On this reproduction's single-core container the pool adds overhead
 rather than speed; the value here is the verified-deterministic
@@ -18,8 +25,6 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 
-import numpy as np
-
 from repro.cloud.cloud import FrustrationCloud
 from repro.core.balancer import balance
 from repro.errors import EngineError
@@ -29,21 +34,56 @@ from repro.trees.sampler import TreeSampler
 
 __all__ = ["sample_cloud_pool"]
 
+# Per-process graph slot, populated once by the executor initializer so
+# submitted tasks don't each re-pickle the (potentially large) graph.
+_WORKER_GRAPH: SignedGraph | None = None
 
-def _worker(
+
+def _init_worker(graph: SignedGraph) -> None:
+    global _WORKER_GRAPH
+    _WORKER_GRAPH = graph
+
+
+def _run_block(
     graph: SignedGraph,
     method: str,
     kernel: str,
     seed: int,
     indices: list[int],
     store_states: bool,
+    batch_size: int,
 ) -> FrustrationCloud:
     """Balance the given tree indices and return the local cloud."""
     sampler = TreeSampler(graph, method=method, seed=seed)
     cloud = FrustrationCloud(graph, store_states=store_states)
-    for i in indices:
-        cloud.add_result(balance(graph, sampler.tree(i), kernel=kernel))
+    if batch_size > 1:
+        from repro.core.parity_batch import balance_batch
+        from repro.harary.bipartition import sides_from_sign_to_root
+
+        for lo in range(0, len(indices), batch_size):
+            batch = sampler.batch(indices[lo : lo + batch_size])
+            signs, s2r = balance_batch(graph, batch)
+            cloud.add_batch(signs, sides_from_sign_to_root(s2r))
+    else:
+        for i in indices:
+            cloud.add_result(balance(graph, sampler.tree(i), kernel=kernel))
     return cloud
+
+
+def _worker(
+    method: str,
+    kernel: str,
+    seed: int,
+    indices: list[int],
+    store_states: bool,
+    batch_size: int,
+) -> FrustrationCloud:
+    """Pool entry point: run a block against the initializer's graph."""
+    if _WORKER_GRAPH is None:  # pragma: no cover - initializer always ran
+        raise EngineError("worker process has no graph; initializer missing")
+    return _run_block(
+        _WORKER_GRAPH, method, kernel, seed, indices, store_states, batch_size
+    )
 
 
 def sample_cloud_pool(
@@ -54,17 +94,21 @@ def sample_cloud_pool(
     kernel: str = "lockstep",
     seed: SeedLike = 0,
     store_states: bool = False,
+    batch_size: int = 1,
 ) -> FrustrationCloud:
     """Alg. 2 with tree-level process parallelism.
 
     Equivalent to ``sample_cloud(graph, num_states, method, kernel,
     seed)`` up to the (unordered) flip-count log.  ``workers=1`` runs
-    in-process without spawning.
+    in-process without spawning.  ``batch_size > 1`` additionally runs
+    the tree-batched engine inside each worker.
     """
     if num_states < 1:
         raise EngineError("num_states must be positive")
     if workers < 1:
         raise EngineError("workers must be positive")
+    if batch_size < 1:
+        raise EngineError("batch_size must be positive")
     frozen = freeze_seed(seed)
     blocks = [
         list(range(num_states))[w::workers] for w in range(workers)
@@ -72,12 +116,20 @@ def sample_cloud_pool(
     blocks = [b for b in blocks if b]
 
     if workers == 1 or len(blocks) == 1:
-        return _worker(graph, method, kernel, frozen, list(range(num_states)), store_states)
+        return _run_block(
+            graph, method, kernel, frozen, list(range(num_states)),
+            store_states, batch_size,
+        )
 
     merged = FrustrationCloud(graph, store_states=store_states)
-    with ProcessPoolExecutor(max_workers=len(blocks)) as pool:
+    with ProcessPoolExecutor(
+        max_workers=len(blocks), initializer=_init_worker, initargs=(graph,)
+    ) as pool:
         futures = [
-            pool.submit(_worker, graph, method, kernel, frozen, block, store_states)
+            pool.submit(
+                _worker, method, kernel, frozen, block, store_states,
+                batch_size,
+            )
             for block in blocks
         ]
         for future in futures:

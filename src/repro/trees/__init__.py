@@ -9,6 +9,7 @@ from repro.trees.degree_aware import degree_aware_bfs_tree
 from repro.trees.dfs import dfs_tree
 from repro.trees.random_tree import wilson_tree
 from repro.trees.sampler import TreeSampler, TREE_METHODS
+from repro.trees.batched import TreeBatch, sample_bfs_batch, spawn_batch
 from repro.trees.enumeration import (
     all_spanning_trees,
     count_spanning_trees,
@@ -24,6 +25,9 @@ __all__ = [
     "wilson_tree",
     "TreeSampler",
     "TREE_METHODS",
+    "TreeBatch",
+    "sample_bfs_batch",
+    "spawn_batch",
     "all_spanning_trees",
     "count_spanning_trees",
     "tree_from_edge_ids",

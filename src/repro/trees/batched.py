@@ -1,0 +1,243 @@
+"""Batched spanning-tree sampling: grow B trees per kernel invocation.
+
+The paper's key performance observation (§3.3) is that cycle processing
+is embarrassingly parallel *across trees* — Alg. 2 samples 1000
+independent BFS trees.  In pure NumPy the analog of launching one GPU
+grid per tree is stacking B trees into ``(B, n)`` arrays and advancing
+all of their frontiers inside the same vectorized operations, so the
+per-level interpreter overhead is paid once per *batch* instead of once
+per tree.
+
+:func:`sample_bfs_batch` is bit-identical, tree index by tree index, to
+:meth:`repro.trees.sampler.TreeSampler.tree` with the same seed: tree
+``i`` draws from the ``i``-th spawned child stream, its root draw and
+per-level tie-break draws happen in exactly the sequential order, and
+the batched frontier keeps each tree's offers in the sequential
+frontier order.  The equivalence is what lets the batched cloud engine
+(:func:`repro.cloud.cloud.sample_cloud` with ``batch_size > 1``)
+reproduce the sequential cloud attribute-for-attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DisconnectedGraphError, EngineError
+from repro.graph.csr import SignedGraph
+from repro.perf.counters import Counters
+from repro.trees.tree import SpanningTree
+from repro.util.arrays import concat_ranges
+
+__all__ = ["TreeBatch", "sample_bfs_batch", "spawn_batch"]
+
+
+@dataclass(frozen=True)
+class TreeBatch:
+    """B rooted spanning trees of one graph in stacked arrays.
+
+    Row ``b`` of every array describes one spanning tree exactly as the
+    corresponding fields of :class:`~repro.trees.tree.SpanningTree`
+    would: ``parent[b, v]`` is the BFS parent of ``v`` (−1 at the
+    root), ``parent_edge[b, v]`` the undirected edge id to that parent,
+    ``level_of[b, v]`` the BFS depth.
+    """
+
+    roots: np.ndarray        # (B,) root vertex per tree
+    parent: np.ndarray       # (B, n)
+    parent_edge: np.ndarray  # (B, n)
+    level_of: np.ndarray     # (B, n)
+
+    @property
+    def num_trees(self) -> int:
+        return len(self.roots)
+
+    @property
+    def num_vertices(self) -> int:
+        return self.parent.shape[1]
+
+    @property
+    def num_levels(self) -> int:
+        """Deepest level across the batch, plus one."""
+        return int(self.level_of.max()) + 1 if self.level_of.size else 0
+
+    @cached_property
+    def flat_levels(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(order, level_ptr)`` over *flattened* tree-vertex ids.
+
+        ``order`` lists all ``B * n`` flattened ids (``b * n + v``)
+        sorted by BFS level; ``level_ptr[l] : level_ptr[l + 1]`` slices
+        the ids at level ``l`` across every tree in the batch — the
+        iteration structure of the batched top-down parity pass.
+        """
+        flat = self.level_of.ravel()
+        order = np.argsort(flat, kind="stable").astype(np.int64)
+        counts = np.bincount(flat, minlength=self.num_levels)
+        level_ptr = np.zeros(self.num_levels + 1, dtype=np.int64)
+        np.cumsum(counts, out=level_ptr[1:])
+        return order, level_ptr
+
+    @cached_property
+    def flat_parent(self) -> np.ndarray:
+        """Flattened parent pointers: ``b * n + parent[b, v]`` (−1 kept
+        at the roots), indexable against any ``(B * n,)`` array."""
+        offsets = np.arange(self.num_trees, dtype=np.int64)[:, None]
+        flat = self.parent + offsets * self.num_vertices
+        flat[self.parent < 0] = -1
+        return flat.ravel()
+
+    def to_tree(self, graph: SignedGraph, b: int) -> SpanningTree:
+        """Materialize tree *b* as a validated :class:`SpanningTree`."""
+        return SpanningTree.from_parents(
+            graph, int(self.roots[b]), self.parent[b], self.parent_edge[b]
+        )
+
+    @classmethod
+    def from_trees(cls, trees: Sequence[SpanningTree]) -> "TreeBatch":
+        """Stack individually sampled trees (the non-BFS fallback)."""
+        if not trees:
+            raise EngineError("cannot build an empty TreeBatch")
+        return cls(
+            roots=np.asarray([t.root for t in trees], dtype=np.int64),
+            parent=np.stack([t.parent for t in trees]),
+            parent_edge=np.stack([t.parent_edge for t in trees]),
+            level_of=np.stack([t.level_of for t in trees]),
+        )
+
+
+def spawn_batch(seed: int, indices: Sequence[int]) -> list[np.random.Generator]:
+    """Child generators for the given tree indices, identical to
+    ``[repro.rng.spawn(seed, i) for i in indices]`` but spawning the
+    SeedSequence children once instead of O(max index²) times."""
+    indices = list(indices)
+    if not indices:
+        return []
+    if min(indices) < 0:
+        raise EngineError("tree indices must be non-negative")
+    children = np.random.SeedSequence(seed).spawn(max(indices) + 1)
+    return [np.random.default_rng(children[i]) for i in indices]
+
+
+def sample_bfs_batch(
+    graph: SignedGraph,
+    seed: int,
+    indices: Sequence[int],
+    root: int | None = None,
+    counters: Counters | None = None,
+) -> TreeBatch:
+    """Sample the randomized BFS trees for the given indices in one
+    batched level-synchronous expansion.
+
+    Tree-by-tree the output is bit-identical to
+    ``bfs_tree(graph, root=root, seed=spawn(seed, i))`` — same root
+    draws, same parent tie-breaks — because every tree keeps its own
+    child RNG stream and its offers stay in the sequential frontier
+    order inside the stacked arrays.
+    """
+    n = graph.num_vertices
+    rngs = spawn_batch(seed, indices)
+    num_trees = len(rngs)
+    if num_trees == 0:
+        raise EngineError("need at least one tree index")
+
+    if root is None:
+        roots = np.asarray(
+            [int(rng.integers(0, n)) for rng in rngs], dtype=np.int64
+        )
+    else:
+        roots = np.full(num_trees, int(root), dtype=np.int64)
+
+    size = num_trees * n
+    parent = np.full(size, -1, dtype=np.int64)
+    parent_edge = np.full(size, -1, dtype=np.int64)
+    level = np.full(size, -1, dtype=np.int64)
+    discovered = np.zeros(size, dtype=bool)
+
+    # Flattened tree-vertex ids g = b * n + v.  The frontier stays
+    # sorted ascending, i.e. grouped by tree with each tree's vertices
+    # in the same (ascending) order the sequential BFS produces.
+    offsets = np.arange(num_trees, dtype=np.int64) * n
+    frontier = offsets + roots
+    discovered[frontier] = True
+    level[frontier] = 0
+    reached = np.ones(num_trees, dtype=np.int64)
+    depth = 0
+
+    while len(frontier):
+        depth += 1
+        tree_of = frontier // n
+        verts = frontier % n
+
+        starts = graph.indptr[verts]
+        counts = graph.indptr[verts + 1] - starts
+        pos = np.repeat(starts, counts) + concat_ranges(counts)
+        if len(pos) == 0:
+            break
+        src_tree = np.repeat(tree_of, counts)
+
+        g_target = src_tree * n + graph.adj_vertex[pos]
+        fresh = ~discovered[g_target]
+        g_target = g_target[fresh]
+        src_tree = src_tree[fresh]
+        pos = pos[fresh]
+        if len(g_target) == 0:
+            break
+
+        # Per-tree tie-break keys, drawn from each tree's own stream in
+        # one call per (tree, level) — exactly the sequential draw.
+        offers_per_tree = np.bincount(src_tree, minlength=num_trees)
+        keys = np.empty(len(g_target), dtype=np.float64)
+        cursor = 0
+        for t in np.nonzero(offers_per_tree)[0]:
+            k = int(offers_per_tree[t])
+            keys[cursor : cursor + k] = rngs[t].random(k)
+            cursor += k
+
+        # Uniform winner per (tree, target) without a float sort: a
+        # stable integer (radix) sort groups each target's offers while
+        # keeping them in offer order, then the minimum random key per
+        # run picks the same winner the sequential lexsort would (ties
+        # fall to the earlier offer in both).
+        order = np.argsort(g_target, kind="stable")
+        gts = g_target[order]
+        keys_s = keys[order]
+        first = np.empty(len(gts), dtype=bool)
+        first[0] = True
+        first[1:] = gts[1:] != gts[:-1]
+        run_starts = np.nonzero(first)[0]
+        run_id = np.cumsum(first) - 1
+        is_min = keys_s == np.minimum.reduceat(keys_s, run_starts)[run_id]
+        cand = np.nonzero(is_min)[0]
+        lead = np.empty(len(cand), dtype=bool)
+        lead[0] = True
+        lead[1:] = run_id[cand[1:]] != run_id[cand[:-1]]
+        win = cand[lead]  # one offer index (into the sorted view) per run
+
+        new_g = gts[win]
+        pos_w = pos[order[win]]
+        # Recover the winning offers' source vertices from their CSR
+        # positions (cheap: only |new frontier| searchsorted lookups).
+        parent[new_g] = np.searchsorted(graph.indptr, pos_w, side="right") - 1
+        parent_edge[new_g] = graph.adj_edge[pos_w]
+        discovered[new_g] = True
+        level[new_g] = depth
+        reached += np.bincount(new_g // n, minlength=num_trees)
+        frontier = new_g
+        if counters is not None:
+            counters.parallel_region("batch.bfs_round", len(new_g))
+
+    if np.any(reached != n):
+        b = int(np.nonzero(reached != n)[0][0])
+        raise DisconnectedGraphError(
+            f"BFS from root {int(roots[b])} reached {int(reached[b])} of "
+            f"{n} vertices; extract the largest connected component first"
+        )
+    return TreeBatch(
+        roots=roots,
+        parent=parent.reshape(num_trees, n),
+        parent_edge=parent_edge.reshape(num_trees, n),
+        level_of=level.reshape(num_trees, n),
+    )

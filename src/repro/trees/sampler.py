@@ -11,7 +11,7 @@ bit-identical to the serial driver.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro.errors import EngineError
 from repro.graph.csr import SignedGraph
@@ -21,6 +21,9 @@ from repro.trees.degree_aware import degree_aware_bfs_tree
 from repro.trees.dfs import dfs_tree
 from repro.trees.random_tree import wilson_tree
 from repro.trees.tree import SpanningTree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.trees.batched import TreeBatch
 
 __all__ = ["TreeSampler", "TREE_METHODS"]
 
@@ -71,3 +74,28 @@ class TreeSampler:
         """Yield trees ``start .. start + count - 1``."""
         for i in range(start, start + count):
             yield self.tree(i)
+
+    def batch(
+        self,
+        indices: Sequence[int] | int,
+        start: int = 0,
+        counters=None,
+    ) -> "TreeBatch":
+        """The trees at *indices* (or ``start .. start + indices - 1``
+        when an int) as a stacked :class:`~repro.trees.batched.TreeBatch`.
+
+        Tree ``i`` of the batch is bit-identical to ``self.tree(i)``.
+        The BFS method runs the batched level-synchronous sampler (one
+        set of vectorized kernels for the whole batch); other methods
+        fall back to stacking individually sampled trees.
+        """
+        from repro.trees.batched import TreeBatch, sample_bfs_batch
+
+        if isinstance(indices, int):
+            indices = range(start, start + indices)
+        if self.method == "bfs":
+            return sample_bfs_batch(
+                self.graph, self.seed, indices, root=self.root,
+                counters=counters,
+            )
+        return TreeBatch.from_trees([self.tree(i) for i in indices])

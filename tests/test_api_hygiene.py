@@ -38,6 +38,7 @@ MODULES = [
     "repro.trees.dfs",
     "repro.trees.random_tree",
     "repro.trees.sampler",
+    "repro.trees.batched",
     "repro.trees.enumeration",
     "repro.trees.properties",
     "repro.core",
@@ -46,6 +47,7 @@ MODULES = [
     "repro.core.adjacency",
     "repro.core.cycles",
     "repro.core.cycles_vectorized",
+    "repro.core.parity_batch",
     "repro.core.balancer",
     "repro.core.baseline",
     "repro.core.incremental",
