@@ -21,9 +21,10 @@ from repro.cloud import (
     sample_cloud,
     split_half_agreement,
 )
-from repro.cloud.checkpoint import load_cloud, resume_cloud, save_cloud
+from repro.cloud.checkpoint import recover_cloud, resume_cloud
 from repro.graph.components import largest_connected_component
 from repro.graph.datasets import load
+from repro.util.faults import truncate_file
 
 graph, _ = largest_connected_component(load("A*_Instruments_core5", seed=0))
 print(f"campaign target: consensus attributes for {graph}")
@@ -31,18 +32,33 @@ print(f"campaign target: consensus attributes for {graph}")
 workdir = Path(tempfile.mkdtemp(prefix="repro_campaign_"))
 ckpt = workdir / "cloud.npz"
 
-# --- Burst 1: bootstrap and checkpoint. --------------------------------
-cloud = sample_cloud(graph, 16, seed=42)
-save_cloud(cloud, ckpt)
+# --- Bursts 1–2: bootstrap and checkpoint. -----------------------------
+# checkpoint_path stores the campaign (method, kernel, seed, batch size)
+# inside the file; keep_checkpoints=2 rotates the previous good file to
+# cloud.npz.1 on every later write.
+cloud = sample_cloud(graph, 16, seed=42, checkpoint_path=ckpt,
+                     keep_checkpoints=2)
 print(f"\nburst 1: {cloud.num_states} states, checkpointed to {ckpt.name}")
+cloud = resume_cloud(cloud, 32, checkpoint_path=ckpt, keep_checkpoints=2)
+print(f"burst 2: {cloud.num_states} states")
 
-# --- Simulate a restart: reload and keep going in bursts. --------------
-cloud = load_cloud(ckpt, graph)
-target = 16
-for burst in range(2, 5):
+# --- Simulate a crash + restart. ---------------------------------------
+# Tear the newest checkpoint (as a kill mid-copy would); recover_cloud
+# falls back through the rotation chain to the newest loadable file.
+truncate_file(ckpt, fraction=0.3)
+cloud, campaign, source = recover_cloud(ckpt, graph)
+print(f"after simulated crash: recovered {cloud.num_states} states from "
+      f"{source.name} (campaign: seed={campaign.seed}, "
+      f"kernel={campaign.kernel!r})")
+
+# Resume inherits the stored campaign — no need to respell seed=42, and
+# respelling it *differently* would raise CheckpointError, not diverge.
+target = cloud.num_states
+for burst in range(3, 6):
     target *= 2
     cloud = resume_cloud(
-        cloud, target, seed=42, checkpoint_path=ckpt, checkpoint_every=16
+        cloud, target, checkpoint_path=ckpt, checkpoint_every=16,
+        keep_checkpoints=2,
     )
     reliability = split_half_agreement(graph, cloud.num_states, seed=7)
     print(f"burst {burst}: {cloud.num_states:4d} states, "

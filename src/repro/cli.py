@@ -119,35 +119,64 @@ def _cmd_cloud(args) -> int:
 
     graph = load_graph_file(args.input)
     sub, ids = _lcc(graph)
+    # Fresh campaigns fall back to the historical defaults; on --resume,
+    # parameters the user did not spell out are inherited from (and
+    # explicit ones validated against) the checkpoint's campaign.
+    method = args.method if args.method is not None else "bfs"
+    seed = args.seed if args.seed is not None else 0
+    batch_size = args.batch_size if args.batch_size is not None else 1
     if args.resume:
-        from repro.cloud.checkpoint import load_cloud, resume_cloud
-
-        cloud = load_cloud(args.resume, sub)
-        print(f"resuming from {args.resume} ({cloud.num_states} states)")
-        cloud = resume_cloud(
-            cloud,
-            args.states,
-            method=args.method,
-            seed=args.seed,
-            checkpoint_path=args.checkpoint,
-            checkpoint_every=args.checkpoint_every,
-            batch_size=args.batch_size,
+        from repro.cloud.checkpoint import (
+            recover_cloud,
+            resume_cloud,
+            validate_campaign,
         )
+
+        cloud, meta, source = recover_cloud(args.resume, sub)
+        print(f"resuming from {source} ({cloud.num_states} states)")
+        if meta is not None and meta.done_blocks is not None:
+            # Pool-salvage checkpoint: rerun only the missing blocks.
+            params = validate_campaign(
+                meta, method=args.method, seed=args.seed,
+                batch_size=args.batch_size,
+            )
+            cloud = sample_cloud_pool(
+                sub, args.states, workers=max(args.workers, 1),
+                method=params["method"], kernel=params["kernel"],
+                seed=params["seed"], batch_size=params["batch_size"],
+                store_states=params["store_states"],
+                checkpoint_path=args.checkpoint,
+                keep_checkpoints=args.keep_checkpoints,
+                resume_from=source,
+            )
+        else:
+            cloud = resume_cloud(
+                cloud,
+                args.states,
+                method=args.method,
+                seed=args.seed,
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                batch_size=args.batch_size,
+                keep_checkpoints=args.keep_checkpoints,
+            )
     elif args.workers > 1:
         cloud = sample_cloud_pool(
             sub, args.states, workers=args.workers,
-            method=args.method, seed=args.seed,
-            batch_size=args.batch_size,
+            method=method, seed=seed,
+            batch_size=batch_size,
+            checkpoint_path=args.checkpoint,
+            keep_checkpoints=args.keep_checkpoints,
         )
     else:
         cloud = sample_cloud(
-            sub, args.states, method=args.method, seed=args.seed,
-            batch_size=args.batch_size,
+            sub, args.states, method=method, seed=seed,
+            batch_size=batch_size,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            keep_checkpoints=args.keep_checkpoints,
         )
-    if args.checkpoint and not args.resume:
-        from repro.cloud.checkpoint import save_cloud
-
-        save_cloud(cloud, args.checkpoint)
+    if args.checkpoint:
         print(f"checkpoint written to {args.checkpoint}")
     status = cloud.status()
     print(f"cloud of {cloud.num_states} states over {sub.num_vertices:,} vertices")
@@ -341,18 +370,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("input")
     p.add_argument("--states", type=int, default=100)
     p.add_argument("--method", choices=["bfs", "bfs-low-degree", "dfs", "wilson"],
-                   default="bfs")
+                   default=None,
+                   help="tree sampling method (default bfs; with --resume, "
+                        "inherited from the checkpoint's campaign)")
     p.add_argument("--workers", type=int, default=1)
-    p.add_argument("--batch-size", type=int, default=1, metavar="B",
+    p.add_argument("--batch-size", type=int, default=None, metavar="B",
                    help="balance B spanning trees per kernel invocation "
-                        "(the tree-batched engine; 1 = sequential)")
-    p.add_argument("--seed", type=int, default=0)
+                        "(the tree-batched engine; default 1 = sequential; "
+                        "with --resume, inherited from the checkpoint)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="campaign seed (default 0; with --resume, inherited "
+                        "from the checkpoint's campaign)")
     p.add_argument("--output", help="write the per-vertex attribute CSV")
     p.add_argument("--edge-output", help="write the per-edge attribute CSV")
-    p.add_argument("--checkpoint", help="write an NPZ cloud checkpoint")
+    p.add_argument("--checkpoint",
+                   help="write crash-safe NPZ cloud checkpoints (atomic "
+                        "write; on a pool-worker crash, completed blocks "
+                        "are salvaged here)")
     p.add_argument("--checkpoint-every", type=int, default=0,
-                   help="with --resume: re-checkpoint every N new states")
-    p.add_argument("--resume", help="resume a campaign from an NPZ checkpoint")
+                   help="re-checkpoint every N new states (sequential "
+                        "campaigns; pools checkpoint on completion/crash)")
+    p.add_argument("--keep-checkpoints", type=int, default=2, metavar="K",
+                   help="rotate the last K good checkpoints "
+                        "(path, path.1, ...; default 2)")
+    p.add_argument("--resume",
+                   help="resume a campaign from an NPZ checkpoint, falling "
+                        "back to its newest loadable rotation backup; "
+                        "mismatched --method/--seed/--batch-size fail loudly")
     p.set_defaults(func=_cmd_cloud)
 
     p = sub.add_parser("frustration", help="frustration-index bounds")

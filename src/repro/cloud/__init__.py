@@ -3,7 +3,12 @@
 nearest-state verification.
 """
 
-from repro.cloud.cloud import FrustrationCloud, exact_cloud, sample_cloud
+from repro.cloud.cloud import (
+    BATCHED_KERNELS,
+    FrustrationCloud,
+    exact_cloud,
+    sample_cloud,
+)
 from repro.cloud.convergence import (
     StatusTrajectory,
     recommend_sample_size,
@@ -12,10 +17,15 @@ from repro.cloud.convergence import (
 )
 from repro.cloud.branch_bound import frustration_branch_bound
 from repro.cloud.checkpoint import (
+    CampaignMeta,
+    CheckpointWriter,
     graph_fingerprint,
+    load_checkpoint,
     load_cloud,
+    recover_cloud,
     resume_cloud,
     save_cloud,
+    validate_campaign,
 )
 from repro.cloud.export import (
     edge_attribute_table,
@@ -44,6 +54,7 @@ from repro.cloud.weighted import (
 )
 
 __all__ = [
+    "BATCHED_KERNELS",
     "FrustrationCloud",
     "sample_cloud",
     "exact_cloud",
@@ -68,7 +79,12 @@ __all__ = [
     "sample_min_weight_state",
     "save_cloud",
     "load_cloud",
+    "load_checkpoint",
+    "recover_cloud",
     "resume_cloud",
+    "validate_campaign",
+    "CampaignMeta",
+    "CheckpointWriter",
     "graph_fingerprint",
     "vertex_attribute_table",
     "edge_attribute_table",

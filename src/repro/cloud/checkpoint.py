@@ -1,39 +1,92 @@
-"""Cloud checkpointing: save, load, and resume long campaigns.
+"""Crash-safe cloud checkpointing: save, load, recover, and resume.
 
 A 1000-state campaign on a large graph can run for hours in pure
-Python; production runs need to survive restarts.  Because
-:class:`FrustrationCloud` is a set of flat accumulators and
-:class:`~repro.trees.sampler.TreeSampler` hands out tree *i*
-deterministically, checkpointing is exact:
+Python; production runs need to survive restarts *and* crashes.  The
+checkpoint layer therefore provides three guarantees:
 
-* :func:`save_cloud` writes the accumulators (and, when present, the
-  unique-state table) to an NPZ;
-* :func:`load_cloud` restores them against the *same* graph (a content
-  fingerprint guards against mixing graphs);
-* :func:`resume_cloud` continues a seeded campaign from state
-  ``cloud.num_states`` onward — the result is bit-identical to an
-  uninterrupted run (tested).
+* **Atomic, self-describing writes** (format v2).  :func:`save_cloud`
+  writes the accumulators to a temp file, fsyncs, and publishes with
+  ``os.replace`` — a kill at any instant leaves either the previous
+  checkpoint or the new one, never a torn file.  The payload embeds the
+  campaign metadata (:class:`CampaignMeta`: method, kernel, seed,
+  batch size, store_states) next to the graph fingerprint, so a
+  checkpoint fully describes how to continue it.
+* **Rotation + recovery.**  ``save_cloud(..., keep=K)`` rotates the
+  last K good checkpoints (``path``, ``path.1``, …) and
+  :func:`recover_cloud` falls back to the newest loadable one when the
+  latest is truncated or corrupt.  Every array is shape-validated
+  against the graph, so damage surfaces as a clear
+  :class:`~repro.errors.CheckpointError` instead of a cryptic numpy
+  crash deep inside an attribute computation.
+* **Validated resume.**  :func:`resume_cloud` continues a seeded
+  campaign from state ``cloud.num_states`` onward, bit-identical to an
+  uninterrupted run (tested under fault injection — see
+  :mod:`repro.util.faults`).  When the checkpoint carries campaign
+  metadata, resume parameters left as ``None`` are inherited from it
+  and explicitly passed parameters are checked against it; a mismatch
+  raises instead of silently producing a divergent cloud.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Union
+from typing import IO, Callable, Iterator, Tuple, Union
 
 import numpy as np
 
-from repro.cloud.cloud import FrustrationCloud
+from repro.cloud.cloud import BATCHED_KERNELS, FrustrationCloud
 from repro.core.balancer import balance
-from repro.errors import ReproError
+from repro.errors import CheckpointError, EngineError, ReproError
 from repro.graph.csr import SignedGraph
+from repro.rng import freeze_seed
 from repro.trees.sampler import TreeSampler
 
-__all__ = ["save_cloud", "load_cloud", "resume_cloud", "graph_fingerprint"]
+__all__ = [
+    "CampaignMeta",
+    "CheckpointWriter",
+    "save_cloud",
+    "load_cloud",
+    "load_checkpoint",
+    "recover_cloud",
+    "resume_cloud",
+    "validate_campaign",
+    "graph_fingerprint",
+    "rotated_paths",
+]
 
 PathLike = Union[str, Path]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_COMPAT_VERSIONS = (1, 2)
+
+# Fault-injection seams (see repro.util.faults): the atomic-write path
+# goes through these module attributes so crash tests can simulate a
+# kill mid-write or just before the publishing rename without touching
+# the real os module.
+_replace: Callable[..., None] = os.replace
+_wrap_stream: Callable[[IO[bytes]], IO[bytes]] = lambda fh: fh
+
+
+@dataclass(frozen=True)
+class CampaignMeta:
+    """The parameters that determine a campaign's exact state sequence.
+
+    ``done_blocks`` is ``None`` for a normal checkpoint (states
+    ``0 .. num_states-1`` are a contiguous prefix of the campaign) and
+    a tuple of ``(start, stop, step)`` index blocks for a pool-salvage
+    checkpoint, where only those blocks completed before a sibling
+    worker crashed (see :func:`repro.parallel.pool.sample_cloud_pool`).
+    """
+
+    method: str
+    kernel: str
+    seed: int
+    batch_size: int
+    store_states: bool
+    done_blocks: Tuple[Tuple[int, int, int], ...] | None = None
 
 
 def graph_fingerprint(graph: SignedGraph) -> str:
@@ -46,15 +99,92 @@ def graph_fingerprint(graph: SignedGraph) -> str:
     return h.hexdigest()
 
 
-def save_cloud(cloud: FrustrationCloud, path: PathLike) -> None:
-    """Persist the cloud's accumulators to an NPZ checkpoint."""
+# ----------------------------------------------------------------------
+# Atomic write + rotation
+# ----------------------------------------------------------------------
+def _backup_path(path: Path, k: int) -> Path:
+    return path.with_name(f"{path.name}.{k}")
+
+
+def _rotate(path: Path, keep: int) -> None:
+    """Shift ``path`` into the backup chain ``path.1 .. path.{keep-1}``."""
+    if keep <= 1 or not path.exists():
+        return
+    for k in range(keep - 2, 0, -1):
+        src = _backup_path(path, k)
+        if src.exists():
+            _replace(src, _backup_path(path, k + 1))
+    _replace(path, _backup_path(path, 1))
+
+
+def rotated_paths(path: PathLike) -> list[Path]:
+    """The checkpoint path and its existing rotation backups, newest
+    first (the primary path is listed even when missing, so callers can
+    report it)."""
+    return list(_candidates(Path(path)))
+
+
+def _candidates(path: Path) -> Iterator[Path]:
+    yield path
+    k = 1
+    while True:
+        backup = _backup_path(path, k)
+        if not backup.exists():
+            return
+        yield backup
+        k += 1
+
+
+def save_cloud(
+    cloud: FrustrationCloud,
+    path: PathLike,
+    campaign: CampaignMeta | None = None,
+    keep: int = 1,
+) -> None:
+    """Persist the cloud's accumulators to an NPZ checkpoint at *path*.
+
+    The write is atomic: the payload goes to ``<path>.tmp`` first, is
+    flushed and fsynced, and only then renamed over *path* — a crash at
+    any point leaves the previous checkpoint untouched.  The file lands
+    at exactly the requested path (no implicit ``.npz`` suffix is
+    appended, unlike bare ``np.savez_compressed``), so ``load_cloud``
+    on the same string always finds it.
+
+    ``keep >= 2`` additionally rotates the previous checkpoint to
+    ``<path>.1`` (and so on, keeping ``keep`` files total), which lets
+    :func:`recover_cloud` fall back past a checkpoint that was damaged
+    *after* it was written.
+    """
+    path = Path(path)
+    if keep < 1:
+        raise CheckpointError(f"keep must be >= 1, got {keep}")
+    if campaign is not None and campaign.store_states != cloud.store_states:
+        raise CheckpointError(
+            "campaign.store_states disagrees with the cloud being saved"
+        )
+    payload = _payload(cloud, campaign)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as raw:
+        fh = _wrap_stream(raw)
+        np.savez_compressed(fh, **payload)
+        fh.flush()
+        os.fsync(raw.fileno())
+    _rotate(path, keep)
+    _replace(tmp, path)
+
+
+def _payload(
+    cloud: FrustrationCloud, campaign: CampaignMeta | None
+) -> dict[str, np.ndarray]:
     payload: dict[str, np.ndarray] = {
-        "version": np.array([_FORMAT_VERSION]),
+        "version": np.array([_FORMAT_VERSION], dtype=np.int64),
         "fingerprint": np.frombuffer(
             graph_fingerprint(cloud.graph).encode("ascii"), dtype=np.uint8
         ),
-        "num_states": np.array([cloud.num_states]),
-        "store_states": np.array([int(cloud.store_states)]),
+        "num_vertices": np.array([cloud.graph.num_vertices], dtype=np.int64),
+        "num_edges": np.array([cloud.graph.num_edges], dtype=np.int64),
+        "num_states": np.array([cloud.num_states], dtype=np.int64),
+        "store_states": np.array([int(cloud.store_states)], dtype=np.int64),
         "majority": cloud._majority,
         "majority_sq": cloud._majority_sq,
         "coalition": cloud._coalition,
@@ -72,73 +202,386 @@ def save_cloud(cloud: FrustrationCloud, path: PathLike) -> None:
         payload["unique_counts"] = np.asarray(
             [cloud._unique[k] for k in keys], dtype=np.int64
         )
-    np.savez_compressed(path, **payload)
+    if campaign is not None:
+        payload["campaign_method"] = np.array(campaign.method)
+        payload["campaign_kernel"] = np.array(campaign.kernel)
+        payload["campaign_seed"] = np.array([campaign.seed], dtype=np.int64)
+        payload["campaign_batch_size"] = np.array(
+            [campaign.batch_size], dtype=np.int64
+        )
+        payload["campaign_store_states"] = np.array(
+            [int(campaign.store_states)], dtype=np.int64
+        )
+        if campaign.done_blocks is not None:
+            payload["campaign_done_blocks"] = np.asarray(
+                campaign.done_blocks, dtype=np.int64
+            ).reshape(-1, 3)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Load + validation + recovery
+# ----------------------------------------------------------------------
+def _scalar(data, key: str, path: Path) -> int:
+    try:
+        arr = data[key]
+    except KeyError as exc:
+        raise CheckpointError(
+            f"{path} is not a cloud checkpoint: missing {key!r}"
+        ) from exc
+    if np.size(arr) < 1:
+        raise CheckpointError(f"corrupt checkpoint {path}: empty {key!r}")
+    return int(np.ravel(arr)[0])
+
+
+def _array(data, key: str, shape: tuple, dtype, path: Path) -> np.ndarray:
+    try:
+        arr = data[key]
+    except KeyError as exc:
+        raise CheckpointError(
+            f"corrupt checkpoint {path}: missing array {key!r}"
+        ) from exc
+    if arr.shape != shape:
+        raise CheckpointError(
+            f"corrupt checkpoint {path}: {key} has shape {arr.shape}, "
+            f"expected {shape} for this graph"
+        )
+    return np.ascontiguousarray(arr, dtype=dtype)
+
+
+def _restore(
+    data, graph: SignedGraph, path: Path
+) -> tuple[FrustrationCloud, CampaignMeta | None]:
+    version = _scalar(data, "version", path)
+    if version not in _COMPAT_VERSIONS:
+        raise CheckpointError(
+            f"unsupported checkpoint version {version} in {path} "
+            f"(this build reads versions {_COMPAT_VERSIONS})"
+        )
+    try:
+        stored_fp = bytes(data["fingerprint"]).decode("ascii")
+    except KeyError as exc:
+        raise CheckpointError(
+            f"{path} is not a cloud checkpoint: missing 'fingerprint'"
+        ) from exc
+    except UnicodeDecodeError as exc:
+        raise CheckpointError(
+            f"corrupt checkpoint {path}: unreadable fingerprint"
+        ) from exc
+    if stored_fp != graph_fingerprint(graph):
+        raise CheckpointError(
+            f"checkpoint {path} was built from a different graph "
+            "(fingerprint mismatch)"
+        )
+    n, m = graph.num_vertices, graph.num_edges
+    num_states = _scalar(data, "num_states", path)
+    if num_states < 0:
+        raise CheckpointError(
+            f"corrupt checkpoint {path}: negative num_states {num_states}"
+        )
+    store_states = bool(_scalar(data, "store_states", path))
+
+    cloud = FrustrationCloud(graph, store_states=store_states)
+    cloud._majority = _array(data, "majority", (n,), np.float64, path)
+    cloud._majority_sq = _array(data, "majority_sq", (n,), np.float64, path)
+    cloud._coalition = _array(data, "coalition", (n,), np.float64, path)
+    cloud._edge_preserved = _array(
+        data, "edge_preserved", (m,), np.int64, path
+    )
+    cloud._edge_coside = _array(data, "edge_coside", (m,), np.int64, path)
+    # Restore flip counts through the standard doubling buffer so the
+    # first post-resume append lands in existing headroom instead of
+    # forcing an immediate regrow.
+    flips = _array(data, "flip_counts", (num_states,), np.int64, path)
+    cloud._append_flip_counts(flips)
+    cloud.num_states = num_states
+    if store_states:
+        try:
+            signs = data["unique_signs"]
+            counts = data["unique_counts"]
+        except KeyError as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint {path}: store_states set but "
+                f"missing {exc}"
+            ) from exc
+        if signs.ndim != 2 or signs.shape[1] != m:
+            raise CheckpointError(
+                f"corrupt checkpoint {path}: unique_signs has shape "
+                f"{signs.shape}, expected (k, {m})"
+            )
+        if counts.shape != (signs.shape[0],):
+            raise CheckpointError(
+                f"corrupt checkpoint {path}: unique_counts has shape "
+                f"{counts.shape}, expected ({signs.shape[0]},)"
+            )
+        if int(counts.sum()) != num_states:
+            raise CheckpointError(
+                f"corrupt checkpoint {path}: unique-state counts sum to "
+                f"{int(counts.sum())}, expected {num_states}"
+            )
+        signs = np.ascontiguousarray(signs, dtype=np.int8)
+        cloud._unique = {
+            signs[i].tobytes(): int(counts[i]) for i in range(len(counts))
+        }
+
+    meta: CampaignMeta | None = None
+    if version >= 2 and "campaign_method" in data.files:
+        done_blocks = None
+        if "campaign_done_blocks" in data.files:
+            blocks = data["campaign_done_blocks"]
+            if blocks.ndim != 2 or blocks.shape[1] != 3:
+                raise CheckpointError(
+                    f"corrupt checkpoint {path}: campaign_done_blocks has "
+                    f"shape {blocks.shape}, expected (k, 3)"
+                )
+            done_blocks = tuple(
+                tuple(int(x) for x in row) for row in blocks.tolist()
+            )
+        meta = CampaignMeta(
+            method=str(data["campaign_method"][()]),
+            kernel=str(data["campaign_kernel"][()]),
+            seed=_scalar(data, "campaign_seed", path),
+            batch_size=_scalar(data, "campaign_batch_size", path),
+            store_states=bool(_scalar(data, "campaign_store_states", path)),
+            done_blocks=done_blocks,
+        )
+        if meta.store_states != store_states:
+            raise CheckpointError(
+                f"corrupt checkpoint {path}: campaign metadata disagrees "
+                "with the stored accumulators on store_states"
+            )
+    return cloud, meta
+
+
+def load_checkpoint(
+    path: PathLike, graph: SignedGraph
+) -> tuple[FrustrationCloud, CampaignMeta | None]:
+    """Restore a checkpoint and its campaign metadata (``None`` for v1
+    checkpoints, which predate self-description).
+
+    Every failure mode — missing file, torn/truncated zip, bit-flipped
+    payload, wrong graph, wrong array shapes — raises
+    :class:`~repro.errors.CheckpointError`.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise CheckpointError(f"checkpoint not found: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            cloud, meta = _restore(data, graph, path)
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        raise CheckpointError(
+            f"corrupt or unreadable checkpoint {path}: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+    cloud.campaign_meta = meta
+    return cloud, meta
 
 
 def load_cloud(path: PathLike, graph: SignedGraph) -> FrustrationCloud:
     """Restore a checkpoint against the graph it was built from.
 
-    Raises :class:`ReproError` if the fingerprint does not match (the
-    accumulators are meaningless against a different graph).
+    Convenience wrapper around :func:`load_checkpoint`; the campaign
+    metadata (when present) is attached to the returned cloud as
+    ``cloud.campaign_meta`` so :func:`resume_cloud` can validate
+    against it.
     """
-    with np.load(path) as data:
-        try:
-            version = int(data["version"][0])
-            stored_fp = bytes(data["fingerprint"]).decode("ascii")
-        except KeyError as exc:
-            raise ReproError(f"not a cloud checkpoint: missing {exc}") from exc
-        if version != _FORMAT_VERSION:
-            raise ReproError(f"unsupported checkpoint version {version}")
-        if stored_fp != graph_fingerprint(graph):
-            raise ReproError(
-                "checkpoint was built from a different graph "
-                "(fingerprint mismatch)"
-            )
-        cloud = FrustrationCloud(
-            graph, store_states=bool(int(data["store_states"][0]))
-        )
-        cloud.num_states = int(data["num_states"][0])
-        cloud._majority = data["majority"].copy()
-        cloud._majority_sq = data["majority_sq"].copy()
-        cloud._coalition = data["coalition"].copy()
-        cloud._edge_preserved = data["edge_preserved"].copy()
-        cloud._edge_coside = data["edge_coside"].copy()
-        cloud._flip_counts = data["flip_counts"].astype(np.int64).copy()
-        cloud._flip_len = len(cloud._flip_counts)
-        if cloud.store_states:
-            signs = data["unique_signs"]
-            counts = data["unique_counts"]
-            cloud._unique = {
-                signs[i].tobytes(): int(counts[i]) for i in range(len(counts))
-            }
+    cloud, _meta = load_checkpoint(path, graph)
     return cloud
+
+
+def recover_cloud(
+    path: PathLike, graph: SignedGraph
+) -> tuple[FrustrationCloud, CampaignMeta | None, Path]:
+    """Load the newest loadable checkpoint among *path* and its
+    rotation backups (``path.1``, ``path.2``, …).
+
+    Returns ``(cloud, meta, source_path)``.  Raises
+    :class:`~repro.errors.CheckpointError` describing every attempted
+    file when none loads.
+    """
+    path = Path(path)
+    attempts: list[str] = []
+    for candidate in _candidates(path):
+        try:
+            cloud, meta = load_checkpoint(candidate, graph)
+            return cloud, meta, candidate
+        except CheckpointError as exc:
+            attempts.append(f"{candidate}: {exc}")
+    raise CheckpointError(
+        f"no loadable checkpoint at {path} or its backups; tried: "
+        + " | ".join(attempts)
+    )
+
+
+# ----------------------------------------------------------------------
+# Campaign validation + resume
+# ----------------------------------------------------------------------
+_CAMPAIGN_DEFAULTS = {
+    "method": "bfs",
+    "kernel": "lockstep",
+    "seed": 0,
+    "batch_size": 1,
+    "store_states": False,
+}
+
+
+def validate_campaign(
+    stored: CampaignMeta | None,
+    *,
+    method: str | None = None,
+    kernel: str | None = None,
+    seed: int | None = None,
+    batch_size: int | None = None,
+    store_states: bool | None = None,
+) -> dict:
+    """Resolve resume parameters against a stored campaign.
+
+    Parameters left ``None`` inherit the stored value (or the
+    historical default when the checkpoint has no metadata).  A
+    parameter that is explicitly given *and* disagrees with the stored
+    campaign raises :class:`~repro.errors.CheckpointError` — resuming
+    with a different ``(method, kernel, seed, batch_size)`` would
+    silently diverge from the original run.
+    """
+    given = {
+        "method": method,
+        "kernel": kernel,
+        "seed": seed,
+        "batch_size": batch_size,
+        "store_states": store_states,
+    }
+    resolved = {}
+    for name, value in given.items():
+        stored_value = getattr(stored, name) if stored is not None else None
+        if value is None:
+            resolved[name] = (
+                stored_value if stored is not None else _CAMPAIGN_DEFAULTS[name]
+            )
+        elif stored is not None and value != stored_value:
+            raise CheckpointError(
+                f"resume {name}={value!r} does not match the checkpoint's "
+                f"campaign {name}={stored_value!r}; resuming would diverge "
+                "from the original run (pass matching parameters, or omit "
+                "them to inherit the stored campaign)"
+            )
+        else:
+            resolved[name] = value
+    return resolved
+
+
+class CheckpointWriter:
+    """Periodic atomic checkpointer bound to one campaign.
+
+    A ``None`` path makes every method a no-op, so campaign drivers can
+    call it unconditionally.
+    """
+
+    def __init__(
+        self,
+        path: PathLike | None,
+        campaign: CampaignMeta | None = None,
+        every: int = 0,
+        keep: int = 1,
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self.campaign = campaign
+        self.every = every
+        self.keep = keep
+        self._since = 0
+
+    def step(self, cloud: FrustrationCloud, new_states: int) -> None:
+        """Record *new_states* freshly ingested states; write a rotated
+        checkpoint whenever ``every`` of them accumulate."""
+        if self.path is None:
+            return
+        self._since += new_states
+        if self.every > 0 and self._since >= self.every:
+            self.write(cloud)
+
+    def write(self, cloud: FrustrationCloud) -> None:
+        """Write a checkpoint now (atomic, rotated)."""
+        if self.path is None:
+            return
+        save_cloud(cloud, self.path, campaign=self.campaign, keep=self.keep)
+        self._since = 0
+
+    final = write
 
 
 def resume_cloud(
     cloud: FrustrationCloud,
     target_states: int,
-    method: str = "bfs",
-    kernel: str = "lockstep",
-    seed: int = 0,
+    method: str | None = None,
+    kernel: str | None = None,
+    seed: int | None = None,
     checkpoint_path: PathLike | None = None,
     checkpoint_every: int = 0,
-    batch_size: int = 1,
+    batch_size: int | None = None,
+    keep_checkpoints: int = 1,
+    campaign: CampaignMeta | None = None,
 ) -> FrustrationCloud:
     """Continue a seeded campaign until ``target_states`` states.
 
     The next tree index is ``cloud.num_states`` — resuming a
-    checkpointed campaign with the same ``(method, seed)`` therefore
-    produces exactly the states an uninterrupted run would have.
-    Optionally re-checkpoints every ``checkpoint_every`` new states.
+    checkpointed campaign with the same ``(method, kernel, seed,
+    batch_size)`` therefore produces exactly the states an
+    uninterrupted run would have.  When the cloud came from a v2
+    checkpoint (or *campaign* is passed), parameters left ``None``
+    inherit the stored campaign and explicit parameters are validated
+    against it; a conflict raises
+    :class:`~repro.errors.CheckpointError` instead of silently
+    diverging.  Optionally re-checkpoints every ``checkpoint_every``
+    new states (atomic writes, rotating ``keep_checkpoints`` files).
     ``batch_size > 1`` processes the remaining indices through the
     tree-batched engine (checkpoints then land on batch boundaries).
     """
+    stored = campaign if campaign is not None else getattr(
+        cloud, "campaign_meta", None
+    )
+    if stored is not None and stored.done_blocks is not None:
+        raise CheckpointError(
+            "checkpoint holds salvaged pool blocks, not a contiguous "
+            "prefix of the campaign; finish it with "
+            "sample_cloud_pool(..., resume_from=...) or the CLI "
+            "`cloud --resume --workers`"
+        )
+    params = validate_campaign(
+        stored,
+        method=method,
+        kernel=kernel,
+        seed=seed,
+        batch_size=batch_size,
+        store_states=cloud.store_states,
+    )
+    method = params["method"]
+    kernel = params["kernel"]
+    batch_size = params["batch_size"]
+    if batch_size < 1:
+        raise ReproError("batch_size must be positive")
+    if batch_size > 1 and kernel not in BATCHED_KERNELS:
+        raise EngineError(
+            f"kernel {kernel!r} has no batched implementation; use "
+            f"batch_size=1 or one of {BATCHED_KERNELS}"
+        )
     if target_states < cloud.num_states:
         raise ReproError(
             f"cloud already has {cloud.num_states} states > target {target_states}"
         )
-    sampler = TreeSampler(cloud.graph, method=method, seed=seed)
-    since_save = 0
+    frozen = freeze_seed(params["seed"])
+    meta = CampaignMeta(
+        method=method,
+        kernel=kernel,
+        seed=frozen,
+        batch_size=batch_size,
+        store_states=cloud.store_states,
+    )
+    writer = CheckpointWriter(
+        checkpoint_path, meta, every=checkpoint_every, keep=keep_checkpoints
+    )
+    sampler = TreeSampler(cloud.graph, method=method, seed=frozen)
     start = cloud.num_states
     while start < target_states:
         count = min(max(batch_size, 1), target_states - start)
@@ -154,14 +597,8 @@ def resume_cloud(
             signs, s2r = balance_batch(cloud.graph, batch)
             cloud.add_batch(signs, sides_from_sign_to_root(s2r))
         start += count
-        since_save += count
-        if (
-            checkpoint_path is not None
-            and checkpoint_every > 0
-            and since_save >= checkpoint_every
-        ):
-            save_cloud(cloud, checkpoint_path)
-            since_save = 0
+        writer.step(cloud, count)
     if checkpoint_path is not None:
-        save_cloud(cloud, checkpoint_path)
+        writer.final(cloud)
+    cloud.campaign_meta = meta
     return cloud

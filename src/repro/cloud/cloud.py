@@ -29,11 +29,22 @@ from repro.harary.bipartition import (
 )
 from repro.perf.counters import Counters
 from repro.perf.timers import PhaseTimer
-from repro.rng import SeedLike
+from repro.rng import SeedLike, freeze_seed
 from repro.trees.sampler import TreeSampler
 from repro.trees.enumeration import all_spanning_trees
 
-__all__ = ["FrustrationCloud", "sample_cloud", "exact_cloud"]
+__all__ = [
+    "FrustrationCloud",
+    "sample_cloud",
+    "exact_cloud",
+    "BATCHED_KERNELS",
+]
+
+#: Kernels whose balanced states the tree-batched parity engine
+#: reproduces bit-for-bit; any other kernel must run with
+#: ``batch_size=1`` (requesting it with a batch raises instead of
+#: silently substituting a different kernel).
+BATCHED_KERNELS = ("lockstep", "parity")
 
 
 @dataclass
@@ -334,6 +345,9 @@ def sample_cloud(
     timers: PhaseTimer | None = None,
     batch_size: int = 1,
     counters: Counters | None = None,
+    checkpoint_path=None,
+    checkpoint_every: int = 0,
+    keep_checkpoints: int = 1,
 ) -> FrustrationCloud:
     """Alg. 2: sample ``num_states`` spanning trees, balance each, and
     accumulate the Harary bipartitions into a cloud.
@@ -345,15 +359,46 @@ def sample_cloud(
     folds the whole batch into the cloud with matrix reductions.  The
     result is attribute-for-attribute identical to ``batch_size=1``
     with the same seed (the batched sampler is bit-identical per tree
-    index and the parity kernel produces the same balanced states as
-    every other kernel); only the per-state timing/counter breakdown
-    differs, since batching has no labeling phase.
+    index); only the per-state timing/counter breakdown differs, since
+    batching has no labeling phase.  Kernels outside
+    :data:`BATCHED_KERNELS` have no batched implementation and raise
+    when requested with a batch.
+
+    ``checkpoint_path`` writes a self-describing crash-safe checkpoint
+    (atomic write, rotating ``keep_checkpoints`` files) every
+    ``checkpoint_every`` states and once at the end, embedding the
+    campaign parameters so :func:`repro.cloud.checkpoint.resume_cloud`
+    can validate a later resume against them.
     """
     if batch_size < 1:
         raise ReproError("batch_size must be positive")
-    sampler = TreeSampler(graph, method=method, seed=seed)
+    if batch_size > 1 and kernel not in BATCHED_KERNELS:
+        from repro.errors import EngineError
+
+        raise EngineError(
+            f"kernel {kernel!r} has no batched implementation; use "
+            f"batch_size=1 or one of {BATCHED_KERNELS}"
+        )
+    frozen = freeze_seed(seed)
+    sampler = TreeSampler(graph, method=method, seed=frozen)
     cloud = FrustrationCloud(graph, store_states=store_states)
     timers = timers if timers is not None else PhaseTimer()
+    writer = None
+    if checkpoint_path is not None:
+        from repro.cloud.checkpoint import CampaignMeta, CheckpointWriter
+
+        writer = CheckpointWriter(
+            checkpoint_path,
+            CampaignMeta(
+                method=method,
+                kernel=kernel,
+                seed=frozen,
+                batch_size=batch_size,
+                store_states=store_states,
+            ),
+            every=checkpoint_every,
+            keep=keep_checkpoints,
+        )
     if batch_size == 1:
         for i in range(num_states):
             with timers.phase("tree_generation"):
@@ -363,6 +408,11 @@ def sample_cloud(
             )
             with timers.phase("harary_and_status"):
                 cloud.add_result(result)
+            if writer is not None:
+                writer.step(cloud, 1)
+        if writer is not None:
+            writer.final(cloud)
+            cloud.campaign_meta = writer.campaign
         return cloud
 
     from repro.core.parity_batch import balance_batch
@@ -375,6 +425,11 @@ def sample_cloud(
             signs, s2r = balance_batch(graph, batch, counters=counters)
         with timers.phase("harary_and_status"):
             cloud.add_batch(signs, sides_from_sign_to_root(s2r))
+        if writer is not None:
+            writer.step(cloud, count)
+    if writer is not None:
+        writer.final(cloud)
+        cloud.campaign_meta = writer.campaign
     return cloud
 
 

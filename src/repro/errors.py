@@ -15,6 +15,7 @@ __all__ = [
     "NotBalancedError",
     "DatasetError",
     "EngineError",
+    "CheckpointError",
 ]
 
 
@@ -53,3 +54,10 @@ class DatasetError(ReproError):
 class EngineError(ReproError):
     """Raised for invalid parallel-engine configurations (zero threads,
     unknown schedule, ...)."""
+
+
+class CheckpointError(ReproError):
+    """Raised when a campaign checkpoint cannot be written, read, or
+    safely resumed: corrupt/truncated files, fingerprint or shape
+    mismatches against the graph, and campaign-parameter conflicts that
+    would make a resumed run diverge from the original."""

@@ -5,16 +5,25 @@ different workers (§3.3's opening observation).  This driver does that
 with a :class:`concurrent.futures.ProcessPoolExecutor`: each worker
 builds and balances a block of tree indices, accumulates a local
 :class:`FrustrationCloud`, and the parent merges the per-worker
-clouds — producing results **identical** to the sequential
+clouds — producing results equivalent to the sequential
 :func:`repro.cloud.sample_cloud` for the same seed (tested), because
 :class:`TreeSampler` hands out tree *i* deterministically.
 
 The graph is shipped to each worker exactly once, through the
-executor's *initializer* (one pickle per worker process), instead of
-being re-pickled into every submitted block; blocks then travel as a
-few integers.  Within a worker, ``batch_size > 1`` runs the
+executor's *initializer* (one pickle per worker process), and blocks
+travel as three integers ``(start, stop, step)`` — never a
+materialized index list.  Within a worker, ``batch_size > 1`` runs the
 tree-batched engine on each block, stacking the worker's trees into
 shared vectorized kernels.
+
+Crash safety: when ``checkpoint_path`` is given and a worker dies, the
+parent salvages every block that *did* complete into an atomic
+checkpoint whose campaign metadata records exactly which
+``(start, stop, step)`` blocks it contains; ``resume_from`` later
+reruns only the missing indices and merges them in, so a crashed
+campaign loses at most the in-flight blocks.  Sequential
+:func:`~repro.cloud.checkpoint.resume_cloud` refuses such salvage
+checkpoints (they are not a contiguous prefix of the campaign).
 
 On this reproduction's single-core container the pool adds overhead
 rather than speed; the value here is the verified-deterministic
@@ -23,16 +32,21 @@ parallel dataflow a multi-core deployment would use as-is.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Sequence, Tuple
 
-from repro.cloud.cloud import FrustrationCloud
+import numpy as np
+
+from repro.cloud.cloud import BATCHED_KERNELS, FrustrationCloud
 from repro.core.balancer import balance
-from repro.errors import EngineError
+from repro.errors import CheckpointError, EngineError
 from repro.graph.csr import SignedGraph
 from repro.rng import SeedLike, freeze_seed
 from repro.trees.sampler import TreeSampler
 
 __all__ = ["sample_cloud_pool"]
+
+Block = Tuple[int, int, int]
 
 # Per-process graph slot, populated once by the executor initializer so
 # submitted tasks don't each re-pickle the (potentially large) graph.
@@ -49,11 +63,17 @@ def _run_block(
     method: str,
     kernel: str,
     seed: int,
-    indices: list[int],
+    block: Block,
     store_states: bool,
     batch_size: int,
+    fault: Callable[[Block], None] | None = None,
 ) -> FrustrationCloud:
-    """Balance the given tree indices and return the local cloud."""
+    """Balance the tree indices ``range(*block)`` and return the local
+    cloud.  *fault* is the fault-injection hook (see
+    :mod:`repro.util.faults`), invoked with the block before any work."""
+    if fault is not None:
+        fault(block)
+    indices = range(*block)
     sampler = TreeSampler(graph, method=method, seed=seed)
     cloud = FrustrationCloud(graph, store_states=store_states)
     if batch_size > 1:
@@ -74,16 +94,99 @@ def _worker(
     method: str,
     kernel: str,
     seed: int,
-    indices: list[int],
+    block: Block,
     store_states: bool,
     batch_size: int,
+    fault: Callable[[Block], None] | None = None,
 ) -> FrustrationCloud:
     """Pool entry point: run a block against the initializer's graph."""
     if _WORKER_GRAPH is None:  # pragma: no cover - initializer always ran
         raise EngineError("worker process has no graph; initializer missing")
     return _run_block(
-        _WORKER_GRAPH, method, kernel, seed, indices, store_states, batch_size
+        _WORKER_GRAPH, method, kernel, seed, block, store_states,
+        batch_size, fault,
     )
+
+
+def _merge_intervals(done: Sequence[Block]) -> list[tuple[int, int]]:
+    intervals = sorted((s, e) for s, e, _ in done)
+    merged: list[tuple[int, int]] = []
+    for s, e in intervals:
+        if merged and s <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], e))
+        else:
+            merged.append((s, e))
+    return merged
+
+
+def _compress_runs(indices: np.ndarray) -> list[Block]:
+    """Greedily compress a sorted index array into arithmetic blocks."""
+    blocks: list[Block] = []
+    i, n = 0, len(indices)
+    while i < n:
+        if i == n - 1:
+            blocks.append((int(indices[i]), int(indices[i]) + 1, 1))
+            break
+        step = int(indices[i + 1] - indices[i])
+        j = i + 1
+        while j + 1 < n and int(indices[j + 1] - indices[j]) == step:
+            j += 1
+        blocks.append((int(indices[i]), int(indices[j]) + 1, step))
+        i = j + 1
+    return blocks
+
+
+def _remaining_blocks(
+    done: Sequence[Block], target: int, workers: int
+) -> list[Block]:
+    """The campaign indices of ``[0, target)`` not covered by *done*,
+    as ``(start, stop, step)`` blocks ready to hand to workers.
+
+    Fast paths keep the common shapes compact: no prior work (fresh
+    strided split), a contiguous prefix (strided tail), and
+    same-stride salvage blocks (per-residue tails).  Anything else
+    falls back to materializing the remaining set once in the parent
+    and compressing it into arithmetic runs.
+    """
+    target = int(target)
+    done = [
+        (int(s), int(e), int(st)) for s, e, st in done if int(e) > int(s)
+    ]
+    if not done:
+        return [(w, target, workers) for w in range(min(workers, target))]
+    steps = {st for _s, _e, st in done}
+    if steps == {1}:
+        merged = _merge_intervals(done)
+        if len(merged) == 1 and merged[0][0] == 0:
+            start = min(merged[0][1], target)
+            return [
+                (start + w, target, workers)
+                for w in range(min(workers, target - start))
+            ]
+    elif len(steps) == 1:
+        stride = steps.pop()
+        stops: dict[int, int] = {}
+        for s, e, _st in done:
+            r = s % stride
+            stops[r] = max(stops.get(r, 0), e)
+        remaining: list[Block] = []
+        for r in range(stride):
+            if r in stops:
+                behind = max(stops[r] - r, 0)
+                nxt = r + stride * ((behind + stride - 1) // stride)
+            else:
+                nxt = r
+            if nxt < target:
+                remaining.append((nxt, target, stride))
+        return remaining
+    covered = np.zeros(target, dtype=bool)
+    for s, e, st in done:
+        covered[s:e:st] = True
+    return _compress_runs(np.nonzero(~covered)[0])
+
+
+def _block_len(block: Block) -> int:
+    return len(range(*block))
 
 
 def sample_cloud_pool(
@@ -95,6 +198,10 @@ def sample_cloud_pool(
     seed: SeedLike = 0,
     store_states: bool = False,
     batch_size: int = 1,
+    checkpoint_path=None,
+    keep_checkpoints: int = 1,
+    resume_from=None,
+    fault: Callable[[Block], None] | None = None,
 ) -> FrustrationCloud:
     """Alg. 2 with tree-level process parallelism.
 
@@ -102,36 +209,168 @@ def sample_cloud_pool(
     seed)`` up to the (unordered) flip-count log.  ``workers=1`` runs
     in-process without spawning.  ``batch_size > 1`` additionally runs
     the tree-batched engine inside each worker.
+
+    ``checkpoint_path`` writes a self-describing checkpoint when the
+    campaign completes — and, if a worker crashes mid-campaign, a
+    *salvage* checkpoint holding every block that did complete (the
+    raised :class:`~repro.errors.EngineError` names it).
+    ``resume_from`` loads such a checkpoint (falling back through its
+    rotation backups), validates the campaign parameters against the
+    stored metadata, reruns only the missing index blocks, and merges.
+    *fault* is a fault-injection hook for the crash tests (see
+    :class:`repro.util.faults.WorkerCrash`); it is invoked in the
+    worker with each ``(start, stop, step)`` block before processing.
     """
+    from repro.cloud.checkpoint import (
+        CampaignMeta,
+        recover_cloud,
+        save_cloud,
+        validate_campaign,
+    )
+
     if num_states < 1:
         raise EngineError("num_states must be positive")
     if workers < 1:
         raise EngineError("workers must be positive")
     if batch_size < 1:
         raise EngineError("batch_size must be positive")
+    if batch_size > 1 and kernel not in BATCHED_KERNELS:
+        raise EngineError(
+            f"kernel {kernel!r} has no batched implementation; use "
+            f"batch_size=1 or one of {BATCHED_KERNELS}"
+        )
     frozen = freeze_seed(seed)
-    blocks = [
-        list(range(num_states))[w::workers] for w in range(workers)
-    ]
-    blocks = [b for b in blocks if b]
 
-    if workers == 1 or len(blocks) == 1:
-        return _run_block(
-            graph, method, kernel, frozen, list(range(num_states)),
-            store_states, batch_size,
+    base: FrustrationCloud | None = None
+    prior_blocks: tuple[Block, ...] = ()
+    if resume_from is not None:
+        base, meta, _source = recover_cloud(resume_from, graph)
+        if meta is not None:
+            validate_campaign(
+                meta,
+                method=method,
+                kernel=kernel,
+                seed=frozen,
+                batch_size=batch_size,
+                store_states=store_states,
+            )
+            prior_blocks = meta.done_blocks or ((0, base.num_states, 1),)
+        else:
+            prior_blocks = ((0, base.num_states, 1),)
+        blocks = _remaining_blocks(prior_blocks, num_states, workers)
+    else:
+        blocks = _remaining_blocks((), num_states, workers)
+
+    campaign = CampaignMeta(
+        method=method,
+        kernel=kernel,
+        seed=frozen,
+        batch_size=batch_size,
+        store_states=store_states,
+    )
+    base_states = base.num_states if base is not None else 0
+    expected = base_states + sum(_block_len(b) for b in blocks)
+    if expected != num_states:
+        raise CheckpointError(
+            f"resume accounting mismatch: checkpoint holds {base_states} "
+            f"states and {sum(_block_len(b) for b in blocks)} remain, but "
+            f"the target is {num_states} (was the checkpoint produced by a "
+            "larger campaign?)"
         )
 
-    merged = FrustrationCloud(graph, store_states=store_states)
+    def _finalize(cloud: FrustrationCloud) -> FrustrationCloud:
+        if checkpoint_path is not None:
+            save_cloud(
+                cloud, checkpoint_path, campaign=campaign,
+                keep=keep_checkpoints,
+            )
+        cloud.campaign_meta = campaign
+        return cloud
+
+    if not blocks:
+        return _finalize(base)
+
+    if workers == 1 or len(blocks) == 1:
+        merged = (
+            base
+            if base is not None
+            else FrustrationCloud(graph, store_states=store_states)
+        )
+        for block in blocks:
+            merged.merge(
+                _run_block(
+                    graph, method, kernel, frozen, block, store_states,
+                    batch_size, fault,
+                )
+            )
+        return _finalize(merged)
+
+    completed: list[tuple[Block, FrustrationCloud]] = []
+    failures: list[tuple[Block, BaseException]] = []
     with ProcessPoolExecutor(
-        max_workers=len(blocks), initializer=_init_worker, initargs=(graph,)
+        max_workers=min(workers, len(blocks)),
+        initializer=_init_worker,
+        initargs=(graph,),
     ) as pool:
-        futures = [
+        futures = {
             pool.submit(
                 _worker, method, kernel, frozen, block, store_states,
-                batch_size,
-            )
+                batch_size, fault,
+            ): block
             for block in blocks
-        ]
-        for future in futures:
-            merged.merge(future.result())
-    return merged
+        }
+        for future in as_completed(futures):
+            block = futures[future]
+            try:
+                completed.append((block, future.result()))
+            except Exception as exc:
+                failures.append((block, exc))
+
+    if failures:
+        failures.sort(key=lambda pair: pair[0][0])
+        block, exc = failures[0]
+        detail = (
+            f"pool worker crashed on block {block}: "
+            f"{type(exc).__name__}: {exc}"
+        )
+        if checkpoint_path is not None and (completed or base is not None):
+            completed.sort(key=lambda pair: pair[0][0])
+            salvage = (
+                base
+                if base is not None
+                else FrustrationCloud(graph, store_states=store_states)
+            )
+            for _block, local in completed:
+                salvage.merge(local)
+            done_blocks = tuple(
+                sorted(prior_blocks + tuple(b for b, _c in completed))
+            )
+            save_cloud(
+                salvage,
+                checkpoint_path,
+                campaign=CampaignMeta(
+                    method=method,
+                    kernel=kernel,
+                    seed=frozen,
+                    batch_size=batch_size,
+                    store_states=store_states,
+                    done_blocks=done_blocks,
+                ),
+                keep=keep_checkpoints,
+            )
+            raise EngineError(
+                f"{detail}; salvaged {len(completed)} completed block(s) "
+                f"({salvage.num_states} states) to {checkpoint_path} — "
+                "finish with sample_cloud_pool(..., resume_from=...)"
+            ) from exc
+        raise EngineError(detail) from exc
+
+    completed.sort(key=lambda pair: pair[0][0])
+    merged = (
+        base
+        if base is not None
+        else FrustrationCloud(graph, store_states=store_states)
+    )
+    for _block, local in completed:
+        merged.merge(local)
+    return _finalize(merged)

@@ -1,0 +1,188 @@
+"""Reusable fault-injection harness for crash-safety tests.
+
+The checkpoint layer (:mod:`repro.cloud.checkpoint`) routes its atomic
+write through two module-level seams — ``_wrap_stream`` (applied to the
+temp-file handle) and ``_replace`` (the publishing rename) — precisely
+so these helpers can simulate crashes at the two interesting instants
+without patching the real :mod:`os` module:
+
+* :func:`kill_mid_write` — the process dies part-way through writing
+  the temp file (a truncated ``<path>.tmp`` is left behind, the
+  published checkpoint is untouched);
+* :func:`kill_before_replace` — the temp file is fully written and
+  fsynced but the process dies before ``os.replace`` publishes it (or,
+  with ``after_calls``, mid-rotation).
+
+Post-crash *file damage* is simulated directly on disk with
+:func:`truncate_file` (torn tail) and :func:`flip_bits` (deterministic
+bit rot), and :class:`WorkerCrash` is a picklable hook the pool driver
+(:func:`repro.parallel.pool.sample_cloud_pool`) invokes per block so a
+test can kill one specific worker — either by raising
+:class:`SimulatedCrash` or by hard ``os._exit`` process death.
+
+All injected crashes raise :class:`SimulatedCrash`, which deliberately
+does **not** derive from :class:`~repro.errors.ReproError`: no library
+handler may swallow it, just as no handler can catch a real SIGKILL.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator, Tuple, Union
+
+__all__ = [
+    "SimulatedCrash",
+    "TruncatingStream",
+    "WorkerCrash",
+    "kill_mid_write",
+    "kill_before_replace",
+    "truncate_file",
+    "flip_bits",
+]
+
+PathLike = Union[str, Path]
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by injected faults to stand in for a process kill."""
+
+
+class TruncatingStream:
+    """File wrapper that crashes after *limit* bytes have been written.
+
+    The bytes that fit are really written (and flushed), so the temp
+    file is left in exactly the torn state a mid-write kill produces.
+    """
+
+    def __init__(self, fh: IO[bytes], limit: int) -> None:
+        self._fh = fh
+        self._limit = limit
+        self._written = 0
+
+    def write(self, data) -> int:
+        """Write up to the byte budget, then die like a killed process."""
+        data = bytes(data)
+        room = self._limit - self._written
+        if len(data) > room:
+            if room > 0:
+                self._fh.write(data[:room])
+                self._written = self._limit
+            self._fh.flush()
+            raise SimulatedCrash(
+                f"simulated kill after writing {self._written} bytes"
+            )
+        self._written += len(data)
+        return self._fh.write(data)
+
+    def __getattr__(self, name):
+        return getattr(self._fh, name)
+
+
+@contextmanager
+def kill_mid_write(limit_bytes: int = 128) -> Iterator[None]:
+    """Within the block, any checkpoint save dies after *limit_bytes*
+    of payload, leaving a truncated temp file and the previously
+    published checkpoint untouched."""
+    from repro.cloud import checkpoint
+
+    previous = checkpoint._wrap_stream
+    checkpoint._wrap_stream = lambda fh: TruncatingStream(fh, limit_bytes)
+    try:
+        yield
+    finally:
+        checkpoint._wrap_stream = previous
+
+
+@contextmanager
+def kill_before_replace(after_calls: int = 0) -> Iterator[None]:
+    """Within the block, the checkpoint layer's *(after_calls+1)*-th
+    rename dies.  With the default 0 and no rotation backups, that is
+    the publishing ``os.replace`` itself: the temp file is complete but
+    the checkpoint path still holds the previous version — exactly the
+    window a kill between write and rename hits.  Larger values land
+    the crash mid-rotation instead."""
+    from repro.cloud import checkpoint
+
+    previous = checkpoint._replace
+    calls = 0
+
+    def _crashing_replace(src, dst):
+        nonlocal calls
+        if calls >= after_calls:
+            raise SimulatedCrash(
+                f"simulated kill before replacing {dst}"
+            )
+        calls += 1
+        previous(src, dst)
+
+    checkpoint._replace = _crashing_replace
+    try:
+        yield
+    finally:
+        checkpoint._replace = previous
+
+
+def truncate_file(
+    path: PathLike, keep_bytes: int | None = None, fraction: float = 0.5
+) -> int:
+    """Chop a file's tail, simulating a torn write or partial copy.
+
+    Keeps *keep_bytes* bytes when given, else ``fraction`` of the
+    current size.  Returns the resulting size.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    keep = keep_bytes if keep_bytes is not None else int(size * fraction)
+    keep = max(0, min(keep, size))
+    with open(path, "r+b") as fh:
+        fh.truncate(keep)
+    return keep
+
+
+def flip_bits(path: PathLike, count: int = 32, seed: int = 0) -> None:
+    """Deterministically XOR-flip *count* bits in the body of a file,
+    simulating bit rot / a corrupted transfer.
+
+    Flips land in the middle 80% of the file so the damage hits payload
+    rather than only the container framing; with a fixed *seed* the
+    damage is reproducible.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        return
+    rng = random.Random(seed)
+    lo = len(data) // 10
+    hi = max(lo + 1, len(data) - len(data) // 10)
+    for _ in range(count):
+        i = rng.randrange(lo, hi)
+        data[i] ^= 1 << rng.randrange(8)
+    path.write_bytes(bytes(data))
+
+
+class WorkerCrash:
+    """Picklable pool fault hook: crash the worker that picks up the
+    block starting at *block_start*.
+
+    ``mode="raise"`` raises :class:`SimulatedCrash` inside the worker
+    (the exception travels back through the future; sibling workers
+    keep running — the deterministic way to test salvage).
+    ``mode="exit"`` calls ``os._exit`` — hard process death; the
+    executor reports ``BrokenProcessPool`` for every unfinished future.
+    """
+
+    def __init__(self, block_start: int, mode: str = "raise") -> None:
+        if mode not in ("raise", "exit"):
+            raise ValueError(f"unknown crash mode {mode!r}")
+        self.block_start = block_start
+        self.mode = mode
+
+    def __call__(self, block: Tuple[int, int, int]) -> None:
+        if int(block[0]) != self.block_start:
+            return
+        if self.mode == "exit":
+            os._exit(17)
+        raise SimulatedCrash(f"simulated worker death on block {block}")

@@ -5,12 +5,14 @@ import pytest
 
 from repro.cloud import sample_cloud
 from repro.cloud.checkpoint import (
+    CampaignMeta,
     graph_fingerprint,
+    load_checkpoint,
     load_cloud,
     resume_cloud,
     save_cloud,
 )
-from repro.errors import ReproError
+from repro.errors import CheckpointError, ReproError
 
 from tests.conftest import make_connected_signed
 
@@ -59,6 +61,69 @@ class TestSaveLoad:
         np.savez(path, stuff=np.ones(3))
         with pytest.raises(ReproError):
             load_cloud(path, graph)
+
+    @pytest.mark.parametrize("name", ["cloud", "cloud.npz", "cloud.ckpt"])
+    def test_exact_path_honored_for_any_spelling(self, graph, tmp_path, name):
+        # np.savez_compressed appends ".npz" to suffix-less paths; the
+        # checkpoint layer must not, or load on the requested path fails.
+        cloud = sample_cloud(graph, 5, seed=1)
+        path = tmp_path / name
+        save_cloud(cloud, path)
+        assert path.exists()
+        assert not (tmp_path / (name + ".npz")).exists()
+        back = load_cloud(path, graph)
+        assert back.num_states == 5
+
+    def test_campaign_metadata_round_trip(self, graph, tmp_path):
+        cloud = sample_cloud(graph, 5, seed=3, batch_size=1)
+        meta = CampaignMeta(
+            method="bfs", kernel="lockstep", seed=3, batch_size=1,
+            store_states=False,
+        )
+        path = tmp_path / "cloud.npz"
+        save_cloud(cloud, path, campaign=meta)
+        back, stored = load_checkpoint(path, graph)
+        assert stored == meta
+        assert back.campaign_meta == meta
+
+    def test_v1_checkpoint_still_loads(self, graph, tmp_path):
+        # A v1 payload (no campaign metadata, exact-length flip buffer)
+        # written by the previous release must remain loadable.
+        cloud = sample_cloud(graph, 6, seed=2)
+        path = tmp_path / "v1.npz"
+        np.savez_compressed(
+            path.open("wb"),
+            version=np.array([1]),
+            fingerprint=np.frombuffer(
+                graph_fingerprint(graph).encode("ascii"), dtype=np.uint8
+            ),
+            num_states=np.array([cloud.num_states]),
+            store_states=np.array([0]),
+            majority=cloud._majority,
+            majority_sq=cloud._majority_sq,
+            coalition=cloud._coalition,
+            edge_preserved=cloud._edge_preserved,
+            edge_coside=cloud._edge_coside,
+            flip_counts=cloud.flip_counts(),
+        )
+        back, meta = load_checkpoint(path, graph)
+        assert meta is None
+        np.testing.assert_array_equal(back.status(), cloud.status())
+
+    def test_loaded_flip_buffer_has_headroom(self, graph, tmp_path):
+        # Restoring into the doubling buffer means the first post-resume
+        # append must not trigger an immediate regrow.
+        cloud = sample_cloud(graph, 12, seed=3)
+        path = tmp_path / "cloud.npz"
+        save_cloud(cloud, path)
+        back = load_cloud(path, graph)
+        capacity = len(back._flip_counts)
+        assert capacity > back.num_states
+        back._append_flip_counts(np.array([5]))
+        assert len(back._flip_counts) == capacity  # no regrow
+        np.testing.assert_array_equal(
+            back.flip_counts()[:-1], cloud.flip_counts()
+        )
 
 
 class TestResume:

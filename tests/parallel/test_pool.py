@@ -4,10 +4,12 @@ import numpy as np
 import pytest
 
 from repro.cloud import FrustrationCloud, sample_cloud
+from repro.cloud.checkpoint import recover_cloud, resume_cloud
 from repro.core import balance
-from repro.errors import EngineError, ReproError
+from repro.errors import CheckpointError, EngineError, ReproError
 from repro.graph.build import from_edges
-from repro.parallel.pool import sample_cloud_pool
+from repro.parallel.pool import _remaining_blocks, sample_cloud_pool
+from repro.util.faults import WorkerCrash
 
 from tests.conftest import make_connected_signed
 
@@ -71,3 +73,143 @@ class TestPool:
             sample_cloud_pool(g, 0)
         with pytest.raises(EngineError):
             sample_cloud_pool(g, 5, workers=0)
+        with pytest.raises(EngineError, match="batched"):
+            sample_cloud_pool(g, 5, kernel="walk", batch_size=2)
+
+    def test_final_checkpoint_is_sequentially_resumable(self, tmp_path):
+        g = make_connected_signed(30, 60, seed=1)
+        ckpt = tmp_path / "pool.npz"
+        sample_cloud_pool(g, 9, workers=3, seed=5, checkpoint_path=ckpt)
+        cloud, meta, _src = recover_cloud(ckpt, g)
+        assert meta.done_blocks is None  # completed run is a full prefix
+        resumed = resume_cloud(cloud, 15)
+        seq = sample_cloud(g, 15, seed=5)
+        np.testing.assert_allclose(seq.status(), resumed.status())
+        assert sorted(resumed.flip_counts()) == sorted(seq.flip_counts())
+
+
+class TestRemainingBlocks:
+    def test_fresh_split_is_strided(self):
+        assert _remaining_blocks((), 10, 3) == [
+            (0, 10, 3), (1, 10, 3), (2, 10, 3)
+        ]
+        assert _remaining_blocks((), 2, 8) == [(0, 2, 8), (1, 2, 8)]
+
+    def test_prefix_resume_strides_the_tail(self):
+        assert _remaining_blocks(((0, 6, 1),), 12, 2) == [
+            (6, 12, 2), (7, 12, 2)
+        ]
+        assert _remaining_blocks(((0, 12, 1),), 12, 2) == []
+
+    def test_salvage_resume_fills_missing_residues(self):
+        done = ((0, 12, 3), (2, 12, 3))
+        assert _remaining_blocks(done, 12, 3) == [(1, 12, 3)]
+        # Extending the target also extends the completed residues.
+        assert _remaining_blocks(done, 15, 3) == [
+            (12, 15, 3), (1, 15, 3), (14, 15, 3)
+        ]
+
+    def test_mixed_shapes_fall_back_to_run_compression(self):
+        done = ((0, 4, 1), (5, 12, 3))
+        remaining = _remaining_blocks(done, 12, 2)
+        got = sorted(i for b in remaining for i in range(*b))
+        assert got == [4, 6, 7, 9, 10]
+
+    def test_blocks_cover_exactly_the_campaign(self):
+        for done in [(), ((0, 7, 1),), ((1, 20, 4), (3, 20, 4))]:
+            blocks = _remaining_blocks(done, 20, 4)
+            covered = sorted(
+                list(i for b in done for i in range(*b))
+                + [i for b in blocks for i in range(*b)]
+            )
+            assert covered == list(range(20))
+
+
+class TestSalvage:
+    def test_worker_crash_salvages_completed_blocks(self, tmp_path):
+        g = make_connected_signed(30, 60, seed=3)
+        ckpt = tmp_path / "salvage.npz"
+        with pytest.raises(EngineError, match="salvaged"):
+            sample_cloud_pool(
+                g, 12, workers=3, seed=9, checkpoint_path=ckpt,
+                fault=WorkerCrash(1),
+            )
+        cloud, meta, _src = recover_cloud(ckpt, g)
+        assert meta.done_blocks == ((0, 12, 3), (2, 12, 3))
+        assert cloud.num_states == 8
+        # Resume reruns only the missing block and matches sequential.
+        finished = sample_cloud_pool(g, 12, workers=3, seed=9, resume_from=ckpt)
+        seq = sample_cloud(g, 12, seed=9)
+        np.testing.assert_allclose(seq.status(), finished.status())
+        np.testing.assert_allclose(seq.influence(), finished.influence())
+        np.testing.assert_allclose(
+            seq.edge_agreement(), finished.edge_agreement()
+        )
+        assert finished.num_states == 12
+        assert sorted(finished.flip_counts()) == sorted(seq.flip_counts())
+
+    def test_sequential_resume_refuses_salvage_checkpoint(self, tmp_path):
+        g = make_connected_signed(30, 60, seed=3)
+        ckpt = tmp_path / "salvage.npz"
+        with pytest.raises(EngineError):
+            sample_cloud_pool(
+                g, 12, workers=3, seed=9, checkpoint_path=ckpt,
+                fault=WorkerCrash(1),
+            )
+        cloud, _meta, _src = recover_cloud(ckpt, g)
+        with pytest.raises(CheckpointError, match="salvaged pool blocks"):
+            resume_cloud(cloud, 12)
+
+    def test_salvage_validates_campaign_on_resume(self, tmp_path):
+        g = make_connected_signed(30, 60, seed=3)
+        ckpt = tmp_path / "salvage.npz"
+        with pytest.raises(EngineError):
+            sample_cloud_pool(
+                g, 12, workers=3, seed=9, checkpoint_path=ckpt,
+                fault=WorkerCrash(1),
+            )
+        with pytest.raises(CheckpointError, match="seed"):
+            sample_cloud_pool(g, 12, workers=3, seed=4, resume_from=ckpt)
+
+    def test_no_checkpoint_path_still_raises(self):
+        g = make_connected_signed(20, 40, seed=3)
+        with pytest.raises(EngineError, match="crashed"):
+            sample_cloud_pool(g, 12, workers=3, seed=9, fault=WorkerCrash(1))
+
+    def test_hard_worker_death_is_survivable(self, tmp_path):
+        # os._exit kills the process outright: the executor reports a
+        # broken pool for unfinished futures, and whatever completed is
+        # salvaged.  (Which blocks finish first is timing-dependent, so
+        # only the invariants are asserted.)
+        g = make_connected_signed(20, 40, seed=3)
+        ckpt = tmp_path / "salvage.npz"
+        with pytest.raises(EngineError, match="crashed"):
+            sample_cloud_pool(
+                g, 9, workers=3, seed=9, checkpoint_path=ckpt,
+                fault=WorkerCrash(0, mode="exit"),
+            )
+        if ckpt.exists():
+            cloud, meta, _src = recover_cloud(ckpt, g)
+            assert cloud.num_states == sum(
+                len(range(*b)) for b in meta.done_blocks
+            )
+            finished = sample_cloud_pool(
+                g, 9, workers=3, seed=9, resume_from=ckpt
+            )
+            seq = sample_cloud(g, 9, seed=9)
+            np.testing.assert_allclose(seq.status(), finished.status())
+
+    def test_batched_salvage_round_trip(self, tmp_path):
+        g = make_connected_signed(30, 60, seed=3)
+        ckpt = tmp_path / "salvage.npz"
+        with pytest.raises(EngineError, match="salvaged"):
+            sample_cloud_pool(
+                g, 12, workers=3, seed=9, batch_size=2,
+                checkpoint_path=ckpt, fault=WorkerCrash(1),
+            )
+        finished = sample_cloud_pool(
+            g, 12, workers=3, seed=9, batch_size=2, resume_from=ckpt
+        )
+        seq = sample_cloud(g, 12, seed=9)
+        np.testing.assert_allclose(seq.status(), finished.status())
+        assert sorted(finished.flip_counts()) == sorted(seq.flip_counts())

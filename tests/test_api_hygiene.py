@@ -89,6 +89,7 @@ MODULES = [
     "repro.perf.report",
     "repro.util",
     "repro.util.arrays",
+    "repro.util.faults",
 ]
 
 

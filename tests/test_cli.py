@@ -101,6 +101,73 @@ class TestCommands:
         ) == 0
         assert csv_resumed.read_text() == csv_direct.read_text()
 
+    def test_cloud_resume_rejects_mismatched_campaign(
+        self, graph_file, tmp_path, capsys
+    ):
+        path, _g = graph_file
+        ckpt = tmp_path / "cloud.npz"
+        assert main(
+            ["cloud", path, "--states", "4", "--seed", "7",
+             "--checkpoint", str(ckpt)]
+        ) == 0
+        # Respelling the seed on resume would silently diverge; the CLI
+        # must fail loudly instead.
+        assert main(
+            ["cloud", path, "--states", "8", "--seed", "5",
+             "--resume", str(ckpt)]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "seed" in err
+
+    def test_cloud_resume_inherits_campaign(self, graph_file, tmp_path):
+        path, _g = graph_file
+        ckpt = tmp_path / "cloud.npz"
+        assert main(
+            ["cloud", path, "--states", "4", "--seed", "7", "--method",
+             "dfs", "--checkpoint", str(ckpt)]
+        ) == 0
+        # No --seed/--method respelled: the stored campaign is inherited.
+        csv_resumed = tmp_path / "resumed.csv"
+        assert main(
+            ["cloud", path, "--states", "8", "--resume", str(ckpt),
+             "--output", str(csv_resumed)]
+        ) == 0
+        csv_direct = tmp_path / "direct.csv"
+        assert main(
+            ["cloud", path, "--states", "8", "--seed", "7", "--method",
+             "dfs", "--output", str(csv_direct)]
+        ) == 0
+        assert csv_resumed.read_text() == csv_direct.read_text()
+
+    def test_cloud_checkpoint_rotation(self, graph_file, tmp_path):
+        path, _g = graph_file
+        ckpt = tmp_path / "cloud.npz"
+        assert main(
+            ["cloud", path, "--states", "9", "--checkpoint", str(ckpt),
+             "--checkpoint-every", "3", "--keep-checkpoints", "3"]
+        ) == 0
+        assert ckpt.exists()
+        assert (tmp_path / "cloud.npz.1").exists()
+        assert (tmp_path / "cloud.npz.2").exists()
+
+    def test_cloud_resume_from_corrupt_falls_back(
+        self, graph_file, tmp_path, capsys
+    ):
+        from repro.util.faults import truncate_file
+
+        path, _g = graph_file
+        ckpt = tmp_path / "cloud.npz"
+        assert main(
+            ["cloud", path, "--states", "6", "--checkpoint", str(ckpt),
+             "--checkpoint-every", "3", "--keep-checkpoints", "2"]
+        ) == 0
+        truncate_file(ckpt, keep_bytes=40)
+        assert main(
+            ["cloud", path, "--states", "8", "--resume", str(ckpt)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cloud.npz.1" in out  # resumed from the rotation backup
+
     def test_frustration(self, tmp_path, capsys):
         g = make_connected_signed(12, 20, seed=2)
         path = tmp_path / "small.txt"
