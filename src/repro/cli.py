@@ -113,6 +113,39 @@ def _cmd_balance(args) -> int:
     return 0
 
 
+def _policy_from_args(args):
+    """Build a supervisor :class:`RetryPolicy` from the cloud flags, or
+    ``None`` when none of them were given (plain unsupervised run)."""
+    if (
+        args.retries is None
+        and args.block_timeout is None
+        and args.deadline is None
+        and not args.no_degrade
+    ):
+        return None
+    from repro.parallel.supervisor import RetryPolicy
+
+    return RetryPolicy(
+        max_retries=args.retries if args.retries is not None else 2,
+        block_timeout=args.block_timeout,
+        deadline=args.deadline,
+        degrade=not args.no_degrade,
+    )
+
+
+def _print_run_report(cloud) -> None:
+    report = getattr(cloud, "run_report", None)
+    if report is None:
+        return
+    print(f"supervisor: {report.summary()}")
+    for entry in report.quarantined:
+        print(f"  quarantined block {entry['block']} after "
+              f"{entry['attempts']} attempt(s): {entry['error']}")
+    if report.deadline_hit:
+        print("  deadline reached; rerun with --resume to finish the "
+              "remaining blocks")
+
+
 def _cmd_cloud(args) -> int:
     from repro.cloud import sample_cloud
     from repro.parallel.pool import sample_cloud_pool
@@ -125,6 +158,7 @@ def _cmd_cloud(args) -> int:
     method = args.method if args.method is not None else "bfs"
     seed = args.seed if args.seed is not None else 0
     batch_size = args.batch_size if args.batch_size is not None else 1
+    policy = _policy_from_args(args)
     if args.resume:
         from repro.cloud.checkpoint import (
             recover_cloud,
@@ -148,6 +182,7 @@ def _cmd_cloud(args) -> int:
                 checkpoint_path=args.checkpoint,
                 keep_checkpoints=args.keep_checkpoints,
                 resume_from=source,
+                policy=policy,
             )
         else:
             cloud = resume_cloud(
@@ -160,13 +195,16 @@ def _cmd_cloud(args) -> int:
                 batch_size=args.batch_size,
                 keep_checkpoints=args.keep_checkpoints,
             )
-    elif args.workers > 1:
+    elif args.workers > 1 or policy is not None:
+        # A retry policy routes even --workers 1 through the pool
+        # driver: the supervisor's in-process ladder lives there.
         cloud = sample_cloud_pool(
             sub, args.states, workers=args.workers,
             method=method, seed=seed,
             batch_size=batch_size,
             checkpoint_path=args.checkpoint,
             keep_checkpoints=args.keep_checkpoints,
+            policy=policy,
         )
     else:
         cloud = sample_cloud(
@@ -176,6 +214,7 @@ def _cmd_cloud(args) -> int:
             checkpoint_every=args.checkpoint_every,
             keep_checkpoints=args.keep_checkpoints,
         )
+    _print_run_report(cloud)
     if args.checkpoint:
         print(f"checkpoint written to {args.checkpoint}")
     status = cloud.status()
@@ -397,6 +436,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resume a campaign from an NPZ checkpoint, falling "
                         "back to its newest loadable rotation backup; "
                         "mismatched --method/--seed/--batch-size fail loudly")
+    p.add_argument("--retries", type=int, default=None, metavar="N",
+                   help="run under the self-healing supervisor: retry each "
+                        "failed block up to N times with exponential "
+                        "backoff before quarantining it")
+    p.add_argument("--block-timeout", type=float, default=None, metavar="S",
+                   help="supervisor watchdog: kill and retry any block "
+                        "running longer than S seconds (implies --retries 2 "
+                        "unless given)")
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="stop the campaign cleanly after S seconds, "
+                        "checkpointing completed blocks for --resume "
+                        "(implies --retries 2 unless given)")
+    p.add_argument("--no-degrade", action="store_true",
+                   help="never fall back to in-process execution for "
+                        "blocks that exhaust their pool retries; "
+                        "quarantine them instead")
     p.set_defaults(func=_cmd_cloud)
 
     p = sub.add_parser("frustration", help="frustration-index bounds")

@@ -79,6 +79,13 @@ class CampaignMeta:
     a tuple of ``(start, stop, step)`` index blocks for a pool-salvage
     checkpoint, where only those blocks completed before a sibling
     worker crashed (see :func:`repro.parallel.pool.sample_cloud_pool`).
+
+    ``quarantined_blocks`` records blocks the self-healing supervisor
+    (:mod:`repro.parallel.supervisor`) gave up on after exhausting its
+    retry ladder.  They are never part of ``done_blocks``, so a resume
+    re-attempts exactly them; recording them separately lets the resume
+    (and operators) see *which* missing blocks were poison rather than
+    merely unreached.
     """
 
     method: str
@@ -87,6 +94,7 @@ class CampaignMeta:
     batch_size: int
     store_states: bool
     done_blocks: Tuple[Tuple[int, int, int], ...] | None = None
+    quarantined_blocks: Tuple[Tuple[int, int, int], ...] | None = None
 
 
 def graph_fingerprint(graph: SignedGraph) -> str:
@@ -216,6 +224,10 @@ def _payload(
             payload["campaign_done_blocks"] = np.asarray(
                 campaign.done_blocks, dtype=np.int64
             ).reshape(-1, 3)
+        if campaign.quarantined_blocks is not None:
+            payload["campaign_quarantined_blocks"] = np.asarray(
+                campaign.quarantined_blocks, dtype=np.int64
+            ).reshape(-1, 3)
     return payload
 
 
@@ -337,6 +349,17 @@ def _restore(
             done_blocks = tuple(
                 tuple(int(x) for x in row) for row in blocks.tolist()
             )
+        quarantined_blocks = None
+        if "campaign_quarantined_blocks" in data.files:
+            blocks = data["campaign_quarantined_blocks"]
+            if blocks.ndim != 2 or blocks.shape[1] != 3:
+                raise CheckpointError(
+                    f"corrupt checkpoint {path}: campaign_quarantined_blocks "
+                    f"has shape {blocks.shape}, expected (k, 3)"
+                )
+            quarantined_blocks = tuple(
+                tuple(int(x) for x in row) for row in blocks.tolist()
+            )
         meta = CampaignMeta(
             method=str(data["campaign_method"][()]),
             kernel=str(data["campaign_kernel"][()]),
@@ -344,6 +367,7 @@ def _restore(
             batch_size=_scalar(data, "campaign_batch_size", path),
             store_states=bool(_scalar(data, "campaign_store_states", path)),
             done_blocks=done_blocks,
+            quarantined_blocks=quarantined_blocks,
         )
         if meta.store_states != store_states:
             raise CheckpointError(

@@ -15,6 +15,7 @@ __all__ = [
     "NotBalancedError",
     "DatasetError",
     "EngineError",
+    "SupervisorError",
     "CheckpointError",
 ]
 
@@ -54,6 +55,18 @@ class DatasetError(ReproError):
 class EngineError(ReproError):
     """Raised for invalid parallel-engine configurations (zero threads,
     unknown schedule, ...)."""
+
+
+class SupervisorError(EngineError):
+    """Raised by the self-healing campaign supervisor for invalid
+    retry policies, and when a supervised campaign ends with no usable
+    work at all (every block quarantined, or the deadline expired
+    before anything completed).  When a :class:`RunReport` exists it is
+    attached as the exception's ``report`` attribute."""
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 class CheckpointError(ReproError):

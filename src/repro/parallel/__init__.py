@@ -1,6 +1,7 @@
 """Parallel execution layer: workload profiling, schedule simulators,
-simulated CPU/GPU machine models, the campaign modeler, and the
-simulated distributed (MPI-pattern) status driver.
+simulated CPU/GPU machine models, the campaign modeler, the simulated
+distributed (MPI-pattern) status driver, and the self-healing campaign
+supervisor (retries, timeouts, backoff, graceful degradation).
 """
 
 from repro.parallel.workload import Workload, collect_workload
@@ -30,6 +31,12 @@ from repro.parallel.distributed import (
     partition_indices,
 )
 from repro.parallel.pool import sample_cloud_pool
+from repro.parallel.supervisor import (
+    FaultEvent,
+    RetryPolicy,
+    RunReport,
+    run_supervised,
+)
 from repro.parallel.mpi_model import ClusterEstimate, ClusterModel
 
 __all__ = [
@@ -54,6 +61,10 @@ __all__ = [
     "distributed_status",
     "partition_indices",
     "sample_cloud_pool",
+    "RetryPolicy",
+    "RunReport",
+    "FaultEvent",
+    "run_supervised",
     "ClusterModel",
     "ClusterEstimate",
 ]

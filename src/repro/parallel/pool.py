@@ -33,16 +33,19 @@ parallel dataflow a multi-core deployment would use as-is.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Callable, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Sequence, Tuple
 
 import numpy as np
 
 from repro.cloud.cloud import BATCHED_KERNELS, FrustrationCloud
 from repro.core.balancer import balance
-from repro.errors import CheckpointError, EngineError
+from repro.errors import CheckpointError, EngineError, SupervisorError
 from repro.graph.csr import SignedGraph
 from repro.rng import SeedLike, freeze_seed
 from repro.trees.sampler import TreeSampler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel.supervisor import RetryPolicy
 
 __all__ = ["sample_cloud_pool"]
 
@@ -202,6 +205,7 @@ def sample_cloud_pool(
     keep_checkpoints: int = 1,
     resume_from=None,
     fault: Callable[[Block], None] | None = None,
+    policy: "RetryPolicy | None" = None,
 ) -> FrustrationCloud:
     """Alg. 2 with tree-level process parallelism.
 
@@ -211,15 +215,31 @@ def sample_cloud_pool(
     the tree-batched engine inside each worker.
 
     ``checkpoint_path`` writes a self-describing checkpoint when the
-    campaign completes — and, if a worker crashes mid-campaign, a
-    *salvage* checkpoint holding every block that did complete (the
-    raised :class:`~repro.errors.EngineError` names it).
-    ``resume_from`` loads such a checkpoint (falling back through its
-    rotation backups), validates the campaign parameters against the
-    stored metadata, reruns only the missing index blocks, and merges.
-    *fault* is a fault-injection hook for the crash tests (see
-    :class:`repro.util.faults.WorkerCrash`); it is invoked in the
-    worker with each ``(start, stop, step)`` block before processing.
+    campaign completes — and, if a worker crashes mid-campaign (or the
+    parent is interrupted), a *salvage* checkpoint holding every block
+    that did complete (the raised :class:`~repro.errors.EngineError`
+    names it; a :class:`KeyboardInterrupt` is re-raised unchanged after
+    the salvage is written).  ``resume_from`` loads such a checkpoint
+    (falling back through its rotation backups), validates the campaign
+    parameters against the stored metadata, reruns only the missing
+    index blocks, and merges.  *fault* is a fault-injection hook for
+    the crash tests (see :class:`repro.util.faults.WorkerCrash`); it is
+    invoked in the worker with each ``(start, stop, step)`` block
+    before processing.
+
+    ``policy`` enables the self-healing supervisor
+    (:mod:`repro.parallel.supervisor`): failed blocks are retried with
+    backoff, hung blocks are timed out and their workers killed, a
+    broken pool is rebuilt, stubborn blocks degrade to in-process
+    execution, poison blocks are quarantined instead of sinking the
+    campaign, and a campaign ``deadline`` checkpoints and stops
+    cleanly.  The structured :class:`~repro.parallel.supervisor.
+    RunReport` is attached to the returned cloud as
+    ``cloud.run_report``.  When blocks were quarantined or abandoned to
+    the deadline, the returned cloud holds fewer than ``num_states``
+    states and its checkpoint records ``done_blocks`` (and the
+    quarantined blocks), so ``resume_from`` re-attempts exactly the
+    missing work.
     """
     from repro.cloud.checkpoint import (
         CampaignMeta,
@@ -287,8 +307,65 @@ def sample_cloud_pool(
         cloud.campaign_meta = campaign
         return cloud
 
+    def _merge_completed(
+        completed: list[tuple[Block, FrustrationCloud]],
+    ) -> FrustrationCloud:
+        """Fold completed block clouds into the resume base in sorted
+        block order — the order is what makes a healed campaign
+        bit-identical to a fault-free one."""
+        merged = (
+            base
+            if base is not None
+            else FrustrationCloud(graph, store_states=store_states)
+        )
+        for _block, local in sorted(completed, key=lambda pair: pair[0][0]):
+            merged.merge(local)
+        return merged
+
+    def _partial_campaign(
+        done: Sequence[Block],
+        quarantined: tuple[Block, ...] | None = None,
+    ) -> CampaignMeta:
+        return CampaignMeta(
+            method=method,
+            kernel=kernel,
+            seed=frozen,
+            batch_size=batch_size,
+            store_states=store_states,
+            done_blocks=tuple(sorted(prior_blocks + tuple(done))),
+            quarantined_blocks=quarantined,
+        )
+
+    def _salvage(
+        completed: list[tuple[Block, FrustrationCloud]],
+    ) -> FrustrationCloud | None:
+        """Checkpoint every completed block (plus the resume base) with
+        its ``done_blocks`` recorded; returns the salvage cloud, or
+        ``None`` when there is nothing to save or nowhere to put it."""
+        if checkpoint_path is None or not (completed or base is not None):
+            return None
+        salvage = _merge_completed(completed)
+        save_cloud(
+            salvage,
+            checkpoint_path,
+            campaign=_partial_campaign(tuple(b for b, _c in completed)),
+            keep=keep_checkpoints,
+        )
+        return salvage
+
     if not blocks:
         return _finalize(base)
+
+    if policy is not None:
+        return _run_supervised_campaign(
+            graph, blocks, workers=workers, method=method, kernel=kernel,
+            frozen=frozen, store_states=store_states, batch_size=batch_size,
+            policy=policy, fault=fault, finalize=_finalize,
+            merge_completed=_merge_completed, salvage=_salvage,
+            partial_campaign=_partial_campaign,
+            checkpoint_path=checkpoint_path,
+            keep_checkpoints=keep_checkpoints,
+        )
 
     if workers == 1 or len(blocks) == 1:
         merged = (
@@ -296,13 +373,45 @@ def sample_cloud_pool(
             if base is not None
             else FrustrationCloud(graph, store_states=store_states)
         )
-        for block in blocks:
-            merged.merge(
-                _run_block(
+        done: list[tuple[Block, FrustrationCloud]] = []
+        block = blocks[0]
+        try:
+            for block in blocks:
+                local = _run_block(
                     graph, method, kernel, frozen, block, store_states,
                     batch_size, fault,
                 )
+                done.append((block, local))
+                merged.merge(local)
+        except BaseException as exc:
+            # Salvage exactly like the pool path: every block that
+            # completed before the crash (or interrupt) is
+            # checkpointed, so the campaign loses only the in-flight
+            # block.  KeyboardInterrupt and kin re-raise unchanged.
+            salvaged = None
+            if checkpoint_path is not None and (done or base is not None):
+                save_cloud(
+                    merged,
+                    checkpoint_path,
+                    campaign=_partial_campaign(
+                        tuple(b for b, _c in done)
+                    ),
+                    keep=keep_checkpoints,
+                )
+                salvaged = merged
+            if not isinstance(exc, Exception):
+                raise
+            detail = (
+                f"in-process block {block} crashed: "
+                f"{type(exc).__name__}: {exc}"
             )
+            if salvaged is not None:
+                raise EngineError(
+                    f"{detail}; salvaged {len(done)} completed block(s) "
+                    f"({salvaged.num_states} states) to {checkpoint_path} "
+                    "— finish with sample_cloud_pool(..., resume_from=...)"
+                ) from exc
+            raise EngineError(detail) from exc
         return _finalize(merged)
 
     completed: list[tuple[Block, FrustrationCloud]] = []
@@ -319,12 +428,21 @@ def sample_cloud_pool(
             ): block
             for block in blocks
         }
-        for future in as_completed(futures):
-            block = futures[future]
-            try:
-                completed.append((block, future.result()))
-            except Exception as exc:
-                failures.append((block, exc))
+        try:
+            for future in as_completed(futures):
+                block = futures[future]
+                try:
+                    completed.append((block, future.result()))
+                except Exception as exc:
+                    failures.append((block, exc))
+        except BaseException:
+            # A KeyboardInterrupt (parent-side ^C, or one shipped back
+            # from a worker) bypasses the Exception handler above.
+            # Without this, every completed block would be lost: write
+            # the salvage checkpoint, then re-raise unchanged.
+            pool.shutdown(wait=False, cancel_futures=True)
+            _salvage(completed)
+            raise
 
     if failures:
         failures.sort(key=lambda pair: pair[0][0])
@@ -333,31 +451,8 @@ def sample_cloud_pool(
             f"pool worker crashed on block {block}: "
             f"{type(exc).__name__}: {exc}"
         )
-        if checkpoint_path is not None and (completed or base is not None):
-            completed.sort(key=lambda pair: pair[0][0])
-            salvage = (
-                base
-                if base is not None
-                else FrustrationCloud(graph, store_states=store_states)
-            )
-            for _block, local in completed:
-                salvage.merge(local)
-            done_blocks = tuple(
-                sorted(prior_blocks + tuple(b for b, _c in completed))
-            )
-            save_cloud(
-                salvage,
-                checkpoint_path,
-                campaign=CampaignMeta(
-                    method=method,
-                    kernel=kernel,
-                    seed=frozen,
-                    batch_size=batch_size,
-                    store_states=store_states,
-                    done_blocks=done_blocks,
-                ),
-                keep=keep_checkpoints,
-            )
+        salvage = _salvage(completed)
+        if salvage is not None:
             raise EngineError(
                 f"{detail}; salvaged {len(completed)} completed block(s) "
                 f"({salvage.num_states} states) to {checkpoint_path} — "
@@ -365,12 +460,72 @@ def sample_cloud_pool(
             ) from exc
         raise EngineError(detail) from exc
 
-    completed.sort(key=lambda pair: pair[0][0])
-    merged = (
-        base
-        if base is not None
-        else FrustrationCloud(graph, store_states=store_states)
+    return _finalize(_merge_completed(completed))
+
+
+def _run_supervised_campaign(
+    graph: SignedGraph,
+    blocks: Sequence[Block],
+    *,
+    workers: int,
+    method: str,
+    kernel: str,
+    frozen: int,
+    store_states: bool,
+    batch_size: int,
+    policy,
+    fault,
+    finalize,
+    merge_completed,
+    salvage,
+    partial_campaign,
+    checkpoint_path,
+    keep_checkpoints: int,
+) -> FrustrationCloud:
+    """Drive *blocks* through the self-healing supervisor and shape the
+    outcome back into :func:`sample_cloud_pool`'s contract.
+
+    A fully-healed campaign finalizes exactly like an unfaulted one (so
+    the result is bit-identical).  A campaign with quarantined or
+    deadline-abandoned blocks returns the partial cloud with
+    ``done_blocks`` (and the quarantine list) checkpointed and recorded
+    in ``campaign_meta`` so ``resume_from`` re-attempts precisely the
+    missing work.  Either way the :class:`~repro.parallel.supervisor.
+    RunReport` rides along as ``cloud.run_report``.
+    """
+    from repro.cloud.checkpoint import save_cloud
+    from repro.parallel.supervisor import CampaignSupervisor
+
+    supervisor = CampaignSupervisor(
+        graph, blocks, method=method, kernel=kernel, seed=frozen,
+        store_states=store_states, batch_size=batch_size, workers=workers,
+        policy=policy, fault=fault,
     )
-    for _block, local in completed:
-        merged.merge(local)
-    return _finalize(merged)
+    try:
+        completed, report = supervisor.run()
+    except BaseException:
+        # Parent-side interrupt: the ladder consumes block faults, so
+        # anything escaping is a stop request — salvage and re-raise.
+        salvage(supervisor.completed)
+        raise
+    if report.ok:
+        result = finalize(merge_completed(completed))
+        result.run_report = report
+        return result
+    merged = merge_completed(completed)
+    if merged.num_states == 0:
+        raise SupervisorError(
+            f"supervised campaign produced no states ({report.summary()})",
+            report=report,
+        )
+    meta = partial_campaign(
+        tuple(b for b, _c in completed),
+        report.quarantined_blocks or None,
+    )
+    if checkpoint_path is not None:
+        save_cloud(
+            merged, checkpoint_path, campaign=meta, keep=keep_checkpoints
+        )
+    merged.campaign_meta = meta
+    merged.run_report = report
+    return merged

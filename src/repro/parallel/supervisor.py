@@ -1,0 +1,753 @@
+"""Self-healing campaign supervisor: retries, timeouts, backoff,
+quarantine, and graceful degradation for pool cloud sampling.
+
+The block-parallel campaign driver (:mod:`repro.parallel.pool`) fans a
+cloud campaign out over ``(start, stop, step)`` tree-index blocks.
+Without supervision, one crashed worker aborts the campaign (leaving a
+salvage checkpoint the *user* must resume by hand) and one hung worker
+stalls it forever.  This module wraps the same dataflow in a
+fault-handling ladder so a campaign heals itself instead:
+
+1. **Retry in the pool.**  A block whose worker raises is resubmitted
+   up to ``max_retries`` times, after an exponential backoff with
+   deterministic jitter (see :meth:`RetryPolicy.backoff_seconds`).
+2. **Watchdog timeouts.**  With ``block_timeout`` set, the supervisor's
+   wait loop acts as a watchdog over the executor's futures: a block
+   that exceeds its wall-clock budget is declared hung, the worker
+   processes are terminated (a hung future cannot be cancelled), the
+   pool is rebuilt, and innocent in-flight blocks are requeued without
+   burning one of their attempts.
+3. **Fresh pool after a break.**  ``BrokenProcessPool`` poisons every
+   in-flight future without saying *which* block killed the worker, so
+   the suspects are re-run one at a time in a fresh pool — an attempt
+   is charged only when a block fails alone and the attribution is
+   unambiguous.  Innocent suspects complete; the poison block walks its
+   own retry ladder.
+4. **In-process degradation.**  A block that exhausts its pool retries
+   with ordinary exceptions is re-run sequentially in the parent
+   process (``degrade=True``), which removes the pool infrastructure —
+   pickling, worker state, process scheduling — from the equation.
+   Blocks that *hung* or *killed a worker process* never degrade: an
+   in-process hang cannot be interrupted and an in-process hard crash
+   would take the campaign down with it.
+5. **Poison-block quarantine.**  A block that still fails is recorded
+   in the :class:`RunReport` and *skipped* — the campaign completes
+   with the surviving blocks rather than sinking.  The checkpoint
+   records quarantined blocks (they are excluded from ``done_blocks``),
+   so a later resume re-attempts exactly them.
+6. **Campaign deadline.**  With ``deadline`` set, the supervisor stops
+   submitting once the wall-clock budget expires, tears the pool down,
+   and hands the completed blocks back for a clean checkpoint — the
+   campaign stops on its own terms instead of being killed mid-flight.
+
+Determinism: a block's result depends only on its ``(start, stop,
+step)`` indices and the campaign seed (:class:`~repro.trees.sampler.
+TreeSampler` hands out tree *i* deterministically), so retries, pool
+rebuilds, and in-process degradation cannot change what a block
+computes — only *whether* it completes.  The caller merges completed
+blocks in sorted block order, so a campaign that heals is bit-identical
+to one that never faulted (tested in
+``tests/parallel/test_supervisor.py``).
+
+Every fault, retry, backoff, teardown, degradation, and quarantine is
+recorded as a :class:`FaultEvent` in the :class:`RunReport`, which the
+pool driver attaches to the returned cloud (``cloud.run_report``) and
+which dumps to JSON for operators.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence, Tuple
+
+from repro.errors import SupervisorError
+from repro.graph.csr import SignedGraph
+
+__all__ = [
+    "RetryPolicy",
+    "FaultEvent",
+    "RunReport",
+    "run_supervised",
+]
+
+Block = Tuple[int, int, int]
+
+#: Minimum wait-loop granularity: the supervisor never blocks longer
+#: than this without re-checking timeouts, cooled retries, and the
+#: campaign deadline.
+_TICK = 0.05
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Fault-handling knobs for a supervised campaign.
+
+    ``max_retries`` counts *re*-attempts: a block is tried at most
+    ``max_retries + 1`` times in the pool before it degrades or is
+    quarantined.  ``block_timeout`` (seconds, ``None`` = unlimited) is
+    each attempt's wall-clock budget; ``deadline`` (seconds, ``None`` =
+    unlimited) is the whole campaign's.  The backoff before retry *k*
+    (1-based) is ``min(backoff_max, backoff_base * backoff_factor**(k-1))
+    * (1 + j)`` where ``j ∈ [0, jitter)`` is deterministic in
+    ``(seed, block, k)`` — reruns of a campaign sleep the same amounts.
+    ``degrade=False`` disables the in-process fallback rung (stubborn
+    blocks go straight to quarantine).
+    """
+
+    max_retries: int = 2
+    block_timeout: float | None = None
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    jitter: float = 0.1
+    deadline: float | None = None
+    degrade: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise SupervisorError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.block_timeout is not None and self.block_timeout <= 0:
+            raise SupervisorError(
+                f"block_timeout must be positive, got {self.block_timeout}"
+            )
+        if self.backoff_base < 0:
+            raise SupervisorError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
+        if self.backoff_factor < 1.0:
+            raise SupervisorError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_max < 0:
+            raise SupervisorError(
+                f"backoff_max must be >= 0, got {self.backoff_max}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise SupervisorError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise SupervisorError(
+                f"deadline must be positive, got {self.deadline}"
+            )
+
+    def backoff_seconds(self, seed: int, block: Block, retry: int) -> float:
+        """Deterministic backoff before the *retry*-th re-attempt
+        (1-based) of *block*: exponential growth, capped, with a jitter
+        fraction drawn from a hash of ``(seed, block, retry)`` so two
+        runs of the same campaign back off identically."""
+        if retry < 1:
+            raise SupervisorError(f"retry must be >= 1, got {retry}")
+        base = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (retry - 1),
+        )
+        if base <= 0 or self.jitter == 0:
+            return base
+        key = f"{seed}:{block[0]}:{block[1]}:{block[2]}:{retry}"
+        digest = hashlib.sha256(key.encode("ascii")).digest()
+        frac = int.from_bytes(digest[:8], "big") / 2**64
+        return base * (1.0 + self.jitter * frac)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One entry of the supervisor's structured fault log."""
+
+    t: float  #: seconds since campaign start
+    kind: str  #: failure | timeout | backoff | suspect | pool_rebuild |
+    #:  requeue | degrade | quarantine | deadline
+    block: Block | None
+    attempt: int
+    detail: str
+
+
+@dataclass
+class RunReport:
+    """What a supervised campaign survived.
+
+    Attached to the returned cloud as ``cloud.run_report``; dump with
+    :meth:`to_json` / :meth:`dump` for operators.  ``completed`` holds
+    every block that produced states (in merge order), ``quarantined``
+    the blocks given up on (with attempt counts and last error),
+    ``remaining`` the blocks abandoned un-attempted when the deadline
+    expired, and ``events`` the full chronological fault log.
+    """
+
+    policy: RetryPolicy
+    blocks_total: int = 0
+    completed: list[Block] = field(default_factory=list)
+    quarantined: list[dict] = field(default_factory=list)
+    remaining: list[Block] = field(default_factory=list)
+    degraded: list[Block] = field(default_factory=list)
+    events: list[FaultEvent] = field(default_factory=list)
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    deadline_hit: bool = False
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every block completed: nothing quarantined,
+        nothing abandoned to the deadline."""
+        return not self.quarantined and not self.remaining
+
+    @property
+    def quarantined_blocks(self) -> tuple[Block, ...]:
+        return tuple(sorted(tuple(q["block"]) for q in self.quarantined))
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict: policy knobs, per-block outcomes, counters,
+        and the chronological fault log."""
+        return {
+            "policy": asdict(self.policy),
+            "blocks_total": self.blocks_total,
+            "completed": [list(b) for b in self.completed],
+            "quarantined": [
+                {**q, "block": list(q["block"])} for q in self.quarantined
+            ],
+            "remaining": [list(b) for b in self.remaining],
+            "degraded": [list(b) for b in self.degraded],
+            "events": [
+                {**asdict(e), "block": list(e.block) if e.block else None}
+                for e in self.events
+            ],
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "deadline_hit": self.deadline_hit,
+            "wall_seconds": self.wall_seconds,
+            "ok": self.ok,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize :meth:`to_dict` as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def dump(self, path) -> None:
+        """Write the report as JSON to *path*."""
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    def summary(self) -> str:
+        """One line for logs/CLI output."""
+        parts = [
+            f"{len(self.completed)}/{self.blocks_total} blocks completed",
+            f"{self.retries} retries",
+            f"{self.timeouts} timeouts",
+            f"{self.pool_rebuilds} pool rebuilds",
+        ]
+        if self.degraded:
+            parts.append(f"{len(self.degraded)} degraded in-process")
+        if self.quarantined:
+            parts.append(f"{len(self.quarantined)} quarantined")
+        if self.deadline_hit:
+            parts.append("deadline hit")
+        return "; ".join(parts)
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Kill a pool whose workers may be hung.  ``Future.cancel`` cannot
+    stop a running call, so the worker processes are terminated
+    directly and the executor abandoned."""
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - best-effort teardown
+        pass
+
+
+class CampaignSupervisor:
+    """One supervised campaign run.  See the module docstring for the
+    ladder; :func:`run_supervised` is the public entry point."""
+
+    def __init__(
+        self,
+        graph: SignedGraph,
+        blocks: Sequence[Block],
+        *,
+        method: str,
+        kernel: str,
+        seed: int,
+        store_states: bool,
+        batch_size: int,
+        workers: int,
+        policy: RetryPolicy,
+        fault: Callable[[Block], None] | None = None,
+    ) -> None:
+        self.graph = graph
+        self.blocks = [tuple(int(x) for x in b) for b in blocks]
+        self.method = method
+        self.kernel = kernel
+        self.seed = seed
+        self.store_states = store_states
+        self.batch_size = batch_size
+        self.workers = workers
+        self.policy = policy
+        self.fault = fault
+
+        self.report = RunReport(policy=policy, blocks_total=len(self.blocks))
+        self.completed: list[tuple[Block, object]] = []
+        # (block, attempt) ready to submit; attempt is 1-based.
+        self.pending: deque[tuple[Block, int]] = deque(
+            (b, 1) for b in self.blocks
+        )
+        # (ready_time, block, attempt) sleeping out a backoff.
+        self.cooling: list[tuple[float, Block, int]] = []
+        # Blocks in flight when the pool broke: re-run one at a time so
+        # the poison block is attributed unambiguously.
+        self.suspects: deque[tuple[Block, int]] = deque()
+        # Blocks that exhausted pool retries and degrade in-process.
+        self.degrade_queue: deque[tuple[Block, int]] = deque()
+        self.pool: ProcessPoolExecutor | None = None
+        self.start = time.monotonic()
+
+    # -- bookkeeping ---------------------------------------------------
+    def _event(
+        self, kind: str, block: Block | None, attempt: int, detail: str
+    ) -> None:
+        self.report.events.append(
+            FaultEvent(
+                t=round(time.monotonic() - self.start, 4),
+                kind=kind,
+                block=block,
+                attempt=attempt,
+                detail=detail,
+            )
+        )
+
+    def _deadline_left(self) -> float | None:
+        if self.policy.deadline is None:
+            return None
+        return self.policy.deadline - (time.monotonic() - self.start)
+
+    def _quarantine(self, block: Block, attempt: int, detail: str) -> None:
+        self.report.quarantined.append(
+            {"block": block, "attempts": attempt, "error": detail}
+        )
+        self._event("quarantine", block, attempt, detail)
+
+    def _register_failure(
+        self, block: Block, attempt: int, kind: str, detail: str
+    ) -> None:
+        """One attempt of *block* failed; climb the ladder: backoff +
+        retry, then in-process degradation (plain failures only), then
+        quarantine."""
+        if kind == "timeout":
+            self.report.timeouts += 1
+        self._event(kind, block, attempt, detail)
+        if attempt <= self.policy.max_retries:
+            delay = self.policy.backoff_seconds(self.seed, block, attempt)
+            self.report.retries += 1
+            if delay > 0:
+                self._event(
+                    "backoff", block, attempt,
+                    f"backing off {delay:.3f}s before attempt {attempt + 1}",
+                )
+            self.cooling.append((time.monotonic() + delay, block, attempt + 1))
+            return
+        # Pool retries exhausted.  Hung blocks cannot be interrupted
+        # in-process and crash blocks would kill the parent, so only
+        # ordinary failures take the degradation rung.
+        if self.policy.degrade and kind == "failure" and self.workers > 1:
+            self.degrade_queue.append((block, attempt + 1))
+            self._event(
+                "degrade", block, attempt,
+                "pool retries exhausted; falling back to in-process "
+                "sequential execution",
+            )
+            return
+        self._quarantine(block, attempt, detail)
+
+    # -- pool management -----------------------------------------------
+    def _pool_size(self) -> int:
+        return max(1, min(self.workers, len(self.blocks)))
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self.pool is None:
+            from repro.parallel.pool import _init_worker
+
+            self.pool = ProcessPoolExecutor(
+                max_workers=self._pool_size(),
+                initializer=_init_worker,
+                initargs=(self.graph,),
+            )
+        return self.pool
+
+    def _teardown_pool(self) -> None:
+        if self.pool is not None:
+            _terminate_pool(self.pool)
+            self.pool = None
+
+    def _rebuild_after(self, reason: str) -> None:
+        self._teardown_pool()
+        self.report.pool_rebuilds += 1
+        self._event("pool_rebuild", None, 0, reason)
+
+    # -- main loop -----------------------------------------------------
+    def run(self) -> tuple[list[tuple[Block, object]], RunReport]:
+        try:
+            if self.workers > 1 and len(self.blocks) > 1:
+                self._run_pooled()
+            else:
+                self._run_inprocess(self.pending)
+            self._run_degraded()
+        finally:
+            self._teardown_pool()
+            self.report.completed = sorted(b for b, _c in self.completed)
+            self.report.wall_seconds = round(
+                time.monotonic() - self.start, 4
+            )
+        return self.completed, self.report
+
+    def _promote_cooled(self) -> None:
+        now = time.monotonic()
+        still: list[tuple[float, Block, int]] = []
+        for ready, block, attempt in self.cooling:
+            if ready <= now:
+                self.pending.append((block, attempt))
+            else:
+                still.append((ready, block, attempt))
+        self.cooling = still
+
+    def _abandon_to_deadline(self, inflight: dict) -> None:
+        """The campaign deadline expired: stop cleanly, recording every
+        block that did not finish."""
+        self.report.deadline_hit = True
+        left: list[Block] = []
+        left += [b for b, _a in self.pending]
+        left += [b for _r, b, _a in self.cooling]
+        left += [b for b, _a in self.suspects]
+        left += [b for b, _a in self.degrade_queue]
+        left += [b for b, _a, _t in inflight.values()]
+        self.report.remaining = sorted(set(left))
+        self.pending.clear()
+        self.cooling.clear()
+        self.suspects.clear()
+        self.degrade_queue.clear()
+        inflight.clear()
+        self._teardown_pool()
+        self._event(
+            "deadline", None, 0,
+            f"campaign deadline of {self.policy.deadline:.3f}s expired; "
+            f"{len(self.report.remaining)} block(s) abandoned for a clean "
+            "checkpointed stop",
+        )
+
+    def _run_pooled(self) -> None:
+        inflight: dict = {}  # Future -> (block, attempt, t_submit)
+        while self.pending or self.cooling or self.suspects or inflight:
+            left = self._deadline_left()
+            if left is not None and left <= 0:
+                self._abandon_to_deadline(inflight)
+                return
+            self._promote_cooled()
+
+            # Submit.  While suspects exist, run exactly one block at a
+            # time so a repeat pool break is attributed unambiguously.
+            try:
+                if self.suspects:
+                    if not inflight:
+                        block, attempt = self.suspects.popleft()
+                        fut = self._ensure_pool().submit(
+                            _pool_entry, self.method, self.kernel, self.seed,
+                            block, self.store_states, self.batch_size,
+                            self.fault,
+                        )
+                        inflight[fut] = (block, attempt, time.monotonic())
+                else:
+                    while self.pending and len(inflight) < self._pool_size():
+                        block, attempt = self.pending.popleft()
+                        fut = self._ensure_pool().submit(
+                            _pool_entry, self.method, self.kernel, self.seed,
+                            block, self.store_states, self.batch_size,
+                            self.fault,
+                        )
+                        inflight[fut] = (block, attempt, time.monotonic())
+            except (BrokenProcessPool, RuntimeError) as exc:
+                # The pool broke between our bookkeeping and submit;
+                # requeue and rebuild.
+                self.pending.appendleft((block, attempt))
+                for f, (b, a, _t) in list(inflight.items()):
+                    self.suspects.append((b, a))
+                inflight.clear()
+                self._rebuild_after(
+                    f"executor rejected submissions: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                continue
+
+            if not inflight:
+                # Everything is cooling; sleep until the first retry is
+                # ready (bounded by the tick so deadlines stay live).
+                if self.cooling:
+                    ready = min(r for r, _b, _a in self.cooling)
+                    pause = max(0.0, ready - time.monotonic())
+                    if left is not None:
+                        pause = min(pause, max(left, 0.0))
+                    time.sleep(min(pause, 1.0) if pause > 0 else 0.0)
+                continue
+
+            # Wait for completions, bounded by the nearest of: a block
+            # timeout expiring, a cooled retry becoming ready, the
+            # campaign deadline, and the watchdog tick.
+            timeout = _TICK if self.cooling else 1.0
+            now = time.monotonic()
+            if self.policy.block_timeout is not None:
+                nearest = min(
+                    t0 + self.policy.block_timeout - now
+                    for _b, _a, t0 in inflight.values()
+                )
+                timeout = min(timeout, max(nearest, 0.0))
+            if left is not None:
+                timeout = min(timeout, max(left, 0.0))
+            n_inflight = len(inflight)
+            done, _not_done = wait(
+                list(inflight), timeout=timeout,
+                return_when=FIRST_COMPLETED,
+            )
+
+            broken = False
+            for fut in done:
+                block, attempt, _t0 = inflight.pop(fut)
+                try:
+                    local = fut.result(timeout=0)
+                except BrokenProcessPool as exc:
+                    broken = True
+                    if n_inflight == 1:
+                        # Running alone: the attribution is certain.
+                        self._register_failure(
+                            block, attempt, "crash",
+                            f"worker process died: {exc}",
+                        )
+                    else:
+                        self.suspects.append((block, attempt))
+                        self._event(
+                            "suspect", block, attempt,
+                            "pool broke with this block in flight; will "
+                            "re-run isolated for attribution",
+                        )
+                except BaseException as exc:
+                    self._register_failure(
+                        block, attempt, "failure",
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                else:
+                    self.completed.append((block, local))
+            if broken:
+                for fut, (block, attempt, _t0) in list(inflight.items()):
+                    self.suspects.append((block, attempt))
+                    self._event(
+                        "suspect", block, attempt,
+                        "pool broke with this block in flight; will "
+                        "re-run isolated for attribution",
+                    )
+                inflight.clear()
+                self._rebuild_after("BrokenProcessPool: worker died")
+                continue
+
+            # Watchdog: declare blocks past their wall-clock budget
+            # hung.  A running future cannot be cancelled, so the pool
+            # is torn down; innocents are requeued without charge.
+            if self.policy.block_timeout is not None and inflight:
+                now = time.monotonic()
+                expired = [
+                    (fut, entry)
+                    for fut, entry in inflight.items()
+                    if now - entry[2] >= self.policy.block_timeout
+                    and not fut.done()
+                ]
+                if expired:
+                    expired_futs = {fut for fut, _e in expired}
+                    for fut, (block, attempt, t0) in expired:
+                        inflight.pop(fut)
+                        self._register_failure(
+                            block, attempt, "timeout",
+                            f"block exceeded block_timeout="
+                            f"{self.policy.block_timeout:.3f}s "
+                            f"(ran {now - t0:.3f}s); worker terminated",
+                        )
+                    for fut, (block, attempt, _t0) in list(inflight.items()):
+                        if fut.done():
+                            # Completed while we were deciding; harvest.
+                            continue
+                        inflight.pop(fut)
+                        self.pending.appendleft((block, attempt))
+                        self._event(
+                            "requeue", block, attempt,
+                            "requeued without charge: pool torn down to "
+                            "kill a hung sibling",
+                        )
+                    # Harvest any finished-but-unprocessed futures
+                    # before the teardown discards them.
+                    for fut, (block, attempt, _t0) in list(inflight.items()):
+                        inflight.pop(fut)
+                        try:
+                            self.completed.append(
+                                (block, fut.result(timeout=0))
+                            )
+                        except BaseException as exc:
+                            self._register_failure(
+                                block, attempt, "failure",
+                                f"{type(exc).__name__}: {exc}",
+                            )
+                    self._rebuild_after(
+                        f"terminated {len(expired_futs)} hung worker(s)"
+                    )
+
+    def _run_inprocess(self, queue: deque) -> None:
+        """Sequential ladder for ``workers == 1`` (or a single block):
+        retries and backoff apply, but there is no timeout rung — an
+        in-process block cannot be interrupted — and no degradation
+        rung, because execution is already in-process."""
+        from repro.parallel.pool import _run_block
+
+        while queue:
+            block, attempt = queue.popleft()
+            while True:
+                left = self._deadline_left()
+                if left is not None and left <= 0:
+                    requeue: deque = deque([(block, attempt)])
+                    requeue.extend(queue)
+                    queue.clear()
+                    self._abandon_to_deadline({})
+                    self.report.remaining = sorted(
+                        set(
+                            self.report.remaining
+                            + [b for b, _a in requeue]
+                        )
+                    )
+                    return
+                try:
+                    local = _run_block(
+                        self.graph, self.method, self.kernel, self.seed,
+                        block, self.store_states, self.batch_size,
+                        self.fault,
+                    )
+                except Exception as exc:
+                    if attempt <= self.policy.max_retries:
+                        self._event(
+                            "failure", block, attempt,
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                        delay = self.policy.backoff_seconds(
+                            self.seed, block, attempt
+                        )
+                        self.report.retries += 1
+                        if delay > 0:
+                            self._event(
+                                "backoff", block, attempt,
+                                f"backing off {delay:.3f}s before attempt "
+                                f"{attempt + 1}",
+                            )
+                            time.sleep(delay)
+                        attempt += 1
+                        continue
+                    self._event(
+                        "failure", block, attempt,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                    self._quarantine(
+                        block, attempt, f"{type(exc).__name__}: {exc}"
+                    )
+                    break
+                else:
+                    self.completed.append((block, local))
+                    break
+
+    def _run_degraded(self) -> None:
+        """Final rung: re-run stubborn blocks sequentially in the
+        parent process."""
+        from repro.parallel.pool import _run_block
+
+        while self.degrade_queue:
+            left = self._deadline_left()
+            if left is not None and left <= 0:
+                self._abandon_to_deadline({})
+                return
+            block, attempt = self.degrade_queue.popleft()
+            try:
+                local = _run_block(
+                    self.graph, self.method, self.kernel, self.seed, block,
+                    self.store_states, self.batch_size, self.fault,
+                )
+            except Exception as exc:
+                self._quarantine(
+                    block, attempt,
+                    f"in-process fallback failed: "
+                    f"{type(exc).__name__}: {exc}",
+                )
+            else:
+                self.completed.append((block, local))
+                self.report.degraded.append(block)
+                self._event(
+                    "degrade", block, attempt,
+                    "in-process fallback succeeded",
+                )
+
+
+def _pool_entry(
+    method: str,
+    kernel: str,
+    seed: int,
+    block: Block,
+    store_states: bool,
+    batch_size: int,
+    fault: Callable[[Block], None] | None,
+):
+    """Picklable worker entry point (module-level for the executor)."""
+    from repro.parallel.pool import _worker
+
+    return _worker(
+        method, kernel, seed, block, store_states, batch_size, fault
+    )
+
+
+def run_supervised(
+    graph: SignedGraph,
+    blocks: Sequence[Block],
+    *,
+    method: str,
+    kernel: str,
+    seed: int,
+    store_states: bool,
+    batch_size: int,
+    workers: int,
+    policy: RetryPolicy,
+    fault: Callable[[Block], None] | None = None,
+) -> tuple[list[tuple[Block, object]], RunReport]:
+    """Run campaign *blocks* under the fault-handling ladder.
+
+    Returns ``(completed, report)`` where *completed* is a list of
+    ``(block, local_cloud)`` pairs for every block that produced states
+    (callers must merge them in sorted block order for determinism) and
+    *report* is the structured :class:`RunReport`.  Exceptions raised
+    by blocks are consumed by the ladder; only a parent-side
+    :class:`KeyboardInterrupt` (and kin) propagates, so the caller can
+    salvage-checkpoint and re-raise.
+    """
+    return CampaignSupervisor(
+        graph,
+        blocks,
+        method=method,
+        kernel=kernel,
+        seed=seed,
+        store_states=store_states,
+        batch_size=batch_size,
+        workers=workers,
+        policy=policy,
+        fault=fault,
+    ).run()

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import os
 import random
+import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import IO, Iterator, Tuple, Union
@@ -163,26 +164,103 @@ def flip_bits(path: PathLike, count: int = 32, seed: int = 0) -> None:
     path.write_bytes(bytes(data))
 
 
+#: Per-mode default for :class:`WorkerCrash`'s ``delay`` argument.
+_CRASH_DELAYS = {"hang": 3600.0, "slow": 1.0, "interrupt": 0.0}
+
+
 class WorkerCrash:
-    """Picklable pool fault hook: crash the worker that picks up the
+    """Picklable pool fault hook: fault the worker that picks up the
     block starting at *block_start*.
 
-    ``mode="raise"`` raises :class:`SimulatedCrash` inside the worker
-    (the exception travels back through the future; sibling workers
-    keep running — the deterministic way to test salvage).
-    ``mode="exit"`` calls ``os._exit`` — hard process death; the
-    executor reports ``BrokenProcessPool`` for every unfinished future.
+    Modes (the first two kill, the rest exercise the supervisor's
+    retry/timeout ladder deterministically):
+
+    * ``"raise"`` — raise :class:`SimulatedCrash` inside the worker
+      (the exception travels back through the future; sibling workers
+      keep running — the deterministic way to test salvage and
+      retries).
+    * ``"exit"`` — hard ``os._exit`` process death; the executor
+      reports ``BrokenProcessPool`` for every unfinished future.
+    * ``"interrupt"`` — sleep *delay* seconds (default 0), then raise
+      :class:`KeyboardInterrupt`, reproducing a ^C that outruns
+      ``except Exception`` handlers.
+    * ``"hang"`` — sleep *delay* seconds (default 3600: longer than
+      any sane ``block_timeout``), then raise :class:`SimulatedCrash`
+      so a broken watchdog shows up as a failure rather than a silent
+      pass.
+    * ``"slow"`` — sleep *delay* seconds (default 1.0), then proceed
+      *normally*: the block succeeds, it is merely late.  Distinguishes
+      "slow but healthy" from "hung" in timeout tests.
+    * ``"flaky"`` — fail the first *fails* attempts (default 2) with
+      :class:`SimulatedCrash`, then succeed.  Attempts are counted in a
+      one-byte-per-attempt file under *counter_dir* (required for this
+      mode), so the count survives the process boundary between pool
+      retries — exactly how a real transient fault behaves.
+
+    The supervisor (:mod:`repro.parallel.supervisor`) deliberately
+    treats :class:`SimulatedCrash` like any worker death: it is the
+    injection target for the retry ladder, whereas the *checkpoint*
+    layer must never swallow it.
     """
 
-    def __init__(self, block_start: int, mode: str = "raise") -> None:
-        if mode not in ("raise", "exit"):
+    def __init__(
+        self,
+        block_start: int,
+        mode: str = "raise",
+        delay: float | None = None,
+        fails: int = 2,
+        counter_dir: PathLike | None = None,
+    ) -> None:
+        if mode not in ("raise", "exit", "interrupt", "hang", "slow",
+                        "flaky"):
             raise ValueError(f"unknown crash mode {mode!r}")
+        if mode == "flaky" and counter_dir is None:
+            raise ValueError(
+                "mode='flaky' needs counter_dir: the attempt count must "
+                "live on disk to survive worker process boundaries"
+            )
         self.block_start = block_start
         self.mode = mode
+        self.delay = (
+            delay if delay is not None else _CRASH_DELAYS.get(mode, 0.0)
+        )
+        self.fails = fails
+        self.counter_dir = str(counter_dir) if counter_dir is not None else None
+
+    def _attempt_number(self) -> int:
+        """Record one attempt in the cross-process counter file and
+        return its 1-based number."""
+        path = Path(self.counter_dir) / f"flaky_{self.block_start}.attempts"
+        fd = os.open(path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, b"x")
+        finally:
+            os.close(fd)
+        return path.stat().st_size
 
     def __call__(self, block: Tuple[int, int, int]) -> None:
         if int(block[0]) != self.block_start:
             return
         if self.mode == "exit":
             os._exit(17)
+        if self.mode == "interrupt":
+            if self.delay > 0:
+                time.sleep(self.delay)
+            raise KeyboardInterrupt(f"simulated interrupt on block {block}")
+        if self.mode == "hang":
+            time.sleep(self.delay)
+            raise SimulatedCrash(
+                f"hung worker on block {block} outlived its {self.delay}s "
+                "nap — no watchdog killed it"
+            )
+        if self.mode == "slow":
+            time.sleep(self.delay)
+            return
+        if self.mode == "flaky":
+            attempt = self._attempt_number()
+            if attempt <= self.fails:
+                raise SimulatedCrash(
+                    f"flaky failure {attempt}/{self.fails} on block {block}"
+                )
+            return
         raise SimulatedCrash(f"simulated worker death on block {block}")

@@ -1,6 +1,19 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite — plus a minimal
+per-test timeout shim used when the ``pytest-timeout`` plugin is not
+installed (e.g. the offline dev container).
+
+The fault-injection tests deliberately create hung worker processes;
+a supervisor regression could otherwise wedge the whole suite.  CI
+installs the real plugin, which honours the same ``timeout`` ini
+setting and ``@pytest.mark.timeout`` marker; the shim below covers the
+gap with ``signal.setitimer`` (main-thread SIGALRM, POSIX only) so the
+cap holds everywhere.
+"""
 
 from __future__ import annotations
+
+import signal
+import threading
 
 import numpy as np
 import pytest
@@ -8,6 +21,73 @@ import pytest
 from repro.graph.build import from_arrays, from_edges
 from repro.graph.csr import SignedGraph
 from repro.rng import as_generator
+
+try:
+    import pytest_timeout as _pytest_timeout  # noqa: F401
+
+    _HAVE_TIMEOUT_PLUGIN = True
+except ImportError:
+    _HAVE_TIMEOUT_PLUGIN = False
+
+
+class ShimTimeout(Exception):
+    """Raised by the fallback timeout shim when a test overruns."""
+
+
+def pytest_addoption(parser):
+    if not _HAVE_TIMEOUT_PLUGIN:
+        # Register the same ini key pytest-timeout owns, so the
+        # `timeout = N` line in pyproject.toml is valid either way.
+        parser.addini(
+            "timeout",
+            "per-test timeout in seconds (fallback shim; install "
+            "pytest-timeout for the real thing)",
+            default="0",
+        )
+
+
+def pytest_configure(config):
+    if not _HAVE_TIMEOUT_PLUGIN:
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): per-test wall-clock cap (fallback shim)",
+        )
+
+
+def _shim_timeout_seconds(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    try:
+        return float(item.config.getini("timeout") or 0)
+    except (TypeError, ValueError):
+        return 0.0
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    seconds = 0.0 if _HAVE_TIMEOUT_PLUGIN else _shim_timeout_seconds(item)
+    use_alarm = (
+        seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not use_alarm:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise ShimTimeout(
+            f"test exceeded the {seconds:g}s fallback timeout"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def make_connected_signed(

@@ -213,3 +213,100 @@ class TestSalvage:
         seq = sample_cloud(g, 12, seed=9)
         np.testing.assert_allclose(seq.status(), finished.status())
         assert sorted(finished.flip_counts()) == sorted(seq.flip_counts())
+
+
+class _CrashExcept:
+    """Picklable fault: crash every block except the one starting at
+    *keep* — used to manufacture a salvage checkpoint whose resume
+    leaves several blocks for the sequential (workers=1) path."""
+
+    def __init__(self, keep):
+        self.keep = keep
+
+    def __call__(self, block):
+        if int(block[0]) != self.keep:
+            from repro.util.faults import SimulatedCrash
+
+            raise SimulatedCrash(f"crash on {block}")
+
+
+class TestSequentialSalvage:
+    def test_in_process_crash_salvages_earlier_blocks(self, tmp_path):
+        # Stage 1: pool crash leaves a checkpoint with only (0, 12, 3)
+        # done, so a workers=1 resume walks TWO blocks in-process.
+        g = make_connected_signed(30, 60, seed=3)
+        ckpt = tmp_path / "seq.npz"
+        with pytest.raises(EngineError):
+            sample_cloud_pool(
+                g, 12, workers=3, seed=9, checkpoint_path=ckpt,
+                fault=_CrashExcept(0),
+            )
+        _cloud, meta, _src = recover_cloud(ckpt, g)
+        assert meta.done_blocks == ((0, 12, 3),)
+
+        # Stage 2: in the sequential path, block (1, 12, 3) completes
+        # and then (2, 12, 3) crashes.  The salvage checkpoint must
+        # keep (1, 12, 3)'s work — this is the bug the pool path never
+        # had and the in-process path used to.
+        with pytest.raises(EngineError, match="salvaged"):
+            sample_cloud_pool(
+                g, 12, workers=1, seed=9, checkpoint_path=ckpt,
+                resume_from=ckpt, fault=WorkerCrash(2),
+            )
+        cloud, meta, _src = recover_cloud(ckpt, g)
+        assert meta.done_blocks == ((0, 12, 3), (1, 12, 3))
+        assert cloud.num_states == 8
+
+        finished = sample_cloud_pool(g, 12, workers=1, seed=9,
+                                     resume_from=ckpt)
+        seq = sample_cloud(g, 12, seed=9)
+        np.testing.assert_allclose(seq.status(), finished.status())
+        assert finished.num_states == 12
+
+    def test_in_process_crash_without_checkpoint_still_raises(self):
+        g = make_connected_signed(20, 40, seed=3)
+        with pytest.raises(EngineError, match="crashed"):
+            sample_cloud_pool(g, 12, workers=1, seed=9, fault=WorkerCrash(0))
+
+
+class TestInterruptSalvage:
+    def test_pool_interrupt_salvages_and_reraises(self, tmp_path):
+        # The interrupted block sleeps long enough for its siblings to
+        # finish, so exactly two blocks are salvageable when the
+        # KeyboardInterrupt ships back to the parent.
+        g = make_connected_signed(30, 60, seed=3)
+        ckpt = tmp_path / "interrupt.npz"
+        with pytest.raises(KeyboardInterrupt):
+            sample_cloud_pool(
+                g, 12, workers=3, seed=9, checkpoint_path=ckpt,
+                fault=WorkerCrash(1, mode="interrupt", delay=2.0),
+            )
+        cloud, meta, _src = recover_cloud(ckpt, g)
+        assert meta.done_blocks == ((0, 12, 3), (2, 12, 3))
+        assert cloud.num_states == 8
+
+        finished = sample_cloud_pool(g, 12, workers=3, seed=9,
+                                     resume_from=ckpt)
+        seq = sample_cloud(g, 12, seed=9)
+        np.testing.assert_allclose(seq.status(), finished.status())
+        assert finished.num_states == 12
+
+    def test_in_process_interrupt_salvages_and_reraises(self, tmp_path):
+        # Same invariant on the workers=1 path: BaseException salvage,
+        # then the interrupt propagates unchanged (not as EngineError).
+        g = make_connected_signed(30, 60, seed=3)
+        ckpt = tmp_path / "interrupt.npz"
+        with pytest.raises(EngineError):
+            sample_cloud_pool(
+                g, 12, workers=3, seed=9, checkpoint_path=ckpt,
+                fault=_CrashExcept(0),
+            )
+        with pytest.raises(KeyboardInterrupt):
+            sample_cloud_pool(
+                g, 12, workers=1, seed=9, checkpoint_path=ckpt,
+                resume_from=ckpt,
+                fault=WorkerCrash(2, mode="interrupt"),
+            )
+        cloud, meta, _src = recover_cloud(ckpt, g)
+        assert meta.done_blocks == ((0, 12, 3), (1, 12, 3))
+        assert cloud.num_states == 8

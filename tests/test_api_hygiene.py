@@ -75,6 +75,7 @@ MODULES = [
     "repro.parallel.engine",
     "repro.parallel.distributed",
     "repro.parallel.pool",
+    "repro.parallel.supervisor",
     "repro.parallel.mpi_model",
     "repro.analysis",
     "repro.analysis.clustering_metrics",
