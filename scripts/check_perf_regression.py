@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""Gate a fresh ``bench_cloud.py`` report against a committed baseline.
+
+Compares every matching configuration — keyed by ``(states,
+batch_size)`` within each graph entry — on two axes:
+
+* **Throughput** (``states_per_sec``): a drop beyond the fail
+  threshold fails the gate; beyond the warn threshold it warns.
+* **Per-phase seconds** (``phases``: tree_sample, labeling,
+  parity_kernel, ...): a phase that got slower beyond the thresholds is
+  flagged individually, so "the parity kernel regressed 2x" surfaces
+  even when the campaign total hides it.  Phases too small to time
+  reliably (below ``--min-seconds`` in both reports) are skipped.
+
+Exit code 0 when everything passes (warnings allowed), 1 on any
+failure, 2 on unusable input.  The full comparison is written as a
+JSON artifact (``--out``) for CI upload.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_cloud.py --smoke --repeat 3 \
+        --out bench_current.json
+    python scripts/check_perf_regression.py \
+        --baseline benchmarks/baselines/bench_baseline.json \
+        --current bench_current.json --out bench_comparison.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = "benchmarks/baselines/bench_baseline.json"
+
+
+def _load(path: str) -> dict:
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        print(f"error: report not found: {path}", file=sys.stderr)
+        raise SystemExit(2)
+    except json.JSONDecodeError as exc:
+        print(f"error: {path} is not valid JSON: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    if not isinstance(data, dict) or "runs" not in data:
+        print(f"error: {path} is not a bench_cloud report", file=sys.stderr)
+        raise SystemExit(2)
+    return data
+
+
+def _configs(report: dict) -> dict:
+    """Flatten a report into {(states, batch_size): run_dict}."""
+    flat: dict = {}
+    for entry in report.get("runs", []):
+        states = entry.get("states")
+        seq = entry.get("sequential")
+        if seq:
+            flat[(states, seq.get("batch_size", 1))] = seq
+        for run in entry.get("batched", []):
+            flat[(states, run.get("batch_size"))] = run
+    return flat
+
+
+def _status(ratio: float, warn: float, fail: float) -> str:
+    if ratio > fail:
+        return "fail"
+    if ratio > warn:
+        return "warn"
+    return "ok"
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    warn: float,
+    fail: float,
+    min_seconds: float,
+) -> dict:
+    """Build the comparison document; see the module docstring for the
+    axes.  ``regression`` is the fractional slowdown (0.30 = 30%
+    slower than baseline), negative when the current run is faster."""
+    base_cfgs = _configs(baseline)
+    cur_cfgs = _configs(current)
+    checks: list[dict] = []
+    missing = sorted(
+        str(k) for k in base_cfgs if k not in cur_cfgs
+    )
+    for key in sorted(base_cfgs, key=str):
+        if key not in cur_cfgs:
+            continue
+        b, c = base_cfgs[key], cur_cfgs[key]
+        states, batch_size = key
+
+        b_sps = float(b.get("states_per_sec", 0) or 0)
+        c_sps = float(c.get("states_per_sec", 0) or 0)
+        if b_sps > 0 and c_sps > 0:
+            regression = b_sps / c_sps - 1.0
+            checks.append({
+                "states": states,
+                "batch_size": batch_size,
+                "metric": "states_per_sec",
+                "baseline": b_sps,
+                "current": c_sps,
+                "regression": round(regression, 4),
+                "status": _status(regression, warn, fail),
+            })
+
+        b_phases = b.get("phases") or {}
+        c_phases = c.get("phases") or {}
+        for phase in sorted(set(b_phases) & set(c_phases)):
+            b_s, c_s = float(b_phases[phase]), float(c_phases[phase])
+            if b_s < min_seconds and c_s < min_seconds:
+                continue  # too small to time reliably
+            if b_s <= 0:
+                continue
+            regression = c_s / b_s - 1.0
+            checks.append({
+                "states": states,
+                "batch_size": batch_size,
+                "metric": f"phase:{phase}",
+                "baseline": b_s,
+                "current": c_s,
+                "regression": round(regression, 4),
+                "status": _status(regression, warn, fail),
+            })
+
+    return {
+        "baseline_configs": len(base_cfgs),
+        "current_configs": len(cur_cfgs),
+        "missing_configs": missing,
+        "warn_threshold": warn,
+        "fail_threshold": fail,
+        "min_seconds": min_seconds,
+        "checks": checks,
+        "warnings": sum(1 for c in checks if c["status"] == "warn"),
+        "failures": sum(1 for c in checks if c["status"] == "fail"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--current", required=True,
+                        help="fresh bench_cloud.py report to gate")
+    parser.add_argument("--out", default="bench_comparison.json",
+                        help="write the full comparison here (CI artifact)")
+    parser.add_argument("--warn-threshold", type=float, default=0.15,
+                        help="warn beyond this fractional slowdown "
+                             "(default 0.15 = 15%%)")
+    parser.add_argument("--fail-threshold", type=float, default=0.30,
+                        help="fail beyond this fractional slowdown "
+                             "(default 0.30 = 30%%)")
+    parser.add_argument("--min-seconds", type=float, default=0.005,
+                        help="skip phases below this many seconds in both "
+                             "reports (noise floor, default 0.005)")
+    args = parser.parse_args(argv)
+    if args.warn_threshold > args.fail_threshold:
+        print("error: --warn-threshold must not exceed --fail-threshold",
+              file=sys.stderr)
+        return 2
+
+    baseline = _load(args.baseline)
+    current = _load(args.current)
+    result = compare(
+        baseline, current,
+        warn=args.warn_threshold,
+        fail=args.fail_threshold,
+        min_seconds=args.min_seconds,
+    )
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n",
+                              encoding="utf-8")
+
+    if not result["checks"]:
+        print("error: no comparable configurations between baseline and "
+              "current report", file=sys.stderr)
+        return 2
+    for check in result["checks"]:
+        if check["status"] == "ok":
+            continue
+        direction = "slower" if check["regression"] > 0 else "faster"
+        print(f"{check['status'].upper()}: states={check['states']} "
+              f"batch_size={check['batch_size']} {check['metric']}: "
+              f"{check['baseline']} -> {check['current']} "
+              f"({abs(check['regression']):.1%} {direction})")
+    if result["missing_configs"]:
+        print(f"note: {len(result['missing_configs'])} baseline "
+              f"configuration(s) absent from the current report: "
+              f"{', '.join(result['missing_configs'])}")
+    print(f"perf gate: {len(result['checks'])} checks, "
+          f"{result['warnings']} warning(s), {result['failures']} "
+          f"failure(s) (warn >{args.warn_threshold:.0%}, "
+          f"fail >{args.fail_threshold:.0%}); comparison in {args.out}")
+    return 1 if result["failures"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

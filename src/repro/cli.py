@@ -149,7 +149,10 @@ def _print_run_report(cloud) -> None:
 def _cmd_cloud(args) -> int:
     from repro.cloud import sample_cloud
     from repro.parallel.pool import sample_cloud_pool
+    from repro.perf.registry import set_metrics_enabled
 
+    if args.no_metrics:
+        set_metrics_enabled(False)
     graph = load_graph_file(args.input)
     sub, ids = _lcc(graph)
     # Fresh campaigns fall back to the historical defaults; on --resume,
@@ -215,6 +218,17 @@ def _cmd_cloud(args) -> int:
             keep_checkpoints=args.keep_checkpoints,
         )
     _print_run_report(cloud)
+    snap = getattr(cloud, "metrics", None)
+    if args.trace:
+        from repro.perf.export import phase_table
+
+        print(phase_table(snap) if snap else "phase breakdown\n"
+              "  (no metrics recorded; drop --no-metrics to collect them)")
+    if args.metrics_out:
+        from repro.perf.export import write_metrics
+
+        write_metrics(snap or {}, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
     if args.checkpoint:
         print(f"checkpoint written to {args.checkpoint}")
     status = cloud.status()
@@ -452,6 +466,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="never fall back to in-process execution for "
                         "blocks that exhaust their pool retries; "
                         "quarantine them instead")
+    p.add_argument("--trace", action="store_true",
+                   help="print the per-phase time breakdown (tree "
+                        "sampling, kernels, Harary folds, checkpoints) "
+                        "after the campaign")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write the campaign's metrics snapshot to PATH "
+                        "(Prometheus text format for .prom, JSON "
+                        "otherwise)")
+    p.add_argument("--no-metrics", action="store_true",
+                   help="disable metrics/span collection entirely "
+                        "(near-zero instrumentation overhead)")
     p.set_defaults(func=_cmd_cloud)
 
     p = sub.add_parser("frustration", help="frustration-index bounds")

@@ -30,6 +30,7 @@ checkpoint layer therefore provides three guarantees:
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -41,6 +42,8 @@ from repro.cloud.cloud import BATCHED_KERNELS, FrustrationCloud
 from repro.core.balancer import balance
 from repro.errors import CheckpointError, EngineError, ReproError
 from repro.graph.csr import SignedGraph
+from repro.perf.registry import get_registry
+from repro.perf.tracing import span
 from repro.rng import freeze_seed
 from repro.trees.sampler import TreeSampler
 
@@ -170,15 +173,19 @@ def save_cloud(
         raise CheckpointError(
             "campaign.store_states disagrees with the cloud being saved"
         )
-    payload = _payload(cloud, campaign)
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as raw:
-        fh = _wrap_stream(raw)
-        np.savez_compressed(fh, **payload)
-        fh.flush()
-        os.fsync(raw.fileno())
-    _rotate(path, keep)
-    _replace(tmp, path)
+    with span("checkpoint_write"):
+        payload = _payload(cloud, campaign)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as raw:
+            fh = _wrap_stream(raw)
+            np.savez_compressed(fh, **payload)
+            fh.flush()
+            os.fsync(raw.fileno())
+        _rotate(path, keep)
+        _replace(tmp, path)
+        registry = get_registry()
+        registry.count("checkpoint.writes_total", 1)
+        registry.gauge("checkpoint.last_bytes", float(path.stat().st_size))
 
 
 def _payload(
@@ -200,6 +207,11 @@ def _payload(
         "edge_coside": cloud._edge_coside,
         "flip_counts": cloud.flip_counts(),
     }
+    metrics = getattr(cloud, "metrics", None)
+    if metrics:
+        # A 0-d unicode array round-trips through np.load without
+        # allow_pickle, keeping the checkpoint pickle-free.
+        payload["metrics_json"] = np.array(json.dumps(metrics))
     if cloud.store_states:
         keys = list(cloud._unique.keys())
         payload["unique_signs"] = (
@@ -335,6 +347,19 @@ def _restore(
         cloud._unique = {
             signs[i].tobytes(): int(counts[i]) for i in range(len(counts))
         }
+
+    if "metrics_json" in data.files:
+        try:
+            metrics = json.loads(str(data["metrics_json"][()]))
+        except (ValueError, TypeError) as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint {path}: unreadable metrics_json"
+            ) from exc
+        if not isinstance(metrics, dict):
+            raise CheckpointError(
+                f"corrupt checkpoint {path}: metrics_json is not an object"
+            )
+        cloud.metrics = metrics
 
     meta: CampaignMeta | None = None
     if version >= 2 and "campaign_method" in data.files:

@@ -28,7 +28,9 @@ from repro.harary.bipartition import (
     sides_from_sign_to_root,
 )
 from repro.perf.counters import Counters
+from repro.perf.registry import collecting, get_registry
 from repro.perf.timers import PhaseTimer
+from repro.perf.tracing import span
 from repro.rng import SeedLike, freeze_seed
 from repro.trees.sampler import TreeSampler
 from repro.trees.enumeration import all_spanning_trees
@@ -399,34 +401,40 @@ def sample_cloud(
             every=checkpoint_every,
             keep=keep_checkpoints,
         )
-    if batch_size == 1:
-        for i in range(num_states):
-            with timers.phase("tree_generation"):
-                tree = sampler.tree(i)
-            result = balance(
-                graph, tree, kernel=kernel, timers=timers, counters=counters
-            )
-            with timers.phase("harary_and_status"):
-                cloud.add_result(result)
-            if writer is not None:
-                writer.step(cloud, 1)
-        if writer is not None:
-            writer.final(cloud)
-            cloud.campaign_meta = writer.campaign
-        return cloud
+    with collecting() as metrics, span("campaign"):
+        if batch_size == 1:
+            for i in range(num_states):
+                with timers.phase("tree_generation"), span("tree_sample"):
+                    tree = sampler.tree(i)
+                result = balance(
+                    graph, tree, kernel=kernel, timers=timers,
+                    counters=counters,
+                )
+                with timers.phase("harary_and_status"), span("harary"):
+                    cloud.add_result(result)
+                if writer is not None:
+                    writer.step(cloud, 1)
+        else:
+            from repro.core.parity_batch import balance_batch
 
-    from repro.core.parity_batch import balance_batch
-
-    for start in range(0, num_states, batch_size):
-        count = min(batch_size, num_states - start)
-        with timers.phase("tree_generation"):
-            batch = sampler.batch(count, start=start, counters=counters)
-        with timers.phase("cycle_processing"):
-            signs, s2r = balance_batch(graph, batch, counters=counters)
-        with timers.phase("harary_and_status"):
-            cloud.add_batch(signs, sides_from_sign_to_root(s2r))
-        if writer is not None:
-            writer.step(cloud, count)
+            for start in range(0, num_states, batch_size):
+                count = min(batch_size, num_states - start)
+                with timers.phase("tree_generation"), span("tree_sample"):
+                    batch = sampler.batch(
+                        count, start=start, counters=counters
+                    )
+                with timers.phase("cycle_processing"), span("parity_kernel"):
+                    signs, s2r = balance_batch(
+                        graph, batch, counters=counters
+                    )
+                with timers.phase("harary_and_status"), span("harary"):
+                    cloud.add_batch(signs, sides_from_sign_to_root(s2r))
+                if writer is not None:
+                    writer.step(cloud, count)
+        get_registry().count("cloud.states_total", num_states)
+    # Attach this campaign's own metrics window before the final
+    # checkpoint so the v2 payload can embed it.
+    cloud.metrics = metrics.snapshot()
     if writer is not None:
         writer.final(cloud)
         cloud.campaign_meta = writer.campaign

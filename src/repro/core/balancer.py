@@ -35,6 +35,7 @@ from repro.errors import EngineError
 from repro.graph.csr import SignedGraph
 from repro.perf.counters import Counters
 from repro.perf.timers import PhaseTimer
+from repro.perf.tracing import span
 from repro.rng import SeedLike
 from repro.trees.bfs import bfs_tree
 from repro.trees.tree import SpanningTree
@@ -85,7 +86,7 @@ def balance(
     timers = timers if timers is not None else PhaseTimer()
 
     if tree is None:
-        with timers.phase("tree_generation"):
+        with timers.phase("tree_generation"), span("tree_sample"):
             tree = bfs_tree(graph, seed=seed)
 
     if kernel == "walk" and labeling == "none":
@@ -95,7 +96,7 @@ def balance(
 
     lab = None
     if labeling != "none":
-        with timers.phase("labeling"):
+        with timers.phase("labeling"), span("labeling"):
             if labeling == "serial":
                 lab = label_tree(tree)
             elif labeling == "parallel":
@@ -109,7 +110,7 @@ def balance(
         if partition:
             with timers.phase("adjacency_partition"):
                 padj = partition_adjacency(graph, tree)
-        with timers.phase("cycle_processing"):
+        with timers.phase("cycle_processing"), span("walk_kernel"):
             signs, flipped, stats = process_cycles_serial(
                 graph,
                 tree,
@@ -119,12 +120,12 @@ def balance(
                 collect_stats=collect_stats,
             )
     elif kernel == "lockstep":
-        with timers.phase("cycle_processing"):
+        with timers.phase("cycle_processing"), span("lockstep_kernel"):
             signs, flipped, stats = process_cycles_lockstep(
                 graph, tree, counters=counters, collect_stats=collect_stats
             )
     elif kernel == "parity":
-        with timers.phase("cycle_processing"):
+        with timers.phase("cycle_processing"), span("parity_kernel"):
             signs, flipped = balance_by_parity(graph, tree, counters=counters)
     else:
         raise EngineError(f"unknown cycle kernel {kernel!r}")

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.labeling import Labeling
 from repro.perf.counters import Counters
+from repro.perf.registry import get_registry
 from repro.trees.tree import SpanningTree
 from repro.util.arrays import concat_ranges
 
@@ -38,6 +39,7 @@ def label_tree_parallel(
     pass and the number of work items in each — the inputs to the
     simulated-machine cost models.
     """
+    get_registry().count("label.calls_total", 1)
     n = tree.num_vertices
     order, level_ptr = tree.levels
     num_levels = tree.num_levels

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.graph.csr import SignedGraph
 from repro.perf.counters import Counters
+from repro.perf.registry import get_registry
 from repro.trees.batched import TreeBatch
 
 __all__ = ["sign_to_root_batch", "balance_batch"]
@@ -70,9 +71,12 @@ def balance_batch(
     """
     s2r = sign_to_root_batch(graph, batch, counters=counters)
     signs = s2r[:, graph.edge_u] * s2r[:, graph.edge_v]
+    num_cycles = batch.num_trees * (
+        graph.num_edges - (graph.num_vertices - 1)
+    )
     if counters is not None:
-        counters.add(
-            "cycle.count",
-            batch.num_trees * (graph.num_edges - (graph.num_vertices - 1)),
-        )
+        counters.add("cycle.count", num_cycles)
+    registry = get_registry()
+    registry.count("parity.states_total", batch.num_trees)
+    registry.count("parity.cycles_total", num_cycles)
     return signs, s2r

@@ -41,6 +41,8 @@ from repro.cloud.cloud import BATCHED_KERNELS, FrustrationCloud
 from repro.core.balancer import balance
 from repro.errors import CheckpointError, EngineError, SupervisorError
 from repro.graph.csr import SignedGraph
+from repro.perf.registry import collecting, get_registry
+from repro.perf.tracing import span
 from repro.rng import SeedLike, freeze_seed
 from repro.trees.sampler import TreeSampler
 
@@ -79,17 +81,32 @@ def _run_block(
     indices = range(*block)
     sampler = TreeSampler(graph, method=method, seed=seed)
     cloud = FrustrationCloud(graph, store_states=store_states)
-    if batch_size > 1:
-        from repro.core.parity_batch import balance_batch
-        from repro.harary.bipartition import sides_from_sign_to_root
+    # Detached metrics window: the snapshot rides back with the cloud
+    # and the parent merges it exactly once (merge=True here would
+    # double-count blocks that degrade to in-process execution).
+    with collecting(merge=False) as metrics, span("block"):
+        if batch_size > 1:
+            from repro.core.parity_batch import balance_batch
+            from repro.harary.bipartition import sides_from_sign_to_root
 
-        for lo in range(0, len(indices), batch_size):
-            batch = sampler.batch(indices[lo : lo + batch_size])
-            signs, s2r = balance_batch(graph, batch)
-            cloud.add_batch(signs, sides_from_sign_to_root(s2r))
-    else:
-        for i in indices:
-            cloud.add_result(balance(graph, sampler.tree(i), kernel=kernel))
+            for lo in range(0, len(indices), batch_size):
+                with span("tree_sample"):
+                    batch = sampler.batch(indices[lo : lo + batch_size])
+                with span("parity_kernel"):
+                    signs, s2r = balance_batch(graph, batch)
+                with span("harary"):
+                    cloud.add_batch(signs, sides_from_sign_to_root(s2r))
+        else:
+            for i in indices:
+                with span("tree_sample"):
+                    tree = sampler.tree(i)
+                result = balance(graph, tree, kernel=kernel)
+                with span("harary"):
+                    cloud.add_result(result)
+        # Counted inside the detached window, so the block's state
+        # count travels with its snapshot through salvage and resume.
+        get_registry().count("cloud.states_total", cloud.num_states)
+    cloud.metrics = metrics.snapshot()
     return cloud
 
 
@@ -109,6 +126,16 @@ def _worker(
         _WORKER_GRAPH, method, kernel, seed, block, store_states,
         batch_size, fault,
     )
+
+
+def _absorb_metrics(local: FrustrationCloud) -> None:
+    """Fold a block cloud's metrics snapshot into the active registry,
+    exactly once (the snapshot is cleared after merging, so re-merging
+    a cloud — e.g. salvage followed by resume — is a no-op)."""
+    snap = getattr(local, "metrics", None)
+    if snap:
+        get_registry().merge_snapshot(snap)
+        local.metrics = None
 
 
 def _merge_intervals(done: Sequence[Block]) -> list[tuple[int, int]]:
@@ -299,6 +326,7 @@ def sample_cloud_pool(
         )
 
     def _finalize(cloud: FrustrationCloud) -> FrustrationCloud:
+        cloud.metrics = get_registry().snapshot()
         if checkpoint_path is not None:
             save_cloud(
                 cloud, checkpoint_path, campaign=campaign,
@@ -312,14 +340,18 @@ def sample_cloud_pool(
     ) -> FrustrationCloud:
         """Fold completed block clouds into the resume base in sorted
         block order — the order is what makes a healed campaign
-        bit-identical to a fault-free one."""
+        bit-identical to a fault-free one.  Each block's metrics
+        snapshot (and the resume base's restored one) is folded into
+        the active registry on the way through."""
         merged = (
             base
             if base is not None
             else FrustrationCloud(graph, store_states=store_states)
         )
+        _absorb_metrics(merged)
         for _block, local in sorted(completed, key=lambda pair: pair[0][0]):
             merged.merge(local)
+            _absorb_metrics(local)
         return merged
 
     def _partial_campaign(
@@ -345,6 +377,7 @@ def sample_cloud_pool(
         if checkpoint_path is None or not (completed or base is not None):
             return None
         salvage = _merge_completed(completed)
+        salvage.metrics = get_registry().snapshot()
         save_cloud(
             salvage,
             checkpoint_path,
@@ -353,114 +386,136 @@ def sample_cloud_pool(
         )
         return salvage
 
-    if not blocks:
-        return _finalize(base)
+    def _campaign() -> FrustrationCloud:
+        if not blocks:
+            return _finalize(base)
 
-    if policy is not None:
-        return _run_supervised_campaign(
-            graph, blocks, workers=workers, method=method, kernel=kernel,
-            frozen=frozen, store_states=store_states, batch_size=batch_size,
-            policy=policy, fault=fault, finalize=_finalize,
-            merge_completed=_merge_completed, salvage=_salvage,
-            partial_campaign=_partial_campaign,
-            checkpoint_path=checkpoint_path,
-            keep_checkpoints=keep_checkpoints,
-        )
+        if policy is not None:
+            return _run_supervised_campaign(
+                graph, blocks, workers=workers, method=method, kernel=kernel,
+                frozen=frozen, store_states=store_states,
+                batch_size=batch_size,
+                policy=policy, fault=fault, finalize=_finalize,
+                merge_completed=_merge_completed, salvage=_salvage,
+                partial_campaign=_partial_campaign,
+                checkpoint_path=checkpoint_path,
+                keep_checkpoints=keep_checkpoints,
+            )
 
-    if workers == 1 or len(blocks) == 1:
-        merged = (
-            base
-            if base is not None
-            else FrustrationCloud(graph, store_states=store_states)
-        )
-        done: list[tuple[Block, FrustrationCloud]] = []
-        block = blocks[0]
-        try:
-            for block in blocks:
-                local = _run_block(
-                    graph, method, kernel, frozen, block, store_states,
+        if workers == 1 or len(blocks) == 1:
+            merged = (
+                base
+                if base is not None
+                else FrustrationCloud(graph, store_states=store_states)
+            )
+            done: list[tuple[Block, FrustrationCloud]] = []
+            block = blocks[0]
+            try:
+                _absorb_metrics(merged)
+                for block in blocks:
+                    local = _run_block(
+                        graph, method, kernel, frozen, block, store_states,
+                        batch_size, fault,
+                    )
+                    done.append((block, local))
+                    merged.merge(local)
+                    _absorb_metrics(local)
+            except BaseException as exc:
+                # Salvage exactly like the pool path: every block that
+                # completed before the crash (or interrupt) is
+                # checkpointed, so the campaign loses only the in-flight
+                # block.  KeyboardInterrupt and kin re-raise unchanged.
+                salvaged = None
+                if checkpoint_path is not None and (
+                    done or base is not None
+                ):
+                    merged.metrics = get_registry().snapshot()
+                    save_cloud(
+                        merged,
+                        checkpoint_path,
+                        campaign=_partial_campaign(
+                            tuple(b for b, _c in done)
+                        ),
+                        keep=keep_checkpoints,
+                    )
+                    salvaged = merged
+                if not isinstance(exc, Exception):
+                    raise
+                detail = (
+                    f"in-process block {block} crashed: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                if salvaged is not None:
+                    raise EngineError(
+                        f"{detail}; salvaged {len(done)} completed "
+                        f"block(s) ({salvaged.num_states} states) to "
+                        f"{checkpoint_path} — finish with "
+                        "sample_cloud_pool(..., resume_from=...)"
+                    ) from exc
+                raise EngineError(detail) from exc
+            return _finalize(merged)
+
+        completed: list[tuple[Block, FrustrationCloud]] = []
+        failures: list[tuple[Block, BaseException]] = []
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(blocks)),
+            initializer=_init_worker,
+            initargs=(graph,),
+        ) as pool:
+            futures = {
+                pool.submit(
+                    _worker, method, kernel, frozen, block, store_states,
                     batch_size, fault,
-                )
-                done.append((block, local))
-                merged.merge(local)
-        except BaseException as exc:
-            # Salvage exactly like the pool path: every block that
-            # completed before the crash (or interrupt) is
-            # checkpointed, so the campaign loses only the in-flight
-            # block.  KeyboardInterrupt and kin re-raise unchanged.
-            salvaged = None
-            if checkpoint_path is not None and (done or base is not None):
-                save_cloud(
-                    merged,
-                    checkpoint_path,
-                    campaign=_partial_campaign(
-                        tuple(b for b, _c in done)
-                    ),
-                    keep=keep_checkpoints,
-                )
-                salvaged = merged
-            if not isinstance(exc, Exception):
+                ): block
+                for block in blocks
+            }
+            try:
+                for future in as_completed(futures):
+                    block = futures[future]
+                    try:
+                        completed.append((block, future.result()))
+                    except Exception as exc:
+                        failures.append((block, exc))
+            except BaseException:
+                # A KeyboardInterrupt (parent-side ^C, or one shipped
+                # back from a worker) bypasses the Exception handler
+                # above.  Without this, every completed block would be
+                # lost: write the salvage checkpoint, then re-raise
+                # unchanged.
+                pool.shutdown(wait=False, cancel_futures=True)
+                _salvage(completed)
                 raise
+
+        if failures:
+            failures.sort(key=lambda pair: pair[0][0])
+            block, exc = failures[0]
             detail = (
-                f"in-process block {block} crashed: "
+                f"pool worker crashed on block {block}: "
                 f"{type(exc).__name__}: {exc}"
             )
-            if salvaged is not None:
+            salvage = _salvage(completed)
+            if salvage is not None:
                 raise EngineError(
-                    f"{detail}; salvaged {len(done)} completed block(s) "
-                    f"({salvaged.num_states} states) to {checkpoint_path} "
-                    "— finish with sample_cloud_pool(..., resume_from=...)"
+                    f"{detail}; salvaged {len(completed)} completed "
+                    f"block(s) ({salvage.num_states} states) to "
+                    f"{checkpoint_path} — finish with "
+                    "sample_cloud_pool(..., resume_from=...)"
                 ) from exc
             raise EngineError(detail) from exc
-        return _finalize(merged)
 
-    completed: list[tuple[Block, FrustrationCloud]] = []
-    failures: list[tuple[Block, BaseException]] = []
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(blocks)),
-        initializer=_init_worker,
-        initargs=(graph,),
-    ) as pool:
-        futures = {
-            pool.submit(
-                _worker, method, kernel, frozen, block, store_states,
-                batch_size, fault,
-            ): block
-            for block in blocks
-        }
-        try:
-            for future in as_completed(futures):
-                block = futures[future]
-                try:
-                    completed.append((block, future.result()))
-                except Exception as exc:
-                    failures.append((block, exc))
-        except BaseException:
-            # A KeyboardInterrupt (parent-side ^C, or one shipped back
-            # from a worker) bypasses the Exception handler above.
-            # Without this, every completed block would be lost: write
-            # the salvage checkpoint, then re-raise unchanged.
-            pool.shutdown(wait=False, cancel_futures=True)
-            _salvage(completed)
-            raise
+        return _finalize(_merge_completed(completed))
 
-    if failures:
-        failures.sort(key=lambda pair: pair[0][0])
-        block, exc = failures[0]
-        detail = (
-            f"pool worker crashed on block {block}: "
-            f"{type(exc).__name__}: {exc}"
-        )
-        salvage = _salvage(completed)
-        if salvage is not None:
-            raise EngineError(
-                f"{detail}; salvaged {len(completed)} completed block(s) "
-                f"({salvage.num_states} states) to {checkpoint_path} — "
-                "finish with sample_cloud_pool(..., resume_from=...)"
-            ) from exc
-        raise EngineError(detail) from exc
-
-    return _finalize(_merge_completed(completed))
+    with collecting() as metrics, span("campaign"):
+        cloud = _campaign()
+    # The campaign window (worker snapshots merged in, plus the closed
+    # campaign span) supersedes whatever _finalize embedded in the
+    # checkpoint moments earlier.
+    snap = metrics.snapshot()
+    cloud.metrics = snap
+    report = getattr(cloud, "run_report", None)
+    if report is not None:
+        report.metrics = snap
+    return cloud
 
 
 def _run_supervised_campaign(
@@ -523,6 +578,7 @@ def _run_supervised_campaign(
         report.quarantined_blocks or None,
     )
     if checkpoint_path is not None:
+        merged.metrics = get_registry().snapshot()
         save_cloud(
             merged, checkpoint_path, campaign=meta, keep=keep_checkpoints
         )

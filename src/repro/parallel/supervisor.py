@@ -69,6 +69,7 @@ from typing import Callable, Sequence, Tuple
 
 from repro.errors import SupervisorError
 from repro.graph.csr import SignedGraph
+from repro.perf.registry import get_registry
 
 __all__ = [
     "RetryPolicy",
@@ -181,6 +182,15 @@ class RunReport:
     the blocks given up on (with attempt counts and last error),
     ``remaining`` the blocks abandoned un-attempted when the deadline
     expired, and ``events`` the full chronological fault log.
+
+    Timestamps: every duration in the report (event ``t`` offsets,
+    ``wall_seconds``, backoff delays) is measured on the monotonic
+    clock, so NTP steps and DST changes mid-campaign cannot corrupt
+    them; ``started_at_unix`` is the single wall-clock anchor (one
+    ``time.time()`` read at campaign start) that lets operators place
+    the monotonic offsets in calendar time.  ``metrics`` carries the
+    campaign's merged metrics snapshot when the pool driver ran with
+    metrics enabled.
     """
 
     policy: RetryPolicy
@@ -195,6 +205,8 @@ class RunReport:
     pool_rebuilds: int = 0
     deadline_hit: bool = False
     wall_seconds: float = 0.0
+    started_at_unix: float = 0.0
+    metrics: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -227,6 +239,8 @@ class RunReport:
             "pool_rebuilds": self.pool_rebuilds,
             "deadline_hit": self.deadline_hit,
             "wall_seconds": self.wall_seconds,
+            "started_at_unix": self.started_at_unix,
+            "metrics": self.metrics,
             "ok": self.ok,
         }
 
@@ -313,7 +327,10 @@ class CampaignSupervisor:
         # Blocks that exhausted pool retries and degrade in-process.
         self.degrade_queue: deque[tuple[Block, int]] = deque()
         self.pool: ProcessPoolExecutor | None = None
+        # Monotonic origin for every duration; the one-and-only
+        # wall-clock read anchors the report in calendar time.
         self.start = time.monotonic()
+        self.report.started_at_unix = time.time()
 
     # -- bookkeeping ---------------------------------------------------
     def _event(
@@ -338,6 +355,7 @@ class CampaignSupervisor:
         self.report.quarantined.append(
             {"block": block, "attempts": attempt, "error": detail}
         )
+        get_registry().count("supervisor.quarantined_total", 1)
         self._event("quarantine", block, attempt, detail)
 
     def _register_failure(
@@ -348,10 +366,12 @@ class CampaignSupervisor:
         quarantine."""
         if kind == "timeout":
             self.report.timeouts += 1
+            get_registry().count("supervisor.timeouts_total", 1)
         self._event(kind, block, attempt, detail)
         if attempt <= self.policy.max_retries:
             delay = self.policy.backoff_seconds(self.seed, block, attempt)
             self.report.retries += 1
+            get_registry().count("supervisor.retries_total", 1)
             if delay > 0:
                 self._event(
                     "backoff", block, attempt,
@@ -395,6 +415,7 @@ class CampaignSupervisor:
     def _rebuild_after(self, reason: str) -> None:
         self._teardown_pool()
         self.report.pool_rebuilds += 1
+        get_registry().count("supervisor.pool_rebuilds_total", 1)
         self._event("pool_rebuild", None, 0, reason)
 
     # -- main loop -----------------------------------------------------
@@ -647,6 +668,7 @@ class CampaignSupervisor:
                             self.seed, block, attempt
                         )
                         self.report.retries += 1
+                        get_registry().count("supervisor.retries_total", 1)
                         if delay > 0:
                             self._event(
                                 "backoff", block, attempt,

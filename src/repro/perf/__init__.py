@@ -1,9 +1,37 @@
-"""Performance infrastructure: counters, phase timers, the Table-4
-memory model, and text table/series rendering.
+"""Observability subsystem: metrics registry, span tracing, exporters,
+phase timers, work counters, the Table-4 memory model, and text
+rendering.
+
+``repro.perf`` is the single entry point for everything performance-
+and observability-related:
+
+* :class:`MetricsRegistry` / :func:`get_registry` / :func:`collecting`
+  — process-global, thread- and worker-safe counters, gauges, and
+  histogram timers (:mod:`repro.perf.registry`).
+* :func:`span` / :class:`Tracer` — nested phase spans recorded into
+  the active registry (:mod:`repro.perf.tracing`).
+* :func:`phase_table` / :func:`to_prometheus` / :func:`write_metrics`
+  — exporters for people and machines (:mod:`repro.perf.export`).
+* :class:`PhaseTimer` and :class:`Counters` — the per-call-site
+  accumulators the kernels have always taken; they feed the Fig. 10/11
+  experiments and the simulated-machine cost models, and coexist with
+  the registry (spans time *phases of a campaign*, timers/counters
+  profile *one balance call*).
+* :func:`trace_cycle` — the Fig. 6 cycle-walk narrator
+  (:mod:`repro.core.trace`), re-exported here because "why did this
+  cycle balance that way" is the micro end of the same observability
+  story.
 """
 
 from repro.perf.counters import Counters, RegionStat
-from repro.perf.timers import PhaseTimer
+from repro.perf.export import (
+    phase_seconds,
+    phase_table,
+    span_stats,
+    to_json,
+    to_prometheus,
+    write_metrics,
+)
 from repro.perf.memory import (
     CUDA_DEVICE,
     CUDA_HOST,
@@ -14,7 +42,19 @@ from repro.perf.memory import (
     openmp_host_mb,
     python_actual_mb,
 )
+from repro.perf.registry import (
+    DEFAULT_BUCKET_EDGES,
+    Histogram,
+    MetricsRegistry,
+    collecting,
+    get_registry,
+    metrics_enabled,
+    reset_global_registry,
+    set_metrics_enabled,
+)
 from repro.perf.report import TextTable, format_series, geomean
+from repro.perf.timers import PhaseTimer
+from repro.perf.tracing import SPAN_PREFIX, Span, Tracer, get_tracer, span
 
 __all__ = [
     "Counters",
@@ -31,4 +71,40 @@ __all__ = [
     "TextTable",
     "format_series",
     "geomean",
+    "DEFAULT_BUCKET_EDGES",
+    "Histogram",
+    "MetricsRegistry",
+    "collecting",
+    "get_registry",
+    "metrics_enabled",
+    "reset_global_registry",
+    "set_metrics_enabled",
+    "SPAN_PREFIX",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "span",
+    "phase_seconds",
+    "phase_table",
+    "span_stats",
+    "to_json",
+    "to_prometheus",
+    "write_metrics",
+    "CycleTrace",
+    "TraceStep",
+    "trace_cycle",
 ]
+
+# The cycle narrator lives in repro.core.trace, which (through
+# repro.core) imports kernels that themselves import repro.perf — so
+# its re-export here must be lazy (PEP 562) to avoid a circular import
+# at package load.
+_CORE_TRACE_EXPORTS = ("CycleTrace", "TraceStep", "trace_cycle")
+
+
+def __getattr__(name: str):
+    if name in _CORE_TRACE_EXPORTS:
+        from repro.core import trace
+
+        return getattr(trace, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,148 @@
+"""Exporters for metrics snapshots: JSON, Prometheus text, phase table.
+
+All exporters consume the JSON-ready dict produced by
+:meth:`repro.perf.registry.MetricsRegistry.snapshot` (the same payload
+workers ship to the parent and checkpoints embed), so anything that has
+a snapshot — a live registry, a ``cloud.metrics`` attribute, a
+checkpoint — can be exported the same three ways:
+
+* :func:`to_json` / :func:`write_metrics` — machine-readable archive.
+* :func:`to_prometheus` — the Prometheus text exposition format, for
+  scraping or pushing from a long-running campaign host.
+* :func:`phase_table` — the human-facing per-phase breakdown (what the
+  CLI prints under ``--trace`` and the paper plots in Fig. 11).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, Mapping, Tuple
+
+from repro.perf.report import TextTable
+from repro.perf.tracing import SPAN_PREFIX
+
+__all__ = [
+    "phase_seconds",
+    "phase_table",
+    "span_stats",
+    "to_json",
+    "to_prometheus",
+    "write_metrics",
+]
+
+
+def to_json(snapshot: Mapping, indent: int = 2) -> str:
+    """Serialize a metrics snapshot as a JSON string."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+_PROM_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    sanitized = _PROM_NAME.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return "repro_" + sanitized
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(snapshot: Mapping) -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Counters and gauges map directly; histograms emit cumulative
+    ``_bucket{le=...}`` series plus ``_sum`` and ``_count``, matching
+    the ``le`` bucket semantics of
+    :class:`~repro.perf.registry.Histogram`.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(snapshot['counters'][name])}")
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(snapshot['gauges'][name])}")
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for edge, count in zip(hist["edges"], hist["counts"]):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{edge}"}} {cumulative}')
+        cumulative += hist["counts"][-1]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {_prom_value(hist['sum'])}")
+        lines.append(f"{metric}_count {hist['total']}")
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics(snapshot: Mapping, path) -> None:
+    """Write a snapshot to *path*: Prometheus text when the suffix is
+    ``.prom``, JSON otherwise."""
+    path = Path(path)
+    if path.suffix == ".prom":
+        path.write_text(to_prometheus(snapshot), encoding="utf-8")
+    else:
+        path.write_text(to_json(snapshot) + "\n", encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# Span aggregation
+# ----------------------------------------------------------------------
+def span_stats(snapshot: Mapping) -> Dict[str, Tuple[float, int]]:
+    """Per-span-path ``(seconds, calls)`` extracted from a snapshot."""
+    counters = snapshot.get("counters", {})
+    stats: Dict[str, Tuple[float, int]] = {}
+    for name, value in counters.items():
+        if not name.startswith(SPAN_PREFIX) or not name.endswith(".seconds"):
+            continue
+        path = name[len(SPAN_PREFIX):-len(".seconds")]
+        calls = int(counters.get(f"{SPAN_PREFIX}{path}.calls", 0))
+        stats[path] = (float(value), calls)
+    return stats
+
+
+def phase_seconds(snapshot: Mapping) -> Dict[str, float]:
+    """Total seconds per phase *leaf* name, summed across nesting paths.
+
+    Aggregating by leaf makes the same phase comparable whether it ran
+    under ``campaign/...`` (sequential) or ``block/...`` (pool worker);
+    this is the shape the benchmark baseline stores and the CI
+    perf-regression gate compares.
+    """
+    phases: Dict[str, float] = {}
+    for path, (seconds, _calls) in span_stats(snapshot).items():
+        leaf = path.rsplit("/", 1)[-1]
+        phases[leaf] = phases.get(leaf, 0.0) + seconds
+    return phases
+
+
+def phase_table(snapshot: Mapping, title: str = "phase breakdown") -> str:
+    """Human-facing per-phase table: seconds, calls, and share of the
+    root span (the campaign), longest phase first.
+
+    Nested spans are shown by their full path, indent-free, so the
+    hierarchy is readable while the numbers stay aligned; the root
+    span's share is the fraction of *its own* time, i.e. 100%.
+    """
+    stats = span_stats(snapshot)
+    if not stats:
+        return f"{title}\n  (no spans recorded)"
+    roots = {path: s for path, (s, _c) in stats.items() if "/" not in path}
+    root_total = sum(roots.values())
+    table = TextTable(title, ["phase", "seconds", "calls", "share"])
+    for path in sorted(stats, key=lambda p: stats[p][0], reverse=True):
+        seconds, calls = stats[path]
+        share = seconds / root_total if root_total > 0 else 0.0
+        table.add_row(path, round(seconds, 4), calls, f"{share:.1%}")
+    return table.render()

@@ -1,0 +1,332 @@
+"""Process-global metrics registry: counters, gauges, histogram timers.
+
+This is the aggregation half of the observability layer (the other half
+is the span tracer in :mod:`repro.perf.tracing`).  A
+:class:`MetricsRegistry` holds three families of named metrics:
+
+* **Counters** — monotonic non-negative accumulators ("how many states
+  were balanced", "how many seconds were spent inside the parity
+  kernel").  Float-valued so span durations can accumulate exactly.
+* **Gauges** — last-write-wins point-in-time values ("checkpoint bytes
+  written", "pool size").
+* **Histograms** — fixed-bucket-edge distributions (span durations),
+  with Prometheus ``le`` semantics: an observation lands in the first
+  bucket whose upper edge is >= the value, values above the last edge
+  land in the overflow bucket.
+
+Design constraints, in order:
+
+1. **Worker merge is lossless and associative.**  Counters add, gauges
+   take the newest write, histograms add bucket-wise (edges must
+   match).  A pool campaign that serializes each worker's registry
+   snapshot back with its block result and merges them in any grouping
+   produces exactly the registry a sequential run would (timings aside,
+   which are genuinely different work).
+2. **Thread-safe.**  All mutation happens under one lock per registry;
+   snapshots are taken under the same lock, so a concurrent reader
+   never sees a half-merged state.
+3. **Near-zero overhead when disabled.**  Every mutator begins with a
+   single attribute check and returns immediately; no lock is taken,
+   no allocation happens.
+
+The *active* registry is resolved by :func:`get_registry`: normally the
+process-global singleton, but :func:`collecting` pushes a fresh
+thread-local child so a campaign (or a pool worker's block) can capture
+exactly its own metrics; on exit the child is folded into its parent,
+so the global registry still sees everything.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Dict, Iterator, Mapping, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "DEFAULT_BUCKET_EDGES",
+    "Histogram",
+    "MetricsRegistry",
+    "collecting",
+    "get_registry",
+    "metrics_enabled",
+    "reset_global_registry",
+    "set_metrics_enabled",
+]
+
+#: Default histogram bucket upper edges, in seconds: exponential-ish
+#: coverage from 0.1 ms to 5 minutes (span durations range from a
+#: per-state kernel call to a whole campaign).
+DEFAULT_BUCKET_EDGES: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram with ``le`` (less-or-equal) bucket edges.
+
+    ``counts`` has ``len(edges) + 1`` entries; the last is the overflow
+    bucket for observations above every edge.  An observation equal to
+    an edge lands in that edge's bucket.
+    """
+
+    __slots__ = ("edges", "counts", "total", "sum")
+
+    def __init__(self, edges: Sequence[float] = DEFAULT_BUCKET_EDGES) -> None:
+        edges = tuple(float(e) for e in edges)
+        if not edges:
+            raise ReproError("histogram needs at least one bucket edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ReproError(f"bucket edges must strictly increase: {edges}")
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    def merge(self, other: "Histogram") -> None:
+        """Add *other*'s buckets into this histogram (same edges only)."""
+        if self.edges != other.edges:
+            raise ReproError(
+                f"cannot merge histograms with different bucket edges: "
+                f"{self.edges} vs {other.edges}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.total += other.total
+        self.sum += other.sum
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot of this histogram."""
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Histogram":
+        """Rebuild a histogram from :meth:`to_dict` output."""
+        hist = cls(tuple(data["edges"]))
+        counts = list(data["counts"])
+        if len(counts) != len(hist.counts):
+            raise ReproError(
+                f"histogram snapshot has {len(counts)} buckets, expected "
+                f"{len(hist.counts)} for its edges"
+            )
+        hist.counts = [int(c) for c in counts]
+        hist.total = int(data["total"])
+        hist.sum = float(data["sum"])
+        return hist
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms behind one lock.
+
+    See the module docstring for the merge/threading/overhead contract.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- mutation ------------------------------------------------------
+    def count(self, name: str, amount: float = 1) -> None:
+        """Increment the monotonic counter *name* by *amount* (>= 0)."""
+        if not self.enabled:
+            return
+        if amount < 0:
+            raise ReproError(
+                f"counters are monotonic; cannot add {amount} to {name!r}"
+            )
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge *name* to *value* (last write wins)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        edges: Sequence[float] = DEFAULT_BUCKET_EDGES,
+    ) -> None:
+        """Record *value* in the histogram *name* (created on first use
+        with *edges*; later calls must agree on the edges)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram(edges)
+            hist.observe(value)
+
+    def reset(self) -> None:
+        """Drop every metric (the enabled flag is left alone)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # -- reads ---------------------------------------------------------
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def counters(self) -> Dict[str, float]:
+        """Plain-dict copy of all counters."""
+        with self._lock:
+            return dict(self._counters)
+
+    def gauges(self) -> Dict[str, float]:
+        """Plain-dict copy of all gauges."""
+        with self._lock:
+            return dict(self._gauges)
+
+    def snapshot(self) -> dict:
+        """JSON-ready snapshot: the wire format workers ship back to
+        the parent and checkpoints embed."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: h.to_dict() for name, h in self._histograms.items()
+                },
+            }
+
+    # -- merge ---------------------------------------------------------
+    def merge_snapshot(self, snap: Mapping | None) -> None:
+        """Fold a :meth:`snapshot` dict into this registry.
+
+        Counters and histograms add; gauges take the snapshot's value.
+        Merging is associative, so worker snapshots can be folded in
+        any grouping with the same result.  A ``None`` or empty
+        snapshot is a no-op.  Merging ignores the enabled flag: merge
+        is bookkeeping, not instrumentation.
+        """
+        if not snap:
+            return
+        counters = snap.get("counters", {})
+        gauges = snap.get("gauges", {})
+        histograms = snap.get("histograms", {})
+        with self._lock:
+            for name, value in counters.items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            self._gauges.update(
+                {name: float(v) for name, v in gauges.items()}
+            )
+            for name, data in histograms.items():
+                hist = self._histograms.get(name)
+                if hist is None:
+                    self._histograms[name] = Histogram.from_dict(data)
+                else:
+                    hist.merge(Histogram.from_dict(data))
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (via its snapshot, so
+        *other* may keep mutating concurrently)."""
+        self.merge_snapshot(other.snapshot())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            return (
+                f"MetricsRegistry(enabled={self.enabled}, "
+                f"{len(self._counters)} counters, "
+                f"{len(self._gauges)} gauges, "
+                f"{len(self._histograms)} histograms)"
+            )
+
+
+# ----------------------------------------------------------------------
+# Process-global registry + thread-local scoping
+# ----------------------------------------------------------------------
+_GLOBAL = MetricsRegistry()
+_SCOPES = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_SCOPES, "stack", None)
+    if stack is None:
+        stack = _SCOPES.stack = []
+    return stack
+
+
+def get_registry() -> MetricsRegistry:
+    """The active registry: the innermost :func:`collecting` scope on
+    this thread, else the process-global registry."""
+    stack = _stack()
+    return stack[-1] if stack else _GLOBAL
+
+
+def set_metrics_enabled(enabled: bool) -> bool:
+    """Enable/disable the process-global registry (and, through
+    inheritance, every new :func:`collecting` scope).  Returns the
+    previous setting so callers can restore it."""
+    previous = _GLOBAL.enabled
+    _GLOBAL.enabled = bool(enabled)
+    return previous
+
+
+def metrics_enabled() -> bool:
+    """Whether the active registry is recording."""
+    return get_registry().enabled
+
+
+def reset_global_registry() -> None:
+    """Drop every metric from the process-global registry (tests, CLI)."""
+    _GLOBAL.reset()
+
+
+@contextmanager
+def collecting(
+    registry: MetricsRegistry | None = None,
+    merge: bool = True,
+) -> Iterator[MetricsRegistry]:
+    """Scope a fresh registry over the enclosed block on this thread.
+
+    All instrumentation inside the block records into the scoped
+    registry (it inherits the parent's enabled flag); on exit the
+    scoped registry is merged into its parent, so nothing is lost —
+    the caller just gets a clean window over its own work::
+
+        with collecting() as metrics:
+            cloud = sample_cloud(graph, 100, seed=0)
+        cloud_metrics = metrics.snapshot()
+
+    This is how drivers attach a campaign's own metrics to the
+    returned cloud.  ``merge=False`` detaches the window: nothing is
+    folded into the parent on exit, so the snapshot is the *only* copy.
+    Pool workers use this — their block snapshot travels back with the
+    block result and the parent merges it exactly once, whether the
+    block ran in a worker process or degraded to in-process execution.
+    """
+    parent = get_registry()
+    reg = registry if registry is not None else MetricsRegistry(
+        enabled=parent.enabled
+    )
+    stack = _stack()
+    stack.append(reg)
+    try:
+        yield reg
+    finally:
+        stack.pop()
+        if merge:
+            parent.merge(reg)

@@ -1,0 +1,128 @@
+"""Span-based tracing over the metrics registry.
+
+A *span* is a timed, nested phase of work.  The campaign drivers wrap
+their hot phases in spans forming the hierarchy::
+
+    campaign > block > tree_sample > labeling > parity_kernel
+             > harary > checkpoint_write
+
+(sequential campaigns have no ``block`` level; the ``block`` span is
+the root inside a pool worker, whose snapshot merges back under the
+parent's ``campaign``).
+
+Each span records three things into the *active*
+:class:`~repro.perf.registry.MetricsRegistry` (resolved at span entry,
+so a span opened inside a :func:`~repro.perf.registry.collecting`
+scope lands in that scope):
+
+* counter ``span.<path>.seconds`` — total wall seconds in the span,
+* counter ``span.<path>.calls`` — number of entries,
+* histogram ``span.<path>`` — the per-call duration distribution,
+
+where ``<path>`` is the ``/``-joined nesting path on the current
+thread (``campaign/tree_sample``).  Phase breakdowns aggregate these by
+leaf name (see :func:`repro.perf.export.phase_seconds`), so the same
+phase is comparable whether it ran under ``campaign`` or ``block``.
+
+Overhead: when the active registry is disabled, ``__enter__`` does one
+attribute check and returns — no clock read, no allocation beyond the
+span object itself.  When enabled, a span costs two ``perf_counter``
+reads plus three locked registry updates, paid once per *phase*, never
+per edge or per vertex.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.perf.registry import MetricsRegistry, get_registry
+
+__all__ = ["SPAN_PREFIX", "Span", "Tracer", "get_tracer", "span"]
+
+#: Registry-name prefix marking span-derived metrics.
+SPAN_PREFIX = "span."
+
+
+class Span:
+    """One span occurrence; use as a context manager."""
+
+    __slots__ = ("_tracer", "name", "path", "_registry", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.path: Optional[str] = None
+        self._registry: Optional[MetricsRegistry] = None
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        registry = get_registry()
+        if not registry.enabled:
+            return self
+        self._registry = registry
+        stack = self._tracer._stack()
+        self.path = f"{stack[-1]}/{self.name}" if stack else self.name
+        stack.append(self.path)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        registry = self._registry
+        if registry is None:
+            return False
+        elapsed = time.perf_counter() - self._start
+        self._tracer._stack().pop()
+        path = self.path
+        registry.count(f"{SPAN_PREFIX}{path}.seconds", elapsed)
+        registry.count(f"{SPAN_PREFIX}{path}.calls", 1)
+        registry.observe(f"{SPAN_PREFIX}{path}", elapsed)
+        self._registry = None
+        return False
+
+
+class Tracer:
+    """Per-thread span nesting over the active metrics registry.
+
+    The process-global tracer (:func:`get_tracer`) is what the library
+    instruments with; separate tracers exist only to isolate nesting
+    paths in tests.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str) -> Span:
+        """A new span named *name*, nested under the current span (if
+        any) on this thread."""
+        return Span(self, name)
+
+    def current_path(self) -> Optional[str]:
+        """The innermost open span path on this thread, or ``None``."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer."""
+    return _TRACER
+
+
+def span(name: str) -> Span:
+    """Shorthand for ``get_tracer().span(name)`` — the way the library
+    instruments its hot paths::
+
+        with span("parity_kernel"):
+            signs, s2r = balance_batch(graph, batch)
+    """
+    return _TRACER.span(name)

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro.errors import EngineError
 from repro.graph.csr import SignedGraph
+from repro.perf.registry import get_registry
 from repro.rng import SeedLike, freeze_seed, spawn
 from repro.trees.bfs import bfs_tree
 from repro.trees.degree_aware import degree_aware_bfs_tree
@@ -68,6 +69,7 @@ class TreeSampler:
     def tree(self, index: int) -> SpanningTree:
         """The *index*-th tree of this sampler's stream."""
         rng = spawn(self.seed, index)
+        get_registry().count("trees.sampled_total", 1)
         return TREE_METHODS[self.method](self.graph, root=self.root, seed=rng)
 
     def trees(self, count: int, start: int = 0) -> Iterator[SpanningTree]:
@@ -94,8 +96,11 @@ class TreeSampler:
         if isinstance(indices, int):
             indices = range(start, start + indices)
         if self.method == "bfs":
+            get_registry().count("trees.sampled_total", len(indices))
             return sample_bfs_batch(
                 self.graph, self.seed, indices, root=self.root,
                 counters=counters,
             )
+        # The fallback stacks individually sampled trees; tree() already
+        # counts each, so no batch-level count here.
         return TreeBatch.from_trees([self.tree(i) for i in indices])

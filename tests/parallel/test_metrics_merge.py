@@ -1,0 +1,104 @@
+"""End-to-end metrics flow through the pool driver: worker snapshots
+must merge back losslessly, and a pool campaign's work counters must
+equal a sequential campaign's for the same seed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import sample_cloud
+from repro.parallel.pool import sample_cloud_pool
+from repro.parallel.supervisor import RetryPolicy
+from repro.perf.registry import (
+    collecting,
+    get_registry,
+    reset_global_registry,
+    set_metrics_enabled,
+)
+
+from tests.conftest import make_connected_signed
+
+#: Deterministic work counters: identical between a sequential and a
+#: pool campaign with the same seed.  Span timings are excluded — wall
+#: clock is genuinely different work between the two drivers.
+WORK_COUNTERS = (
+    "cloud.states_total",
+    "trees.sampled_total",
+    "parity.states_total",
+    "parity.cycles_total",
+    "label.calls_total",
+)
+
+
+def _work_counters(snapshot: dict) -> dict:
+    counters = snapshot.get("counters", {})
+    return {k: counters[k] for k in WORK_COUNTERS if k in counters}
+
+
+class TestMetricsMerge:
+    def setup_method(self):
+        reset_global_registry()
+        set_metrics_enabled(True)
+
+    def teardown_method(self):
+        reset_global_registry()
+        set_metrics_enabled(True)
+
+    @pytest.mark.parametrize("batch_size", [1, 4])
+    def test_pool_work_counters_equal_sequential(self, batch_size):
+        g = make_connected_signed(40, 100, seed=1)
+        with collecting(merge=False) as seq_reg:
+            sample_cloud(g, 10, seed=5, batch_size=batch_size)
+        with collecting(merge=False) as pool_reg:
+            sample_cloud_pool(
+                g, 10, workers=2, seed=5, batch_size=batch_size
+            )
+        seq = _work_counters(seq_reg.snapshot())
+        pool = _work_counters(pool_reg.snapshot())
+        assert seq["cloud.states_total"] == 10
+        # Lossless merge: every worker's counted work arrived, exactly
+        # once, regardless of how blocks were split across processes.
+        assert pool == seq
+
+    def test_cloud_carries_campaign_snapshot(self):
+        g = make_connected_signed(30, 70, seed=2)
+        cloud = sample_cloud_pool(g, 6, workers=2, seed=3)
+        snap = getattr(cloud, "metrics", None)
+        assert snap is not None
+        assert snap["counters"]["cloud.states_total"] == 6
+        # Span hierarchy made it back from the workers too.
+        assert any(
+            name.startswith("span.") and name.endswith(".seconds")
+            for name in snap["counters"]
+        )
+
+    def test_run_report_embeds_metrics(self):
+        # Only supervised campaigns produce a RunReport.
+        g = make_connected_signed(30, 70, seed=2)
+        cloud = sample_cloud_pool(
+            g, 6, workers=2, seed=3, policy=RetryPolicy()
+        )
+        report = getattr(cloud, "run_report", None)
+        assert report is not None
+        doc = report.to_dict()
+        assert doc["started_at_unix"] > 0
+        assert doc["metrics"]["counters"]["cloud.states_total"] == 6
+
+    def test_inprocess_degradation_counts_once(self):
+        # workers=1 runs blocks in-process; the detached-window +
+        # absorb path must not double-count relative to sequential.
+        g = make_connected_signed(30, 70, seed=4)
+        with collecting(merge=False) as reg:
+            sample_cloud_pool(g, 8, workers=1, seed=9)
+        assert reg.counter("cloud.states_total") == 8
+
+    def test_disabled_metrics_stay_empty(self):
+        g = make_connected_signed(30, 70, seed=2)
+        set_metrics_enabled(False)
+        try:
+            cloud = sample_cloud_pool(g, 4, workers=2, seed=3)
+        finally:
+            set_metrics_enabled(True)
+        snap = getattr(cloud, "metrics", None)
+        assert not snap or not snap.get("counters")
+        assert get_registry().counter("cloud.states_total") == 0

@@ -1,0 +1,227 @@
+"""Tests for the process-global metrics registry: thread safety, merge
+associativity, histogram bucket semantics, and the disabled-mode no-op
+contract."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.perf.registry import (
+    DEFAULT_BUCKET_EDGES,
+    Histogram,
+    MetricsRegistry,
+    collecting,
+    get_registry,
+    metrics_enabled,
+    reset_global_registry,
+    set_metrics_enabled,
+)
+
+
+class TestHistogram:
+    def test_bucket_boundaries_le_semantics(self):
+        # An observation equal to an edge lands in that edge's bucket;
+        # just above it spills into the next one.
+        hist = Histogram(edges=(1.0, 2.0, 4.0))
+        hist.observe(0.5)  # <= 1.0
+        hist.observe(1.0)  # == edge -> bucket le=1.0
+        hist.observe(1.0001)  # -> bucket le=2.0
+        hist.observe(4.0)  # == last edge -> bucket le=4.0
+        hist.observe(100.0)  # overflow
+        assert hist.counts == [2, 1, 1, 1]
+        assert hist.total == 5
+        assert hist.sum == pytest.approx(0.5 + 1.0 + 1.0001 + 4.0 + 100.0)
+
+    def test_default_edges_cover_span_range(self):
+        hist = Histogram()
+        assert hist.edges == DEFAULT_BUCKET_EDGES
+        hist.observe(0.00005)  # below first edge -> first bucket
+        hist.observe(301.0)  # above last edge -> overflow bucket
+        assert hist.counts[0] == 1
+        assert hist.counts[-1] == 1
+
+    def test_edges_must_strictly_increase(self):
+        with pytest.raises(ReproError):
+            Histogram(edges=(1.0, 1.0))
+        with pytest.raises(ReproError):
+            Histogram(edges=())
+
+    def test_merge_requires_same_edges(self):
+        a = Histogram(edges=(1.0, 2.0))
+        b = Histogram(edges=(1.0, 3.0))
+        with pytest.raises(ReproError):
+            a.merge(b)
+
+    def test_merge_adds_bucketwise(self):
+        a = Histogram(edges=(1.0, 2.0))
+        b = Histogram(edges=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        a.merge(b)
+        assert a.counts == [1, 1, 1]
+        assert a.total == 3
+
+    def test_dict_round_trip(self):
+        hist = Histogram(edges=(0.5, 1.0))
+        hist.observe(0.7)
+        clone = Histogram.from_dict(hist.to_dict())
+        assert clone.edges == hist.edges
+        assert clone.counts == hist.counts
+        assert clone.total == hist.total
+        assert clone.sum == hist.sum
+
+    def test_from_dict_rejects_bucket_mismatch(self):
+        data = Histogram(edges=(0.5, 1.0)).to_dict()
+        data["counts"] = [0, 0]  # should be 3 entries for 2 edges
+        with pytest.raises(ReproError):
+            Histogram.from_dict(data)
+
+
+class TestRegistry:
+    def test_count_gauge_observe(self):
+        reg = MetricsRegistry()
+        reg.count("x", 2)
+        reg.count("x")
+        reg.gauge("g", 1.0)
+        reg.gauge("g", 7.0)
+        reg.observe("h", 0.01)
+        assert reg.counter("x") == 3
+        assert reg.gauges()["g"] == 7.0
+        snap = reg.snapshot()
+        assert snap["histograms"]["h"]["total"] == 1
+
+    def test_counters_are_monotonic(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ReproError):
+            reg.count("x", -1)
+
+    def test_missing_counter_reads_zero(self):
+        assert MetricsRegistry().counter("nope") == 0
+
+    def test_disabled_registry_records_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.count("x", 5)
+        reg.gauge("g", 1.0)
+        reg.observe("h", 0.1)
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_thread_safety_under_concurrent_increments(self):
+        # N threads x M increments must sum exactly: a lost update
+        # under the lock would show up as a short total.
+        reg = MetricsRegistry()
+        threads_n, per_thread = 8, 2000
+
+        def work():
+            for _ in range(per_thread):
+                reg.count("hits")
+                reg.observe("lat", 0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("hits") == threads_n * per_thread
+        assert reg.snapshot()["histograms"]["lat"]["total"] == (
+            threads_n * per_thread
+        )
+
+    def test_merge_is_associative(self):
+        # (a + b) + c == a + (b + c): the property that lets the pool
+        # fold worker snapshots back in any completion order.
+        def make(seed: int) -> MetricsRegistry:
+            reg = MetricsRegistry()
+            reg.count("states", seed)
+            reg.count(f"only_{seed}", 1)
+            # Dyadic values: float addition stays exact in any order.
+            reg.observe("dur", seed * 0.25)
+            reg.gauge("last", float(seed))
+            return reg
+
+        a, b, c = make(1), make(2), make(3)
+
+        left = MetricsRegistry()
+        left.merge(a)
+        left.merge(b)
+        left.merge(c)
+
+        right_inner = MetricsRegistry()
+        right_inner.merge(b)
+        right_inner.merge(c)
+        right = MetricsRegistry()
+        right.merge(a)
+        right.merge_snapshot(right_inner.snapshot())
+
+        assert left.snapshot() == right.snapshot()
+        assert left.counter("states") == 6
+
+    def test_merge_snapshot_none_is_noop(self):
+        reg = MetricsRegistry()
+        reg.count("x")
+        reg.merge_snapshot(None)
+        reg.merge_snapshot({})
+        assert reg.counter("x") == 1
+
+    def test_reset_drops_metrics_keeps_enabled(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.reset()
+        assert reg.enabled is False
+
+
+class TestGlobalScoping:
+    def setup_method(self):
+        reset_global_registry()
+        set_metrics_enabled(True)
+
+    def teardown_method(self):
+        reset_global_registry()
+        set_metrics_enabled(True)
+
+    def test_collecting_merges_into_parent(self):
+        with collecting() as inner:
+            get_registry().count("x", 3)
+        assert inner.counter("x") == 3
+        assert get_registry().counter("x") == 3  # folded into global
+
+    def test_collecting_merge_false_detaches(self):
+        with collecting(merge=False) as inner:
+            get_registry().count("x", 3)
+        assert inner.counter("x") == 3
+        assert get_registry().counter("x") == 0  # snapshot is the only copy
+
+    def test_nested_scopes_fold_outward(self):
+        with collecting() as outer:
+            get_registry().count("a")
+            with collecting() as inner:
+                get_registry().count("b")
+            assert inner.counter("a") == 0
+            assert outer.counter("b") == 1
+        assert get_registry().counter("a") == 1
+        assert get_registry().counter("b") == 1
+
+    def test_scope_inherits_enabled_flag(self):
+        set_metrics_enabled(False)
+        assert metrics_enabled() is False
+        with collecting() as inner:
+            assert inner.enabled is False
+            get_registry().count("x")
+        assert get_registry().counter("x") == 0
+
+    def test_scopes_are_thread_local(self):
+        seen = {}
+
+        def worker():
+            # No collecting() scope on this thread: active registry is
+            # the global one even while the main thread holds a scope.
+            seen["registry"] = get_registry()
+
+        with collecting() as inner:
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+            assert seen["registry"] is not inner

@@ -1,0 +1,175 @@
+"""Tests for the span tracer: nesting paths, registry capture, the
+disabled no-op contract, and phase aggregation/export."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.perf.export import (
+    phase_seconds,
+    phase_table,
+    span_stats,
+    to_json,
+    to_prometheus,
+    write_metrics,
+)
+from repro.perf.registry import (
+    MetricsRegistry,
+    collecting,
+    reset_global_registry,
+    set_metrics_enabled,
+)
+from repro.perf.tracing import SPAN_PREFIX, Tracer, get_tracer, span
+
+
+class TestSpans:
+    def setup_method(self):
+        reset_global_registry()
+        set_metrics_enabled(True)
+
+    def teardown_method(self):
+        reset_global_registry()
+        set_metrics_enabled(True)
+
+    def test_span_records_seconds_calls_histogram(self):
+        with collecting(merge=False) as reg:
+            with span("phase_a"):
+                time.sleep(0.002)
+        counters = reg.counters()
+        assert counters[f"{SPAN_PREFIX}phase_a.calls"] == 1
+        assert counters[f"{SPAN_PREFIX}phase_a.seconds"] >= 0.002
+        assert reg.snapshot()["histograms"][f"{SPAN_PREFIX}phase_a"][
+            "total"
+        ] == 1
+
+    def test_nesting_builds_slash_paths(self):
+        tracer = Tracer()
+        with collecting(merge=False) as reg:
+            with tracer.span("campaign"):
+                assert tracer.current_path() == "campaign"
+                with tracer.span("tree_sample"):
+                    assert tracer.current_path() == "campaign/tree_sample"
+                with tracer.span("harary"):
+                    pass
+            assert tracer.current_path() is None
+        names = set(reg.counters())
+        assert f"{SPAN_PREFIX}campaign/tree_sample.calls" in names
+        assert f"{SPAN_PREFIX}campaign/harary.calls" in names
+
+    def test_registry_resolved_at_entry(self):
+        # A span opened inside a collecting() scope must land in that
+        # scope, not wherever the registry pointer moves later.
+        with collecting(merge=False) as reg:
+            with span("inner"):
+                pass
+        assert f"{SPAN_PREFIX}inner.calls" in reg.counters()
+
+    def test_disabled_spans_record_nothing_and_skip_stack(self):
+        set_metrics_enabled(False)
+        tracer = get_tracer()
+        with collecting(merge=False) as reg:
+            with span("ghost"):
+                # Disabled spans never push on the nesting stack.
+                assert tracer.current_path() is None
+        assert reg.counters() == {}
+
+    def test_disabled_span_overhead_is_small(self):
+        # The contract is one attribute check on entry: disabled spans
+        # across a hot loop must cost no more than a few microseconds
+        # each (generous CI bound).
+        set_metrics_enabled(False)
+        n = 5000
+        start = time.perf_counter()
+        for _ in range(n):
+            with span("noop"):
+                pass
+        per_span = (time.perf_counter() - start) / n
+        assert per_span < 50e-6
+
+    def test_span_pops_on_exception(self):
+        tracer = get_tracer()
+        with collecting(merge=False):
+            with pytest.raises(ValueError):
+                with span("boom"):
+                    raise ValueError("kernel exploded")
+            assert tracer.current_path() is None
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        paths = {}
+
+        def worker():
+            with collecting(merge=False) as reg:
+                with tracer.span("block"):
+                    paths["worker"] = tracer.current_path()
+                paths["counters"] = set(reg.counters())
+
+        with collecting(merge=False):
+            with tracer.span("campaign"):
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+        # The worker thread's span is a root, not campaign/block.
+        assert paths["worker"] == "block"
+        assert f"{SPAN_PREFIX}block.calls" in paths["counters"]
+
+
+class TestExport:
+    def _snapshot(self) -> dict:
+        reg = MetricsRegistry()
+        reg.count("span.campaign.seconds", 1.0)
+        reg.count("span.campaign.calls", 1)
+        reg.count("span.campaign/tree_sample.seconds", 0.4)
+        reg.count("span.campaign/tree_sample.calls", 10)
+        reg.count("span.campaign/block/tree_sample.seconds", 0.1)
+        reg.count("span.campaign/block/tree_sample.calls", 2)
+        reg.count("cloud.states_total", 20)
+        reg.gauge("checkpoint.last_bytes", 1024.0)
+        reg.observe("span.campaign/tree_sample", 0.04)
+        return reg.snapshot()
+
+    def test_phase_seconds_aggregates_by_leaf(self):
+        phases = phase_seconds(self._snapshot())
+        # campaign/tree_sample and campaign/block/tree_sample fold into
+        # one "tree_sample" leaf: sequential and pool runs comparable.
+        assert phases["tree_sample"] == pytest.approx(0.5)
+        assert phases["campaign"] == pytest.approx(1.0)
+
+    def test_span_stats_seconds_and_calls(self):
+        stats = span_stats(self._snapshot())
+        seconds, calls = stats["campaign/tree_sample"]
+        assert seconds == pytest.approx(0.4)
+        assert calls == 10
+
+    def test_phase_table_mentions_phases(self):
+        text = phase_table(self._snapshot())
+        assert "tree_sample" in text
+        assert "campaign" in text
+
+    def test_to_json_round_trips(self):
+        parsed = json.loads(to_json(self._snapshot()))
+        assert parsed["counters"]["cloud.states_total"] == 20
+
+    def test_prometheus_format(self):
+        text = to_prometheus(self._snapshot())
+        assert "repro_cloud_states_total 20" in text
+        assert "repro_checkpoint_last_bytes" in text
+        assert "# TYPE repro_checkpoint_last_bytes gauge" in text
+        # Histogram series: cumulative le buckets plus _sum/_count.
+        assert 'le="+Inf"' in text
+        assert "_count" in text
+
+    def test_write_metrics_picks_format_by_suffix(self, tmp_path):
+        snap = self._snapshot()
+        jpath = tmp_path / "m.json"
+        ppath = tmp_path / "m.prom"
+        write_metrics(snap, jpath)
+        write_metrics(snap, ppath)
+        assert json.loads(jpath.read_text())["counters"]
+        assert ppath.read_text().startswith("#") or "repro_" in (
+            ppath.read_text()
+        )

@@ -88,6 +88,9 @@ MODULES = [
     "repro.perf.timers",
     "repro.perf.memory",
     "repro.perf.report",
+    "repro.perf.registry",
+    "repro.perf.tracing",
+    "repro.perf.export",
     "repro.util",
     "repro.util.arrays",
     "repro.util.faults",

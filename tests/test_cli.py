@@ -255,3 +255,55 @@ class TestCommands:
         write_edgelist(g, path)
         assert main(["frustration", str(path), "--exact"]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    """The cloud subcommand's metrics surface: --trace, --metrics-out,
+    --no-metrics."""
+
+    def setup_method(self):
+        from repro.perf.registry import (
+            reset_global_registry,
+            set_metrics_enabled,
+        )
+
+        reset_global_registry()
+        set_metrics_enabled(True)
+
+    teardown_method = setup_method
+
+    def test_trace_prints_phase_table(self, graph_file, capsys):
+        path, _g = graph_file
+        assert main(["cloud", path, "--states", "4", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign" in out
+        assert "tree_sample" in out
+
+    def test_metrics_out_json(self, graph_file, tmp_path, capsys):
+        import json
+
+        path, _g = graph_file
+        out_path = tmp_path / "metrics.json"
+        assert main(["cloud", path, "--states", "4",
+                     "--metrics-out", str(out_path)]) == 0
+        assert "metrics written to" in capsys.readouterr().out
+        doc = json.loads(out_path.read_text())
+        assert doc["counters"]["cloud.states_total"] == 4
+
+    def test_metrics_out_prometheus(self, graph_file, tmp_path):
+        path, _g = graph_file
+        out_path = tmp_path / "metrics.prom"
+        assert main(["cloud", path, "--states", "4",
+                     "--metrics-out", str(out_path)]) == 0
+        text = out_path.read_text()
+        assert "repro_cloud_states_total 4" in text
+
+    def test_no_metrics_suppresses_collection(self, graph_file, capsys):
+        path, _g = graph_file
+        assert main(["cloud", path, "--states", "4", "--no-metrics",
+                     "--trace"]) == 0
+        out = capsys.readouterr().out
+        # Collection was off: either the empty-snapshot table or the
+        # no-metrics hint, but never an actual phase breakdown.
+        assert "no spans recorded" in out or "no metrics recorded" in out
+        assert "tree_sample" not in out

@@ -1,0 +1,169 @@
+"""Tests for the CI perf gate (``scripts/check_perf_regression.py``):
+a clean report passes (exit 0), a doctored 2x phase slowdown fails
+(exit 1), unusable input exits 2, and sub-noise-floor phases are
+skipped rather than flagged."""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_perf_regression",
+    Path(__file__).resolve().parents[1]
+    / "scripts"
+    / "check_perf_regression.py",
+)
+gate = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(gate)  # type: ignore[union-attr]
+
+
+def _make_report(**phase_overrides) -> dict:
+    """A minimal bench_cloud-shaped report with one graph entry."""
+    phases = {
+        "campaign": 0.7,
+        "tree_sample": 0.25,
+        "parity_kernel": 0.012,
+        "harary": 0.24,
+        "tiny_phase": 0.0001,  # below the default noise floor
+    }
+    phases.update(phase_overrides)
+    return {
+        "benchmark": "cloud_states_per_sec",
+        "runs": [
+            {
+                "vertices": 1000,
+                "edges": 4000,
+                "states": 200,
+                "sequential": {
+                    "batch_size": 1,
+                    "seconds": 0.7,
+                    "states_per_sec": 290.0,
+                    "phases": dict(phases),
+                },
+                "batched": [
+                    {
+                        "batch_size": 8,
+                        "seconds": 0.15,
+                        "states_per_sec": 1300.0,
+                        "phases": dict(phases),
+                    }
+                ],
+            }
+        ],
+    }
+
+
+@pytest.fixture
+def reports(tmp_path):
+    base = _make_report()
+    base_path = tmp_path / "baseline.json"
+    base_path.write_text(json.dumps(base))
+    return base, base_path, tmp_path
+
+
+def _run(base_path, current, tmp_path, *extra) -> int:
+    cur_path = tmp_path / "current.json"
+    cur_path.write_text(json.dumps(current))
+    return gate.main([
+        "--baseline", str(base_path),
+        "--current", str(cur_path),
+        "--out", str(tmp_path / "cmp.json"),
+        *extra,
+    ])
+
+
+class TestPerfGate:
+    def test_identical_reports_pass(self, reports):
+        base, base_path, tmp = reports
+        assert _run(base_path, copy.deepcopy(base), tmp) == 0
+
+    def test_doctored_2x_parity_kernel_fails(self, reports):
+        base, base_path, tmp = reports
+        doctored = copy.deepcopy(base)
+        for entry in doctored["runs"]:
+            for run in [entry["sequential"], *entry["batched"]]:
+                run["phases"]["parity_kernel"] *= 2
+        assert _run(base_path, doctored, tmp) == 1
+        cmp_doc = json.loads((tmp / "cmp.json").read_text())
+        failed = [c for c in cmp_doc["checks"] if c["status"] == "fail"]
+        assert failed
+        assert all(c["metric"] == "phase:parity_kernel" for c in failed)
+
+    def test_throughput_drop_beyond_fail_threshold_fails(self, reports):
+        base, base_path, tmp = reports
+        slow = copy.deepcopy(base)
+        for entry in slow["runs"]:
+            entry["sequential"]["states_per_sec"] /= 2
+        assert _run(base_path, slow, tmp) == 1
+
+    def test_warn_zone_passes_with_warning(self, reports):
+        base, base_path, tmp = reports
+        warmish = copy.deepcopy(base)
+        # 20% slower: above the 15% warn bar, below the 30% fail bar.
+        for entry in warmish["runs"]:
+            entry["batched"][0]["phases"]["tree_sample"] *= 1.20
+        assert _run(base_path, warmish, tmp) == 0
+        cmp_doc = json.loads((tmp / "cmp.json").read_text())
+        assert cmp_doc["warnings"] >= 1
+        assert cmp_doc["failures"] == 0
+
+    def test_sub_noise_floor_phase_is_skipped(self, reports):
+        base, base_path, tmp = reports
+        noisy = copy.deepcopy(base)
+        # 10x regression on a 0.1 ms phase: still under the floor.
+        for entry in noisy["runs"]:
+            entry["sequential"]["phases"]["tiny_phase"] *= 10
+        assert _run(base_path, noisy, tmp) == 0
+        cmp_doc = json.loads((tmp / "cmp.json").read_text())
+        assert not any(
+            c["metric"] == "phase:tiny_phase" for c in cmp_doc["checks"]
+        )
+
+    def test_faster_current_passes(self, reports):
+        base, base_path, tmp = reports
+        fast = copy.deepcopy(base)
+        for entry in fast["runs"]:
+            entry["batched"][0]["states_per_sec"] *= 3
+        assert _run(base_path, fast, tmp) == 0
+
+    def test_missing_baseline_exits_2(self, reports, tmp_path):
+        base, _, tmp = reports
+        with pytest.raises(SystemExit) as exc:
+            _run(tmp_path / "nope.json", base, tmp)
+        assert exc.value.code == 2
+
+    def test_invalid_json_exits_2(self, reports):
+        _, base_path, tmp = reports
+        cur = tmp / "broken.json"
+        cur.write_text("{not json")
+        with pytest.raises(SystemExit) as exc:
+            gate.main(["--baseline", str(base_path), "--current", str(cur),
+                       "--out", str(tmp / "cmp.json")])
+        assert exc.value.code == 2
+
+    def test_no_overlapping_configs_exits_2(self, reports):
+        base, base_path, tmp = reports
+        disjoint = copy.deepcopy(base)
+        disjoint["runs"][0]["states"] = 999
+        assert _run(base_path, disjoint, tmp) == 2
+
+    def test_inverted_thresholds_exit_2(self, reports):
+        base, base_path, tmp = reports
+        assert _run(base_path, copy.deepcopy(base), tmp,
+                    "--warn-threshold", "0.5",
+                    "--fail-threshold", "0.3") == 2
+
+    def test_committed_baseline_is_loadable(self):
+        # The artifact CI gates against must stay a valid report.
+        path = Path(__file__).resolve().parents[1] / gate.DEFAULT_BASELINE
+        report = json.loads(path.read_text())
+        cfgs = gate._configs(report)
+        assert cfgs, "committed baseline has no configurations"
+        for run in cfgs.values():
+            assert run["states_per_sec"] > 0
+            assert run["phases"]
