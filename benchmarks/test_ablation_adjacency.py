@@ -7,7 +7,7 @@ the first non-tree edge; this bench quantifies the saved scans.
 """
 
 from repro.core import balance
-from repro.perf.counters import Counters
+from repro.perf.compat import Counters
 from repro.perf.report import TextTable
 from repro.trees import TreeSampler
 

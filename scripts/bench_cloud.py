@@ -16,6 +16,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import platform
 import sys
@@ -105,6 +106,9 @@ def main(argv=None) -> int:
                         help="time each configuration N times and keep "
                              "the fastest (reduces scheduler noise; the "
                              "CI gate uses 3)")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="also write every benchmarked campaign's span "
+                             "timeline as Chrome trace JSON")
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -132,35 +136,51 @@ def main(argv=None) -> int:
         "repeat": args.repeat,
         "runs": [],
     }
-    for cfg in configs:
-        graph = build_graph(cfg["vertices"], cfg["edges"], args.seed)
-        entry = {
-            "vertices": graph.num_vertices,
-            "edges": graph.num_edges,
-            "states": cfg["states"],
-        }
-        print(f"graph n={graph.num_vertices} m={graph.num_edges} "
-              f"states={cfg['states']}", flush=True)
+    if args.trace_out:
+        from repro.perf.tracing import collecting_trace
 
-        seq = bench_one(graph, cfg["states"], 1, args.seed, args.repeat)
-        seq_cloud = seq.pop("_cloud")
-        entry["sequential"] = seq
-        print(f"  sequential          {seq['states_per_sec']:>9.2f} states/s",
-              flush=True)
+        trace_scope = collecting_trace()
+    else:
+        trace_scope = contextlib.nullcontext(None)
+    with trace_scope as collector:
+        for cfg in configs:
+            graph = build_graph(cfg["vertices"], cfg["edges"], args.seed)
+            entry = {
+                "vertices": graph.num_vertices,
+                "edges": graph.num_edges,
+                "states": cfg["states"],
+            }
+            print(f"graph n={graph.num_vertices} m={graph.num_edges} "
+                  f"states={cfg['states']}", flush=True)
 
-        entry["batched"] = []
-        for bs in cfg["batch_sizes"]:
-            run = bench_one(graph, cfg["states"], bs, args.seed, args.repeat)
-            cloud = run.pop("_cloud")
-            run["speedup_vs_sequential"] = round(
-                run["states_per_sec"] / seq["states_per_sec"], 2
-            )
-            run["attributes_identical"] = attributes_identical(seq_cloud, cloud)
-            entry["batched"].append(run)
-            print(f"  batch_size={bs:<4d}      {run['states_per_sec']:>9.2f} "
-                  f"states/s  ({run['speedup_vs_sequential']}x, "
-                  f"identical={run['attributes_identical']})", flush=True)
-        report["runs"].append(entry)
+            seq = bench_one(graph, cfg["states"], 1, args.seed, args.repeat)
+            seq_cloud = seq.pop("_cloud")
+            entry["sequential"] = seq
+            print(f"  sequential          {seq['states_per_sec']:>9.2f} "
+                  "states/s", flush=True)
+
+            entry["batched"] = []
+            for bs in cfg["batch_sizes"]:
+                run = bench_one(graph, cfg["states"], bs, args.seed,
+                                args.repeat)
+                cloud = run.pop("_cloud")
+                run["speedup_vs_sequential"] = round(
+                    run["states_per_sec"] / seq["states_per_sec"], 2
+                )
+                run["attributes_identical"] = attributes_identical(
+                    seq_cloud, cloud
+                )
+                entry["batched"].append(run)
+                print(f"  batch_size={bs:<4d}      "
+                      f"{run['states_per_sec']:>9.2f} "
+                      f"states/s  ({run['speedup_vs_sequential']}x, "
+                      f"identical={run['attributes_identical']})", flush=True)
+            report["runs"].append(entry)
+    if args.trace_out:
+        from repro.perf.trace_export import spans_to_events, write_chrome_trace
+
+        write_chrome_trace(spans_to_events(collector.events()), args.trace_out)
+        print(f"wrote {args.trace_out} ({len(collector)} spans)")
 
     best = max(
         (run["speedup_vs_sequential"]

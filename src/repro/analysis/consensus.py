@@ -16,7 +16,7 @@ import numpy as np
 from repro.cloud.cloud import FrustrationCloud, sample_cloud
 from repro.graph.components import largest_connected_component
 from repro.graph.csr import SignedGraph
-from repro.perf.timers import PhaseTimer
+from repro.perf.compat import PhaseTimer
 from repro.rng import SeedLike
 
 __all__ = ["ConsensusReport", "analyze_consensus"]

@@ -9,6 +9,7 @@ frustration  frustration-index bounds (exact / local search / cloud)
 dataset      materialize a Table-1 synthetic stand-in to a file
 model        modeled serial/OpenMP/CUDA campaign times (Tables 2–3)
 memory       Table-4 memory model for given sizes or a named dataset
+journal      summarize a campaign event journal (``cloud --journal``)
 
 Graph files are auto-detected by extension: ``.mtx`` (Matrix Market),
 ``.tsv`` (KONECT), ``.npz`` (repro snapshot), anything else is parsed
@@ -146,22 +147,21 @@ def _print_run_report(cloud) -> None:
               "remaining blocks")
 
 
-def _cmd_cloud(args) -> int:
+def _run_cloud_campaign(args, sub, policy):
+    """Run the cloud campaign the flags describe; returns the cloud.
+
+    Factored out of :func:`_cmd_cloud` so the observability scopes
+    (``--journal`` / ``--trace-out``) can wrap exactly the campaign.
+    """
     from repro.cloud import sample_cloud
     from repro.parallel.pool import sample_cloud_pool
-    from repro.perf.registry import set_metrics_enabled
 
-    if args.no_metrics:
-        set_metrics_enabled(False)
-    graph = load_graph_file(args.input)
-    sub, ids = _lcc(graph)
     # Fresh campaigns fall back to the historical defaults; on --resume,
     # parameters the user did not spell out are inherited from (and
     # explicit ones validated against) the checkpoint's campaign.
     method = args.method if args.method is not None else "bfs"
     seed = args.seed if args.seed is not None else 0
     batch_size = args.batch_size if args.batch_size is not None else 1
-    policy = _policy_from_args(args)
     if args.resume:
         from repro.cloud.checkpoint import (
             recover_cloud,
@@ -177,7 +177,7 @@ def _cmd_cloud(args) -> int:
                 meta, method=args.method, seed=args.seed,
                 batch_size=args.batch_size,
             )
-            cloud = sample_cloud_pool(
+            return sample_cloud_pool(
                 sub, args.states, workers=max(args.workers, 1),
                 method=params["method"], kernel=params["kernel"],
                 seed=params["seed"], batch_size=params["batch_size"],
@@ -187,21 +187,20 @@ def _cmd_cloud(args) -> int:
                 resume_from=source,
                 policy=policy,
             )
-        else:
-            cloud = resume_cloud(
-                cloud,
-                args.states,
-                method=args.method,
-                seed=args.seed,
-                checkpoint_path=args.checkpoint,
-                checkpoint_every=args.checkpoint_every,
-                batch_size=args.batch_size,
-                keep_checkpoints=args.keep_checkpoints,
-            )
-    elif args.workers > 1 or policy is not None:
+        return resume_cloud(
+            cloud,
+            args.states,
+            method=args.method,
+            seed=args.seed,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            batch_size=args.batch_size,
+            keep_checkpoints=args.keep_checkpoints,
+        )
+    if args.workers > 1 or policy is not None:
         # A retry policy routes even --workers 1 through the pool
         # driver: the supervisor's in-process ladder lives there.
-        cloud = sample_cloud_pool(
+        return sample_cloud_pool(
             sub, args.states, workers=args.workers,
             method=method, seed=seed,
             batch_size=batch_size,
@@ -209,14 +208,48 @@ def _cmd_cloud(args) -> int:
             keep_checkpoints=args.keep_checkpoints,
             policy=policy,
         )
-    else:
-        cloud = sample_cloud(
-            sub, args.states, method=method, seed=seed,
-            batch_size=batch_size,
-            checkpoint_path=args.checkpoint,
-            checkpoint_every=args.checkpoint_every,
-            keep_checkpoints=args.keep_checkpoints,
-        )
+    return sample_cloud(
+        sub, args.states, method=method, seed=seed,
+        batch_size=batch_size,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        keep_checkpoints=args.keep_checkpoints,
+    )
+
+
+def _cmd_cloud(args) -> int:
+    import contextlib
+
+    from repro.perf.registry import set_metrics_enabled
+
+    if args.no_metrics:
+        set_metrics_enabled(False)
+        if args.trace_out:
+            print("warning: --trace-out records nothing under "
+                  "--no-metrics (spans are off)", file=sys.stderr)
+    graph = load_graph_file(args.input)
+    sub, ids = _lcc(graph)
+    policy = _policy_from_args(args)
+    collector = None
+    with contextlib.ExitStack() as scopes:
+        if args.journal:
+            from repro.perf.journal import journaling
+
+            scopes.enter_context(journaling(args.journal))
+        if args.trace_out:
+            from repro.perf.tracing import collecting_trace
+
+            collector = scopes.enter_context(collecting_trace())
+        cloud = _run_cloud_campaign(args, sub, policy)
+    if args.journal:
+        print(f"event journal written to {args.journal}")
+    if args.trace_out:
+        from repro.perf.trace_export import spans_to_events, write_chrome_trace
+
+        events = spans_to_events(collector.events())
+        write_chrome_trace(events, args.trace_out)
+        print(f"Chrome trace written to {args.trace_out} "
+              f"({len(collector)} spans)")
     _print_run_report(cloud)
     snap = getattr(cloud, "metrics", None)
     if args.trace:
@@ -313,6 +346,42 @@ def _cmd_model(args) -> int:
     for name, run in runs.items():
         print(f"  {name:>7s}: {run.graphb_seconds:10.2f} s   "
               f"{run.throughput_mcps:8.1f} Mcycles/s")
+    if args.timeline or args.trace_out:
+        from repro.parallel import collect_workload
+        from repro.trees import TreeSampler
+
+        tree = TreeSampler(sub, seed=args.seed).tree(0)
+        w = collect_workload(sub, tree)
+        degrees = np.diff(sub.indptr)
+        events = []
+        for pid, (name, machine) in enumerate(machines.items(), start=1):
+            _times, profile = machine.profile(w)
+            if args.timeline:
+                print()
+                print(profile.report(degrees=degrees))
+            if args.trace_out:
+                from repro.perf.trace_export import profile_to_events
+
+                events.extend(profile_to_events(profile, pid=pid))
+        if args.trace_out:
+            from repro.perf.trace_export import write_chrome_trace
+
+            write_chrome_trace(events, args.trace_out)
+            print(f"\nChrome trace written to {args.trace_out} "
+                  f"({len(events)} events)")
+    return 0
+
+
+def _cmd_journal(args) -> int:
+    from repro.perf.journal import render_summary, summarize_journal
+
+    summary = summarize_journal(args.journal)
+    if args.json:
+        import json
+
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_summary(summary))
     return 0
 
 
@@ -477,6 +546,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-metrics", action="store_true",
                    help="disable metrics/span collection entirely "
                         "(near-zero instrumentation overhead)")
+    p.add_argument("--journal", metavar="PATH",
+                   help="append structured campaign events (start, block "
+                        "completions, retries, checkpoints, convergence "
+                        "snapshots) to a crash-safe JSONL journal; "
+                        "inspect it with `repro journal summarize`")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="write the campaign's span timeline as Chrome "
+                        "trace JSON (open in Perfetto / chrome://tracing)")
     p.set_defaults(func=_cmd_cloud)
 
     p = sub.add_parser("frustration", help="frustration-index bounds")
@@ -502,7 +579,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trees", type=int, default=1000)
     p.add_argument("--sample-trees", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--timeline", action="store_true",
+                   help="print each machine's execution-timeline profile "
+                        "(occupancy, load imbalance, launch overhead, "
+                        "straggler vertices with degrees)")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="write the modeled machine timelines as Chrome "
+                        "trace JSON (one process per machine)")
     p.set_defaults(func=_cmd_model)
+
+    p = sub.add_parser("journal",
+                       help="inspect a campaign event journal (JSONL)")
+    p.add_argument("action", choices=["summarize"],
+                   help="summarize: replay the journal into campaign "
+                        "counters and reconcile with the run report")
+    p.add_argument("journal", help="path to a --journal JSONL file")
+    p.add_argument("--json", action="store_true",
+                   help="print the summary as JSON instead of text")
+    p.set_defaults(func=_cmd_journal)
 
     p = sub.add_parser("trace", help="narrate cycle traversals (Fig. 6 style)")
     p.add_argument("input")

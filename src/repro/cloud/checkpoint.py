@@ -42,6 +42,7 @@ from repro.cloud.cloud import BATCHED_KERNELS, FrustrationCloud
 from repro.core.balancer import balance
 from repro.errors import CheckpointError, EngineError, ReproError
 from repro.graph.csr import SignedGraph
+from repro.perf.journal import journal_event
 from repro.perf.registry import get_registry
 from repro.perf.tracing import span
 from repro.rng import freeze_seed
@@ -186,6 +187,12 @@ def save_cloud(
         registry = get_registry()
         registry.count("checkpoint.writes_total", 1)
         registry.gauge("checkpoint.last_bytes", float(path.stat().st_size))
+        journal_event(
+            "checkpoint_written",
+            path=str(path),
+            states=cloud.num_states,
+            bytes=path.stat().st_size,
+        )
 
 
 def _payload(

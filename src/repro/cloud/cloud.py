@@ -13,6 +13,7 @@ states is opt-in for the small-graph experiments that need Fig. 2's
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable
 
@@ -27,9 +28,9 @@ from repro.harary.bipartition import (
     harary_bipartition,
     sides_from_sign_to_root,
 )
-from repro.perf.counters import Counters
+from repro.perf.compat import Counters, PhaseTimer
+from repro.perf.journal import get_journal, journal_event
 from repro.perf.registry import collecting, get_registry
-from repro.perf.timers import PhaseTimer
 from repro.perf.tracing import span
 from repro.rng import SeedLike, freeze_seed
 from repro.trees.sampler import TreeSampler
@@ -384,7 +385,27 @@ def sample_cloud(
     frozen = freeze_seed(seed)
     sampler = TreeSampler(graph, method=method, seed=frozen)
     cloud = FrustrationCloud(graph, store_states=store_states)
-    timers = timers if timers is not None else PhaseTimer()
+    # Phase timing flows through the metrics registry spans since PR 4;
+    # a legacy PhaseTimer is honoured when a caller passes one, but none
+    # is allocated by default.
+    phase = (
+        timers.phase
+        if timers is not None
+        else (lambda _name: contextlib.nullcontext())
+    )
+    journal_event(
+        "campaign_started",
+        driver="sequential",
+        num_states=num_states,
+        method=method,
+        kernel=kernel,
+        seed=frozen,
+        batch_size=batch_size,
+        vertices=graph.num_vertices,
+        edges=graph.num_edges,
+    )
+    # Convergence snapshots: ~16 per campaign, only when journaling.
+    snap_every = max(1, num_states // 16)
     writer = None
     if checkpoint_path is not None:
         from repro.cloud.checkpoint import CampaignMeta, CheckpointWriter
@@ -404,33 +425,45 @@ def sample_cloud(
     with collecting() as metrics, span("campaign"):
         if batch_size == 1:
             for i in range(num_states):
-                with timers.phase("tree_generation"), span("tree_sample"):
+                with phase("tree_generation"), span("tree_sample"):
                     tree = sampler.tree(i)
                 result = balance(
                     graph, tree, kernel=kernel, timers=timers,
                     counters=counters,
                 )
-                with timers.phase("harary_and_status"), span("harary"):
+                with phase("harary_and_status"), span("harary"):
                     cloud.add_result(result)
                 if writer is not None:
                     writer.step(cloud, 1)
+                if get_journal() is not None and (i + 1) % snap_every == 0:
+                    journal_event(
+                        "convergence",
+                        states=cloud.num_states,
+                        frustration_upper_bound=cloud.frustration_upper_bound(),
+                    )
         else:
             from repro.core.parity_batch import balance_batch
 
             for start in range(0, num_states, batch_size):
                 count = min(batch_size, num_states - start)
-                with timers.phase("tree_generation"), span("tree_sample"):
+                with phase("tree_generation"), span("tree_sample"):
                     batch = sampler.batch(
                         count, start=start, counters=counters
                     )
-                with timers.phase("cycle_processing"), span("parity_kernel"):
+                with phase("cycle_processing"), span("parity_kernel"):
                     signs, s2r = balance_batch(
                         graph, batch, counters=counters
                     )
-                with timers.phase("harary_and_status"), span("harary"):
+                with phase("harary_and_status"), span("harary"):
                     cloud.add_batch(signs, sides_from_sign_to_root(s2r))
                 if writer is not None:
                     writer.step(cloud, count)
+                if get_journal() is not None:
+                    journal_event(
+                        "convergence",
+                        states=cloud.num_states,
+                        frustration_upper_bound=cloud.frustration_upper_bound(),
+                    )
         get_registry().count("cloud.states_total", num_states)
     # Attach this campaign's own metrics window before the final
     # checkpoint so the v2 payload can embed it.
@@ -438,6 +471,9 @@ def sample_cloud(
     if writer is not None:
         writer.final(cloud)
         cloud.campaign_meta = writer.campaign
+    journal_event(
+        "campaign_completed", driver="sequential", states=cloud.num_states
+    )
     return cloud
 
 

@@ -33,8 +33,7 @@ from repro.core.labeling_parallel import label_tree_parallel
 from repro.core.state import BalanceResult
 from repro.errors import EngineError
 from repro.graph.csr import SignedGraph
-from repro.perf.counters import Counters
-from repro.perf.timers import PhaseTimer
+from repro.perf.compat import Counters, PhaseTimer
 from repro.perf.tracing import span
 from repro.rng import SeedLike
 from repro.trees.bfs import bfs_tree

@@ -23,8 +23,7 @@ import numpy as np
 from repro.core.state import BalanceResult
 from repro.errors import ReproError
 from repro.graph.csr import SignedGraph
-from repro.perf.counters import Counters
-from repro.perf.timers import PhaseTimer
+from repro.perf.compat import Counters, PhaseTimer
 from repro.trees.tree import SpanningTree
 
 __all__ = ["balance_baseline"]

@@ -32,7 +32,7 @@ import numpy as np
 from repro.core.adjacency import PartitionedAdjacency, partition_adjacency
 from repro.core.labeling import Labeling
 from repro.graph.csr import SignedGraph
-from repro.perf.counters import Counters
+from repro.perf.compat import Counters
 from repro.trees.tree import SpanningTree
 
 __all__ = ["CycleStats", "process_cycles_serial"]

@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.core.cycles import CycleStats
 from repro.graph.csr import SignedGraph
-from repro.perf.counters import Counters
+from repro.perf.compat import Counters
 from repro.trees.tree import SpanningTree
 
 __all__ = ["process_cycles_lockstep", "balance_by_parity", "sign_to_root"]

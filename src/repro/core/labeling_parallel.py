@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.labeling import Labeling
-from repro.perf.counters import Counters
+from repro.perf.compat import Counters
 from repro.perf.registry import get_registry
 from repro.trees.tree import SpanningTree
 from repro.util.arrays import concat_ranges

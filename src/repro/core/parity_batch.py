@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.csr import SignedGraph
-from repro.perf.counters import Counters
+from repro.perf.compat import Counters
 from repro.perf.registry import get_registry
 from repro.trees.batched import TreeBatch
 

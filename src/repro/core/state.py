@@ -9,8 +9,7 @@ import numpy as np
 
 from repro.core.cycles import CycleStats
 from repro.graph.csr import SignedGraph
-from repro.perf.counters import Counters
-from repro.perf.timers import PhaseTimer
+from repro.perf.compat import Counters, PhaseTimer
 from repro.trees.tree import SpanningTree
 
 __all__ = ["BalanceResult"]

@@ -17,6 +17,7 @@ __all__ = [
     "EngineError",
     "SupervisorError",
     "CheckpointError",
+    "JournalError",
 ]
 
 
@@ -74,3 +75,9 @@ class CheckpointError(ReproError):
     safely resumed: corrupt/truncated files, fingerprint or shape
     mismatches against the graph, and campaign-parameter conflicts that
     would make a resumed run diverge from the original."""
+
+
+class JournalError(ReproError):
+    """Raised when a campaign event journal cannot be opened, or when a
+    strict read encounters a corrupt line before the final (possibly
+    torn) one."""

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.errors import NotBalancedError
 from repro.graph.csr import SignedGraph
-from repro.perf.counters import Counters
+from repro.perf.compat import Counters
 
 __all__ = [
     "HararyBipartition",

@@ -10,6 +10,7 @@ from repro.parallel.schedule import (
     makespan_dynamic,
     makespan_guided,
     makespan_static,
+    validate_schedule,
 )
 from repro.parallel.machine import (
     OPENMP_MACHINE,
@@ -46,6 +47,7 @@ __all__ = [
     "makespan_static",
     "makespan_guided",
     "makespan_bounds",
+    "validate_schedule",
     "CpuMachine",
     "GpuMachine",
     "PhaseTimes",

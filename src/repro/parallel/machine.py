@@ -19,11 +19,18 @@ like the paper's testbed (16-core Threadripper 2950X, 32 HT threads):
 The defaults below were calibrated once against the four published
 small-graph runtimes of Table 2 (see EXPERIMENTS.md for the residuals)
 and are then held fixed for every experiment.
+
+``times(w)`` returns scalar :class:`PhaseTimes`; ``profile(w)``
+additionally returns a :class:`~repro.perf.timeline.MachineProfile`
+with the cycle-region schedule timeline, fork/join ledger, and
+straggler attribution.  The profiled phase times are bit-identical to
+the unprofiled ones — profiling only *observes* the schedule.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -34,6 +41,9 @@ from repro.parallel.schedule import (
     makespan_static,
 )
 from repro.parallel.workload import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.perf.timeline import MachineProfile
 
 __all__ = ["PhaseTimes", "CpuMachine", "SERIAL_MACHINE", "OPENMP_MACHINE"]
 
@@ -74,6 +84,31 @@ class PhaseTimes:
             cycle_processing=self.cycle_processing * factor,
             bipartition=self.bipartition * factor,
         )
+
+
+def _attach_owner_attribution(timeline, owners: np.ndarray,
+                              owner_costs: np.ndarray):
+    """Rewrite schedule-timeline segments to name the vertex that owns
+    (or dominates) each chunk — the raw material of straggler reports."""
+    from repro.perf.timeline import TimelineSegment
+
+    def rewrite(seg):
+        meta = dict(seg.meta)
+        first = meta.get("first_task")
+        if first is not None:
+            ntasks = meta.get("num_tasks", 1)
+            block = owner_costs[first:first + ntasks]
+            heaviest = first + int(np.argmax(block)) if len(block) else first
+            meta["vertex"] = int(owners[heaviest])
+            meta["vertex_cost"] = float(owner_costs[heaviest])
+        elif 0 <= seg.task < len(owners):
+            meta["vertex"] = int(owners[seg.task])
+            meta["vertex_cost"] = float(owner_costs[seg.task])
+        return TimelineSegment(
+            seg.name, seg.worker, seg.start, seg.end, seg.task, meta
+        )
+
+    return timeline.relabel(rewrite)
 
 
 @dataclass(frozen=True)
@@ -118,47 +153,112 @@ class CpuMachine:
             + work_ops * self.op_seconds / self.effective_workers
         )
 
-    def times(self, w: Workload) -> PhaseTimes:
-        """Modeled per-tree phase times for workload *w*."""
+    def _cycle_span(self, owner_costs: np.ndarray, workers: int,
+                    timeline: bool = False):
+        """Cycle-region schedule span (in ops) under this machine's
+        schedule policy."""
+        if self.schedule == "dynamic":
+            return makespan_dynamic(owner_costs, workers,
+                                    chunk=self.dynamic_chunk,
+                                    timeline=timeline)
+        if self.schedule == "guided":
+            return makespan_guided(owner_costs, workers,
+                                   min_chunk=self.dynamic_chunk,
+                                   timeline=timeline)
+        return makespan_static(owner_costs, workers, timeline=timeline)
+
+    def times(
+        self, w: Workload, profile: Optional["MachineProfile"] = None
+    ) -> PhaseTimes:
+        """Modeled per-tree phase times for workload *w*.
+
+        Passing a :class:`~repro.perf.timeline.MachineProfile` records
+        the cycle-region schedule timeline and the fork/join ledger into
+        it without changing any returned number.
+        """
         # --- Labeling: one region per level per pass (Alg. 4), plus a
         # vectorized init region.  Per-item cost: ~3 ops.
         if self.threads == 1:
             labeling = w.label_ops * self.op_seconds
+            if profile is not None:
+                profile.add_launch("labeling", "serial_pass",
+                                   labeling, 0.0, items=int(w.label_ops))
         else:
             labeling = self._region(float(w.num_vertices))  # init counts
-            for items in w.level_items[1:]:          # bottom-up
-                labeling += self._region(3.0 * float(items))
-            for items in w.level_items[:-1]:         # top-down
-                labeling += self._region(3.0 * float(items))
+            if profile is not None:
+                profile.add_launch("labeling", "init",
+                                   self._region(float(w.num_vertices)),
+                                   self.fork_join_seconds,
+                                   items=w.num_vertices)
+            for direction, levels in (
+                ("bottom_up", w.level_items[1:]),
+                ("top_down", w.level_items[:-1]),
+            ):
+                for items in levels:
+                    seconds = self._region(3.0 * float(items))
+                    labeling += seconds
+                    if profile is not None:
+                        profile.add_launch("labeling", direction, seconds,
+                                           self.fork_join_seconds,
+                                           items=int(items))
 
         # --- Cycle processing: one region, dynamically scheduled over
         # the per-vertex task list.
-        _owners, owner_costs = w.owner_costs
+        owners, owner_costs = w.owner_costs
+        workers = int(round(self.effective_workers)) or 1
         if self.threads == 1:
             cycles = float(w.cycle_costs.sum()) * self.op_seconds
+            if profile is not None:
+                _span, tl = self._cycle_span(owner_costs, 1, timeline=True)
+                tl = tl.scaled(self.op_seconds)
         else:
-            workers = int(round(self.effective_workers)) or 1
-            if self.schedule == "dynamic":
-                span = makespan_dynamic(owner_costs, workers, chunk=self.dynamic_chunk)
-            elif self.schedule == "guided":
-                span = makespan_guided(owner_costs, workers, min_chunk=self.dynamic_chunk)
+            if profile is None:
+                span = self._cycle_span(owner_costs, workers)
             else:
-                span = makespan_static(owner_costs, workers)
+                span, tl = self._cycle_span(owner_costs, workers,
+                                            timeline=True)
+                tl = tl.scaled(self.op_seconds).shifted(self.fork_join_seconds)
             cycles = self.fork_join_seconds + span * self.op_seconds
+        if profile is not None:
+            tl.label = f"{self.schedule} x{workers if self.threads > 1 else 1}"
+            profile.add_timeline(
+                "cycle_processing",
+                _attach_owner_attribution(tl, owners, owner_costs),
+            )
+            profile.add_launch(
+                "cycle_processing", self.schedule, cycles,
+                0.0 if self.threads == 1 else self.fork_join_seconds,
+                items=len(owner_costs),
+            )
 
         # --- Tree generation: one region per BFS level.
         if self.threads == 1:
             treegen = float(w.treegen_ops) * self.op_seconds
+            if profile is not None:
+                profile.add_launch("tree_generation", "serial_bfs",
+                                   treegen, 0.0, items=int(w.treegen_ops))
         else:
             per_level = float(w.treegen_ops) / max(len(w.level_items), 1)
             treegen = sum(
                 self._region(per_level) for _ in range(len(w.level_items))
             )
+            if profile is not None:
+                for _ in range(len(w.level_items)):
+                    profile.add_launch("tree_generation", "bfs_level",
+                                       self._region(per_level),
+                                       self.fork_join_seconds,
+                                       items=int(per_level))
 
         # --- Harary bipartition + status: a few frontier regions.
         harary = self._region(float(w.harary_ops))
         if self.threads > 1:
             harary += 3 * self.fork_join_seconds  # CC / coloring / status sweeps
+        if profile is not None:
+            profile.add_launch(
+                "bipartition", "harary", harary,
+                0.0 if self.threads == 1 else 4 * self.fork_join_seconds,
+                items=int(w.harary_ops), launches=4,
+            )
 
         return PhaseTimes(
             tree_generation=treegen,
@@ -166,6 +266,14 @@ class CpuMachine:
             cycle_processing=cycles,
             bipartition=harary,
         )
+
+    def profile(self, w: Workload) -> tuple[PhaseTimes, "MachineProfile"]:
+        """``times(w)`` plus the populated machine profile."""
+        from repro.perf.timeline import MachineProfile
+
+        name = "serial" if self.threads == 1 else f"openmp[{self.threads}]"
+        prof = MachineProfile(name)
+        return self.times(w, profile=prof), prof
 
 
 #: The paper's serial C++ configuration.

@@ -41,6 +41,7 @@ from repro.cloud.cloud import BATCHED_KERNELS, FrustrationCloud
 from repro.core.balancer import balance
 from repro.errors import CheckpointError, EngineError, SupervisorError
 from repro.graph.csr import SignedGraph
+from repro.perf.journal import journal_event
 from repro.perf.registry import collecting, get_registry
 from repro.perf.tracing import span
 from repro.rng import SeedLike, freeze_seed
@@ -384,7 +385,28 @@ def sample_cloud_pool(
             campaign=_partial_campaign(tuple(b for b, _c in completed)),
             keep=keep_checkpoints,
         )
+        journal_event(
+            "salvage_written",
+            blocks=len(completed),
+            states=salvage.num_states,
+            path=str(checkpoint_path),
+        )
         return salvage
+
+    journal_event(
+        "campaign_started",
+        driver="pool",
+        num_states=num_states,
+        workers=workers,
+        method=method,
+        kernel=kernel,
+        seed=frozen,
+        batch_size=batch_size,
+        resumed_states=base_states,
+        blocks=len(blocks),
+        vertices=graph.num_vertices,
+        edges=graph.num_edges,
+    )
 
     def _campaign() -> FrustrationCloud:
         if not blocks:
@@ -418,6 +440,11 @@ def sample_cloud_pool(
                         batch_size, fault,
                     )
                     done.append((block, local))
+                    journal_event(
+                        "block_completed", block=block[0],
+                        stop=block[1], step=block[2],
+                        states=local.num_states,
+                    )
                     merged.merge(local)
                     _absorb_metrics(local)
             except BaseException as exc:
@@ -437,6 +464,12 @@ def sample_cloud_pool(
                             tuple(b for b, _c in done)
                         ),
                         keep=keep_checkpoints,
+                    )
+                    journal_event(
+                        "salvage_written",
+                        blocks=len(done),
+                        states=merged.num_states,
+                        path=str(checkpoint_path),
                     )
                     salvaged = merged
                 if not isinstance(exc, Exception):
@@ -474,8 +507,18 @@ def sample_cloud_pool(
                     block = futures[future]
                     try:
                         completed.append((block, future.result()))
+                        journal_event(
+                            "block_completed", block=block[0],
+                            stop=block[1], step=block[2],
+                            states=completed[-1][1].num_states,
+                        )
                     except Exception as exc:
                         failures.append((block, exc))
+                        journal_event(
+                            "block_failed", block=block[0],
+                            stop=block[1], step=block[2],
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
             except BaseException:
                 # A KeyboardInterrupt (parent-side ^C, or one shipped
                 # back from a worker) bypasses the Exception handler
@@ -507,6 +550,9 @@ def sample_cloud_pool(
 
     with collecting() as metrics, span("campaign"):
         cloud = _campaign()
+    journal_event(
+        "campaign_completed", driver="pool", states=cloud.num_states
+    )
     # The campaign window (worker snapshots merged in, plus the closed
     # campaign span) supersedes whatever _finalize embedded in the
     # checkpoint moments earlier.

@@ -5,98 +5,215 @@ because per-vertex work is highly skewed.  These simulators compute the
 makespan of a task list under the schedules graphB+ discusses, which is
 what the CPU machine model charges for each parallel region — and what
 the scheduling ablation compares.
+
+Every policy shares one validation path (:func:`validate_schedule`):
+nonpositive worker counts and negative or non-finite costs raise
+:class:`~repro.errors.EngineError`; empty task lists cost 0.0.
+
+Passing ``timeline=True`` makes a policy also return its per-worker
+assignment timeline — ``(makespan, ExecutionTimeline)`` — with one
+segment per task (or per chunk, with the task range in the segment
+metadata).  The scalar makespan is computed by the exact same
+arithmetic either way, so machine models built on these policies are
+bit-identical with and without profiling; timeline collection is pure
+addition and the default ``timeline=False`` path never imports or
+touches :mod:`repro.perf.timeline`.
 """
 
 from __future__ import annotations
 
 import heapq
+from typing import Tuple, Union
 
 import numpy as np
 
 from repro.errors import EngineError
 
 __all__ = [
+    "validate_schedule",
     "makespan_dynamic",
     "makespan_static",
     "makespan_guided",
     "makespan_bounds",
 ]
 
+#: Scalar or (scalar, timeline) depending on the ``timeline`` flag.
+MakespanResult = Union[float, Tuple[float, "ExecutionTimeline"]]  # noqa: F821
 
-def makespan_dynamic(costs: np.ndarray, workers: int, chunk: int = 1) -> float:
-    """Makespan of greedy dynamic scheduling (OpenMP ``schedule(dynamic)``).
 
-    Tasks are dealt out in chunks of ``chunk`` consecutive tasks; each
-    idle worker grabs the next chunk.  Simulated exactly with a heap of
-    worker finish times — O(k log T) for k chunks.
+def validate_schedule(costs: np.ndarray, workers: int) -> np.ndarray:
+    """Shared edge-case policy for every ``makespan_*`` simulator.
+
+    Returns *costs* as a 1-D float64 array.  Raises
+    :class:`~repro.errors.EngineError` for ``workers < 1``, for arrays
+    of dimension != 1, and for negative or non-finite costs (a negative
+    task duration silently corrupts every schedule).
     """
     if workers < 1:
         raise EngineError("need at least one worker")
     costs = np.asarray(costs, dtype=np.float64)
+    if costs.ndim != 1:
+        raise EngineError(f"cost array must be 1-D, got shape {costs.shape}")
+    if len(costs) and (not np.isfinite(costs).all() or costs.min() < 0.0):
+        raise EngineError("task costs must be finite and non-negative")
+    return costs
+
+
+def _empty_timeline(workers: int, label: str):
+    from repro.perf.timeline import ExecutionTimeline
+
+    return ExecutionTimeline(workers, label=label)
+
+
+def _serial_timeline(costs: np.ndarray, label: str):
+    """Sequential one-worker timeline (the ``workers == 1`` shortcut)."""
+    from repro.perf.timeline import ExecutionTimeline
+
+    tl = ExecutionTimeline(1, label=label)
+    t = 0.0
+    for i, c in enumerate(costs):
+        c = float(c)
+        tl.add(f"task[{i}]", 0, t, t + c, task=i)
+        t += c
+    return tl
+
+
+def makespan_dynamic(
+    costs: np.ndarray, workers: int, chunk: int = 1, timeline: bool = False
+) -> MakespanResult:
+    """Makespan of greedy dynamic scheduling (OpenMP ``schedule(dynamic)``).
+
+    Tasks are dealt out in chunks of ``chunk`` consecutive tasks; each
+    idle worker grabs the next chunk.  Simulated exactly with a heap of
+    worker finish times — O(k log T) for k chunks.  With
+    ``timeline=True``, returns ``(makespan, ExecutionTimeline)`` with
+    one segment per chunk (``meta['first_task']``/``meta['num_tasks']``
+    record the chunk's task range).
+    """
+    costs = validate_schedule(costs, workers)
     if len(costs) == 0:
-        return 0.0
+        return (0.0, _empty_timeline(workers, "dynamic")) if timeline else 0.0
     if workers == 1:
-        return float(costs.sum())
+        span = float(costs.sum())
+        return (span, _serial_timeline(costs, "dynamic")) if timeline else span
     if chunk > 1:
         pad = (-len(costs)) % chunk
         padded = np.pad(costs, (0, pad))
         chunk_costs = padded.reshape(-1, chunk).sum(axis=1)
     else:
         chunk_costs = costs
-    finish = [0.0] * workers
-    heapq.heapify(finish)
-    for c in chunk_costs:
-        t = heapq.heappop(finish)
-        heapq.heappush(finish, t + float(c))
-    return max(finish)
+    if not timeline:
+        finish = [0.0] * workers
+        heapq.heapify(finish)
+        for c in chunk_costs:
+            t = heapq.heappop(finish)
+            heapq.heappush(finish, t + float(c))
+        return max(finish)
+
+    from repro.perf.timeline import ExecutionTimeline
+
+    tl = ExecutionTimeline(workers, label="dynamic")
+    slots = [(0.0, w) for w in range(workers)]
+    heapq.heapify(slots)
+    for i, c in enumerate(chunk_costs):
+        t, w = heapq.heappop(slots)
+        end = t + float(c)
+        first = i * chunk
+        ntasks = min(chunk, len(costs) - first)
+        tl.add(
+            f"chunk[{i}]", w, t, end,
+            task=first if chunk == 1 else -1,
+            first_task=first, num_tasks=ntasks,
+        )
+        heapq.heappush(slots, (end, w))
+    return max(t for t, _w in slots), tl
 
 
-def makespan_static(costs: np.ndarray, workers: int) -> float:
+def makespan_static(
+    costs: np.ndarray, workers: int, timeline: bool = False
+) -> MakespanResult:
     """Makespan of a static block schedule (``schedule(static)``):
     contiguous equal-count blocks, no work stealing — the ablation's
-    strawman for skewed workloads."""
-    if workers < 1:
-        raise EngineError("need at least one worker")
-    costs = np.asarray(costs, dtype=np.float64)
+    strawman for skewed workloads.  With ``timeline=True``, returns
+    ``(makespan, ExecutionTimeline)`` with one segment per task."""
+    costs = validate_schedule(costs, workers)
     if len(costs) == 0:
-        return 0.0
+        return (0.0, _empty_timeline(workers, "static")) if timeline else 0.0
     blocks = np.array_split(costs, workers)
-    return max(float(b.sum()) for b in blocks)
+    span = max(float(b.sum()) for b in blocks)
+    if not timeline:
+        return span
+
+    from repro.perf.timeline import ExecutionTimeline
+
+    tl = ExecutionTimeline(workers, label="static")
+    task = 0
+    for w, block in enumerate(blocks):
+        t = 0.0
+        for c in block:
+            c = float(c)
+            tl.add(f"task[{task}]", w, t, t + c, task=task)
+            t += c
+            task += 1
+    return span, tl
 
 
 def makespan_guided(
-    costs: np.ndarray, workers: int, min_chunk: int = 1
-) -> float:
+    costs: np.ndarray, workers: int, min_chunk: int = 1, timeline: bool = False
+) -> MakespanResult:
     """Makespan of OpenMP ``schedule(guided)``: each idle worker grabs
     ``max(remaining / workers, min_chunk)`` consecutive tasks, so chunks
     shrink as the queue drains — large chunks amortize overhead early,
-    small chunks balance the tail."""
-    if workers < 1:
-        raise EngineError("need at least one worker")
-    costs = np.asarray(costs, dtype=np.float64)
+    small chunks balance the tail.  With ``timeline=True``, returns
+    ``(makespan, ExecutionTimeline)`` with one segment per chunk."""
+    costs = validate_schedule(costs, workers)
     total = len(costs)
     if total == 0:
-        return 0.0
+        return (0.0, _empty_timeline(workers, "guided")) if timeline else 0.0
     if workers == 1:
-        return float(costs.sum())
+        span = float(costs.sum())
+        return (span, _serial_timeline(costs, "guided")) if timeline else span
     prefix = np.concatenate([[0.0], np.cumsum(costs)])
-    finish = [0.0] * workers
-    heapq.heapify(finish)
+    if not timeline:
+        finish = [0.0] * workers
+        heapq.heapify(finish)
+        taken = 0
+        while taken < total:
+            size = max((total - taken) // workers, min_chunk)
+            size = min(size, total - taken)
+            chunk_cost = float(prefix[taken + size] - prefix[taken])
+            taken += size
+            t = heapq.heappop(finish)
+            heapq.heappush(finish, t + chunk_cost)
+        return max(finish)
+
+    from repro.perf.timeline import ExecutionTimeline
+
+    tl = ExecutionTimeline(workers, label="guided")
+    slots = [(0.0, w) for w in range(workers)]
+    heapq.heapify(slots)
     taken = 0
+    i = 0
     while taken < total:
         size = max((total - taken) // workers, min_chunk)
         size = min(size, total - taken)
         chunk_cost = float(prefix[taken + size] - prefix[taken])
+        t, w = heapq.heappop(slots)
+        end = t + chunk_cost
+        tl.add(
+            f"chunk[{i}]", w, t, end,
+            first_task=taken, num_tasks=size,
+        )
+        heapq.heappush(slots, (end, w))
         taken += size
-        t = heapq.heappop(finish)
-        heapq.heappush(finish, t + chunk_cost)
-    return max(finish)
+        i += 1
+    return max(t for t, _w in slots), tl
 
 
 def makespan_bounds(costs: np.ndarray, workers: int) -> tuple[float, float]:
     """(lower, upper) bounds on any schedule's makespan:
     ``max(total/T, max task)`` and the greedy 2-approximation."""
-    costs = np.asarray(costs, dtype=np.float64)
+    costs = validate_schedule(costs, workers)
     if len(costs) == 0:
         return 0.0, 0.0
     lower = max(float(costs.sum()) / workers, float(costs.max()))

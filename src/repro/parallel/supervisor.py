@@ -69,6 +69,7 @@ from typing import Callable, Sequence, Tuple
 
 from repro.errors import SupervisorError
 from repro.graph.csr import SignedGraph
+from repro.perf.journal import journal_event
 from repro.perf.registry import get_registry
 
 __all__ = [
@@ -333,6 +334,22 @@ class CampaignSupervisor:
         self.report.started_at_unix = time.time()
 
     # -- bookkeeping ---------------------------------------------------
+
+    #: FaultEvent kind -> campaign-journal event kind.  Kinds absent
+    #: here (backoff, degrade) have dedicated journal events emitted at
+    #: the sites where the matching RunReport counter changes, so a
+    #: summarized journal reconciles exactly with the report.
+    _JOURNAL_KINDS = {
+        "failure": "block_failed",
+        "crash": "block_failed",
+        "timeout": "block_timeout",
+        "suspect": "worker_suspected",
+        "requeue": "block_requeued",
+        "pool_rebuild": "pool_rebuilt",
+        "quarantine": "block_quarantined",
+        "deadline": "deadline_hit",
+    }
+
     def _event(
         self, kind: str, block: Block | None, attempt: int, detail: str
     ) -> None:
@@ -344,6 +361,22 @@ class CampaignSupervisor:
                 attempt=attempt,
                 detail=detail,
             )
+        )
+        journal_kind = self._JOURNAL_KINDS.get(kind)
+        if journal_kind is not None:
+            journal_event(
+                journal_kind,
+                block=block[0] if block is not None else None,
+                attempt=attempt,
+                detail=detail,
+            )
+
+    def _complete(self, block: Block, local) -> None:
+        """Record one completed block (all ladder rungs funnel here)."""
+        self.completed.append((block, local))
+        journal_event(
+            "block_completed", block=block[0], stop=block[1], step=block[2],
+            states=getattr(local, "num_states", None),
         )
 
     def _deadline_left(self) -> float | None:
@@ -372,6 +405,10 @@ class CampaignSupervisor:
             delay = self.policy.backoff_seconds(self.seed, block, attempt)
             self.report.retries += 1
             get_registry().count("supervisor.retries_total", 1)
+            journal_event(
+                "block_retried", block=block[0], attempt=attempt,
+                backoff_seconds=delay,
+            )
             if delay > 0:
                 self._event(
                     "backoff", block, attempt,
@@ -567,7 +604,7 @@ class CampaignSupervisor:
                         f"{type(exc).__name__}: {exc}",
                     )
                 else:
-                    self.completed.append((block, local))
+                    self._complete(block, local)
             if broken:
                 for fut, (block, attempt, _t0) in list(inflight.items()):
                     self.suspects.append((block, attempt))
@@ -617,9 +654,7 @@ class CampaignSupervisor:
                     for fut, (block, attempt, _t0) in list(inflight.items()):
                         inflight.pop(fut)
                         try:
-                            self.completed.append(
-                                (block, fut.result(timeout=0))
-                            )
+                            self._complete(block, fut.result(timeout=0))
                         except BaseException as exc:
                             self._register_failure(
                                 block, attempt, "failure",
@@ -669,6 +704,10 @@ class CampaignSupervisor:
                         )
                         self.report.retries += 1
                         get_registry().count("supervisor.retries_total", 1)
+                        journal_event(
+                            "block_retried", block=block[0], attempt=attempt,
+                            backoff_seconds=delay,
+                        )
                         if delay > 0:
                             self._event(
                                 "backoff", block, attempt,
@@ -687,7 +726,7 @@ class CampaignSupervisor:
                     )
                     break
                 else:
-                    self.completed.append((block, local))
+                    self._complete(block, local)
                     break
 
     def _run_degraded(self) -> None:
@@ -713,8 +752,9 @@ class CampaignSupervisor:
                     f"{type(exc).__name__}: {exc}",
                 )
             else:
-                self.completed.append((block, local))
+                self._complete(block, local)
                 self.report.degraded.append(block)
+                journal_event("block_degraded", block=block[0])
                 self._event(
                     "degrade", block, attempt,
                     "in-process fallback succeeded",

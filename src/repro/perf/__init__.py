@@ -12,8 +12,15 @@ and observability-related:
   the active registry (:mod:`repro.perf.tracing`).
 * :func:`phase_table` / :func:`to_prometheus` / :func:`write_metrics`
   — exporters for people and machines (:mod:`repro.perf.export`).
-* :class:`PhaseTimer` and :class:`Counters` — the per-call-site
-  accumulators the kernels have always taken; they feed the Fig. 10/11
+* :class:`ExecutionTimeline` / :class:`MachineProfile` — per-worker
+  schedule timelines with occupancy/straggler/divergence reports from
+  the simulated machines (:mod:`repro.perf.timeline`), and their
+  Chrome/Perfetto export (:mod:`repro.perf.trace_export`), which also
+  renders real span traces (:class:`TraceCollector`).
+* :class:`Journal` / :func:`journal_event` — the append-only campaign
+  event journal with crash-safe replay (:mod:`repro.perf.journal`).
+* :class:`PhaseTimer` and :class:`Counters` — legacy per-call-site
+  accumulators (:mod:`repro.perf.compat`); they feed the Fig. 10/11
   experiments and the simulated-machine cost models, and coexist with
   the registry (spans time *phases of a campaign*, timers/counters
   profile *one balance call*).
@@ -23,7 +30,7 @@ and observability-related:
   story.
 """
 
-from repro.perf.counters import Counters, RegionStat
+from repro.perf.compat import Counters, PhaseTimer, RegionStat
 from repro.perf.export import (
     phase_seconds,
     phase_table,
@@ -31,6 +38,16 @@ from repro.perf.export import (
     to_json,
     to_prometheus,
     write_metrics,
+)
+from repro.perf.journal import (
+    Journal,
+    get_journal,
+    journal_event,
+    journaling,
+    read_journal,
+    render_summary,
+    set_journal,
+    summarize_journal,
 )
 from repro.perf.memory import (
     CUDA_DEVICE,
@@ -53,8 +70,33 @@ from repro.perf.registry import (
     set_metrics_enabled,
 )
 from repro.perf.report import TextTable, format_series, geomean
-from repro.perf.timers import PhaseTimer
-from repro.perf.tracing import SPAN_PREFIX, Span, Tracer, get_tracer, span
+from repro.perf.timeline import (
+    ExecutionTimeline,
+    KernelLaunch,
+    MachineProfile,
+    TimelineSegment,
+)
+from repro.perf.trace_export import (
+    REQUIRED_EVENT_KEYS,
+    load_chrome_trace,
+    profile_to_events,
+    spans_to_events,
+    timeline_to_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.perf.tracing import (
+    SPAN_PREFIX,
+    Span,
+    SpanEvent,
+    TraceCollector,
+    Tracer,
+    collecting_trace,
+    get_trace_collector,
+    get_tracer,
+    set_trace_collector,
+    span,
+)
 
 __all__ = [
     "Counters",
@@ -81,9 +123,33 @@ __all__ = [
     "set_metrics_enabled",
     "SPAN_PREFIX",
     "Span",
+    "SpanEvent",
+    "TraceCollector",
     "Tracer",
+    "collecting_trace",
+    "get_trace_collector",
     "get_tracer",
+    "set_trace_collector",
     "span",
+    "TimelineSegment",
+    "ExecutionTimeline",
+    "KernelLaunch",
+    "MachineProfile",
+    "REQUIRED_EVENT_KEYS",
+    "spans_to_events",
+    "timeline_to_events",
+    "profile_to_events",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "validate_chrome_trace",
+    "Journal",
+    "get_journal",
+    "set_journal",
+    "journal_event",
+    "journaling",
+    "read_journal",
+    "summarize_journal",
+    "render_summary",
     "phase_seconds",
     "phase_table",
     "span_stats",

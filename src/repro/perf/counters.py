@@ -1,78 +1,22 @@
-"""Operation counters feeding the simulated-machine cost models.
+"""Deprecated import path for :class:`~repro.perf.compat.Counters`.
 
-The paper's performance story is about *work*: how many vertices a
-cycle walk visits, how many adjacency entries it scans, how many
-parallel regions a tree needs.  The kernels record those quantities in
-a :class:`Counters` object; the models in :mod:`repro.parallel` then
-turn work into modeled time under a CPU-thread or GPU-warp machine.
-Counting is cheap (a few dict increments per phase, aggregate numpy
-sums per kernel) and never changes algorithm results.
+Scalar op counting moved to the metrics registry
+(:mod:`repro.perf.registry`) in PR 4; the legacy classes themselves
+live in :mod:`repro.perf.compat` (the machine models still replay
+their region logs).  Importing from here keeps working but warns.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+import warnings
+
+from repro.perf.compat import Counters, RegionStat
 
 __all__ = ["Counters", "RegionStat"]
 
-
-@dataclass(frozen=True)
-class RegionStat:
-    """Aggregate over all parallel regions sharing a name."""
-
-    launches: int
-    total_items: int
-
-    @property
-    def avg_items(self) -> float:
-        return self.total_items / self.launches if self.launches else 0.0
-
-
-@dataclass
-class Counters:
-    """Named scalar counters plus a log of parallel-region launches.
-
-    ``ops`` holds flat counts ("cycle.edges_scanned", ...).  ``regions``
-    records each parallel region (kernel launch / OpenMP region) with
-    its work-item count, in launch order — the Fig. 10 scaling model
-    replays this log under different thread counts.
-    """
-
-    ops: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
-    regions: List[Tuple[str, int]] = field(default_factory=list)
-
-    def add(self, name: str, amount: int = 1) -> None:
-        """Increment the named scalar counter."""
-        self.ops[name] += int(amount)
-
-    def parallel_region(self, name: str, items: int) -> None:
-        """Record one parallel-region launch with *items* work items."""
-        self.regions.append((name, int(items)))
-
-    def get(self, name: str) -> int:
-        """Current value of a scalar counter (0 if never touched)."""
-        return int(self.ops.get(name, 0))
-
-    def region_stats(self) -> Dict[str, RegionStat]:
-        """Aggregate the region log by name."""
-        launches: Dict[str, int] = defaultdict(int)
-        items: Dict[str, int] = defaultdict(int)
-        for name, k in self.regions:
-            launches[name] += 1
-            items[name] += k
-        return {
-            name: RegionStat(launches=launches[name], total_items=items[name])
-            for name in launches
-        }
-
-    def merge(self, other: "Counters") -> None:
-        """Fold *other* into this (used when accumulating over trees)."""
-        for name, value in other.ops.items():
-            self.ops[name] += value
-        self.regions.extend(other.regions)
-
-    def snapshot(self) -> Dict[str, int]:
-        """Plain-dict copy of the scalar counters."""
-        return dict(self.ops)
+warnings.warn(
+    "repro.perf.counters is deprecated: import Counters from "
+    "repro.perf.compat, or count into repro.perf.registry",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -1,0 +1,340 @@
+"""Append-only campaign event journal (JSONL) with crash-safe reads.
+
+Long campaigns need a durable, replayable record of *what happened* —
+block retries, degradations, checkpoint writes, convergence snapshots —
+that survives the process dying mid-line.  The journal is a plain JSONL
+file:
+
+* **append-only, line-buffered** — every event is one JSON object on
+  one line, flushed as it is written; a crash can tear at most the
+  final line;
+* **self-numbering** — events carry a monotonically increasing ``seq``
+  (continued across re-opens, so a resumed campaign appends after the
+  crash point) plus a wall-clock ``ts``;
+* **valid-prefix recovery** — :func:`read_journal` replays every intact
+  line and tolerates a torn final line (``strict=True`` raises
+  :class:`~repro.errors.JournalError` for corruption *before* the
+  tail);
+* **replayable** — :func:`summarize_journal` folds a journal into the
+  same counts a live :class:`~repro.parallel.supervisor.RunReport`
+  carries, so ``repro journal summarize`` cross-checks a finished (or
+  half-finished) run without its process.
+
+Emission is decoupled from the campaign code via a process-global
+journal handle: drivers call :func:`journal_event` unconditionally,
+which is a no-op single ``None`` check unless a journal is installed
+(``--journal`` / :func:`journaling`).  Journaling therefore never
+changes results — it only appends to a side file.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import JournalError
+
+__all__ = [
+    "Journal",
+    "get_journal",
+    "set_journal",
+    "journal_event",
+    "journaling",
+    "read_journal",
+    "summarize_journal",
+    "render_summary",
+]
+
+PathLike = Union[str, Path]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays so campaign payloads serialize."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON serializable: {type(value).__name__}")
+
+
+class Journal:
+    """An open, line-buffered append-only event journal."""
+
+    def __init__(self, path: PathLike) -> None:
+        """Open (creating or appending to) the journal at *path*.
+
+        When the file already has events, numbering continues after the
+        last intact line — a resumed campaign's events sort after the
+        original run's.  A torn final line (crash mid-write) is
+        truncated away first, so the next event starts on a fresh line
+        instead of gluing itself onto the partial record.
+        """
+        self.path = Path(path)
+        try:
+            if self.path.exists():
+                existing, torn, tail_offset = _read_lines(self.path)
+                if torn:
+                    with open(self.path, "r+b") as fh:
+                        fh.truncate(tail_offset)
+            else:
+                existing = []
+            self._seq = (existing[-1]["seq"] + 1) if existing else 0
+            # buffering=1: line-buffered — each event line is pushed to
+            # the OS as soon as it is complete.
+            self._fh = open(self.path, "a", buffering=1, encoding="utf-8")
+        except OSError as exc:
+            raise JournalError(f"cannot open journal {path}: {exc}") from exc
+
+    def emit(self, kind: str, **fields: Any) -> int:
+        """Append one event line; returns its sequence number."""
+        seq = self._seq
+        record: Dict[str, Any] = {"seq": seq, "ts": time.time(), "kind": kind}
+        record.update(fields)
+        line = json.dumps(record, default=_jsonable, separators=(",", ":"))
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        self._seq += 1
+        return seq
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "Journal":
+        """Context-manager entry: the journal itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Close on scope exit; never swallows exceptions."""
+        self.close()
+        return False
+
+
+_JOURNAL: Optional[Journal] = None
+
+
+def get_journal() -> Optional[Journal]:
+    """The installed process-global journal, or ``None``."""
+    return _JOURNAL
+
+
+def set_journal(journal: Optional[Journal]) -> None:
+    """Install *journal* as the process-global event sink (``None``
+    turns journaling off)."""
+    global _JOURNAL
+    _JOURNAL = journal
+
+
+def journal_event(kind: str, **fields: Any) -> None:
+    """Emit an event to the installed journal; a single ``None`` check
+    when journaling is off — the instrumentation the campaign drivers
+    call unconditionally."""
+    journal = _JOURNAL
+    if journal is not None:
+        journal.emit(kind, **fields)
+
+
+@contextlib.contextmanager
+def journaling(path: PathLike) -> Iterator[Journal]:
+    """Scope that opens a journal at *path* and installs it globally::
+
+        with journaling("run.jsonl"):
+            sample_cloud_pool(...)
+
+    The previous journal (usually ``None``) is restored — and the file
+    closed — on exit, crash or not.
+    """
+    global _JOURNAL
+    previous = _JOURNAL
+    journal = Journal(path)
+    _JOURNAL = journal
+    try:
+        yield journal
+    finally:
+        _JOURNAL = previous
+        journal.close()
+
+
+# ----------------------------------------------------------------------
+# Reading / replay
+
+
+def _read_lines(path: Path) -> Tuple[List[Dict[str, Any]], bool, int]:
+    """(intact events, torn_tail, tail_offset).  Stops at the first
+    corrupt line; the corruption counts as a torn tail only if nothing
+    intact follows it (i.e. it *is* the tail).  ``tail_offset`` is the
+    byte offset where the torn tail starts (the file size when intact),
+    which is where an appending re-open truncates to."""
+    events: List[Dict[str, Any]] = []
+    torn = False
+    with open(path, "rb") as fh:
+        data = fh.read()
+    raw_lines = data.split(b"\n")
+    offset = 0
+    tail_offset = len(data)
+    for i, raw in enumerate(raw_lines):
+        try:
+            if not raw.strip():
+                continue
+            try:
+                event = json.loads(raw.decode("utf-8"))
+                if not isinstance(event, dict) or "kind" not in event:
+                    raise ValueError("not an event object")
+            except (ValueError, UnicodeDecodeError):
+                torn = True
+                remainder = b"".join(raw_lines[i + 1:]).strip()
+                if remainder:
+                    # Corruption mid-file: the prefix is still valid,
+                    # but this is worse than a torn tail.
+                    raise JournalError(
+                        f"{path}: corrupt journal line {i} with intact "
+                        "lines after it"
+                    ) from None
+                tail_offset = offset
+                break
+            events.append(event)
+        finally:
+            offset += len(raw) + 1
+    return events, torn, tail_offset
+
+
+def read_journal(
+    path: PathLike, strict: bool = False
+) -> List[Dict[str, Any]]:
+    """Replay the journal at *path*, returning its intact events.
+
+    A torn final line (the signature of a crash mid-write) is silently
+    dropped; corruption *before* intact lines always raises
+    :class:`~repro.errors.JournalError`, and ``strict=True`` raises for
+    a torn tail too.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise JournalError(f"no journal at {path}")
+    events, torn, _tail = _read_lines(path)
+    if torn and strict:
+        raise JournalError(f"{path}: torn final line")
+    return events
+
+
+def summarize_journal(path: PathLike) -> Dict[str, Any]:
+    """Fold a journal into campaign-level counts.
+
+    The block/retry/timeout/quarantine counts are defined to match the
+    corresponding :class:`~repro.parallel.supervisor.RunReport` fields,
+    so a summarized journal cross-checks the live report of the run
+    that wrote it.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise JournalError(f"no journal at {path}")
+    events, torn, _tail = _read_lines(path)
+    kinds: Dict[str, int] = {}
+    summary: Dict[str, Any] = {
+        "path": str(path),
+        "events": len(events),
+        "torn_tail": torn,
+        "kinds": kinds,
+        "campaign": {},
+        "states": 0,
+        "blocks_completed": 0,
+        "retries": 0,
+        "timeouts": 0,
+        "pool_rebuilds": 0,
+        "quarantined": [],
+        "degraded": 0,
+        "deadline_hit": False,
+        "checkpoints": 0,
+        "completed": False,
+        "frustration_bound": None,
+    }
+    for event in events:
+        kind = event["kind"]
+        kinds[kind] = kinds.get(kind, 0) + 1
+        if kind == "campaign_started":
+            summary["campaign"] = {
+                k: v for k, v in event.items()
+                if k not in ("seq", "ts", "kind")
+            }
+        elif kind == "block_completed":
+            summary["blocks_completed"] += 1
+            summary["states"] += int(event.get("states", 0))
+        elif kind == "block_retried":
+            summary["retries"] += 1
+        elif kind == "block_timeout":
+            summary["timeouts"] += 1
+        elif kind == "pool_rebuilt":
+            summary["pool_rebuilds"] += 1
+        elif kind == "block_quarantined":
+            summary["quarantined"].append(int(event.get("block", -1)))
+        elif kind == "block_degraded":
+            summary["degraded"] += 1
+        elif kind == "deadline_hit":
+            summary["deadline_hit"] = True
+        elif kind == "checkpoint_written":
+            summary["checkpoints"] += 1
+        elif kind == "campaign_completed":
+            summary["completed"] = True
+            if "states" in event:
+                summary["states"] = int(event["states"])
+        elif kind == "convergence":
+            if "frustration_upper_bound" in event:
+                summary["frustration_bound"] = event["frustration_upper_bound"]
+    return summary
+
+
+def render_summary(summary: Dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`summarize_journal` output."""
+    lines = [f"journal: {summary['path']}"]
+    lines.append(
+        f"  events: {summary['events']}"
+        + (" (torn final line dropped)" if summary["torn_tail"] else "")
+    )
+    campaign = summary["campaign"]
+    if campaign:
+        spec = ", ".join(f"{k}={v}" for k, v in sorted(campaign.items()))
+        lines.append(f"  campaign: {spec}")
+    lines.append(
+        f"  completed: {'yes' if summary['completed'] else 'no'}; "
+        f"states: {summary['states']}; "
+        f"blocks completed: {summary['blocks_completed']}"
+    )
+    lines.append(
+        f"  retries: {summary['retries']}; timeouts: {summary['timeouts']}; "
+        f"pool rebuilds: {summary['pool_rebuilds']}; "
+        f"degraded: {summary['degraded']}"
+    )
+    if summary["quarantined"]:
+        lines.append(f"  quarantined blocks: {summary['quarantined']}")
+    if summary["deadline_hit"]:
+        lines.append("  deadline hit: campaign stopped early")
+    if summary["checkpoints"]:
+        lines.append(f"  checkpoints written: {summary['checkpoints']}")
+    if summary["frustration_bound"] is not None:
+        lines.append(
+            f"  last frustration upper bound: {summary['frustration_bound']}"
+        )
+    other = {
+        k: v for k, v in sorted(summary["kinds"].items())
+        if k not in (
+            "campaign_started", "campaign_completed", "block_completed",
+            "block_retried", "block_timeout", "pool_rebuilt",
+            "block_quarantined", "block_degraded", "deadline_hit",
+            "checkpoint_written", "convergence",
+        )
+    }
+    if other:
+        lines.append(
+            "  other events: "
+            + ", ".join(f"{k}={v}" for k, v in other.items())
+        )
+    return "\n".join(lines)

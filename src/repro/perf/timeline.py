@@ -1,0 +1,350 @@
+"""Execution timelines: per-worker assignment schedules with derived reports.
+
+The scalar ``makespan_*`` simulators in :mod:`repro.parallel.schedule`
+answer *how long*; this module answers *why*.  An
+:class:`ExecutionTimeline` holds the per-worker segment list a schedule
+policy produced — (task id, start, end, worker) — and derives the
+structure the paper's performance story turns on (§6.1–6.3):
+
+* **occupancy curve** — how many workers are busy at each instant,
+* **load-imbalance ratio** — max worker busy time over the mean,
+* **straggler attribution** — the top-k longest segments, carrying
+  whatever metadata the producer attached (vertex id, cycle count,
+  degree), which is how a 43k-degree hub shows up by name instead of
+  as an anonymous tail.
+
+A :class:`MachineProfile` bundles one timeline per pipeline phase with
+the kernel-launch ledger (:class:`KernelLaunch`) so GPU launch-overhead
+and warp-divergence breakdowns land next to the schedules that caused
+them.  Profiles and timelines both export to Chrome/Perfetto trace JSON
+via :mod:`repro.perf.trace_export`.
+
+Timelines are collected only on request (``timeline=True`` /
+``CpuMachine.profile``); the scalar paths never touch this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EngineError
+
+__all__ = [
+    "TimelineSegment",
+    "ExecutionTimeline",
+    "KernelLaunch",
+    "MachineProfile",
+]
+
+
+@dataclass(frozen=True)
+class TimelineSegment:
+    """One contiguous span of work assigned to one worker.
+
+    ``task`` is the producer's task index (-1 when the segment covers a
+    chunk rather than a single task); ``meta`` carries attribution
+    (vertex id, cycle count, chunk bounds) for straggler reports.
+    """
+
+    name: str
+    worker: int
+    start: float
+    end: float
+    task: int = -1
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Seconds of work in this segment."""
+        return self.end - self.start
+
+
+class ExecutionTimeline:
+    """A per-worker assignment timeline with derived schedule reports."""
+
+    def __init__(
+        self,
+        workers: int,
+        segments: Optional[Sequence[TimelineSegment]] = None,
+        label: str = "schedule",
+    ) -> None:
+        """A timeline over *workers* workers, optionally pre-seeded."""
+        if workers < 1:
+            raise EngineError("timeline needs at least one worker")
+        self.workers = int(workers)
+        self.label = label
+        self.segments: List[TimelineSegment] = list(segments or [])
+
+    # -- construction ---------------------------------------------------
+    def add(
+        self,
+        name: str,
+        worker: int,
+        start: float,
+        end: float,
+        task: int = -1,
+        **meta: Any,
+    ) -> None:
+        """Append one segment."""
+        self.segments.append(
+            TimelineSegment(name, int(worker), float(start), float(end), task, meta)
+        )
+
+    def extend(self, segments: Sequence[TimelineSegment]) -> None:
+        """Append many segments."""
+        self.segments.extend(segments)
+
+    def scaled(self, factor: float, label: Optional[str] = None) -> "ExecutionTimeline":
+        """A copy with every start/end multiplied by *factor* (e.g. ops
+        to seconds)."""
+        out = ExecutionTimeline(self.workers, label=label or self.label)
+        out.segments = [
+            TimelineSegment(
+                s.name, s.worker, s.start * factor, s.end * factor, s.task, s.meta
+            )
+            for s in self.segments
+        ]
+        return out
+
+    def shifted(self, offset: float) -> "ExecutionTimeline":
+        """A copy with every start/end moved by *offset* seconds."""
+        out = ExecutionTimeline(self.workers, label=self.label)
+        out.segments = [
+            TimelineSegment(
+                s.name, s.worker, s.start + offset, s.end + offset, s.task, s.meta
+            )
+            for s in self.segments
+        ]
+        return out
+
+    def relabel(self, fn) -> "ExecutionTimeline":
+        """A copy with each segment replaced by ``fn(segment)`` — the
+        hook machines use to attach vertex/degree attribution."""
+        out = ExecutionTimeline(self.workers, label=self.label)
+        out.segments = [fn(s) for s in self.segments]
+        return out
+
+    # -- scalar reports -------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """Latest segment end (0.0 when empty)."""
+        return max((s.end for s in self.segments), default=0.0)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total work across all workers."""
+        return sum(s.duration for s in self.segments)
+
+    def worker_busy(self) -> np.ndarray:
+        """Busy seconds per worker (length ``self.workers``)."""
+        busy = np.zeros(self.workers, dtype=np.float64)
+        for s in self.segments:
+            busy[s.worker] += s.duration
+        return busy
+
+    def load_imbalance(self) -> float:
+        """Max worker busy time over mean busy time (1.0 = perfectly
+        balanced; large values mean one straggling worker sets the
+        makespan)."""
+        busy = self.worker_busy()
+        mean = busy.mean()
+        if mean <= 0.0:
+            return 1.0
+        return float(busy.max() / mean)
+
+    def average_occupancy(self) -> float:
+        """Mean fraction of workers busy over the makespan."""
+        span = self.makespan
+        if span <= 0.0:
+            return 0.0
+        return self.busy_seconds / (span * self.workers)
+
+    def occupancy_curve(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Step function ``(times, busy_workers)`` via an event sweep.
+
+        ``busy_workers[i]`` holds between ``times[i]`` and
+        ``times[i+1]``; the last value is always 0 (everything ended).
+        """
+        if not self.segments:
+            return np.zeros(1), np.zeros(1)
+        events: List[Tuple[float, int]] = []
+        for s in self.segments:
+            events.append((s.start, +1))
+            events.append((s.end, -1))
+        events.sort()
+        times: List[float] = []
+        counts: List[int] = []
+        level = 0
+        for t, delta in events:
+            level += delta
+            if times and times[-1] == t:
+                counts[-1] = level
+            else:
+                times.append(t)
+                counts.append(level)
+        return np.asarray(times), np.asarray(counts, dtype=np.int64)
+
+    def stragglers(self, k: int = 5) -> List[TimelineSegment]:
+        """The *k* longest segments, longest first — the tasks that set
+        the tail of the schedule."""
+        return sorted(self.segments, key=lambda s: -s.duration)[:k]
+
+    def validate(self) -> None:
+        """Raise :class:`EngineError` on malformed timelines: negative
+        durations, out-of-range workers, or overlapping segments on one
+        worker."""
+        per_worker: Dict[int, List[TimelineSegment]] = {}
+        for s in self.segments:
+            if not (0 <= s.worker < self.workers):
+                raise EngineError(
+                    f"segment worker {s.worker} outside [0, {self.workers})"
+                )
+            if s.end < s.start:
+                raise EngineError(f"segment {s.name!r} ends before it starts")
+            per_worker.setdefault(s.worker, []).append(s)
+        for worker, segs in per_worker.items():
+            segs.sort(key=lambda s: s.start)
+            for a, b in zip(segs, segs[1:]):
+                if b.start < a.end - 1e-12 * max(1.0, a.end):
+                    raise EngineError(
+                        f"worker {worker} segments overlap: "
+                        f"{a.name!r} [{a.start}, {a.end}) and "
+                        f"{b.name!r} [{b.start}, {b.end})"
+                    )
+
+    def report(self, k: int = 3) -> str:
+        """Human one-paragraph summary (used by ``model --timeline``)."""
+        lines = [
+            f"{self.label}: {len(self.segments)} segments on "
+            f"{self.workers} workers, makespan {self.makespan:.3e} s",
+            f"  occupancy {self.average_occupancy():.1%}, "
+            f"load imbalance {self.load_imbalance():.2f}x",
+        ]
+        for s in self.stragglers(k):
+            extra = "".join(
+                f" {key}={val}" for key, val in sorted(s.meta.items())
+            )
+            lines.append(
+                f"  straggler: {s.name} worker {s.worker} "
+                f"{s.duration:.3e} s{extra}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """One modeled kernel launch (GPU) or parallel region (CPU)."""
+
+    phase: str
+    name: str
+    seconds: float
+    overhead_seconds: float
+    items: int = 0
+    launches: int = 1
+
+
+class MachineProfile:
+    """Per-phase timelines plus the launch/divergence ledger for one
+    modeled machine execution."""
+
+    def __init__(self, machine: str) -> None:
+        """An empty profile for machine *machine* ("serial", "openmp",
+        "cuda", ...)."""
+        self.machine = machine
+        self.timelines: Dict[str, ExecutionTimeline] = {}
+        self.launches: List[KernelLaunch] = []
+        self.divergence: Dict[str, float] = {}
+
+    def add_timeline(self, phase: str, timeline: ExecutionTimeline) -> None:
+        """Attach the schedule timeline for *phase*."""
+        self.timelines[phase] = timeline
+
+    def add_launch(
+        self,
+        phase: str,
+        name: str,
+        seconds: float,
+        overhead_seconds: float,
+        items: int = 0,
+        launches: int = 1,
+    ) -> None:
+        """Record one kernel launch / parallel region in the ledger."""
+        self.launches.append(
+            KernelLaunch(phase, name, float(seconds), float(overhead_seconds),
+                         int(items), int(launches))
+        )
+
+    # -- derived reports ------------------------------------------------
+    def launch_overhead(self) -> Dict[str, Tuple[float, float]]:
+        """Per-phase ``(overhead_seconds, total_seconds)`` — how much of
+        each phase is launch/fork-join cost rather than work (§6.1's
+        small-graph ceiling)."""
+        out: Dict[str, Tuple[float, float]] = {}
+        for launch in self.launches:
+            ovh, tot = out.get(launch.phase, (0.0, 0.0))
+            out[launch.phase] = (ovh + launch.overhead_seconds,
+                                 tot + launch.seconds)
+        return out
+
+    def stragglers(
+        self,
+        k: int = 5,
+        phase: str = "cycle_processing",
+        degrees: Optional[np.ndarray] = None,
+    ) -> List[Dict[str, Any]]:
+        """Top-k straggler attribution for *phase*.
+
+        Returns dicts with worker/seconds plus any producer metadata
+        (``vertex``, ``cycles``); when *degrees* is given and a segment
+        names a vertex, its degree is added — reproducing the paper's
+        max-degree correlation (§6.2) as a first-class report.
+        """
+        timeline = self.timelines.get(phase)
+        if timeline is None:
+            return []
+        out = []
+        for s in timeline.stragglers(k):
+            row: Dict[str, Any] = {
+                "worker": s.worker,
+                "seconds": s.duration,
+                "name": s.name,
+            }
+            row.update(s.meta)
+            vertex = s.meta.get("vertex")
+            if degrees is not None and vertex is not None:
+                row["degree"] = int(degrees[int(vertex)])
+            out.append(row)
+        return out
+
+    def report(self, degrees: Optional[np.ndarray] = None, k: int = 3) -> str:
+        """Human-readable profile summary for ``model --timeline``."""
+        lines = [f"machine profile: {self.machine}"]
+        for phase, timeline in self.timelines.items():
+            lines.append(
+                f"  {phase}: makespan {timeline.makespan:.3e} s, "
+                f"occupancy {timeline.average_occupancy():.1%}, "
+                f"imbalance {timeline.load_imbalance():.2f}x"
+            )
+        overhead = self.launch_overhead()
+        for phase, (ovh, tot) in sorted(overhead.items()):
+            if tot > 0:
+                lines.append(
+                    f"  {phase}: launch/fork overhead {ovh:.3e} s "
+                    f"({ovh / tot:.1%} of {tot:.3e} s)"
+                )
+        for key, val in sorted(self.divergence.items()):
+            lines.append(f"  divergence[{key}]: {val:.3f}")
+        for row in self.stragglers(k, degrees=degrees):
+            extra = "".join(
+                f" {key}={val}"
+                for key, val in sorted(row.items())
+                if key not in ("worker", "seconds", "name")
+            )
+            lines.append(
+                f"  straggler: worker {row['worker']} "
+                f"{row['seconds']:.3e} s{extra}"
+            )
+        return "\n".join(lines)

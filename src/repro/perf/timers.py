@@ -1,72 +1,21 @@
-"""Phase timing for the kernel-breakdown experiment (Fig. 11).
+"""Deprecated import path for :class:`~repro.perf.compat.PhaseTimer`.
 
-:class:`PhaseTimer` accumulates wall-clock time per named phase across
-repeated runs (1000 trees in the paper) and renders the relative
-breakdown the paper plots: tree generation, labeling, cycle processing,
-Harary bipartitioning, status update.
+Phase timing moved to the span tracer
+(:mod:`repro.perf.tracing`) in PR 4; the legacy class itself lives in
+:mod:`repro.perf.compat`.  Importing from here keeps working but warns.
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, Iterator
+import warnings
+
+from repro.perf.compat import PhaseTimer
 
 __all__ = ["PhaseTimer"]
 
-
-@dataclass
-class PhaseTimer:
-    """Accumulating named-phase timer.
-
-    Use as ``with timer.phase("cycles"): ...``.  Phases may repeat;
-    times accumulate.  Nesting different phases is allowed and each
-    accumulates its own wall time independently (the outer phase
-    includes the inner — match the paper by timing disjoint phases).
-    """
-
-    seconds: Dict[str, float] = field(default_factory=dict)
-    counts: Dict[str, int] = field(default_factory=dict)
-
-    @contextmanager
-    def phase(self, name: str) -> Iterator[None]:
-        """Context manager timing one occurrence of the named phase."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
-            self.counts[name] = self.counts.get(name, 0) + 1
-
-    def add(self, name: str, seconds: float, count: int = 1) -> None:
-        """Record externally measured (or modeled) time for a phase."""
-        self.seconds[name] = self.seconds.get(name, 0.0) + float(seconds)
-        self.counts[name] = self.counts.get(name, 0) + count
-
-    @property
-    def total(self) -> float:
-        return sum(self.seconds.values())
-
-    def breakdown(self) -> Dict[str, float]:
-        """Fraction of total time per phase (sums to 1 when nonempty)."""
-        total = self.total
-        if total <= 0.0:
-            return {name: 0.0 for name in self.seconds}
-        return {name: t / total for name, t in self.seconds.items()}
-
-    def merge(self, other: "PhaseTimer") -> None:
-        """Fold another timer's accumulated phases into this one."""
-        for name, t in other.seconds.items():
-            self.add(name, t, other.counts.get(name, 1))
-
-    def render(self, title: str = "phase breakdown") -> str:
-        """Multi-line text rendering, longest phase first."""
-        lines = [title]
-        frac = self.breakdown()
-        for name in sorted(self.seconds, key=self.seconds.get, reverse=True):
-            lines.append(
-                f"  {name:<24s} {self.seconds[name]:>10.4f}s  {frac[name]:>6.1%}"
-            )
-        return "\n".join(lines)
+warnings.warn(
+    "repro.perf.timers is deprecated: import PhaseTimer from "
+    "repro.perf.compat, or record phases with repro.perf.tracing.span",
+    DeprecationWarning,
+    stacklevel=2,
+)

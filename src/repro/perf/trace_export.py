@@ -1,0 +1,223 @@
+"""Chrome/Perfetto trace export for spans and modeled timelines.
+
+Emits the ``chrome://tracing`` JSON object format — a
+``{"traceEvents": [...]}`` document of complete (``"ph": "X"``) events
+with microsecond timestamps — which both the legacy Chrome viewer and
+Perfetto (https://ui.perfetto.dev) load directly.
+
+Two producers feed it:
+
+* real executions — :class:`~repro.perf.tracing.SpanEvent` records from
+  a :class:`~repro.perf.tracing.TraceCollector`
+  (:func:`spans_to_events`);
+* modeled executions — :class:`~repro.perf.timeline.ExecutionTimeline`
+  / :class:`~repro.perf.timeline.MachineProfile`
+  (:func:`timeline_to_events`, :func:`profile_to_events`).
+
+Both land in one event list, so a modeled GPU schedule renders in the
+same viewer — and on the same time axis — as the measured Python run.
+:func:`validate_chrome_trace` is the minimal schema gate used by tests
+and the CI smoke run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.perf.timeline import ExecutionTimeline, MachineProfile
+from repro.perf.tracing import SpanEvent
+
+__all__ = [
+    "REQUIRED_EVENT_KEYS",
+    "spans_to_events",
+    "timeline_to_events",
+    "profile_to_events",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "load_chrome_trace",
+]
+
+#: Keys every complete ("X") event must carry — the CI smoke schema.
+REQUIRED_EVENT_KEYS = ("ph", "ts", "dur", "pid", "tid", "name")
+
+#: Seconds to Chrome-trace microseconds.
+_US = 1e6
+
+
+def _meta(pid: int, name: str, tid: int = 0,
+          thread_name: Optional[str] = None) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = [{
+        "ph": "M", "pid": pid, "tid": tid, "name": "process_name",
+        "args": {"name": name},
+    }]
+    if thread_name is not None:
+        events.append({
+            "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+            "args": {"name": thread_name},
+        })
+    return events
+
+
+def spans_to_events(
+    span_events: Sequence[SpanEvent],
+    pid: int = 1,
+    process_name: str = "repro",
+) -> List[Dict[str, Any]]:
+    """Convert collected span events to Chrome trace events.
+
+    Timestamps are rebased so the earliest span starts at 0 µs; thread
+    ids are remapped to small consecutive integers (tid 0 = the thread
+    that opened the first span), each named in a metadata event.
+    """
+    if not span_events:
+        return _meta(pid, process_name)
+    base = min(e.start for e in span_events)
+    tid_map: Dict[int, int] = {}
+    events: List[Dict[str, Any]] = _meta(pid, process_name)
+    for e in sorted(span_events, key=lambda e: e.start):
+        tid = tid_map.setdefault(e.thread, len(tid_map))
+        events.append({
+            "ph": "X",
+            "ts": (e.start - base) * _US,
+            "dur": e.duration * _US,
+            "pid": pid,
+            "tid": tid,
+            "name": e.path.rsplit("/", 1)[-1],
+            "args": {"path": e.path},
+        })
+    for thread, tid in tid_map.items():
+        events.extend(_meta(pid, process_name, tid,
+                            thread_name=f"thread-{tid}")[1:])
+    return events
+
+
+def timeline_to_events(
+    timeline: ExecutionTimeline,
+    pid: int = 2,
+    process_name: Optional[str] = None,
+    base_seconds: float = 0.0,
+) -> List[Dict[str, Any]]:
+    """Convert a modeled schedule timeline to Chrome trace events; each
+    worker/warp becomes one trace row (tid)."""
+    events = _meta(pid, process_name or f"model:{timeline.label}")
+    for s in timeline.segments:
+        args: Dict[str, Any] = {k: v for k, v in s.meta.items()}
+        if s.task >= 0:
+            args["task"] = s.task
+        events.append({
+            "ph": "X",
+            "ts": (base_seconds + s.start) * _US,
+            "dur": s.duration * _US,
+            "pid": pid,
+            "tid": s.worker,
+            "name": s.name,
+            "args": args,
+        })
+    return events
+
+
+def profile_to_events(
+    profile: MachineProfile, pid: int = 2
+) -> List[Dict[str, Any]]:
+    """Convert a machine profile to Chrome trace events.
+
+    Phase timelines are laid out back-to-back on one time axis (each
+    phase's schedule internally starts at 0), and the launch ledger is
+    summarized on a dedicated ``launches`` row (tid -1).
+    """
+    events = _meta(pid, f"model:{profile.machine}")
+    offset = 0.0
+    for phase, timeline in profile.timelines.items():
+        events.extend(
+            e for e in timeline_to_events(
+                timeline, pid=pid, base_seconds=offset
+            )
+            if e["ph"] != "M"
+        )
+        events.append({
+            "ph": "X",
+            "ts": offset * _US,
+            "dur": timeline.makespan * _US,
+            "pid": pid,
+            "tid": -1,
+            "name": phase,
+            "args": {
+                "occupancy": timeline.average_occupancy(),
+                "load_imbalance": timeline.load_imbalance(),
+            },
+        })
+        offset += timeline.makespan
+    for phase, (ovh, tot) in sorted(profile.launch_overhead().items()):
+        events.append({
+            "ph": "C",
+            "ts": 0,
+            "pid": pid,
+            "tid": -1,
+            "name": f"launch_overhead:{phase}",
+            "args": {"overhead_seconds": ovh, "total_seconds": tot},
+        })
+    return events
+
+
+def write_chrome_trace(
+    events: Sequence[Dict[str, Any]], path: str,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write *events* as a ``{"traceEvents": [...]}`` JSON document.
+
+    The document is validated against the minimal schema before it
+    touches disk, so a written trace always loads in Perfetto.
+    """
+    doc: Dict[str, Any] = {
+        "traceEvents": list(events),
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        doc["otherData"] = metadata
+    validate_chrome_trace(doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=None, separators=(",", ":"))
+
+
+def load_chrome_trace(path: str) -> Dict[str, Any]:
+    """Read and schema-validate a Chrome trace document."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    validate_chrome_trace(doc)
+    return doc
+
+
+def validate_chrome_trace(doc: Any) -> None:
+    """Raise :class:`~repro.errors.ReproError` unless *doc* is a valid
+    minimal Chrome trace: a dict with a ``traceEvents`` list whose
+    complete (``"X"``) events carry ``ph``, ``ts``, ``dur``, ``pid``,
+    ``tid``, and ``name`` with sane types."""
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ReproError("trace document must be a dict with 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ReproError("'traceEvents' must be a list")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ReproError(f"traceEvents[{i}] is not an object")
+        ph = event.get("ph")
+        if ph is None or "pid" not in event or "name" not in event:
+            raise ReproError(
+                f"traceEvents[{i}] lacks ph/pid/name: {event!r}"
+            )
+        if ph == "X":
+            missing = [k for k in REQUIRED_EVENT_KEYS if k not in event]
+            if missing:
+                raise ReproError(
+                    f"traceEvents[{i}] missing keys {missing}: {event!r}"
+                )
+            if not isinstance(event["ts"], (int, float)) or not isinstance(
+                event["dur"], (int, float)
+            ):
+                raise ReproError(
+                    f"traceEvents[{i}] ts/dur must be numbers: {event!r}"
+                )
+            if event["dur"] < 0:
+                raise ReproError(f"traceEvents[{i}] has negative duration")

@@ -29,17 +29,38 @@ attribute check and returns — no clock read, no allocation beyond the
 span object itself.  When enabled, a span costs two ``perf_counter``
 reads plus three locked registry updates, paid once per *phase*, never
 per edge or per vertex.
+
+When a :class:`TraceCollector` is installed (``collecting_trace()`` /
+``--trace-out``), every closed span additionally appends one
+:class:`SpanEvent` (path, start, end, thread id) to it — the raw
+material for Chrome/Perfetto export via
+:mod:`repro.perf.trace_export`.  Collection is in the parent process
+only; pool workers' spans arrive as merged registry metrics, not as
+events.
 """
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
-from typing import Optional
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
 
 from repro.perf.registry import MetricsRegistry, get_registry
 
-__all__ = ["SPAN_PREFIX", "Span", "Tracer", "get_tracer", "span"]
+__all__ = [
+    "SPAN_PREFIX",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "TraceCollector",
+    "get_tracer",
+    "span",
+    "get_trace_collector",
+    "set_trace_collector",
+    "collecting_trace",
+]
 
 #: Registry-name prefix marking span-derived metrics.
 SPAN_PREFIX = "span."
@@ -72,12 +93,16 @@ class Span:
         registry = self._registry
         if registry is None:
             return False
-        elapsed = time.perf_counter() - self._start
+        end = time.perf_counter()
+        elapsed = end - self._start
         self._tracer._stack().pop()
         path = self.path
         registry.count(f"{SPAN_PREFIX}{path}.seconds", elapsed)
         registry.count(f"{SPAN_PREFIX}{path}.calls", 1)
         registry.observe(f"{SPAN_PREFIX}{path}", elapsed)
+        collector = _COLLECTOR
+        if collector is not None:
+            collector.record(path, self._start, end)
         self._registry = None
         return False
 
@@ -110,7 +135,87 @@ class Tracer:
         return stack[-1] if stack else None
 
 
+@dataclass(frozen=True)
+class SpanEvent:
+    """One closed span occurrence: nesting path, ``perf_counter``
+    start/end, and the recording thread's id."""
+
+    path: str
+    start: float
+    end: float
+    thread: int
+
+    @property
+    def duration(self) -> float:
+        """Seconds spent in this occurrence."""
+        return self.end - self.start
+
+
+class TraceCollector:
+    """Thread-safe sink of :class:`SpanEvent` records.
+
+    Install one with :func:`set_trace_collector` (or the
+    :func:`collecting_trace` scope) and every span closed while it is
+    active appends an event.  Export to Chrome/Perfetto JSON with
+    :func:`repro.perf.trace_export.spans_to_events`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: List[SpanEvent] = []
+
+    def record(self, path: str, start: float, end: float) -> None:
+        """Append one closed-span event (called from ``Span.__exit__``)."""
+        event = SpanEvent(path, start, end, threading.get_ident())
+        with self._lock:
+            self._events.append(event)
+
+    def events(self) -> List[SpanEvent]:
+        """A snapshot copy of the recorded events, in close order."""
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
 _TRACER = Tracer()
+_COLLECTOR: Optional[TraceCollector] = None
+
+
+def get_trace_collector() -> Optional[TraceCollector]:
+    """The installed trace collector, or ``None`` (collection off)."""
+    return _COLLECTOR
+
+
+def set_trace_collector(collector: Optional[TraceCollector]) -> None:
+    """Install *collector* as the process-global span-event sink
+    (``None`` turns collection off)."""
+    global _COLLECTOR
+    _COLLECTOR = collector
+
+
+@contextlib.contextmanager
+def collecting_trace() -> Iterator[TraceCollector]:
+    """Scope that installs a fresh :class:`TraceCollector`, yielding it::
+
+        with collecting_trace() as trace:
+            run_campaign(...)
+        write_chrome_trace(spans_to_events(trace.events()), path)
+
+    The previous collector (usually ``None``) is restored on exit.
+    Note spans only record when the metrics registry is enabled — a
+    disabled registry short-circuits ``Span.__enter__``.
+    """
+    global _COLLECTOR
+    previous = _COLLECTOR
+    collector = TraceCollector()
+    _COLLECTOR = collector
+    try:
+        yield collector
+    finally:
+        _COLLECTOR = previous
 
 
 def get_tracer() -> Tracer:

@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.errors import DisconnectedGraphError, EngineError
 from repro.graph.csr import SignedGraph
-from repro.perf.counters import Counters
+from repro.perf.compat import Counters
 from repro.trees.tree import SpanningTree
 from repro.util.arrays import concat_ranges
 

@@ -10,8 +10,7 @@ from repro.core.cycles_vectorized import sign_to_root
 from repro.errors import NotBalancedError, ReproError
 from repro.harary.bipartition import sides_from_sign_to_root
 from repro.parallel.pool import sample_cloud_pool
-from repro.perf.counters import Counters
-from repro.perf.timers import PhaseTimer
+from repro.perf.compat import Counters, PhaseTimer
 from repro.trees.sampler import TreeSampler
 
 from tests.conftest import make_connected_signed

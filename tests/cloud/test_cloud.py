@@ -129,7 +129,7 @@ class TestSampleCloud:
         assert not np.array_equal(a.status(), b.status())
 
     def test_timers_accumulate(self):
-        from repro.perf.timers import PhaseTimer
+        from repro.perf.compat import PhaseTimer
 
         g = make_connected_signed(40, 100, seed=1)
         timers = PhaseTimer()

@@ -6,8 +6,7 @@ import pytest
 from repro.core import balance, is_balanced
 from repro.errors import EngineError
 from repro.graph.datasets import fig1_sigma
-from repro.perf.counters import Counters
-from repro.perf.timers import PhaseTimer
+from repro.perf.compat import Counters, PhaseTimer
 from repro.trees import bfs_tree
 
 from tests.conftest import make_connected_signed

@@ -16,7 +16,7 @@ from repro.core.verify import is_balanced
 from repro.graph.build import from_edges
 from repro.graph.datasets import fig6_graph, fig6_tree_edges
 from repro.graph.generators import cycle_graph, grid_graph
-from repro.perf.counters import Counters
+from repro.perf.compat import Counters
 from repro.trees import bfs_tree, dfs_tree, tree_from_edge_ids, wilson_tree
 
 from tests.conftest import make_connected_signed

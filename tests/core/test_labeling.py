@@ -13,7 +13,7 @@ from repro.core.labeling import label_tree
 from repro.core.labeling_parallel import label_tree_parallel
 from repro.graph.datasets import fig6_graph, fig6_tree_edges
 from repro.graph.generators import grid_graph
-from repro.perf.counters import Counters
+from repro.perf.compat import Counters
 from repro.trees import bfs_tree, dfs_tree, tree_from_edge_ids
 
 from tests.conftest import make_connected_signed

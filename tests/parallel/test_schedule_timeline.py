@@ -1,0 +1,165 @@
+"""Property tests for timeline-returning schedule simulators.
+
+The contract under test (DESIGN.md §5g): ``timeline=True`` is pure
+addition.  The scalar makespan in the returned tuple is produced by the
+same arithmetic as the plain call (bit-identical), the timeline
+conserves the scheduled work, never overlaps segments on one worker,
+and the default scalar path never imports :mod:`repro.perf.timeline`.
+"""
+
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EngineError
+from repro.parallel.schedule import (
+    makespan_bounds,
+    makespan_dynamic,
+    makespan_guided,
+    makespan_static,
+    validate_schedule,
+)
+
+COSTS = st.lists(
+    st.floats(min_value=0.0, max_value=50.0), min_size=0, max_size=80
+)
+WORKERS = st.integers(min_value=1, max_value=12)
+
+#: (label, plain scalar call, timeline call) for every policy variant.
+POLICIES = [
+    ("dynamic",
+     lambda c, w: makespan_dynamic(c, w),
+     lambda c, w: makespan_dynamic(c, w, timeline=True)),
+    ("dynamic-chunk4",
+     lambda c, w: makespan_dynamic(c, w, chunk=4),
+     lambda c, w: makespan_dynamic(c, w, chunk=4, timeline=True)),
+    ("static",
+     lambda c, w: makespan_static(c, w),
+     lambda c, w: makespan_static(c, w, timeline=True)),
+    ("guided",
+     lambda c, w: makespan_guided(c, w),
+     lambda c, w: makespan_guided(c, w, timeline=True)),
+]
+
+
+@pytest.mark.parametrize("label,scalar,timed", POLICIES,
+                         ids=[p[0] for p in POLICIES])
+class TestTimelineProperties:
+    @given(costs=COSTS, workers=WORKERS)
+    @settings(max_examples=40, deadline=None)
+    def test_scalar_bit_identical(self, label, scalar, timed, costs, workers):
+        costs = np.asarray(costs)
+        span, _tl = timed(costs, workers)
+        assert span == scalar(costs, workers)
+
+    @given(costs=COSTS, workers=WORKERS)
+    @settings(max_examples=40, deadline=None)
+    def test_work_conserved(self, label, scalar, timed, costs, workers):
+        costs = np.asarray(costs)
+        _span, tl = timed(costs, workers)
+        assert tl.busy_seconds == pytest.approx(costs.sum(), rel=1e-9, abs=1e-9)
+
+    @given(costs=COSTS, workers=WORKERS)
+    @settings(max_examples=40, deadline=None)
+    def test_no_per_worker_overlap(self, label, scalar, timed, costs, workers):
+        costs = np.asarray(costs)
+        _span, tl = timed(costs, workers)
+        tl.validate()  # raises EngineError on overlap / bad workers
+
+    @given(costs=COSTS, workers=WORKERS)
+    @settings(max_examples=40, deadline=None)
+    def test_timeline_makespan_matches_scalar(
+        self, label, scalar, timed, costs, workers
+    ):
+        # The segment ends replay the same schedule, so the timeline's
+        # own makespan agrees with the scalar up to float association.
+        costs = np.asarray(costs)
+        span, tl = timed(costs, workers)
+        assert tl.makespan == pytest.approx(span, rel=1e-9, abs=1e-12)
+
+    @given(costs=COSTS, workers=WORKERS)
+    @settings(max_examples=20, deadline=None)
+    def test_every_task_scheduled_once(
+        self, label, scalar, timed, costs, workers
+    ):
+        costs = np.asarray(costs)
+        _span, tl = timed(costs, workers)
+        covered = 0
+        for s in tl.segments:
+            if "num_tasks" in s.meta:
+                covered += s.meta["num_tasks"]
+            else:
+                covered += 1
+        assert covered == len(costs)
+
+
+class TestSharedValidation:
+    """All policies reject bad inputs through one validation path."""
+
+    CALLS = [
+        lambda c, w: makespan_dynamic(c, w),
+        lambda c, w: makespan_dynamic(c, w, timeline=True),
+        lambda c, w: makespan_static(c, w),
+        lambda c, w: makespan_guided(c, w),
+        lambda c, w: makespan_bounds(c, w),
+    ]
+
+    @pytest.mark.parametrize("call", CALLS)
+    def test_negative_costs_raise(self, call):
+        with pytest.raises(EngineError, match="finite and non-negative"):
+            call(np.array([1.0, -0.5, 2.0]), 4)
+
+    @pytest.mark.parametrize("call", CALLS)
+    def test_nan_costs_raise(self, call):
+        with pytest.raises(EngineError, match="finite and non-negative"):
+            call(np.array([1.0, np.nan]), 4)
+
+    @pytest.mark.parametrize("call", CALLS)
+    def test_inf_costs_raise(self, call):
+        with pytest.raises(EngineError, match="finite and non-negative"):
+            call(np.array([np.inf, 1.0]), 2)
+
+    @pytest.mark.parametrize("call", CALLS)
+    def test_zero_workers_raise(self, call):
+        with pytest.raises(EngineError, match="at least one worker"):
+            call(np.ones(3), 0)
+
+    @pytest.mark.parametrize("call", CALLS)
+    def test_2d_costs_raise(self, call):
+        with pytest.raises(EngineError, match="1-D"):
+            call(np.ones((2, 3)), 4)
+
+    def test_validate_schedule_returns_float64(self):
+        out = validate_schedule([1, 2, 3], 2)
+        assert out.dtype == np.float64
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_empty_costs_are_legal(self):
+        assert makespan_static(np.array([]), 3) == 0.0
+        span, tl = makespan_guided(np.array([]), 3, timeline=True)
+        assert span == 0.0 and tl.segments == []
+
+
+class TestScalarPathNeverImportsTimeline:
+    """``timeline=False`` must not touch repro.perf.timeline at all —
+    the acceptance bar for zero scalar-path overhead."""
+
+    def test_scalar_calls_survive_poisoned_module(self, monkeypatch):
+        # Replace the module with an empty shell: any lazy
+        # `from repro.perf.timeline import ...` now raises ImportError.
+        monkeypatch.setitem(sys.modules, "repro.perf.timeline", object())
+        costs = np.linspace(0.5, 5.0, 64)
+        assert makespan_dynamic(costs, 4) > 0
+        assert makespan_dynamic(costs, 4, chunk=8) > 0
+        assert makespan_static(costs, 4) > 0
+        assert makespan_guided(costs, 4) > 0
+        assert makespan_dynamic(np.array([]), 4) == 0.0
+        assert makespan_dynamic(costs, 1) == pytest.approx(costs.sum())
+
+    def test_timeline_calls_do_import(self, monkeypatch):
+        monkeypatch.setitem(sys.modules, "repro.perf.timeline", object())
+        with pytest.raises(ImportError):
+            makespan_dynamic(np.ones(8), 4, timeline=True)

@@ -5,7 +5,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.perf.counters import Counters
+from repro.perf.compat import Counters
 from repro.perf.memory import (
     CUDA_DEVICE,
     CUDA_HOST,
@@ -17,7 +17,7 @@ from repro.perf.memory import (
     python_actual_mb,
 )
 from repro.perf.report import TextTable, format_series, geomean
-from repro.perf.timers import PhaseTimer
+from repro.perf.compat import PhaseTimer
 
 from tests.conftest import make_connected_signed
 

@@ -1,0 +1,263 @@
+"""Tests for execution timelines and machine-model introspection."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import EngineError
+from repro.parallel.machine import CpuMachine
+from repro.parallel.simgpu import GpuMachine
+from repro.parallel.workload import collect_workload
+from repro.perf.timeline import (
+    ExecutionTimeline,
+    KernelLaunch,
+    MachineProfile,
+    TimelineSegment,
+)
+from repro.trees import bfs_tree
+
+from tests.conftest import make_connected_signed, make_hub_graph
+
+
+def simple_timeline():
+    tl = ExecutionTimeline(2, label="test")
+    tl.add("a", 0, 0.0, 2.0, task=0)
+    tl.add("b", 1, 0.0, 1.0, task=1)
+    tl.add("c", 1, 1.0, 1.5, task=2)
+    return tl
+
+
+class TestExecutionTimeline:
+    def test_segment_duration(self):
+        s = TimelineSegment("x", 0, 1.0, 3.5)
+        assert s.duration == 2.5
+
+    def test_makespan_and_busy(self):
+        tl = simple_timeline()
+        assert tl.makespan == 2.0
+        assert tl.busy_seconds == pytest.approx(3.5)
+        assert tl.worker_busy().tolist() == [2.0, 1.5]
+
+    def test_empty_timeline(self):
+        tl = ExecutionTimeline(3)
+        assert tl.makespan == 0.0
+        assert tl.load_imbalance() == 1.0
+        assert tl.average_occupancy() == 0.0
+        times, counts = tl.occupancy_curve()
+        assert counts.tolist() == [0]
+
+    def test_load_imbalance(self):
+        tl = simple_timeline()
+        assert tl.load_imbalance() == pytest.approx(2.0 / 1.75)
+
+    def test_average_occupancy(self):
+        tl = simple_timeline()
+        assert tl.average_occupancy() == pytest.approx(3.5 / (2.0 * 2))
+
+    def test_occupancy_curve_sweep(self):
+        tl = simple_timeline()
+        times, counts = tl.occupancy_curve()
+        assert times.tolist() == [0.0, 1.0, 1.5, 2.0]
+        assert counts.tolist() == [2, 2, 1, 0]
+
+    def test_stragglers_sorted_longest_first(self):
+        tl = simple_timeline()
+        names = [s.name for s in tl.stragglers(3)]
+        assert names == ["a", "b", "c"]
+
+    def test_scaled_and_shifted(self):
+        tl = simple_timeline().scaled(2.0).shifted(1.0)
+        assert tl.makespan == pytest.approx(5.0)
+        assert min(s.start for s in tl.segments) == pytest.approx(1.0)
+
+    def test_relabel_attaches_meta(self):
+        tl = simple_timeline().relabel(
+            lambda s: TimelineSegment(
+                s.name, s.worker, s.start, s.end, s.task, {"vertex": 7}
+            )
+        )
+        assert all(s.meta == {"vertex": 7} for s in tl.segments)
+
+    def test_validate_accepts_good(self):
+        simple_timeline().validate()
+
+    def test_validate_rejects_bad_worker(self):
+        tl = ExecutionTimeline(1)
+        tl.add("x", 3, 0.0, 1.0)
+        with pytest.raises(EngineError, match="outside"):
+            tl.validate()
+
+    def test_validate_rejects_negative_duration(self):
+        tl = ExecutionTimeline(1)
+        tl.add("x", 0, 2.0, 1.0)
+        with pytest.raises(EngineError, match="ends before"):
+            tl.validate()
+
+    def test_validate_rejects_overlap(self):
+        tl = ExecutionTimeline(1)
+        tl.add("x", 0, 0.0, 2.0)
+        tl.add("y", 0, 1.0, 3.0)
+        with pytest.raises(EngineError, match="overlap"):
+            tl.validate()
+
+    def test_needs_a_worker(self):
+        with pytest.raises(EngineError):
+            ExecutionTimeline(0)
+
+    def test_report_mentions_stragglers(self):
+        text = simple_timeline().report()
+        assert "makespan" in text and "straggler" in text
+
+
+class TestMachineProfile:
+    def test_launch_overhead_aggregates_by_phase(self):
+        p = MachineProfile("cuda")
+        p.add_launch("labeling", "k1", 1.0, 0.25)
+        p.add_launch("labeling", "k2", 2.0, 0.25)
+        p.add_launch("cycle_processing", "k3", 4.0, 0.5)
+        assert p.launch_overhead() == {
+            "labeling": (0.5, 3.0),
+            "cycle_processing": (0.5, 4.0),
+        }
+
+    def test_kernel_launch_is_frozen(self):
+        launch = KernelLaunch("p", "k", 1.0, 0.1)
+        with pytest.raises(AttributeError):
+            launch.seconds = 2.0
+
+    def test_stragglers_attach_degrees(self):
+        p = MachineProfile("cuda")
+        tl = ExecutionTimeline(2)
+        tl.add("warp", 0, 0.0, 3.0, vertex=1)
+        tl.add("warp", 1, 0.0, 1.0, vertex=0)
+        p.add_timeline("cycle_processing", tl)
+        degrees = np.array([5, 40])
+        rows = p.stragglers(2, degrees=degrees)
+        assert rows[0]["vertex"] == 1 and rows[0]["degree"] == 40
+        assert rows[1]["degree"] == 5
+
+    def test_stragglers_missing_phase_is_empty(self):
+        assert MachineProfile("serial").stragglers() == []
+
+    def test_report_renders(self):
+        p = MachineProfile("openmp")
+        p.add_timeline("cycle_processing", simple_timeline())
+        p.add_launch("cycle_processing", "region", 2.0, 0.5)
+        p.divergence["hub_serialization"] = 1.5
+        text = p.report()
+        assert "openmp" in text
+        assert "cycle_processing" in text
+        assert "divergence[hub_serialization]" in text
+
+
+@pytest.fixture(scope="module")
+def workload():
+    g = make_connected_signed(300, 700, seed=2)
+    return g, collect_workload(g, bfs_tree(g, seed=0))
+
+
+MACHINES = [
+    ("serial", lambda: CpuMachine(threads=1)),
+    ("openmp-dynamic", lambda: CpuMachine(threads=16, schedule="dynamic")),
+    ("openmp-guided", lambda: CpuMachine(threads=16, schedule="guided")),
+    ("openmp-static", lambda: CpuMachine(threads=16, schedule="static")),
+    ("cuda", lambda: GpuMachine()),
+]
+
+
+class TestMachineIntrospection:
+    @pytest.mark.parametrize("label,factory", MACHINES,
+                             ids=[m[0] for m in MACHINES])
+    def test_profile_times_bit_identical(self, label, factory, workload):
+        # profile() must not perturb the model: PhaseTimes from the
+        # profiled run equal the plain call exactly, field for field.
+        _g, w = workload
+        machine = factory()
+        plain = machine.times(w)
+        profiled, profile = machine.profile(w)
+        assert plain == profiled
+        assert "cycle_processing" in profile.timelines
+
+    @pytest.mark.parametrize("label,factory", MACHINES,
+                             ids=[m[0] for m in MACHINES])
+    def test_profile_timelines_validate(self, label, factory, workload):
+        _g, w = workload
+        _times, profile = factory().profile(w)
+        for timeline in profile.timelines.values():
+            timeline.validate()
+
+    def test_cycle_timeline_makespan_matches_phase(self, workload):
+        _g, w = workload
+        times, profile = CpuMachine(threads=16).profile(w)
+        tl = profile.timelines["cycle_processing"]
+        assert tl.makespan == pytest.approx(
+            times.cycle_processing, rel=1e-9
+        )
+
+    def test_gpu_divergence_ledger(self, workload):
+        _g, w = workload
+        _times, profile = GpuMachine().profile(w)
+        assert profile.divergence["divergence_factor"] == pytest.approx(1.8)
+        assert profile.divergence["max_warp_batches"] >= 1.0
+        assert profile.divergence["hub_serialization"] >= 1.0
+
+    def test_gpu_launch_overhead_recorded(self, workload):
+        _g, w = workload
+        _times, profile = GpuMachine().profile(w)
+        overhead = profile.launch_overhead()
+        assert overhead["cycle_processing"][0] > 0.0
+        assert overhead["labeling"][0] > 0.0
+
+    def test_gpu_straggler_names_max_degree_hub(self):
+        # The paper's §6.2 story: on a skewed graph the longest warp
+        # belongs to the maximum-degree hub.  The profile must say so
+        # by vertex id, not just as an anonymous tail.
+        g = make_hub_graph(200)
+        w = collect_workload(g, bfs_tree(g, seed=0))
+        degrees = np.diff(g.indptr)
+        hub = int(np.argmax(degrees))
+        _times, profile = GpuMachine().profile(w)
+        rows = profile.stragglers(1, degrees=degrees)
+        assert rows, "no straggler rows for cycle_processing"
+        assert rows[0]["vertex"] == hub
+        assert rows[0]["degree"] == int(degrees[hub])
+        assert rows[0]["seconds"] > 0.0
+
+    def test_cpu_straggler_attribution_carries_vertices(self, workload):
+        g, w = workload
+        degrees = np.diff(g.indptr)
+        _times, profile = CpuMachine(threads=16).profile(w)
+        rows = profile.stragglers(3, degrees=degrees)
+        assert rows
+        for row in rows:
+            assert 0 <= row["vertex"] < g.num_vertices
+            assert row["degree"] == int(degrees[row["vertex"]])
+
+
+class TestScalarOverheadMicrobench:
+    def test_scalar_makespan_unaffected_by_instrumentation(self, tmp_path):
+        # The scalar path does no instrumentation check at all, so
+        # installing a journal + trace collector must not slow it down.
+        # Generous 3x bound: this guards against accidentally routing
+        # the scalar path through timeline construction (a >10x hit),
+        # not against scheduler noise.
+        from repro.parallel.schedule import makespan_dynamic
+        from repro.perf.journal import journaling
+        from repro.perf.tracing import collecting_trace
+
+        costs = np.random.default_rng(0).random(4096)
+
+        def best_of(k=5, reps=20):
+            best = float("inf")
+            for _ in range(k):
+                start = time.perf_counter()
+                for _ in range(reps):
+                    makespan_dynamic(costs, 8)
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        baseline = best_of()
+        with journaling(tmp_path / "j.jsonl"), collecting_trace():
+            instrumented = best_of()
+        assert instrumented <= baseline * 3 + 1e-3

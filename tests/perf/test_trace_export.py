@@ -1,0 +1,185 @@
+"""Tests for Chrome/Perfetto trace export and schema validation."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.perf.timeline import ExecutionTimeline, MachineProfile
+from repro.perf.trace_export import (
+    REQUIRED_EVENT_KEYS,
+    load_chrome_trace,
+    profile_to_events,
+    spans_to_events,
+    timeline_to_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.perf.tracing import SpanEvent
+
+
+def span_events():
+    return [
+        SpanEvent("campaign", 10.0, 10.5, thread=111),
+        SpanEvent("campaign/tree_sample", 10.0, 10.1, thread=111),
+        SpanEvent("campaign/parity_kernel", 10.1, 10.4, thread=222),
+    ]
+
+
+def model_timeline():
+    tl = ExecutionTimeline(2, label="dynamic")
+    tl.add("chunk[0]", 0, 0.0, 2e-6, task=0, vertex=5)
+    tl.add("chunk[1]", 1, 0.0, 1e-6, task=1)
+    return tl
+
+
+class TestSpansToEvents:
+    def test_complete_events_carry_required_keys(self):
+        events = spans_to_events(span_events())
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 3
+        for event in complete:
+            assert all(k in event for k in REQUIRED_EVENT_KEYS)
+
+    def test_timestamps_rebased_to_zero(self):
+        events = [e for e in spans_to_events(span_events()) if e["ph"] == "X"]
+        assert min(e["ts"] for e in events) == 0.0
+        # 0.5 s span -> 500000 µs
+        assert max(e["ts"] + e["dur"] for e in events) == pytest.approx(5e5)
+
+    def test_threads_remapped_to_small_tids(self):
+        events = [e for e in spans_to_events(span_events()) if e["ph"] == "X"]
+        assert sorted({e["tid"] for e in events}) == [0, 1]
+
+    def test_name_is_leaf_and_args_full_path(self):
+        events = [e for e in spans_to_events(span_events()) if e["ph"] == "X"]
+        by_path = {e["args"]["path"]: e for e in events}
+        assert by_path["campaign/tree_sample"]["name"] == "tree_sample"
+
+    def test_process_metadata_emitted(self):
+        events = spans_to_events(span_events(), process_name="bench")
+        meta = [e for e in events if e["ph"] == "M"]
+        assert any(e["name"] == "process_name"
+                   and e["args"]["name"] == "bench" for e in meta)
+        assert any(e["name"] == "thread_name" for e in meta)
+
+    def test_empty_spans_still_valid(self):
+        events = spans_to_events([])
+        validate_chrome_trace({"traceEvents": events})
+
+
+class TestTimelineToEvents:
+    def test_worker_becomes_tid(self):
+        events = [e for e in timeline_to_events(model_timeline())
+                  if e["ph"] == "X"]
+        assert {e["tid"] for e in events} == {0, 1}
+
+    def test_meta_and_task_in_args(self):
+        events = [e for e in timeline_to_events(model_timeline())
+                  if e["ph"] == "X"]
+        chunk0 = next(e for e in events if e["name"] == "chunk[0]")
+        assert chunk0["args"]["vertex"] == 5
+        assert chunk0["args"]["task"] == 0
+
+    def test_microsecond_conversion(self):
+        events = [e for e in timeline_to_events(model_timeline())
+                  if e["ph"] == "X"]
+        chunk0 = next(e for e in events if e["name"] == "chunk[0]")
+        assert chunk0["dur"] == pytest.approx(2.0)  # 2e-6 s -> 2 µs
+
+
+class TestProfileToEvents:
+    def make_profile(self):
+        p = MachineProfile("cuda")
+        p.add_timeline("labeling", model_timeline())
+        p.add_timeline("cycle_processing", model_timeline())
+        p.add_launch("labeling", "bottom_up", 1e-6, 1e-7)
+        return p
+
+    def test_phases_laid_out_back_to_back(self):
+        events = [e for e in profile_to_events(self.make_profile())
+                  if e["ph"] == "X" and e["tid"] == -1]
+        # Phase summary rows: the second phase starts where the first
+        # one's makespan ended.
+        assert events[0]["ts"] == 0.0
+        assert events[1]["ts"] == pytest.approx(events[0]["dur"])
+
+    def test_counter_events_for_launch_overhead(self):
+        counters = [e for e in profile_to_events(self.make_profile())
+                    if e["ph"] == "C"]
+        assert len(counters) == 1
+        assert counters[0]["name"] == "launch_overhead:labeling"
+        assert counters[0]["args"]["overhead_seconds"] == pytest.approx(1e-7)
+
+    def test_validates_as_chrome_trace(self):
+        validate_chrome_trace(
+            {"traceEvents": profile_to_events(self.make_profile())}
+        )
+
+
+class TestWriteLoadValidate:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "run.trace.json"
+        write_chrome_trace(spans_to_events(span_events()), str(path))
+        doc = load_chrome_trace(str(path))
+        assert doc["displayTimeUnit"] == "ms"
+        assert len([e for e in doc["traceEvents"] if e["ph"] == "X"]) == 3
+
+    def test_metadata_lands_in_other_data(self, tmp_path):
+        path = tmp_path / "run.trace.json"
+        write_chrome_trace([], str(path), metadata={"seed": 7})
+        assert json.loads(path.read_text())["otherData"] == {"seed": 7}
+
+    def test_write_refuses_invalid_events(self, tmp_path):
+        with pytest.raises(ReproError):
+            write_chrome_trace(
+                [{"ph": "X", "name": "x", "pid": 1}],
+                str(tmp_path / "bad.json"),
+            )
+        assert not (tmp_path / "bad.json").exists()
+
+    def test_required_keys_are_the_smoke_schema(self):
+        assert REQUIRED_EVENT_KEYS == ("ph", "ts", "dur", "pid", "tid", "name")
+
+    @pytest.mark.parametrize("doc", [
+        None,
+        [],
+        {"events": []},
+        {"traceEvents": "nope"},
+        {"traceEvents": [42]},
+        {"traceEvents": [{"ph": "X"}]},
+        {"traceEvents": [{"ph": "X", "pid": 1, "name": "x"}]},
+        {"traceEvents": [{"ph": "X", "ts": "zero", "dur": 1, "pid": 1,
+                          "tid": 0, "name": "x"}]},
+        {"traceEvents": [{"ph": "X", "ts": 0, "dur": -1, "pid": 1,
+                          "tid": 0, "name": "x"}]},
+    ])
+    def test_validate_rejects(self, doc):
+        with pytest.raises(ReproError):
+            validate_chrome_trace(doc)
+
+    def test_validate_accepts_minimal(self):
+        validate_chrome_trace({"traceEvents": [
+            {"ph": "M", "pid": 1, "name": "process_name", "args": {}},
+            {"ph": "X", "ts": 0, "dur": 1, "pid": 1, "tid": 0, "name": "x"},
+            {"ph": "C", "pid": 1, "name": "counter", "args": {"v": 1}},
+        ]})
+
+
+class TestCollectedCampaignTrace:
+    def test_cloud_campaign_spans_export(self, tmp_path):
+        # End to end: a real campaign's spans become a valid trace.
+        from repro.cloud import sample_cloud
+        from repro.perf.tracing import collecting_trace
+        from tests.conftest import make_connected_signed
+
+        g = make_connected_signed(30, 50, seed=1)
+        with collecting_trace() as trace:
+            sample_cloud(g, num_states=4, seed=0)
+        assert len(trace) > 0
+        path = tmp_path / "campaign.trace.json"
+        write_chrome_trace(spans_to_events(trace.events()), str(path))
+        doc = load_chrome_trace(str(path))
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert "campaign" in names
+        assert "tree_sample" in names

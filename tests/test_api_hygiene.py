@@ -84,6 +84,7 @@ MODULES = [
     "repro.analysis.consensus",
     "repro.analysis.sensitivity",
     "repro.perf",
+    "repro.perf.compat",
     "repro.perf.counters",
     "repro.perf.timers",
     "repro.perf.memory",
@@ -91,6 +92,9 @@ MODULES = [
     "repro.perf.registry",
     "repro.perf.tracing",
     "repro.perf.export",
+    "repro.perf.timeline",
+    "repro.perf.trace_export",
+    "repro.perf.journal",
     "repro.util",
     "repro.util.arrays",
     "repro.util.faults",
