@@ -1,16 +1,20 @@
 #!/usr/bin/env python
-"""Benchmark the tree-batched cloud engine against sequential Alg. 2.
+"""Benchmark the cloud engines: sequential, tree-batched, and swap-chain.
 
 Writes ``BENCH_cloud.json``: states/sec for the sequential driver
-(``batch_size=1``) and the batched engine at several graph sizes and
-batch sizes, plus an exact seed-for-seed consensus-attribute identity
-check between the two.  This file starts the perf trajectory for the
-cloud pipeline — re-run after optimizations and compare.
+(``batch_size=1``), the batched BFS engine, and the incremental
+swap-chain engine at several graph sizes and batch sizes — plus an
+exact seed-for-seed consensus-attribute identity check for the batched
+BFS rows (bit-identical by contract) and a frustration-bound tolerance
+check for the swap rows (statistically equivalent by contract).  This
+file tracks the perf trajectory for the cloud pipeline — re-run after
+optimizations and compare.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_cloud.py              # full run
     PYTHONPATH=src python scripts/bench_cloud.py --smoke      # CI smoke
+    PYTHONPATH=src python scripts/bench_cloud.py --tree-method swap
 """
 
 from __future__ import annotations
@@ -30,6 +34,11 @@ from repro.graph.generators import ensure_connected, erdos_renyi_signed
 from repro.perf.export import phase_seconds
 from repro.perf.registry import collecting
 
+#: Relative tolerance for the swap rows' frustration-bound agreement
+#: with the sequential BFS cloud (loose: both are minima of noisy
+#: samples; the bound documents statistical, not bit, equivalence).
+FRUSTRATION_RTOL = 0.10
+
 
 def build_graph(num_vertices: int, num_edges: int, seed: int):
     graph = ensure_connected(
@@ -45,7 +54,7 @@ def build_graph(num_vertices: int, num_edges: int, seed: int):
 
 def attributes_identical(a, b) -> bool:
     """Exact equality of every consensus attribute (the acceptance bar
-    for the batched engine)."""
+    for the batched BFS engine)."""
     checks = [
         np.array_equal(a.status(), b.status()),
         np.array_equal(a.influence(), b.influence()),
@@ -57,20 +66,34 @@ def attributes_identical(a, b) -> bool:
     return all(bool(c) for c in checks)
 
 
+def frustration_within_tol(a, b, rtol: float = FRUSTRATION_RTOL) -> bool:
+    """The swap rows' acceptance bar: frustration upper bounds agree
+    within *rtol* (swap clouds are statistically, not bit, equivalent)."""
+    lo, hi = a.frustration_upper_bound(), b.frustration_upper_bound()
+    return abs(hi - lo) <= max(5, rtol * max(lo, 1))
+
+
 def bench_one(
-    graph, num_states: int, batch_size: int, seed: int, repeat: int = 1
+    graph,
+    num_states: int,
+    batch_size: int,
+    seed: int,
+    repeat: int = 1,
+    method: str = "bfs",
+    swaps_per_state: int = 1,
 ) -> dict:
     """Best-of-*repeat* timing of one configuration, with the fastest
-    run's per-phase span breakdown (tree_sample / labeling / kernels /
-    harary), so regressions are attributable to a phase, not just a
-    total."""
+    run's per-phase span breakdown (tree_sample / tree_swap /
+    delta_relabel / kernels / harary), so regressions are attributable
+    to a phase, not just a total."""
     best: dict | None = None
     for _ in range(max(repeat, 1)):
         # Detached window: repeats don't pollute the global registry.
         with collecting(merge=False) as registry:
             start = time.perf_counter()
             cloud = sample_cloud(
-                graph, num_states, seed=seed, batch_size=batch_size
+                graph, num_states, method=method, seed=seed,
+                batch_size=batch_size, swaps_per_state=swaps_per_state,
             )
             elapsed = time.perf_counter() - start
         if best is not None and elapsed >= best["seconds"]:
@@ -81,6 +104,7 @@ def bench_one(
             snapshot["counters"].get("span.campaign.seconds", 0.0)
         )
         best = {
+            "method": method,
             "batch_size": batch_size,
             "seconds": round(elapsed, 4),
             "states_per_sec": round(num_states / elapsed, 2),
@@ -96,6 +120,15 @@ def bench_one(
     return best
 
 
+def _print_phases(run: dict) -> None:
+    total = sum(run["phases"].values()) or 1.0
+    for name, secs in sorted(
+        run["phases"].items(), key=lambda kv: -kv[1]
+    ):
+        print(f"      {name:<16s} {secs:>8.4f}s  {100 * secs / total:5.1f}%",
+              flush=True)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="BENCH_cloud.json")
@@ -106,6 +139,16 @@ def main(argv=None) -> int:
                         help="time each configuration N times and keep "
                              "the fastest (reduces scheduler noise; the "
                              "CI gate uses 3)")
+    parser.add_argument("--tree-method", choices=["bfs", "swap", "both"],
+                        default="both",
+                        help="which engines to benchmark (default both; "
+                             "the sequential BFS baseline always runs — "
+                             "swap rows are measured against it)")
+    parser.add_argument("--swaps-per-state", type=int, default=1,
+                        metavar="N",
+                        help="chain stride for the swap rows (default 1)")
+    parser.add_argument("--phases", action="store_true",
+                        help="print the per-phase table for every run")
     parser.add_argument("--trace-out", metavar="PATH",
                         help="also write every benchmarked campaign's span "
                              "timeline as Chrome trace JSON")
@@ -127,6 +170,9 @@ def main(argv=None) -> int:
             {"vertices": 12000, "edges": 60000, "states": 200,
              "batch_sizes": [32, 64]},
         ]
+    methods = (
+        ["bfs", "swap"] if args.tree_method == "both" else [args.tree_method]
+    )
 
     report = {
         "benchmark": "cloud_states_per_sec",
@@ -134,6 +180,7 @@ def main(argv=None) -> int:
         "numpy": np.__version__,
         "seed": args.seed,
         "repeat": args.repeat,
+        "swaps_per_state": args.swaps_per_state,
         "runs": [],
     }
     if args.trace_out:
@@ -158,23 +205,43 @@ def main(argv=None) -> int:
             entry["sequential"] = seq
             print(f"  sequential          {seq['states_per_sec']:>9.2f} "
                   "states/s", flush=True)
+            if args.phases:
+                _print_phases(seq)
 
             entry["batched"] = []
-            for bs in cfg["batch_sizes"]:
-                run = bench_one(graph, cfg["states"], bs, args.seed,
-                                args.repeat)
-                cloud = run.pop("_cloud")
-                run["speedup_vs_sequential"] = round(
-                    run["states_per_sec"] / seq["states_per_sec"], 2
-                )
-                run["attributes_identical"] = attributes_identical(
-                    seq_cloud, cloud
-                )
-                entry["batched"].append(run)
-                print(f"  batch_size={bs:<4d}      "
-                      f"{run['states_per_sec']:>9.2f} "
-                      f"states/s  ({run['speedup_vs_sequential']}x, "
-                      f"identical={run['attributes_identical']})", flush=True)
+            for method in methods:
+                for bs in cfg["batch_sizes"]:
+                    run = bench_one(
+                        graph, cfg["states"], bs, args.seed, args.repeat,
+                        method=method,
+                        swaps_per_state=args.swaps_per_state,
+                    )
+                    cloud = run.pop("_cloud")
+                    run["speedup_vs_sequential"] = round(
+                        run["states_per_sec"] / seq["states_per_sec"], 2
+                    )
+                    if method == "bfs":
+                        run["attributes_identical"] = attributes_identical(
+                            seq_cloud, cloud
+                        )
+                        verdict = (
+                            f"identical={run['attributes_identical']}"
+                        )
+                    else:
+                        run["frustration_within_tol"] = (
+                            frustration_within_tol(seq_cloud, cloud)
+                        )
+                        verdict = (
+                            "frustration_within_tol="
+                            f"{run['frustration_within_tol']}"
+                        )
+                    entry["batched"].append(run)
+                    print(f"  {method:<5s} batch_size={bs:<4d}"
+                          f"{run['states_per_sec']:>9.2f} "
+                          f"states/s  ({run['speedup_vs_sequential']}x, "
+                          f"{verdict})", flush=True)
+                    if args.phases:
+                        _print_phases(run)
             report["runs"].append(entry)
     if args.trace_out:
         from repro.perf.trace_export import spans_to_events, write_chrome_trace
@@ -191,10 +258,17 @@ def main(argv=None) -> int:
     report["all_identical"] = all(
         run["attributes_identical"]
         for entry in report["runs"] for run in entry["batched"]
+        if run["method"] == "bfs"
+    )
+    report["all_swap_within_tol"] = all(
+        run["frustration_within_tol"]
+        for entry in report["runs"] for run in entry["batched"]
+        if run["method"] == "swap"
     )
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out} (best speedup {best}x, "
-          f"all identical: {report['all_identical']})")
+          f"all identical: {report['all_identical']}, "
+          f"swap within tol: {report['all_swap_within_tol']})")
     return 0
 
 

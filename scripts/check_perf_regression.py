@@ -1,16 +1,20 @@
 #!/usr/bin/env python
 """Gate a fresh ``bench_cloud.py`` report against a committed baseline.
 
-Compares every matching configuration — keyed by ``(states,
+Compares every matching configuration — keyed by ``(states, method,
 batch_size)`` within each graph entry — on two axes:
 
 * **Throughput** (``states_per_sec``): a drop beyond the fail
   threshold fails the gate; beyond the warn threshold it warns.
-* **Per-phase seconds** (``phases``: tree_sample, labeling,
-  parity_kernel, ...): a phase that got slower beyond the thresholds is
-  flagged individually, so "the parity kernel regressed 2x" surfaces
-  even when the campaign total hides it.  Phases too small to time
-  reliably (below ``--min-seconds`` in both reports) are skipped.
+* **Per-phase seconds** (``phases``: tree_sample, tree_swap,
+  delta_relabel, labeling, parity_kernel, ...): a phase that got slower
+  beyond the thresholds is flagged individually, so "the parity kernel
+  regressed 2x" (or "delta relabeling regressed 2x") surfaces even when
+  the campaign total hides it.  Phases too small to time reliably
+  (below ``--min-seconds`` in both reports) are skipped.
+
+Reports written before the swap-chain engine carry no ``method`` field;
+their rows key as ``"bfs"``, so old baselines stay comparable.
 
 Exit code 0 when everything passes (warnings allowed), 1 on any
 failure, 2 on unusable input.  The full comparison is written as a
@@ -51,15 +55,23 @@ def _load(path: str) -> dict:
 
 
 def _configs(report: dict) -> dict:
-    """Flatten a report into {(states, batch_size): run_dict}."""
+    """Flatten a report into {(states, method, batch_size): run_dict}.
+
+    ``method`` defaults to ``"bfs"`` for rows from reports that predate
+    the swap-chain engine.
+    """
     flat: dict = {}
     for entry in report.get("runs", []):
         states = entry.get("states")
         seq = entry.get("sequential")
         if seq:
-            flat[(states, seq.get("batch_size", 1))] = seq
+            flat[
+                (states, seq.get("method", "bfs"), seq.get("batch_size", 1))
+            ] = seq
         for run in entry.get("batched", []):
-            flat[(states, run.get("batch_size"))] = run
+            flat[
+                (states, run.get("method", "bfs"), run.get("batch_size"))
+            ] = run
     return flat
 
 
@@ -91,7 +103,7 @@ def compare(
         if key not in cur_cfgs:
             continue
         b, c = base_cfgs[key], cur_cfgs[key]
-        states, batch_size = key
+        states, method, batch_size = key
 
         b_sps = float(b.get("states_per_sec", 0) or 0)
         c_sps = float(c.get("states_per_sec", 0) or 0)
@@ -99,6 +111,7 @@ def compare(
             regression = b_sps / c_sps - 1.0
             checks.append({
                 "states": states,
+                "method": method,
                 "batch_size": batch_size,
                 "metric": "states_per_sec",
                 "baseline": b_sps,
@@ -118,6 +131,7 @@ def compare(
             regression = c_s / b_s - 1.0
             checks.append({
                 "states": states,
+                "method": method,
                 "batch_size": batch_size,
                 "metric": f"phase:{phase}",
                 "baseline": b_s,
@@ -181,6 +195,7 @@ def main(argv=None) -> int:
             continue
         direction = "slower" if check["regression"] > 0 else "faster"
         print(f"{check['status'].upper()}: states={check['states']} "
+              f"method={check['method']} "
               f"batch_size={check['batch_size']} {check['metric']}: "
               f"{check['baseline']} -> {check['current']} "
               f"({abs(check['regression']):.1%} {direction})")

@@ -154,6 +154,7 @@ def _run_cloud_campaign(args, sub, policy):
     (``--journal`` / ``--trace-out``) can wrap exactly the campaign.
     """
     from repro.cloud import sample_cloud
+    from repro.cloud.cloud import auto_batch_size
     from repro.parallel.pool import sample_cloud_pool
 
     # Fresh campaigns fall back to the historical defaults; on --resume,
@@ -161,7 +162,15 @@ def _run_cloud_campaign(args, sub, policy):
     # explicit ones validated against) the checkpoint's campaign.
     method = args.method if args.method is not None else "bfs"
     seed = args.seed if args.seed is not None else 0
+    # --batch-size auto resolves against the (sub)graph up front so
+    # every driver — and the checkpoint metadata — sees a concrete int.
+    if args.batch_size == "auto":
+        args.batch_size = auto_batch_size(sub.num_vertices)
+        print(f"auto batch size: {args.batch_size}")
     batch_size = args.batch_size if args.batch_size is not None else 1
+    swaps = (
+        args.swaps_per_state if args.swaps_per_state is not None else 1
+    )
     if args.resume:
         from repro.cloud.checkpoint import (
             recover_cloud,
@@ -176,12 +185,14 @@ def _run_cloud_campaign(args, sub, policy):
             params = validate_campaign(
                 meta, method=args.method, seed=args.seed,
                 batch_size=args.batch_size,
+                swaps_per_state=args.swaps_per_state,
             )
             return sample_cloud_pool(
                 sub, args.states, workers=max(args.workers, 1),
                 method=params["method"], kernel=params["kernel"],
                 seed=params["seed"], batch_size=params["batch_size"],
                 store_states=params["store_states"],
+                swaps_per_state=params["swaps_per_state"],
                 checkpoint_path=args.checkpoint,
                 keep_checkpoints=args.keep_checkpoints,
                 resume_from=source,
@@ -196,6 +207,7 @@ def _run_cloud_campaign(args, sub, policy):
             checkpoint_every=args.checkpoint_every,
             batch_size=args.batch_size,
             keep_checkpoints=args.keep_checkpoints,
+            swaps_per_state=args.swaps_per_state,
         )
     if args.workers > 1 or policy is not None:
         # A retry policy routes even --workers 1 through the pool
@@ -204,6 +216,7 @@ def _run_cloud_campaign(args, sub, policy):
             sub, args.states, workers=args.workers,
             method=method, seed=seed,
             batch_size=batch_size,
+            swaps_per_state=swaps,
             checkpoint_path=args.checkpoint,
             keep_checkpoints=args.keep_checkpoints,
             policy=policy,
@@ -211,6 +224,7 @@ def _run_cloud_campaign(args, sub, policy):
     return sample_cloud(
         sub, args.states, method=method, seed=seed,
         batch_size=batch_size,
+        swaps_per_state=swaps,
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         keep_checkpoints=args.keep_checkpoints,
@@ -464,6 +478,21 @@ def _cmd_memory(args) -> int:
 
 
 # ----------------------------------------------------------------------
+def _batch_size_arg(value: str):
+    """--batch-size accepts a positive int or the literal 'auto'."""
+    if value == "auto":
+        return "auto"
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid batch size {value!r}: expected an integer or 'auto'"
+        )
+    if parsed < 1:
+        raise argparse.ArgumentTypeError("batch size must be positive")
+    return parsed
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -491,14 +520,25 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("cloud", help="sample a frustration cloud (Alg. 2)")
     p.add_argument("input")
     p.add_argument("--states", type=int, default=100)
-    p.add_argument("--method", choices=["bfs", "bfs-low-degree", "dfs", "wilson"],
+    _tree_methods = ["bfs", "bfs-low-degree", "dfs", "wilson", "swap"]
+    p.add_argument("--method", choices=_tree_methods,
                    default=None,
-                   help="tree sampling method (default bfs; with --resume, "
-                        "inherited from the checkpoint's campaign)")
+                   help="tree sampling method (default bfs; 'swap' derives "
+                        "each tree from the previous one by edge swaps — "
+                        "much faster, statistically equivalent; with "
+                        "--resume, inherited from the checkpoint's campaign)")
+    p.add_argument("--tree-method", dest="method", choices=_tree_methods,
+                   help="alias for --method")
+    p.add_argument("--swaps-per-state", type=int, default=None, metavar="N",
+                   help="edge swaps applied per state with --method swap "
+                        "(default 1; more swaps decorrelate successive "
+                        "states at more cost per state)")
     p.add_argument("--workers", type=int, default=1)
-    p.add_argument("--batch-size", type=int, default=None, metavar="B",
+    p.add_argument("--batch-size", type=_batch_size_arg, default=None,
+                   metavar="B",
                    help="balance B spanning trees per kernel invocation "
                         "(the tree-batched engine; default 1 = sequential; "
+                        "'auto' picks a cache-sized batch for the graph; "
                         "with --resume, inherited from the checkpoint)")
     p.add_argument("--seed", type=int, default=None,
                    help="campaign seed (default 0; with --resume, inherited "

@@ -97,6 +97,10 @@ class CampaignMeta:
     seed: int
     batch_size: int
     store_states: bool
+    # Swap-chain stride (method="swap" only); 1 for every other method,
+    # and the implicit value of checkpoints written before the chain
+    # engine existed.
+    swaps_per_state: int = 1
     done_blocks: Tuple[Tuple[int, int, int], ...] | None = None
     quarantined_blocks: Tuple[Tuple[int, int, int], ...] | None = None
 
@@ -238,6 +242,9 @@ def _payload(
         )
         payload["campaign_store_states"] = np.array(
             [int(campaign.store_states)], dtype=np.int64
+        )
+        payload["campaign_swaps_per_state"] = np.array(
+            [campaign.swaps_per_state], dtype=np.int64
         )
         if campaign.done_blocks is not None:
             payload["campaign_done_blocks"] = np.asarray(
@@ -398,6 +405,13 @@ def _restore(
             seed=_scalar(data, "campaign_seed", path),
             batch_size=_scalar(data, "campaign_batch_size", path),
             store_states=bool(_scalar(data, "campaign_store_states", path)),
+            # Checkpoints written before the swap-chain engine carry no
+            # swaps_per_state key; their campaigns implicitly used 1.
+            swaps_per_state=(
+                _scalar(data, "campaign_swaps_per_state", path)
+                if "campaign_swaps_per_state" in data.files
+                else 1
+            ),
             done_blocks=done_blocks,
             quarantined_blocks=quarantined_blocks,
         )
@@ -481,6 +495,7 @@ _CAMPAIGN_DEFAULTS = {
     "seed": 0,
     "batch_size": 1,
     "store_states": False,
+    "swaps_per_state": 1,
 }
 
 
@@ -492,6 +507,7 @@ def validate_campaign(
     seed: int | None = None,
     batch_size: int | None = None,
     store_states: bool | None = None,
+    swaps_per_state: int | None = None,
 ) -> dict:
     """Resolve resume parameters against a stored campaign.
 
@@ -499,8 +515,8 @@ def validate_campaign(
     historical default when the checkpoint has no metadata).  A
     parameter that is explicitly given *and* disagrees with the stored
     campaign raises :class:`~repro.errors.CheckpointError` — resuming
-    with a different ``(method, kernel, seed, batch_size)`` would
-    silently diverge from the original run.
+    with a different ``(method, kernel, seed, batch_size,
+    swaps_per_state)`` would silently diverge from the original run.
     """
     given = {
         "method": method,
@@ -508,6 +524,7 @@ def validate_campaign(
         "seed": seed,
         "batch_size": batch_size,
         "store_states": store_states,
+        "swaps_per_state": swaps_per_state,
     }
     resolved = {}
     for name, value in given.items():
@@ -578,6 +595,7 @@ def resume_cloud(
     batch_size: int | None = None,
     keep_checkpoints: int = 1,
     campaign: CampaignMeta | None = None,
+    swaps_per_state: int | None = None,
 ) -> FrustrationCloud:
     """Continue a seeded campaign until ``target_states`` states.
 
@@ -611,13 +629,15 @@ def resume_cloud(
         seed=seed,
         batch_size=batch_size,
         store_states=cloud.store_states,
+        swaps_per_state=swaps_per_state,
     )
     method = params["method"]
     kernel = params["kernel"]
     batch_size = params["batch_size"]
+    swaps_per_state = params["swaps_per_state"]
     if batch_size < 1:
         raise ReproError("batch_size must be positive")
-    if batch_size > 1 and kernel not in BATCHED_KERNELS:
+    if method != "swap" and batch_size > 1 and kernel not in BATCHED_KERNELS:
         raise EngineError(
             f"kernel {kernel!r} has no batched implementation; use "
             f"batch_size=1 or one of {BATCHED_KERNELS}"
@@ -633,15 +653,28 @@ def resume_cloud(
         seed=frozen,
         batch_size=batch_size,
         store_states=cloud.store_states,
+        swaps_per_state=swaps_per_state,
     )
     writer = CheckpointWriter(
         checkpoint_path, meta, every=checkpoint_every, keep=keep_checkpoints
     )
-    sampler = TreeSampler(cloud.graph, method=method, seed=frozen)
+    sampler = TreeSampler(
+        cloud.graph, method=method, seed=frozen,
+        swaps_per_state=swaps_per_state,
+    )
     start = cloud.num_states
     while start < target_states:
         count = min(max(batch_size, 1), target_states - start)
-        if count == 1:
+        if method == "swap":
+            # Chain states are a pure function of (seed, index), so a
+            # resume re-enters the chain at index `start` and replays at
+            # most segment_length - 1 states to reach it — the states
+            # produced are exactly the uninterrupted campaign's.
+            from repro.harary.bipartition import sides_from_sign_to_root
+
+            signs, s2r = sampler.swap_states(count, start=start)
+            cloud.add_batch(signs, sides_from_sign_to_root(s2r))
+        elif count == 1:
             cloud.add_result(
                 balance(cloud.graph, sampler.tree(start), kernel=kernel)
             )

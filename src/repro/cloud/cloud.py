@@ -40,6 +40,7 @@ __all__ = [
     "FrustrationCloud",
     "sample_cloud",
     "exact_cloud",
+    "auto_batch_size",
     "BATCHED_KERNELS",
 ]
 
@@ -48,6 +49,26 @@ __all__ = [
 #: ``batch_size=1`` (requesting it with a batch raises instead of
 #: silently substituting a different kernel).
 BATCHED_KERNELS = ("lockstep", "parity")
+
+
+def auto_batch_size(num_vertices: int) -> int:
+    """A good default batch size for a graph of *num_vertices*.
+
+    The batched engine's working set is a handful of ``(B, n)`` arrays;
+    states/sec climbs with B until those arrays fall out of cache, then
+    falls off a cliff (BENCH_cloud.json: 4000 vertices peaks near B=32,
+    12000 vertices is already past the cliff at B=64).  Targeting
+    ``B * n ≈ 2**17`` flattened slots keeps the working set around a
+    megabyte; the result is clamped to the [8, 64] power-of-two range
+    so tiny graphs still amortize per-level overhead and huge graphs
+    keep a useful batch.
+    """
+    if num_vertices < 1:
+        raise ReproError("num_vertices must be positive")
+    b = 2**17 // max(num_vertices, 1)
+    b = max(8, min(64, b))
+    # Round down to a power of two (stable, cache-friendly shapes).
+    return 1 << (b.bit_length() - 1)
 
 
 @dataclass
@@ -260,9 +281,9 @@ class FrustrationCloud:
         n = self.graph.num_vertices
         total = np.zeros(n, dtype=np.float64)
         half_agree = edge_agree[self.graph.adj_edge]
-        src = np.repeat(np.arange(n), np.diff(self.graph.indptr))
+        src = np.repeat(np.arange(n), self.graph.degrees)
         np.add.at(total, src, half_agree)
-        deg = np.diff(self.graph.indptr)
+        deg = self.graph.degrees
         with np.errstate(invalid="ignore", divide="ignore"):
             out = np.where(deg > 0, total / np.maximum(deg, 1), 0.0)
         return out
@@ -346,11 +367,12 @@ def sample_cloud(
     seed: SeedLike = None,
     store_states: bool = False,
     timers: PhaseTimer | None = None,
-    batch_size: int = 1,
+    batch_size: int | str = 1,
     counters: Counters | None = None,
     checkpoint_path=None,
     checkpoint_every: int = 0,
     keep_checkpoints: int = 1,
+    swaps_per_state: int = 1,
 ) -> FrustrationCloud:
     """Alg. 2: sample ``num_states`` spanning trees, balance each, and
     accumulate the Harary bipartitions into a cloud.
@@ -365,7 +387,16 @@ def sample_cloud(
     index); only the per-state timing/counter breakdown differs, since
     batching has no labeling phase.  Kernels outside
     :data:`BATCHED_KERNELS` have no batched implementation and raise
-    when requested with a batch.
+    when requested with a batch.  ``batch_size="auto"`` picks
+    :func:`auto_batch_size` for the graph.
+
+    ``method="swap"`` runs the incremental swap-chain engine
+    (:mod:`repro.trees.swap_chain`): tree ``k+1`` is derived from tree
+    ``k`` by ``swaps_per_state`` cut/link edge swaps, and both the
+    balanced signs and the Harary sides are read straight off the
+    chain's delta state — no labeling pass, no parity kernel.  Swap
+    clouds are deterministic in the seed but *statistically* (not
+    bit-for-bit) equivalent to BFS clouds; see EXPERIMENTS.md.
 
     ``checkpoint_path`` writes a self-describing crash-safe checkpoint
     (atomic write, rotating ``keep_checkpoints`` files) every
@@ -373,9 +404,16 @@ def sample_cloud(
     campaign parameters so :func:`repro.cloud.checkpoint.resume_cloud`
     can validate a later resume against them.
     """
-    if batch_size < 1:
-        raise ReproError("batch_size must be positive")
-    if batch_size > 1 and kernel not in BATCHED_KERNELS:
+    if batch_size == "auto":
+        batch_size = auto_batch_size(graph.num_vertices)
+    if not isinstance(batch_size, int) or batch_size < 1:
+        raise ReproError("batch_size must be a positive int or 'auto'")
+    if swaps_per_state < 1:
+        raise ReproError("swaps_per_state must be positive")
+    # The swap chain produces balanced states directly (no kernel runs),
+    # so the batched-kernel restriction only applies to tree methods
+    # that go through the parity engine.
+    if method != "swap" and batch_size > 1 and kernel not in BATCHED_KERNELS:
         from repro.errors import EngineError
 
         raise EngineError(
@@ -383,7 +421,9 @@ def sample_cloud(
             f"batch_size=1 or one of {BATCHED_KERNELS}"
         )
     frozen = freeze_seed(seed)
-    sampler = TreeSampler(graph, method=method, seed=frozen)
+    sampler = TreeSampler(
+        graph, method=method, seed=frozen, swaps_per_state=swaps_per_state
+    )
     cloud = FrustrationCloud(graph, store_states=store_states)
     # Phase timing flows through the metrics registry spans since PR 4;
     # a legacy PhaseTimer is honoured when a caller passes one, but none
@@ -401,6 +441,7 @@ def sample_cloud(
         kernel=kernel,
         seed=frozen,
         batch_size=batch_size,
+        swaps_per_state=swaps_per_state,
         vertices=graph.num_vertices,
         edges=graph.num_edges,
     )
@@ -418,12 +459,32 @@ def sample_cloud(
                 seed=frozen,
                 batch_size=batch_size,
                 store_states=store_states,
+                swaps_per_state=swaps_per_state,
             ),
             every=checkpoint_every,
             keep=keep_checkpoints,
         )
     with collecting() as metrics, span("campaign"):
-        if batch_size == 1:
+        if method == "swap":
+            # Delta path: the chain emits tree_swap / delta_relabel
+            # spans internally; each state's balanced signs and Harary
+            # sides come straight off the chain's s2r, so there is no
+            # labeling phase and no parity kernel to time.
+            for start in range(0, num_states, batch_size):
+                count = min(batch_size, num_states - start)
+                with phase("tree_generation"), span("tree_sample"):
+                    signs, s2r = sampler.swap_states(count, start=start)
+                with phase("harary_and_status"), span("harary"):
+                    cloud.add_batch(signs, sides_from_sign_to_root(s2r))
+                if writer is not None:
+                    writer.step(cloud, count)
+                if get_journal() is not None:
+                    journal_event(
+                        "convergence",
+                        states=cloud.num_states,
+                        frustration_upper_bound=cloud.frustration_upper_bound(),
+                    )
+        elif batch_size == 1:
             for i in range(num_states):
                 with phase("tree_generation"), span("tree_sample"):
                     tree = sampler.tree(i)

@@ -49,7 +49,7 @@ def process_cycles_lockstep(
     parent = tree.parent
     parent_edge = tree.parent_edge
     signs = graph.edge_sign
-    degrees = np.diff(graph.indptr)
+    degrees = graph.degrees
     tree_deg = tree.tree_degree
 
     non_tree = tree.non_tree_edge_ids()

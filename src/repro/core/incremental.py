@@ -15,11 +15,23 @@ sign product of the tree path.  Consequently:
   endpoint in that range, found with two O(1) range tests per candidate
   edge and updated in O(affected);
 * **adding** a non-tree edge costs O(1): its balanced sign is the
-  current path product.
+  current path product;
+* **swapping the tree itself** — cut a tree edge, reconnect its severed
+  subtree S through a non-tree edge crossing the cut — moves S as a
+  block: the pre-order IDs of S stay contiguous, every other vertex
+  shifts by ±|S|, and ``sign_to_root`` changes by one *uniform* factor
+  over S (the moved subtree keeps its internal tree paths, so only the
+  attachment segment of each root path changes).
 
-This is how a production deployment would keep consensus attributes
-fresh on a stream of sentiment updates without re-running graphB+ from
-scratch.  Consistency with full recomputation is property-tested.
+The last point is the engine behind the incremental spanning-tree
+sampler (:mod:`repro.trees.swap_chain`): deriving tree k+1 from tree k
+by a swap costs O(n) vectorized words instead of a from-scratch
+sample + label + parity pass.  :class:`TreeDeltaState` holds the
+mutable (tree, labeling, sign-to-root) triple and implements both the
+sign-flip range negation and the structural cut/link;
+:class:`IncrementalBalancer` wraps it with the edge-update API.
+
+Consistency with full recomputation is property-tested.
 """
 
 from __future__ import annotations
@@ -30,26 +42,305 @@ from repro.core.cycles_vectorized import sign_to_root
 from repro.core.labeling import Labeling, label_tree
 from repro.errors import GraphFormatError, ReproError
 from repro.graph.csr import SignedGraph
+from repro.perf.tracing import span
 from repro.trees.tree import SpanningTree
 
-__all__ = ["IncrementalBalancer"]
+__all__ = ["IncrementalBalancer", "TreeDeltaState"]
+
+
+class TreeDeltaState:
+    """Mutable (tree, labeling, sign-to-root) state under delta updates.
+
+    Maintains, for one spanning tree of *graph*:
+
+    * ``parent`` / ``parent_edge`` — the rooted forest,
+    * ``in_tree`` / ``tree_edges`` — the tree-edge flags and the n−1
+      tree-edge ids (``tree_edges`` is slot-addressable so a swap can
+      replace the cut edge in place),
+    * ``new_id`` / ``subtree_size`` — the pre-order labeling, kept
+      exactly equal to ``label_tree`` of the current tree,
+    * ``s2r`` — sign-to-root under *signs* (default: the graph's input
+      signs), kept exactly equal to ``sign_to_root``.
+
+    Two delta operations are supported: :meth:`negate_subtree` (the
+    sign-flip range negation) and :meth:`cut_link` (the structural
+    swap).  Both are O(n) vectorized words, never a from-scratch
+    relabel; the only Python-loop work is proportional to the moved
+    subtree and the tree depth.
+    """
+
+    def __init__(
+        self,
+        graph: SignedGraph,
+        tree: SpanningTree,
+        signs: np.ndarray | None = None,
+    ) -> None:
+        self.graph = graph
+        self.root = int(tree.root)
+        self.parent = tree.parent.copy()
+        self.parent_edge = tree.parent_edge.copy()
+        self.in_tree = tree.in_tree.copy()
+        self.tree_edges = tree.tree_edge_ids()
+        # ``signs`` may be a live (mutable) view shared with the owner —
+        # IncrementalBalancer passes its running input signs so swap
+        # factors always see the current sign of the link edge.
+        self.signs = graph.edge_sign if signs is None else signs
+        lab = label_tree(tree)
+        self.new_id = lab.new_id.copy()
+        self.subtree_size = lab.subtree_size.copy()
+        self.s2r = sign_to_root(graph, tree).copy()
+        if signs is not None and not np.array_equal(signs, graph.edge_sign):
+            raise ReproError(
+                "initial signs must match the graph (flip them through "
+                "the owner after construction)"
+            )
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def labeling(self) -> Labeling:
+        """Snapshot the current labeling (equal to ``label_tree`` of the
+        current tree, by construction)."""
+        new_id = self.new_id.copy()
+        size = self.subtree_size.copy()
+        has_parent = self.parent >= 0
+        return Labeling(
+            new_id=new_id,
+            subtree_size=size,
+            range_lo=np.where(has_parent, new_id, -1),
+            range_hi=np.where(has_parent, new_id + size - 1, -1),
+        )
+
+    def spanning_tree(self) -> SpanningTree:
+        """Materialize (and re-validate) the current tree."""
+        return SpanningTree.from_parents(
+            self.graph, self.root, self.parent.copy(), self.parent_edge.copy()
+        )
+
+    def balanced_signs(self) -> np.ndarray:
+        """The nearest balanced state of the current tree: every edge
+        takes its tree-path sign product (tree edges reproduce their
+        input sign by the consistency of ``s2r``)."""
+        s2r = self.s2r
+        return (
+            s2r[self.graph.edge_u].astype(np.int16)
+            * s2r[self.graph.edge_v].astype(np.int16)
+        ).astype(np.int8)
+
+    def subtree_range(self, child: int) -> tuple[int, int]:
+        """Inclusive pre-order ID range of the subtree at *child*."""
+        lo = int(self.new_id[child])
+        return lo, lo + int(self.subtree_size[child]) - 1
+
+    def child_endpoint(self, tree_edge: int) -> int:
+        """The child-side endpoint of a tree edge."""
+        u = int(self.graph.edge_u[tree_edge])
+        v = int(self.graph.edge_v[tree_edge])
+        return u if self.parent[u] == v else v
+
+    # ------------------------------------------------------------------
+    # Delta 1: sign flip (range negation)
+    # ------------------------------------------------------------------
+    def negate_subtree(self, child: int) -> np.ndarray:
+        """Negate ``s2r`` over the subtree of *child* (the effect of
+        flipping the sign of its parent edge); returns the membership
+        mask of the negated range."""
+        lo, hi = self.subtree_range(child)
+        ids = self.new_id
+        in_range = (ids >= lo) & (ids <= hi)
+        self.s2r[in_range] = -self.s2r[in_range]
+        return in_range
+
+    # ------------------------------------------------------------------
+    # Delta 2: structural cut/link (the tree swap)
+    # ------------------------------------------------------------------
+    def crossing_candidates(self, child: int) -> np.ndarray:
+        """Non-tree edge ids with exactly one endpoint in the subtree of
+        *child* — the edges that can re-span the cut of its parent
+        edge.  The cut edge itself is still flagged ``in_tree`` and is
+        therefore never a candidate (a swap always changes the tree)."""
+        lo, hi = self.subtree_range(child)
+        ids = self.new_id
+        u_ids = ids[self.graph.edge_u]
+        v_ids = ids[self.graph.edge_v]
+        u_in = (u_ids >= lo) & (u_ids <= hi)
+        v_in = (v_ids >= lo) & (v_ids <= hi)
+        return np.nonzero((u_in != v_in) & ~self.in_tree)[0]
+
+    def cut_link(
+        self, cut_edge: int, link_edge: int, slot: int | None = None
+    ) -> None:
+        """Cut tree edge p→c and reconnect its subtree S through the
+        non-tree edge *link_edge* = (u_out, v_in), v_in ∈ S.
+
+        All derived state updates as deltas:
+
+        * ``s2r[x]`` for x ∈ S changes by the uniform factor
+          ``s2r[u_out] · s2r[v_in] · sign(link_edge)`` (tree paths
+          inside S are unchanged; only the attachment segment differs),
+          applied over S's contiguous ID range exactly like a sign
+          flip;
+        * pre-order IDs: vertices after S's old range shift down by
+          |S|, vertices at/after its new insertion point shift up by
+          |S|, and S itself is relabeled by an O(|S|) mini pre-order
+          re-rooted at v_in — bit-identical to ``label_tree`` of the
+          new tree;
+        * ``subtree_size`` changes only on the two root paths (−|S|
+          above the cut, +|S| above the link) and inside S.
+        """
+        graph = self.graph
+        if not self.in_tree[cut_edge]:
+            raise ReproError(f"edge {cut_edge} is not a tree edge")
+        if self.in_tree[link_edge]:
+            raise ReproError(f"edge {link_edge} is already a tree edge")
+        if slot is None:
+            slot = int(np.nonzero(self.tree_edges == cut_edge)[0][0])
+
+        c = self.child_endpoint(cut_edge)
+        p = int(self.parent[c])
+        lo, hi = self.subtree_range(c)
+        s = hi - lo + 1
+
+        fu = int(graph.edge_u[link_edge])
+        fv = int(graph.edge_v[link_edge])
+        fu_in = lo <= int(self.new_id[fu]) <= hi
+        fv_in = lo <= int(self.new_id[fv]) <= hi
+        if fu_in == fv_in:
+            raise ReproError(
+                f"edge {link_edge} does not cross the cut of edge {cut_edge}"
+            )
+        v_in = fu if fu_in else fv
+        u_out = fv if fu_in else fu
+
+        # The uniform sign factor over S (see the module docstring).
+        factor = (
+            int(self.s2r[u_out])
+            * int(self.s2r[v_in])
+            * int(self.signs[link_edge])
+        )
+
+        # Members of S in current pre-order, via the inverse permutation.
+        inv = np.empty(graph.num_vertices, dtype=np.int64)
+        inv[self.new_id] = np.arange(graph.num_vertices)
+        members = inv[lo : hi + 1]
+
+        # Insertion point of S under u_out, measured in the labeling of
+        # the tree *without* S: position of u_out, plus one for u_out
+        # itself, plus every earlier sibling's S-free subtree size
+        # (children are visited in ascending vertex id).
+        ids = self.new_id
+        mid_uout = int(ids[u_out]) - (s if ids[u_out] > hi else 0)
+        old_kids_out = np.nonzero(self.parent == u_out)[0]
+        start = mid_uout + 1
+        for w in old_kids_out:
+            w = int(w)
+            if w == c or w >= v_in:
+                continue
+            w_lo = int(ids[w])
+            w_size = int(self.subtree_size[w])
+            covers_s = w_lo <= lo and hi <= w_lo + w_size - 1
+            start += w_size - (s if covers_s else 0)
+
+        # Structural update: reverse the path v_in → c, attach v_in
+        # under u_out, and swap the edge flags.
+        path = [v_in]
+        while path[-1] != c:
+            path.append(int(self.parent[path[-1]]))
+        old_pe = [int(self.parent_edge[x]) for x in path]
+        for i in range(len(path) - 1):
+            self.parent[path[i + 1]] = path[i]
+            self.parent_edge[path[i + 1]] = old_pe[i]
+        self.parent[v_in] = u_out
+        self.parent_edge[v_in] = link_edge
+        self.in_tree[cut_edge] = False
+        self.in_tree[link_edge] = True
+        self.tree_edges[slot] = link_edge
+
+        with span("delta_relabel"):
+            # Mini pre-order of S re-rooted at v_in (children ascending
+            # vertex id, matching label_tree's visit order).
+            kids: dict[int, list[int]] = {}
+            for x in np.sort(members):
+                x = int(x)
+                if x != v_in:
+                    kids.setdefault(int(self.parent[x]), []).append(x)
+            local_id: dict[int, int] = {}
+            local_size: dict[int, int] = {}
+            counter = 0
+            stack = [v_in]
+            while stack:
+                x = stack.pop()
+                if x < 0:
+                    x = ~x
+                    px = int(self.parent[x])
+                    if x != v_in:
+                        local_size[px] += local_size[x]
+                    continue
+                local_id[x] = counter
+                counter += 1
+                local_size[x] = 1
+                stack.append(~x)
+                for ch in reversed(kids.get(x, ())):
+                    stack.append(ch)
+
+            # Vectorized ID shifts: close the old range, open the new.
+            in_S = (ids >= lo) & (ids <= hi)
+            ids -= s * (ids > hi)
+            ids += s * (~in_S & (ids >= start))
+            mem_list = [int(x) for x in members]
+            ids[members] = [start + local_id[x] for x in mem_list]
+
+            # Subtree sizes: the two root paths, then S's own sizes.
+            v = p
+            while v >= 0:
+                self.subtree_size[v] -= s
+                v = int(self.parent[v])
+            v = u_out
+            while v >= 0:
+                self.subtree_size[v] += s
+                v = int(self.parent[v])
+            self.subtree_size[members] = [local_size[x] for x in mem_list]
+
+        if factor < 0:
+            self.s2r[members] = -self.s2r[members]
+
+    def random_swap(
+        self, rng: np.random.Generator, max_attempts: int = 16
+    ) -> bool:
+        """One random cut/link swap: a uniform tree-edge slot, then a
+        uniform crossing non-tree edge.  Cuts whose subtree no non-tree
+        edge re-spans are retried (fresh draws) up to *max_attempts*
+        times; returns whether the tree changed.  Graphs with no
+        fundamental cycle (trees) never change."""
+        if self.graph.num_fundamental_cycles == 0:
+            return False
+        for _ in range(max_attempts):
+            slot = int(rng.integers(0, len(self.tree_edges)))
+            cut_edge = int(self.tree_edges[slot])
+            child = self.child_endpoint(cut_edge)
+            cand = self.crossing_candidates(child)
+            if not len(cand):
+                continue
+            link_edge = int(cand[int(rng.integers(0, len(cand)))])
+            self.cut_link(cut_edge, link_edge, slot=slot)
+            return True
+        return False
 
 
 class IncrementalBalancer:
     """Maintain the nearest balanced state Σ_T under edge-sign updates.
 
-    The tree structure is fixed; signs (tree or non-tree) may change and
-    non-tree edges may be appended.  Use :meth:`balanced_signs` to read
-    the current state and :meth:`flipped` for the switch mask.
+    Signs (tree or non-tree) may change, non-tree edges may be
+    appended, and the tree itself may be re-spanned one edge at a time
+    (:meth:`swap_tree_edge`).  Use :meth:`balanced_signs` to read the
+    current state and :meth:`flipped` for the switch mask.
     """
 
     def __init__(self, graph: SignedGraph, tree: SpanningTree) -> None:
         self._graph = graph
-        self._tree = tree
-        self._labeling: Labeling = label_tree(tree)
-        # Current *input* signs (mutable copy) and derived state.
         self._signs = graph.edge_sign.copy()
-        self._s2r = sign_to_root(graph, tree).copy()
+        self._delta = TreeDeltaState(graph, tree, signs=self._signs)
+        self._tree: SpanningTree | None = tree
         self._non_tree = tree.non_tree_edge_ids()
         # Appended edges: (u, v, input_sign) beyond the original m.
         self._extra_u: list[int] = []
@@ -61,11 +352,13 @@ class IncrementalBalancer:
     # ------------------------------------------------------------------
     @property
     def tree(self) -> SpanningTree:
+        if self._tree is None:
+            self._tree = self._delta.spanning_tree()
         return self._tree
 
     @property
     def labeling(self) -> Labeling:
-        return self._labeling
+        return self._delta.labeling()
 
     def input_signs(self) -> np.ndarray:
         """Current input signs of the original edges (copy)."""
@@ -81,8 +374,9 @@ class IncrementalBalancer:
         nt = self._non_tree
         u = self._graph.edge_u[nt]
         v = self._graph.edge_v[nt]
+        s2r = self._delta.s2r
         out[nt] = (
-            self._s2r[u].astype(np.int16) * self._s2r[v].astype(np.int16)
+            s2r[u].astype(np.int16) * s2r[v].astype(np.int16)
         ).astype(np.int8)
         return out
 
@@ -97,8 +391,9 @@ class IncrementalBalancer:
             return np.empty(0, dtype=np.int8)
         u = np.asarray(self._extra_u)
         v = np.asarray(self._extra_v)
+        s2r = self._delta.s2r
         return (
-            self._s2r[u].astype(np.int16) * self._s2r[v].astype(np.int16)
+            s2r[u].astype(np.int16) * s2r[v].astype(np.int16)
         ).astype(np.int8)
 
     # ------------------------------------------------------------------
@@ -118,20 +413,13 @@ class IncrementalBalancer:
         if self._signs[edge] == sign:
             return 0
         self._signs[edge] = sign
-        if not self._tree.in_tree[edge]:
+        if not self._delta.in_tree[edge]:
             # Balanced state is a function of tree signs only.
             return 0
 
-        # Tree edge p->c: find the child endpoint and negate the
-        # subtree's sign_to_root over its contiguous ID range.
-        u = int(self._graph.edge_u[edge])
-        v = int(self._graph.edge_v[edge])
-        child = u if self._tree.parent[u] == v else v
-        lo = int(self._labeling.new_id[child])
-        hi = lo + int(self._labeling.subtree_size[child]) - 1
-        ids = self._labeling.new_id
-        in_range = (ids >= lo) & (ids <= hi)
-        self._s2r[in_range] = -self._s2r[in_range]
+        # Tree edge p->c: negate the subtree's sign_to_root over its
+        # contiguous ID range.
+        in_range = self._delta.negate_subtree(self._delta.child_endpoint(edge))
 
         # Count affected fundamental cycles: non-tree edges with exactly
         # one endpoint inside the range (both-inside cycles cancel).
@@ -149,6 +437,22 @@ class IncrementalBalancer:
         """Negate an original edge's input sign (see :meth:`set_sign`)."""
         return self.set_sign(edge, -int(self._signs[edge]))
 
+    def swap_tree_edge(self, cut_edge: int, link_edge: int) -> int:
+        """Re-span the tree: cut *cut_edge* and reconnect its severed
+        subtree through *link_edge* (a non-tree edge crossing the cut).
+
+        The input signs are untouched; the *balanced* state changes
+        because the tree defining it does.  Returns the number of
+        original edges whose balanced sign changed.  Raises
+        :class:`~repro.errors.ReproError` when the edges do not form a
+        valid cut/link pair.
+        """
+        before = self.balanced_signs()
+        self._delta.cut_link(cut_edge, link_edge)
+        self._tree = None  # stale; re-materialized on demand
+        self._non_tree = np.nonzero(~self._delta.in_tree)[0]
+        return int(np.count_nonzero(self.balanced_signs() != before))
+
     def add_edge(self, u: int, v: int, sign: int) -> int:
         """Append a non-tree edge and return its balanced sign (O(1)).
 
@@ -164,7 +468,7 @@ class IncrementalBalancer:
         self._extra_u.append(u)
         self._extra_v.append(v)
         self._extra_sign.append(sign)
-        return int(self._s2r[u]) * int(self._s2r[v])
+        return int(self._delta.s2r[u]) * int(self._delta.s2r[v])
 
     def remove_extra_edge(self, index: int) -> None:
         """Remove a previously appended edge (original edges are part of

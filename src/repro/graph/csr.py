@@ -20,6 +20,7 @@ it, matching the paper's single-copy design.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 from typing import Iterator, Tuple
 
 import numpy as np
@@ -70,10 +71,18 @@ class SignedGraph:
         be meaningful)."""
         return self.num_edges - (self.num_vertices - 1)
 
+    @cached_property
+    def degrees(self) -> np.ndarray:
+        """Read-only degree array (cached; hot loops index it every
+        level, so it is computed once per graph instead of per call)."""
+        deg = np.diff(self.indptr)
+        deg.setflags(write=False)
+        return deg
+
     def degree(self, v: int | None = None) -> np.ndarray | int:
         """Degree of vertex *v*, or the full degree array if ``v is None``."""
         if v is None:
-            return np.diff(self.indptr)
+            return self.degrees
         return int(self.indptr[v + 1] - self.indptr[v])
 
     @property

@@ -73,6 +73,7 @@ def _run_block(
     store_states: bool,
     batch_size: int,
     fault: Callable[[Block], None] | None = None,
+    swaps_per_state: int = 1,
 ) -> FrustrationCloud:
     """Balance the tree indices ``range(*block)`` and return the local
     cloud.  *fault* is the fault-injection hook (see
@@ -80,13 +81,27 @@ def _run_block(
     if fault is not None:
         fault(block)
     indices = range(*block)
-    sampler = TreeSampler(graph, method=method, seed=seed)
+    sampler = TreeSampler(
+        graph, method=method, seed=seed, swaps_per_state=swaps_per_state
+    )
     cloud = FrustrationCloud(graph, store_states=store_states)
     # Detached metrics window: the snapshot rides back with the cloud
     # and the parent merges it exactly once (merge=True here would
     # double-count blocks that degrade to in-process execution).
     with collecting(merge=False) as metrics, span("block"):
-        if batch_size > 1:
+        if method == "swap":
+            from repro.harary.bipartition import sides_from_sign_to_root
+
+            # Chain states are pure functions of (seed, index), so any
+            # block shape is correct; the worker enters the chain at its
+            # block's segment and walks it forward in chunks.
+            for lo in range(0, len(indices), batch_size):
+                chunk = indices[lo : lo + batch_size]
+                with span("tree_sample"):
+                    signs, s2r = sampler.swap_states(chunk)
+                with span("harary"):
+                    cloud.add_batch(signs, sides_from_sign_to_root(s2r))
+        elif batch_size > 1:
             from repro.core.parity_batch import balance_batch
             from repro.harary.bipartition import sides_from_sign_to_root
 
@@ -119,13 +134,14 @@ def _worker(
     store_states: bool,
     batch_size: int,
     fault: Callable[[Block], None] | None = None,
+    swaps_per_state: int = 1,
 ) -> FrustrationCloud:
     """Pool entry point: run a block against the initializer's graph."""
     if _WORKER_GRAPH is None:  # pragma: no cover - initializer always ran
         raise EngineError("worker process has no graph; initializer missing")
     return _run_block(
         _WORKER_GRAPH, method, kernel, seed, block, store_states,
-        batch_size, fault,
+        batch_size, fault, swaps_per_state,
     )
 
 
@@ -220,6 +236,33 @@ def _block_len(block: Block) -> int:
     return len(range(*block))
 
 
+def _contiguous_blocks(target: int, workers: int) -> list[Block]:
+    """Split ``[0, target)`` into up to *workers* contiguous step-1
+    blocks of near-equal size.
+
+    The strided split is pathological for the swap chain: a stride-w
+    block touches every w-th index, and reaching index ``k`` means
+    walking the chain through all of ``k``'s segment predecessors — so
+    each worker would replay almost the whole chain.  Contiguous blocks
+    keep the replay to at most ``segment_length - 1`` states per block.
+    """
+    workers = min(workers, target)
+    blocks: list[Block] = []
+    lo = 0
+    for w in range(workers):
+        hi = lo + (target - lo) // (workers - w)
+        if hi > lo:
+            blocks.append((lo, hi, 1))
+        lo = hi
+    return blocks
+
+
+def _chain_segment_start(index: int, segment_length: int = 256) -> int:
+    """The swap-chain segment start covering *index* (recorded on block
+    journal events so operators can see a block's chain entry point)."""
+    return index - index % segment_length
+
+
 def sample_cloud_pool(
     graph: SignedGraph,
     num_states: int,
@@ -234,6 +277,7 @@ def sample_cloud_pool(
     resume_from=None,
     fault: Callable[[Block], None] | None = None,
     policy: "RetryPolicy | None" = None,
+    swaps_per_state: int = 1,
 ) -> FrustrationCloud:
     """Alg. 2 with tree-level process parallelism.
 
@@ -282,7 +326,9 @@ def sample_cloud_pool(
         raise EngineError("workers must be positive")
     if batch_size < 1:
         raise EngineError("batch_size must be positive")
-    if batch_size > 1 and kernel not in BATCHED_KERNELS:
+    if swaps_per_state < 1:
+        raise EngineError("swaps_per_state must be positive")
+    if method != "swap" and batch_size > 1 and kernel not in BATCHED_KERNELS:
         raise EngineError(
             f"kernel {kernel!r} has no batched implementation; use "
             f"batch_size=1 or one of {BATCHED_KERNELS}"
@@ -301,11 +347,16 @@ def sample_cloud_pool(
                 seed=frozen,
                 batch_size=batch_size,
                 store_states=store_states,
+                swaps_per_state=swaps_per_state,
             )
             prior_blocks = meta.done_blocks or ((0, base.num_states, 1),)
         else:
             prior_blocks = ((0, base.num_states, 1),)
         blocks = _remaining_blocks(prior_blocks, num_states, workers)
+    elif method == "swap":
+        # Contiguous partition: strided blocks would make every swap
+        # worker replay nearly the whole chain (see _contiguous_blocks).
+        blocks = _contiguous_blocks(num_states, workers)
     else:
         blocks = _remaining_blocks((), num_states, workers)
 
@@ -315,6 +366,7 @@ def sample_cloud_pool(
         seed=frozen,
         batch_size=batch_size,
         store_states=store_states,
+        swaps_per_state=swaps_per_state,
     )
     base_states = base.num_states if base is not None else 0
     expected = base_states + sum(_block_len(b) for b in blocks)
@@ -365,6 +417,7 @@ def sample_cloud_pool(
             seed=frozen,
             batch_size=batch_size,
             store_states=store_states,
+            swaps_per_state=swaps_per_state,
             done_blocks=tuple(sorted(prior_blocks + tuple(done))),
             quarantined_blocks=quarantined,
         )
@@ -402,11 +455,21 @@ def sample_cloud_pool(
         kernel=kernel,
         seed=frozen,
         batch_size=batch_size,
+        swaps_per_state=swaps_per_state,
         resumed_states=base_states,
         blocks=len(blocks),
         vertices=graph.num_vertices,
         edges=graph.num_edges,
     )
+
+    def _block_event(name: str, block: Block, **extra) -> None:
+        """Journal a block event, tagging swap blocks with the chain
+        segment their start index enters at."""
+        if method == "swap":
+            extra["chain_segment_start"] = _chain_segment_start(block[0])
+        journal_event(
+            name, block=block[0], stop=block[1], step=block[2], **extra
+        )
 
     def _campaign() -> FrustrationCloud:
         if not blocks:
@@ -416,7 +479,7 @@ def sample_cloud_pool(
             return _run_supervised_campaign(
                 graph, blocks, workers=workers, method=method, kernel=kernel,
                 frozen=frozen, store_states=store_states,
-                batch_size=batch_size,
+                batch_size=batch_size, swaps_per_state=swaps_per_state,
                 policy=policy, fault=fault, finalize=_finalize,
                 merge_completed=_merge_completed, salvage=_salvage,
                 partial_campaign=_partial_campaign,
@@ -437,13 +500,11 @@ def sample_cloud_pool(
                 for block in blocks:
                     local = _run_block(
                         graph, method, kernel, frozen, block, store_states,
-                        batch_size, fault,
+                        batch_size, fault, swaps_per_state,
                     )
                     done.append((block, local))
-                    journal_event(
-                        "block_completed", block=block[0],
-                        stop=block[1], step=block[2],
-                        states=local.num_states,
+                    _block_event(
+                        "block_completed", block, states=local.num_states
                     )
                     merged.merge(local)
                     _absorb_metrics(local)
@@ -498,7 +559,7 @@ def sample_cloud_pool(
             futures = {
                 pool.submit(
                     _worker, method, kernel, frozen, block, store_states,
-                    batch_size, fault,
+                    batch_size, fault, swaps_per_state,
                 ): block
                 for block in blocks
             }
@@ -507,16 +568,14 @@ def sample_cloud_pool(
                     block = futures[future]
                     try:
                         completed.append((block, future.result()))
-                        journal_event(
-                            "block_completed", block=block[0],
-                            stop=block[1], step=block[2],
+                        _block_event(
+                            "block_completed", block,
                             states=completed[-1][1].num_states,
                         )
                     except Exception as exc:
                         failures.append((block, exc))
-                        journal_event(
-                            "block_failed", block=block[0],
-                            stop=block[1], step=block[2],
+                        _block_event(
+                            "block_failed", block,
                             error=f"{type(exc).__name__}: {exc}",
                         )
             except BaseException:
@@ -574,6 +633,7 @@ def _run_supervised_campaign(
     frozen: int,
     store_states: bool,
     batch_size: int,
+    swaps_per_state: int,
     policy,
     fault,
     finalize,
@@ -600,7 +660,7 @@ def _run_supervised_campaign(
     supervisor = CampaignSupervisor(
         graph, blocks, method=method, kernel=kernel, seed=frozen,
         store_states=store_states, batch_size=batch_size, workers=workers,
-        policy=policy, fault=fault,
+        policy=policy, fault=fault, swaps_per_state=swaps_per_state,
     )
     try:
         completed, report = supervisor.run()

@@ -302,6 +302,7 @@ class CampaignSupervisor:
         workers: int,
         policy: RetryPolicy,
         fault: Callable[[Block], None] | None = None,
+        swaps_per_state: int = 1,
     ) -> None:
         self.graph = graph
         self.blocks = [tuple(int(x) for x in b) for b in blocks]
@@ -313,6 +314,7 @@ class CampaignSupervisor:
         self.workers = workers
         self.policy = policy
         self.fault = fault
+        self.swaps_per_state = swaps_per_state
 
         self.report = RunReport(policy=policy, blocks_total=len(self.blocks))
         self.completed: list[tuple[Block, object]] = []
@@ -523,7 +525,7 @@ class CampaignSupervisor:
                         fut = self._ensure_pool().submit(
                             _pool_entry, self.method, self.kernel, self.seed,
                             block, self.store_states, self.batch_size,
-                            self.fault,
+                            self.fault, self.swaps_per_state,
                         )
                         inflight[fut] = (block, attempt, time.monotonic())
                 else:
@@ -532,7 +534,7 @@ class CampaignSupervisor:
                         fut = self._ensure_pool().submit(
                             _pool_entry, self.method, self.kernel, self.seed,
                             block, self.store_states, self.batch_size,
-                            self.fault,
+                            self.fault, self.swaps_per_state,
                         )
                         inflight[fut] = (block, attempt, time.monotonic())
             except (BrokenProcessPool, RuntimeError) as exc:
@@ -691,7 +693,7 @@ class CampaignSupervisor:
                     local = _run_block(
                         self.graph, self.method, self.kernel, self.seed,
                         block, self.store_states, self.batch_size,
-                        self.fault,
+                        self.fault, self.swaps_per_state,
                     )
                 except Exception as exc:
                     if attempt <= self.policy.max_retries:
@@ -744,6 +746,7 @@ class CampaignSupervisor:
                 local = _run_block(
                     self.graph, self.method, self.kernel, self.seed, block,
                     self.store_states, self.batch_size, self.fault,
+                    self.swaps_per_state,
                 )
             except Exception as exc:
                 self._quarantine(
@@ -769,12 +772,14 @@ def _pool_entry(
     store_states: bool,
     batch_size: int,
     fault: Callable[[Block], None] | None,
+    swaps_per_state: int = 1,
 ):
     """Picklable worker entry point (module-level for the executor)."""
     from repro.parallel.pool import _worker
 
     return _worker(
-        method, kernel, seed, block, store_states, batch_size, fault
+        method, kernel, seed, block, store_states, batch_size, fault,
+        swaps_per_state,
     )
 
 
@@ -790,6 +795,7 @@ def run_supervised(
     workers: int,
     policy: RetryPolicy,
     fault: Callable[[Block], None] | None = None,
+    swaps_per_state: int = 1,
 ) -> tuple[list[tuple[Block, object]], RunReport]:
     """Run campaign *blocks* under the fault-handling ladder.
 
@@ -812,4 +818,5 @@ def run_supervised(
         workers=workers,
         policy=policy,
         fault=fault,
+        swaps_per_state=swaps_per_state,
     ).run()

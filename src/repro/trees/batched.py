@@ -110,15 +110,22 @@ class TreeBatch:
 
 def spawn_batch(seed: int, indices: Sequence[int]) -> list[np.random.Generator]:
     """Child generators for the given tree indices, identical to
-    ``[repro.rng.spawn(seed, i) for i in indices]`` but spawning the
-    SeedSequence children once instead of O(max index²) times."""
+    ``[repro.rng.spawn(seed, i) for i in indices]``.
+
+    ``SeedSequence(seed).spawn(k)[i]`` is by construction
+    ``SeedSequence(seed, spawn_key=(i,))``, so only the requested
+    children are built — a resumed block ``[9000, 9032)`` costs 32
+    SeedSequence constructions, not 9032 spawns.
+    """
     indices = list(indices)
     if not indices:
         return []
     if min(indices) < 0:
         raise EngineError("tree indices must be non-negative")
-    children = np.random.SeedSequence(seed).spawn(max(indices) + 1)
-    return [np.random.default_rng(children[i]) for i in indices]
+    return [
+        np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(i,)))
+        for i in indices
+    ]
 
 
 def sample_bfs_batch(
@@ -166,13 +173,19 @@ def sample_bfs_batch(
     reached = np.ones(num_trees, dtype=np.int64)
     depth = 0
 
+    degs = graph.degrees
+    # Winner-selection scratch, sized B·n but allocated once per call
+    # and only ever written at offered slots before being read — no
+    # per-level (B, n) scratch is materialized.
+    best_key = np.empty(size, dtype=np.float64)
+    best_offer = np.empty(size, dtype=np.int64)
+
     while len(frontier):
         depth += 1
-        tree_of = frontier // n
-        verts = frontier % n
+        tree_of, verts = np.divmod(frontier, n)
 
         starts = graph.indptr[verts]
-        counts = graph.indptr[verts + 1] - starts
+        counts = degs[verts]
         pos = np.repeat(starts, counts) + concat_ranges(counts)
         if len(pos) == 0:
             break
@@ -196,35 +209,36 @@ def sample_bfs_batch(
             keys[cursor : cursor + k] = rngs[t].random(k)
             cursor += k
 
-        # Uniform winner per (tree, target) without a float sort: a
-        # stable integer (radix) sort groups each target's offers while
-        # keeping them in offer order, then the minimum random key per
-        # run picks the same winner the sequential lexsort would (ties
-        # fall to the earlier offer in both).
-        order = np.argsort(g_target, kind="stable")
-        gts = g_target[order]
-        keys_s = keys[order]
-        first = np.empty(len(gts), dtype=bool)
-        first[0] = True
-        first[1:] = gts[1:] != gts[:-1]
-        run_starts = np.nonzero(first)[0]
-        run_id = np.cumsum(first) - 1
-        is_min = keys_s == np.minimum.reduceat(keys_s, run_starts)[run_id]
-        cand = np.nonzero(is_min)[0]
-        lead = np.empty(len(cand), dtype=bool)
-        lead[0] = True
-        lead[1:] = run_id[cand[1:]] != run_id[cand[:-1]]
-        win = cand[lead]  # one offer index (into the sorted view) per run
+        # Uniform winner per (tree, target) without sorting the offers:
+        # repeated last-write-wins scatters converge on the minimum key
+        # per target (each round keeps only the offers still strictly
+        # below the stored champion, halving the field in expectation),
+        # then a reversed scatter of the minimum-key offers breaks ties
+        # toward the earliest offer — the same winner the sequential
+        # lexsort picks.
+        best_key[g_target] = keys
+        alive = np.nonzero(keys < best_key[g_target])[0]
+        while len(alive):
+            best_key[g_target[alive]] = keys[alive]
+            alive = alive[keys[alive] < best_key[g_target[alive]]]
+        cand = np.nonzero(keys == best_key[g_target])[0]
+        rev = cand[::-1]
+        best_offer[g_target[rev]] = rev
+        win = cand[best_offer[g_target[cand]] == cand]
+        # Keep the new frontier ascending (the sequential offer order of
+        # the next level); this sorts only the winners, far fewer than
+        # the offers the old full argsort covered.
+        win = win[np.argsort(g_target[win], kind="stable")]
 
-        new_g = gts[win]
-        pos_w = pos[order[win]]
+        new_g = g_target[win]
+        pos_w = pos[win]
         # Recover the winning offers' source vertices from their CSR
         # positions (cheap: only |new frontier| searchsorted lookups).
         parent[new_g] = np.searchsorted(graph.indptr, pos_w, side="right") - 1
         parent_edge[new_g] = graph.adj_edge[pos_w]
         discovered[new_g] = True
         level[new_g] = depth
-        reached += np.bincount(new_g // n, minlength=num_trees)
+        reached += np.bincount(src_tree[win], minlength=num_trees)
         frontier = new_g
         if counters is not None:
             counters.parallel_region("batch.bfs_round", len(new_g))

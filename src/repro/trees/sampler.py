@@ -21,6 +21,7 @@ from repro.trees.bfs import bfs_tree
 from repro.trees.degree_aware import degree_aware_bfs_tree
 from repro.trees.dfs import dfs_tree
 from repro.trees.random_tree import wilson_tree
+from repro.trees.swap_chain import SwapChainSampler, swap_method_stub
 from repro.trees.tree import SpanningTree
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -33,6 +34,9 @@ TREE_METHODS: dict[str, Callable[..., SpanningTree]] = {
     "bfs-low-degree": degree_aware_bfs_tree,
     "dfs": dfs_tree,
     "wilson": wilson_tree,
+    # Chain-derived, not an independent draw: TreeSampler routes it
+    # through SwapChainSampler; calling the entry directly raises.
+    "swap": swap_method_stub,
 }
 
 
@@ -50,26 +54,68 @@ class TreeSampler:
         Root seed; tree *i* uses the ``i``-th spawned child stream.
     root:
         Optional pinned root vertex (default: random per tree).
+    swaps_per_state / segment_length:
+        Swap-chain knobs, meaningful only for ``method="swap"`` (see
+        :mod:`repro.trees.swap_chain`): swaps applied per chain step,
+        and how many states share one independently sampled base tree.
     """
 
     graph: SignedGraph
     method: str = "bfs"
     seed: SeedLike = None
     root: int | None = None
+    swaps_per_state: int = 1
+    segment_length: int = 256
 
     def __post_init__(self) -> None:
         if self.method not in TREE_METHODS:
             raise EngineError(
                 f"unknown tree method {self.method!r}; known: {sorted(TREE_METHODS)}"
             )
+        if self.swaps_per_state < 1:
+            raise EngineError("swaps_per_state must be positive")
+        if self.segment_length < 1:
+            raise EngineError("segment_length must be positive")
         # Freeze the seed so tree(i) is stable regardless of call order,
         # even when constructed with None or a live generator.
         object.__setattr__(self, "seed", freeze_seed(self.seed))
 
+    def swap_chain(self) -> SwapChainSampler:
+        """The sampler's swap chain (``method="swap"`` only), created
+        lazily and cached across calls so sequential indices advance
+        incrementally instead of replaying the segment each time."""
+        if self.method != "swap":
+            raise EngineError(
+                f'method {self.method!r} has no swap chain; use method="swap"'
+            )
+        chain = getattr(self, "_chain", None)
+        if chain is None:
+            chain = SwapChainSampler(
+                self.graph,
+                seed=self.seed,
+                root=self.root,
+                swaps_per_state=self.swaps_per_state,
+                segment_length=self.segment_length,
+            )
+            object.__setattr__(self, "_chain", chain)
+        return chain
+
+    def swap_states(self, indices, start: int = 0):
+        """Balanced states ``(signs, s2r)`` straight off the swap chain
+        (``method="swap"`` only) — the delta path that replaces
+        ``batch()`` + the parity kernel."""
+        get_registry().count(
+            "trees.sampled_total",
+            indices if isinstance(indices, int) else len(list(indices)),
+        )
+        return self.swap_chain().states(indices, start=start)
+
     def tree(self, index: int) -> SpanningTree:
         """The *index*-th tree of this sampler's stream."""
-        rng = spawn(self.seed, index)
         get_registry().count("trees.sampled_total", 1)
+        if self.method == "swap":
+            return self.swap_chain().tree(index)
+        rng = spawn(self.seed, index)
         return TREE_METHODS[self.method](self.graph, root=self.root, seed=rng)
 
     def trees(self, count: int, start: int = 0) -> Iterator[SpanningTree]:

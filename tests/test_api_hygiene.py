@@ -39,6 +39,7 @@ MODULES = [
     "repro.trees.random_tree",
     "repro.trees.sampler",
     "repro.trees.batched",
+    "repro.trees.swap_chain",
     "repro.trees.enumeration",
     "repro.trees.properties",
     "repro.core",

@@ -23,6 +23,33 @@ class TestSpawnBatch:
         with pytest.raises(EngineError):
             spawn_batch(0, [-1])
 
+    def test_spawns_only_requested_children(self, monkeypatch):
+        """A high-index batch must not spawn every predecessor stream:
+        the children are built directly from their spawn keys, so
+        ``SeedSequence.spawn`` is never called and only ``len(indices)``
+        sequences are constructed."""
+        indices = [9000, 9007, 9031]
+        expected = [
+            rng.integers(0, 1 << 30) for rng in spawn_batch(321, indices)
+        ]
+
+        constructed = []
+
+        class Recorder(np.random.SeedSequence):
+            def __init__(self, *args, **kwargs):
+                constructed.append(kwargs.get("spawn_key"))
+                super().__init__(*args, **kwargs)
+
+            def spawn(self, n):  # pragma: no cover - would fail the test
+                raise AssertionError(
+                    f"spawn_batch called SeedSequence.spawn({n})"
+                )
+
+        monkeypatch.setattr(np.random, "SeedSequence", Recorder)
+        rngs = spawn_batch(321, indices)
+        assert [rng.integers(0, 1 << 30) for rng in rngs] == expected
+        assert constructed == [(9000,), (9007,), (9031,)]
+
 
 class TestBatchedBfs:
     @pytest.mark.parametrize("seed", [0, 17, 99])
@@ -38,6 +65,21 @@ class TestBatchedBfs:
             assert np.array_equal(batch.parent[i], tree.parent)
             assert np.array_equal(batch.parent_edge[i], tree.parent_edge)
             assert np.array_equal(batch.level_of[i], tree.level_of)
+
+    @pytest.mark.parametrize(
+        "n,m,batch", [(12, 18, 3), (60, 150, 8), (60, 150, 32), (150, 600, 16)]
+    )
+    def test_bit_identical_across_shapes(self, n, m, batch):
+        """The buffer-reuse winner selection stays bit-identical across
+        batch sizes and graph shapes (B above, at, and below n)."""
+        g = make_connected_signed(n, m, seed=n + batch)
+        sampler = TreeSampler(g, seed=31)
+        trees = sampler.batch(batch)
+        for i in range(batch):
+            tree = sampler.tree(i)
+            assert np.array_equal(trees.parent[i], tree.parent)
+            assert np.array_equal(trees.parent_edge[i], tree.parent_edge)
+            assert np.array_equal(trees.level_of[i], tree.level_of)
 
     def test_offset_batch_matches_tail_indices(self):
         g = make_connected_signed(40, 90, seed=2)
