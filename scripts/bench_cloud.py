@@ -22,8 +22,10 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import os
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -120,6 +122,118 @@ def bench_one(
     return best
 
 
+class ShardProbe:
+    """Picklable per-block hook for the shard benchmark.
+
+    Two jobs: model a heavy chain tail (sleep *per_heavy* seconds for
+    every state at or past *heavy_from* — the skew that static
+    partitioning serializes onto one worker and work-stealing spreads)
+    and sample the worker's anonymous RSS into a shared file, one
+    ``pid kb`` line per block (anonymous, not total: memmap'd store
+    pages are file-backed and shared, so RssAnon is what the zero-copy
+    store is supposed to keep flat).
+    """
+
+    def __init__(self, rss_path, heavy_from=None, per_heavy=0.0):
+        self.rss_path = str(rss_path)
+        self.heavy_from = heavy_from
+        self.per_heavy = per_heavy
+
+    def __call__(self, block):
+        if self.heavy_from is not None and self.per_heavy:
+            heavy = sum(1 for i in range(*block) if i >= self.heavy_from)
+            if heavy:
+                time.sleep(heavy * self.per_heavy)
+        anon = 0
+        try:
+            for line in Path("/proc/self/status").read_text().splitlines():
+                if line.startswith("RssAnon"):
+                    anon = int(line.split()[1])
+                    break
+        except OSError:
+            pass
+        with open(self.rss_path, "a") as fh:
+            fh.write(f"{os.getpid()} {anon}\n")
+
+
+def _per_worker_anon_kb(path) -> dict[str, int]:
+    """Peak RssAnon (KB) per worker pid from a :class:`ShardProbe` log."""
+    worst: dict[str, int] = {}
+    for line in Path(path).read_text().splitlines():
+        pid, kb = line.split()
+        worst[pid] = max(worst.get(pid, 0), int(kb))
+    return worst
+
+
+def bench_shard(graph, store, num_states, seed, workers, scratch) -> dict:
+    """Static partitioning vs work-stealing on a skewed workload, plus
+    per-worker RSS for pickle- vs store-initialized pools.
+
+    The skew is a synthetic heavy tail: the last quarter of the states
+    each cost an extra ``sleep``.  Static contiguous partitioning hands
+    the whole tail to the last worker; fine-grained stealing chunks let
+    idle workers drain it, so the steal run should win wall-clock on
+    the same campaign.
+    """
+    from repro.parallel.pool import sample_cloud_pool
+
+    heavy_from = num_states * 3 // 4
+    per_heavy = 0.02
+    section: dict = {
+        "states": num_states,
+        "workers": workers,
+        "heavy_tail_states": num_states - heavy_from,
+        "sleep_per_heavy_state": per_heavy,
+    }
+    clouds = {}
+    for label, steal in (("static", None), ("steal", 8 * workers)):
+        probe = ShardProbe(
+            scratch / f"rss-{label}.txt",
+            heavy_from=heavy_from, per_heavy=per_heavy,
+        )
+        start = time.perf_counter()
+        clouds[label] = sample_cloud_pool(
+            graph, num_states, workers=workers, method="swap", seed=seed,
+            graph_store=store, steal_chunks=steal, fault=probe,
+        )
+        section[f"{label}_seconds"] = round(time.perf_counter() - start, 4)
+    section["steal_speedup"] = round(
+        section["static_seconds"] / section["steal_seconds"], 2
+    )
+    section["status_identical"] = bool(
+        np.array_equal(clouds["static"].status(), clouds["steal"].status())
+    )
+    print(f"  shard swap static    {section['static_seconds']:>8.4f}s")
+    print(f"  shard swap steal     {section['steal_seconds']:>8.4f}s "
+          f"({section['steal_speedup']}x, "
+          f"identical={section['status_identical']})", flush=True)
+
+    rss: dict = {}
+    for mode in ("pickle", "store"):
+        per_count: dict = {}
+        for w in sorted({2, workers}):
+            log = scratch / f"rss-{mode}-{w}.txt"
+            sample_cloud_pool(
+                graph, min(num_states, 4 * w), workers=w, seed=seed,
+                graph_store=store if mode == "store" else None,
+                fault=ShardProbe(log),
+            )
+            worst = _per_worker_anon_kb(log)
+            values = sorted(worst.values())
+            per_count[str(w)] = {
+                "workers_seen": len(worst),
+                "mean_anon_kb": int(sum(values) / max(len(values), 1)),
+                "max_anon_kb": values[-1] if values else 0,
+            }
+        rss[mode] = per_count
+        shown = ", ".join(
+            f"{w}w mean={v['mean_anon_kb']}KB" for w, v in per_count.items()
+        )
+        print(f"  shard rss {mode:<6s}     {shown}", flush=True)
+    section["per_worker_rss_anon_kb"] = rss
+    return section
+
+
 def _print_phases(run: dict) -> None:
     total = sum(run["phases"].values()) or 1.0
     for name, secs in sorted(
@@ -152,6 +266,17 @@ def main(argv=None) -> int:
     parser.add_argument("--trace-out", metavar="PATH",
                         help="also write every benchmarked campaign's span "
                              "timeline as Chrome trace JSON")
+    parser.add_argument("--graph-store", action="store_true",
+                        help="also bench the zero-copy mmap store: a "
+                             "store-backed sequential row per graph "
+                             "(method 'bfs_store', gated like any other "
+                             "row) plus a sharded section — static vs "
+                             "work-stealing wall time on a skewed "
+                             "workload and per-worker RssAnon for "
+                             "pickle- vs store-initialized pools")
+    parser.add_argument("--shard-workers", type=int, default=4, metavar="N",
+                        help="pool size for the --graph-store shard "
+                             "section (default 4)")
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -189,6 +314,8 @@ def main(argv=None) -> int:
         trace_scope = collecting_trace()
     else:
         trace_scope = contextlib.nullcontext(None)
+    scratch: Path | None = None
+    shard_section: dict | None = None
     with trace_scope as collector:
         for cfg in configs:
             graph = build_graph(cfg["vertices"], cfg["edges"], args.seed)
@@ -209,6 +336,38 @@ def main(argv=None) -> int:
                 _print_phases(seq)
 
             entry["batched"] = []
+            if args.graph_store:
+                from repro.graph.store import GraphStore
+
+                if scratch is None:
+                    scratch = Path(tempfile.mkdtemp(prefix="bench-store-"))
+                store = GraphStore.pack(
+                    graph, scratch / f"bench-{graph.num_vertices}.rsgs"
+                )
+                # Same engine, same order — only the arrays' backing
+                # changes, so this row must stay bit-identical AND as
+                # fast as the in-memory sequential row.
+                run = bench_one(
+                    store.graph(), cfg["states"], 1, args.seed, args.repeat
+                )
+                cloud = run.pop("_cloud")
+                run["method"] = "bfs_store"
+                run["speedup_vs_sequential"] = round(
+                    run["states_per_sec"] / seq["states_per_sec"], 2
+                )
+                run["attributes_identical"] = attributes_identical(
+                    seq_cloud, cloud
+                )
+                entry["batched"].append(run)
+                print(f"  bfs_store (mmap)    {run['states_per_sec']:>9.2f} "
+                      f"states/s  ({run['speedup_vs_sequential']}x, "
+                      f"identical={run['attributes_identical']})",
+                      flush=True)
+                if shard_section is None:
+                    shard_section = bench_shard(
+                        graph, store, cfg["states"], args.seed,
+                        args.shard_workers, scratch,
+                    )
             for method in methods:
                 for bs in cfg["batch_sizes"]:
                     run = bench_one(
@@ -258,8 +417,10 @@ def main(argv=None) -> int:
     report["all_identical"] = all(
         run["attributes_identical"]
         for entry in report["runs"] for run in entry["batched"]
-        if run["method"] == "bfs"
+        if run["method"] in ("bfs", "bfs_store")
     )
+    if shard_section is not None:
+        report["shard"] = shard_section
     report["all_swap_within_tol"] = all(
         run["frustration_within_tol"]
         for entry in report["runs"] for run in entry["batched"]

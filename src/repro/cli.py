@@ -7,13 +7,15 @@ balance      compute one nearest balanced state and report the switches
 cloud        sample a frustration cloud; write status/influence CSV
 frustration  frustration-index bounds (exact / local search / cloud)
 dataset      materialize a Table-1 synthetic stand-in to a file
+graph        pack/inspect zero-copy mmap graph stores (``graph pack``)
 model        modeled serial/OpenMP/CUDA campaign times (Tables 2–3)
 memory       Table-4 memory model for given sizes or a named dataset
 journal      summarize a campaign event journal (``cloud --journal``)
 
 Graph files are auto-detected by extension: ``.mtx`` (Matrix Market),
-``.tsv`` (KONECT), ``.npz`` (repro snapshot), anything else is parsed
-as a ``u v sign`` edge list.
+``.tsv`` (KONECT), ``.npz`` (repro snapshot), ``.rsgs`` (packed
+zero-copy graph store), anything else is parsed as a ``u v sign`` edge
+list.
 """
 
 from __future__ import annotations
@@ -41,6 +43,10 @@ def load_graph_file(path: str):
         return read_konect(path)
     if suffix == ".npz":
         return load_npz(path)
+    if suffix == ".rsgs":
+        from repro.graph.store import GraphStore
+
+        return GraphStore.open(path).graph()
     return read_edgelist(path)
 
 
@@ -147,6 +153,48 @@ def _print_run_report(cloud) -> None:
               "remaining blocks")
 
 
+def _resolve_graph_store(args, sub):
+    """Open (or pack) the campaign's graph store, when one is in play.
+
+    Returns an open :class:`~repro.graph.store.GraphStore` or ``None``.
+    ``--graph-store PATH`` opens PATH when it exists (its fingerprint
+    must match the campaign graph) and packs the graph there when it
+    does not.  ``--shard-workers`` without ``--graph-store`` packs into
+    a content-addressed file under the system temp directory, so
+    repeated sharded runs of the same graph reuse one mapping.
+    """
+    if not getattr(args, "graph_store", None) and not getattr(
+        args, "shard_workers", None
+    ):
+        return None
+    import tempfile
+
+    from repro.graph.store import GraphStore, graph_fingerprint
+
+    fingerprint = graph_fingerprint(sub)
+    path = args.graph_store
+    if path is None:
+        path = str(
+            Path(tempfile.gettempdir())
+            / f"repro-graph-{fingerprint[:16]}.rsgs"
+        )
+    path = Path(path)
+    if path.exists():
+        store = GraphStore.open(path)
+        if store.fingerprint != fingerprint:
+            raise ReproError(
+                f"graph store {path} holds a different graph than "
+                f"{args.input} (fingerprint mismatch); repack it with "
+                "`repro graph pack` or point --graph-store elsewhere"
+            )
+        print(f"graph store: {path} (opened, zero-copy)")
+    else:
+        store = GraphStore.pack(sub, path)
+        print(f"graph store: {path} (packed, "
+              f"{path.stat().st_size:,} bytes)")
+    return store
+
+
 def _run_cloud_campaign(args, sub, policy):
     """Run the cloud campaign the flags describe; returns the cloud.
 
@@ -156,6 +204,20 @@ def _run_cloud_campaign(args, sub, policy):
     from repro.cloud import sample_cloud
     from repro.cloud.cloud import auto_batch_size
     from repro.parallel.pool import sample_cloud_pool
+
+    if args.shard_workers is not None:
+        if args.shard_workers < 1:
+            raise ReproError("--shard-workers must be positive")
+        if args.workers != 1:
+            raise ReproError(
+                "pass either --workers or --shard-workers, not both "
+                "(--shard-workers implies the worker count)"
+            )
+        args.workers = args.shard_workers
+        if args.steal_chunks is None:
+            # Enough chunks that a straggler block delays only itself.
+            args.steal_chunks = min(8 * args.shard_workers, args.states)
+    store = _resolve_graph_store(args, sub)
 
     # Fresh campaigns fall back to the historical defaults; on --resume,
     # parameters the user did not spell out are inherited from (and
@@ -197,6 +259,8 @@ def _run_cloud_campaign(args, sub, policy):
                 keep_checkpoints=args.keep_checkpoints,
                 resume_from=source,
                 policy=policy,
+                graph_store=store,
+                steal_chunks=args.steal_chunks,
             )
         return resume_cloud(
             cloud,
@@ -209,7 +273,7 @@ def _run_cloud_campaign(args, sub, policy):
             keep_checkpoints=args.keep_checkpoints,
             swaps_per_state=args.swaps_per_state,
         )
-    if args.workers > 1 or policy is not None:
+    if args.workers > 1 or policy is not None or store is not None:
         # A retry policy routes even --workers 1 through the pool
         # driver: the supervisor's in-process ladder lives there.
         return sample_cloud_pool(
@@ -220,6 +284,8 @@ def _run_cloud_campaign(args, sub, policy):
             checkpoint_path=args.checkpoint,
             keep_checkpoints=args.keep_checkpoints,
             policy=policy,
+            graph_store=store,
+            steal_chunks=args.steal_chunks,
         )
     return sample_cloud(
         sub, args.states, method=method, seed=seed,
@@ -293,6 +359,48 @@ def _cmd_cloud(args) -> int:
 
         write_edge_csv(cloud, args.edge_output, original_ids=ids)
         print(f"per-edge attributes written to {args.edge_output}")
+    return 0
+
+
+def _cmd_graph_pack(args) -> int:
+    from repro.graph.store import GraphStore
+
+    graph = load_graph_file(args.input)
+    if args.no_lcc:
+        packed = graph
+    else:
+        packed, _ = _lcc(graph)
+        if packed.num_vertices != graph.num_vertices:
+            print(f"packing largest connected component: "
+                  f"{packed.num_vertices:,}/{graph.num_vertices:,} vertices "
+                  f"(--no-lcc packs everything)")
+    store = GraphStore.pack(packed, args.output)
+    if args.verify:
+        store.verify()
+    size = Path(args.output).stat().st_size
+    print(f"packed {packed.num_vertices:,} vertices / "
+          f"{packed.num_edges:,} edges into {args.output} ({size:,} bytes"
+          f"{', checksum verified' if args.verify else ''})")
+    print(f"  fingerprint: {store.fingerprint}")
+    return 0
+
+
+def _cmd_graph_info(args) -> int:
+    from repro.graph.store import GraphStore
+
+    header = GraphStore.read_header(args.store)
+    print(f"graph store: {args.store}")
+    print(f"  format version: {header.version}")
+    print(f"  vertices:       {header.num_vertices:,}")
+    print(f"  edges:          {header.num_edges:,}")
+    print(f"  fingerprint:    {header.fingerprint}")
+    print(f"  checksum:       {header.checksum}")
+    payload = sum(nbytes for *_rest, nbytes in header.arrays)
+    print(f"  payload:        {payload:,} bytes in {len(header.arrays)} "
+          "arrays")
+    for name, dtype, shape, offset, nbytes in header.arrays:
+        print(f"    {name:12s} {dtype:6s} shape={shape} "
+              f"offset={offset} ({nbytes:,} bytes)")
     return 0
 
 
@@ -534,6 +642,25 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default 1; more swaps decorrelate successive "
                         "states at more cost per state)")
     p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--graph-store", metavar="PATH",
+                   help="run the campaign against a packed zero-copy "
+                        "graph store: workers mmap PATH read-only and "
+                        "share one page-cache copy of the graph instead "
+                        "of receiving pickled copies; packed from the "
+                        "input's largest connected component when PATH "
+                        "does not exist yet")
+    p.add_argument("--shard-workers", type=int, default=None, metavar="N",
+                   help="sharded campaign shorthand: N store-backed "
+                        "workers with work-stealing over fine block "
+                        "ranges (~8 chunks per worker); packs a "
+                        "content-addressed store under the temp dir "
+                        "when --graph-store is not given")
+    p.add_argument("--steal-chunks", type=int, default=None, metavar="K",
+                   help="split the campaign into K fine contiguous "
+                        "blocks feeding the shared worker queue (work "
+                        "stealing); default: static one-block-per-worker "
+                        "partitioning, or 8 per worker with "
+                        "--shard-workers")
     p.add_argument("--batch-size", type=_batch_size_arg, default=None,
                    metavar="B",
                    help="balance B spanning trees per kernel invocation "
@@ -613,6 +740,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output")
     p.set_defaults(func=_cmd_dataset)
+
+    p = sub.add_parser("graph",
+                       help="pack or inspect zero-copy mmap graph stores")
+    graph_sub = p.add_subparsers(dest="graph_command", required=True)
+    gp = graph_sub.add_parser(
+        "pack",
+        help="serialize a graph into a flat checksummed store file that "
+             "campaign workers mmap read-only (zero pickling)")
+    gp.add_argument("input", help="graph file (any supported format)")
+    gp.add_argument("output", help="store file to write (.rsgs)")
+    gp.add_argument("--no-lcc", action="store_true",
+                    help="pack the whole graph instead of its largest "
+                         "connected component (campaigns need a "
+                         "connected graph)")
+    gp.add_argument("--verify", action="store_true",
+                    help="re-read the packed payload and verify its "
+                         "checksum before reporting success")
+    gp.set_defaults(func=_cmd_graph_pack)
+    gi = graph_sub.add_parser(
+        "info", help="print a store file's header (no payload read)")
+    gi.add_argument("store", help="packed store file")
+    gi.set_defaults(func=_cmd_graph_info)
 
     p = sub.add_parser("model", help="modeled serial/OpenMP/CUDA campaign")
     p.add_argument("input")

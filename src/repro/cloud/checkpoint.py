@@ -29,7 +29,6 @@ checkpoint layer therefore provides three guarantees:
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from dataclasses import dataclass
@@ -42,6 +41,11 @@ from repro.cloud.cloud import BATCHED_KERNELS, FrustrationCloud
 from repro.core.balancer import balance
 from repro.errors import CheckpointError, EngineError, ReproError
 from repro.graph.csr import SignedGraph
+
+# Canonical fingerprint lives with the on-disk graph store so that
+# checkpoints, store files, and in-memory graphs all hash identically;
+# re-exported here for backward compatibility.
+from repro.graph.store import graph_fingerprint
 from repro.perf.journal import journal_event
 from repro.perf.registry import get_registry
 from repro.perf.tracing import span
@@ -101,18 +105,16 @@ class CampaignMeta:
     # and the implicit value of checkpoints written before the chain
     # engine existed.
     swaps_per_state: int = 1
+    # Path of the packed GraphStore file the campaign ran against, when
+    # it used the zero-copy pool path.  Advisory, not part of resume
+    # validation: the graph's identity is already pinned by the
+    # checkpoint-level fingerprint, and the store may legitimately live
+    # at a different path (or be absent) on the resuming machine.  When
+    # the recorded store still exists, the pool resume cross-checks its
+    # header fingerprint against the graph before trusting it.
+    graph_store: str | None = None
     done_blocks: Tuple[Tuple[int, int, int], ...] | None = None
     quarantined_blocks: Tuple[Tuple[int, int, int], ...] | None = None
-
-
-def graph_fingerprint(graph: SignedGraph) -> str:
-    """Content hash of the graph (structure + signs)."""
-    h = hashlib.sha256()
-    h.update(graph.indptr.tobytes())
-    h.update(graph.edge_u.tobytes())
-    h.update(graph.edge_v.tobytes())
-    h.update(graph.edge_sign.tobytes())
-    return h.hexdigest()
 
 
 # ----------------------------------------------------------------------
@@ -246,6 +248,8 @@ def _payload(
         payload["campaign_swaps_per_state"] = np.array(
             [campaign.swaps_per_state], dtype=np.int64
         )
+        if campaign.graph_store is not None:
+            payload["campaign_graph_store"] = np.array(campaign.graph_store)
         if campaign.done_blocks is not None:
             payload["campaign_done_blocks"] = np.asarray(
                 campaign.done_blocks, dtype=np.int64
@@ -411,6 +415,11 @@ def _restore(
                 _scalar(data, "campaign_swaps_per_state", path)
                 if "campaign_swaps_per_state" in data.files
                 else 1
+            ),
+            graph_store=(
+                str(data["campaign_graph_store"][()])
+                if "campaign_graph_store" in data.files
+                else None
             ),
             done_blocks=done_blocks,
             quarantined_blocks=quarantined_blocks,

@@ -373,9 +373,17 @@ def sample_cloud(
     checkpoint_every: int = 0,
     keep_checkpoints: int = 1,
     swaps_per_state: int = 1,
+    graph_store=None,
 ) -> FrustrationCloud:
     """Alg. 2: sample ``num_states`` spanning trees, balance each, and
     accumulate the Harary bipartitions into a cloud.
+
+    ``graph_store`` (a path or an open
+    :class:`~repro.graph.store.GraphStore`) records the packed store
+    file the campaign's graph came from in its checkpoint metadata, so
+    pool resumes can cross-check the store; the sequential engine
+    itself reads *graph* (pass ``store.graph()`` to sample directly
+    off the mapping).
 
     ``batch_size > 1`` switches to the tree-batched engine: each
     iteration samples a batch of trees with the stacked BFS kernels,
@@ -451,6 +459,9 @@ def sample_cloud(
     if checkpoint_path is not None:
         from repro.cloud.checkpoint import CampaignMeta, CheckpointWriter
 
+        store_path = None
+        if graph_store is not None:
+            store_path = str(getattr(graph_store, "path", graph_store))
         writer = CheckpointWriter(
             checkpoint_path,
             CampaignMeta(
@@ -460,6 +471,7 @@ def sample_cloud(
                 batch_size=batch_size,
                 store_states=store_states,
                 swaps_per_state=swaps_per_state,
+                graph_store=store_path,
             ),
             every=checkpoint_every,
             keep=keep_checkpoints,

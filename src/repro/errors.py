@@ -10,6 +10,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "GraphFormatError",
+    "GraphStoreError",
     "DisconnectedGraphError",
     "NotASpanningTreeError",
     "NotBalancedError",
@@ -27,6 +28,12 @@ class ReproError(Exception):
 
 class GraphFormatError(ReproError):
     """Raised when edge input is malformed (bad signs, self loops, etc.)."""
+
+
+class GraphStoreError(GraphFormatError):
+    """Raised when a packed graph-store file cannot be written, read, or
+    trusted: bad magic, unsupported version, truncated payload, checksum
+    or fingerprint mismatches, and malformed headers."""
 
 
 class DisconnectedGraphError(ReproError):

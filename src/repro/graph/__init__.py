@@ -9,6 +9,7 @@ from repro.graph.components import (
     largest_connected_component,
     num_connected_components,
 )
+from repro.graph.store import GraphStore, graph_fingerprint
 
 __all__ = [
     "SignedGraph",
@@ -17,4 +18,6 @@ __all__ = [
     "connected_components",
     "largest_connected_component",
     "num_connected_components",
+    "GraphStore",
+    "graph_fingerprint",
 ]

@@ -110,16 +110,28 @@ def save_npz(graph: SignedGraph, path: PathLike) -> None:
 
 
 def load_npz(path: PathLike) -> SignedGraph:
-    """Load a snapshot written by :func:`save_npz`."""
+    """Load a snapshot written by :func:`save_npz`.
+
+    Arrays come back in the canonical CSR dtypes (int64 structure,
+    int8 signs) and are marked read-only — :class:`SignedGraph` is a
+    frozen dataclass whose cached ``degrees`` (and every balanced state
+    derived via ``with_signs``) assume the loaded arrays never mutate.
+    """
+
+    def _frozen(arr: np.ndarray, dtype) -> np.ndarray:
+        out = np.ascontiguousarray(arr, dtype=dtype)
+        out.setflags(write=False)
+        return out
+
     with np.load(path) as data:
         try:
             return SignedGraph(
-                indptr=data["indptr"],
-                adj_vertex=data["adj_vertex"],
-                adj_edge=data["adj_edge"],
-                edge_u=data["edge_u"],
-                edge_v=data["edge_v"],
-                edge_sign=data["edge_sign"],
+                indptr=_frozen(data["indptr"], np.int64),
+                adj_vertex=_frozen(data["adj_vertex"], np.int64),
+                adj_edge=_frozen(data["adj_edge"], np.int64),
+                edge_u=_frozen(data["edge_u"], np.int64),
+                edge_v=_frozen(data["edge_v"], np.int64),
+                edge_sign=_frozen(data["edge_sign"], np.int8),
             )
         except KeyError as exc:
             raise GraphFormatError(f"snapshot is missing array {exc}") from exc

@@ -38,13 +38,20 @@ class RankResult:
 
 
 def partition_indices(num_items: int, num_ranks: int) -> list[np.ndarray]:
-    """Block partition of tree indices over ranks (the paper hands each
-    compute node 'a subset of the tree roots')."""
+    """Strided partition of tree indices over ranks (the paper hands
+    each compute node 'a subset of the tree roots').
+
+    Only non-empty partitions are returned: with more ranks than items
+    (or ``num_items == 0``) the surplus ranks simply get no slice,
+    instead of zero-length partitions that downstream journal/timeline
+    accounting would count as real (empty) blocks of work.
+    """
     if num_ranks < 1:
         raise EngineError("need at least one rank")
-    return [
-        np.arange(num_items)[r::num_ranks] for r in range(num_ranks)
-    ]
+    if num_items < 0:
+        raise EngineError("num_items must be non-negative")
+    parts = [np.arange(num_items)[r::num_ranks] for r in range(num_ranks)]
+    return [p for p in parts if len(p)]
 
 
 def _run_rank(

@@ -9,12 +9,31 @@ clouds — producing results equivalent to the sequential
 :func:`repro.cloud.sample_cloud` for the same seed (tested), because
 :class:`TreeSampler` hands out tree *i* deterministically.
 
-The graph is shipped to each worker exactly once, through the
-executor's *initializer* (one pickle per worker process), and blocks
-travel as three integers ``(start, stop, step)`` — never a
-materialized index list.  Within a worker, ``batch_size > 1`` runs the
-tree-batched engine on each block, stacking the worker's trees into
-shared vectorized kernels.
+The graph reaches each worker exactly once, through the executor's
+*initializer*, and blocks travel as three integers ``(start, stop,
+step)`` — never a materialized index list.  Two initializers exist:
+the legacy one ships a pickle of the graph per worker process, and the
+zero-copy one (``graph_store=...``) ships only a path to a packed
+:class:`~repro.graph.store.GraphStore` file that every worker reopens
+as read-only ``np.memmap`` views — N workers then share one page-cache
+copy of the graph, and pool rebuilds cost a header read instead of a
+re-pickle.  Either way the worker slot records the graph's content
+fingerprint, and every task carries the campaign's expected
+fingerprint, so a stale slot (executor reuse after degradation, a
+rebuilt pool, a swapped store file) is detected — and, for
+store-backed workers, healed by reopening the mapping — instead of
+silently computing against the wrong graph.  Within a worker,
+``batch_size > 1`` runs the tree-batched engine on each block,
+stacking the worker's trees into shared vectorized kernels.
+
+Work-stealing: ``steal_chunks=K`` splits the campaign into K fine
+contiguous blocks (pick ``K ≈ 4–8× workers``) that all enter the
+executor's shared task queue up front; idle workers pull the next
+block the moment they finish one, so a straggler block delays only
+itself instead of serializing the whole tail the way a static
+one-block-per-worker split does.  The parent journals which worker ran
+each block and a ``steal_summary`` event with the per-worker block/
+state tallies, so imbalance is visible after the fact.
 
 Crash safety: when ``checkpoint_path`` is given and a worker dies, the
 parent salvages every block that *did* complete into an atomic
@@ -32,8 +51,9 @@ parallel dataflow a multi-core deployment would use as-is.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import TYPE_CHECKING, Callable, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -41,6 +61,7 @@ from repro.cloud.cloud import BATCHED_KERNELS, FrustrationCloud
 from repro.core.balancer import balance
 from repro.errors import CheckpointError, EngineError, SupervisorError
 from repro.graph.csr import SignedGraph
+from repro.graph.store import GraphStore, graph_fingerprint
 from repro.perf.journal import journal_event
 from repro.perf.registry import collecting, get_registry
 from repro.perf.tracing import span
@@ -48,20 +69,97 @@ from repro.rng import SeedLike, freeze_seed
 from repro.trees.sampler import TreeSampler
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
+
     from repro.parallel.supervisor import RetryPolicy
 
 __all__ = ["sample_cloud_pool"]
 
 Block = Tuple[int, int, int]
+StoreLike = Union[str, "Path", GraphStore]
 
-# Per-process graph slot, populated once by the executor initializer so
-# submitted tasks don't each re-pickle the (potentially large) graph.
+# Per-process graph slot, populated once by an executor initializer so
+# submitted tasks don't each re-ship the (potentially large) graph.
+# The fingerprint makes the slot verifiable: every task carries the
+# campaign's expected fingerprint, so a stale slot never silently
+# serves the wrong graph.  _WORKER_STORE remembers the backing store
+# path (when there is one) so a stale store-backed slot can heal
+# itself by reopening the mapping.
 _WORKER_GRAPH: SignedGraph | None = None
+_WORKER_FINGERPRINT: str | None = None
+_WORKER_STORE: str | None = None
 
 
-def _init_worker(graph: SignedGraph) -> None:
-    global _WORKER_GRAPH
+def _init_worker(graph: SignedGraph, fingerprint: str | None = None) -> None:
+    """Legacy initializer: install a pickled graph in the worker slot."""
+    global _WORKER_GRAPH, _WORKER_FINGERPRINT, _WORKER_STORE
     _WORKER_GRAPH = graph
+    _WORKER_FINGERPRINT = (
+        fingerprint if fingerprint is not None else graph_fingerprint(graph)
+    )
+    _WORKER_STORE = None
+
+
+def _init_worker_store(path: str, fingerprint: str | None = None) -> None:
+    """Zero-copy initializer: map the packed graph store read-only.
+
+    The arrays are ``np.memmap`` views, so every worker on the machine
+    shares one page-cache copy of the graph; only the path and the
+    expected fingerprint cross the process boundary.
+    """
+    global _WORKER_GRAPH, _WORKER_FINGERPRINT, _WORKER_STORE
+    store = GraphStore.open(path)
+    if fingerprint is not None and store.fingerprint != fingerprint:
+        raise EngineError(
+            f"graph store {path} holds fingerprint "
+            f"{store.fingerprint[:12]}..., campaign expects "
+            f"{fingerprint[:12]}... (was the store repacked mid-campaign?)"
+        )
+    _WORKER_GRAPH = store.graph()
+    _WORKER_FINGERPRINT = store.fingerprint
+    _WORKER_STORE = str(path)
+
+
+def _reset_worker_slot() -> None:
+    """Clear the per-process graph slot (parent-side before in-process
+    or degraded execution, and tests) so stale state cannot leak into a
+    later campaign that reuses this process."""
+    global _WORKER_GRAPH, _WORKER_FINGERPRINT, _WORKER_STORE
+    _WORKER_GRAPH = None
+    _WORKER_FINGERPRINT = None
+    _WORKER_STORE = None
+
+
+def _worker_graph(fingerprint: str | None) -> SignedGraph:
+    """The worker-slot graph, fingerprint-checked against the task.
+
+    A store-backed slot that is empty or stale heals itself by
+    reopening the mapping; a pickle-backed mismatch is unrecoverable in
+    the worker and raises (the parent's rebuild ladder takes over).
+    """
+    global _WORKER_GRAPH, _WORKER_FINGERPRINT
+    if _WORKER_GRAPH is not None and (
+        fingerprint is None or fingerprint == _WORKER_FINGERPRINT
+    ):
+        return _WORKER_GRAPH
+    if _WORKER_STORE is not None:
+        store = GraphStore.open(_WORKER_STORE)
+        if fingerprint is not None and store.fingerprint != fingerprint:
+            raise EngineError(
+                f"graph store {_WORKER_STORE} holds fingerprint "
+                f"{store.fingerprint[:12]}..., task expects "
+                f"{fingerprint[:12]}..."
+            )
+        _WORKER_GRAPH = store.graph()
+        _WORKER_FINGERPRINT = store.fingerprint
+        return _WORKER_GRAPH
+    if _WORKER_GRAPH is None:
+        raise EngineError("worker process has no graph; initializer missing")
+    raise EngineError(
+        f"worker graph slot is stale: holds fingerprint "
+        f"{(_WORKER_FINGERPRINT or 'unknown')[:12]}..., task expects "
+        f"{(fingerprint or 'unknown')[:12]}..."
+    )
 
 
 def _run_block(
@@ -123,6 +221,10 @@ def _run_block(
         # count travels with its snapshot through salvage and resume.
         get_registry().count("cloud.states_total", cloud.num_states)
     cloud.metrics = metrics.snapshot()
+    # Which process ran the block: dynamic attributes survive pickling
+    # (like `metrics` above), so the parent can attribute every block
+    # to a worker for the steal accounting.
+    cloud.worker_pid = os.getpid()
     return cloud
 
 
@@ -135,12 +237,13 @@ def _worker(
     batch_size: int,
     fault: Callable[[Block], None] | None = None,
     swaps_per_state: int = 1,
+    fingerprint: str | None = None,
 ) -> FrustrationCloud:
-    """Pool entry point: run a block against the initializer's graph."""
-    if _WORKER_GRAPH is None:  # pragma: no cover - initializer always ran
-        raise EngineError("worker process has no graph; initializer missing")
+    """Pool entry point: run a block against the worker-slot graph
+    (fingerprint-checked; see :func:`_worker_graph`)."""
+    graph = _worker_graph(fingerprint)
     return _run_block(
-        _WORKER_GRAPH, method, kernel, seed, block, store_states,
+        graph, method, kernel, seed, block, store_states,
         batch_size, fault, swaps_per_state,
     )
 
@@ -257,6 +360,31 @@ def _contiguous_blocks(target: int, workers: int) -> list[Block]:
     return blocks
 
 
+def _split_blocks(blocks: Sequence[Block], num_chunks: int) -> list[Block]:
+    """Subdivide *blocks* into about *num_chunks* same-stride pieces.
+
+    Used by the work-stealing path on resume: the remaining blocks
+    (arbitrary strides from a salvage checkpoint) are split
+    proportionally to their index counts so the executor queue holds
+    fine-grained work.  Zero-length inputs are dropped, never emitted.
+    """
+    blocks = [b for b in blocks if _block_len(b) > 0]
+    total = sum(_block_len(b) for b in blocks)
+    if total == 0 or num_chunks <= len(blocks):
+        return list(blocks)
+    out: list[Block] = []
+    for start, _stop, step in blocks:
+        n = _block_len((start, _stop, step))
+        share = max(1, round(num_chunks * n / total))
+        lo = 0
+        for w in range(share):
+            hi = lo + (n - lo) // (share - w)
+            if hi > lo:
+                out.append((start + lo * step, start + hi * step, step))
+            lo = hi
+    return out
+
+
 def _chain_segment_start(index: int, segment_length: int = 256) -> int:
     """The swap-chain segment start covering *index* (recorded on block
     journal events so operators can see a block's chain entry point)."""
@@ -278,6 +406,8 @@ def sample_cloud_pool(
     fault: Callable[[Block], None] | None = None,
     policy: "RetryPolicy | None" = None,
     swaps_per_state: int = 1,
+    graph_store: StoreLike | None = None,
+    steal_chunks: int | None = None,
 ) -> FrustrationCloud:
     """Alg. 2 with tree-level process parallelism.
 
@@ -312,6 +442,21 @@ def sample_cloud_pool(
     states and its checkpoint records ``done_blocks`` (and the
     quarantined blocks), so ``resume_from`` re-attempts exactly the
     missing work.
+
+    ``graph_store`` (a path or an open
+    :class:`~repro.graph.store.GraphStore`) switches the pool to the
+    zero-copy initializer: workers map the packed store file read-only
+    instead of receiving a pickled graph, sharing one page-cache copy
+    machine-wide.  The store's fingerprint must match *graph* (which is
+    still used for the parent-side merge and checkpointing) — pass
+    ``store.graph()`` as *graph* to guarantee it.
+
+    ``steal_chunks=K`` enables work-stealing: the campaign is split
+    into K fine contiguous blocks (recommend ``4–8 × workers``) that
+    feed the executor's shared queue, so idle workers immediately pull
+    the next block and stragglers delay only themselves.  Results stay
+    bit-identical to the sequential campaign — blocks merge in sorted
+    index order regardless of which worker ran them.
     """
     from repro.cloud.checkpoint import (
         CampaignMeta,
@@ -333,7 +478,26 @@ def sample_cloud_pool(
             f"kernel {kernel!r} has no batched implementation; use "
             f"batch_size=1 or one of {BATCHED_KERNELS}"
         )
+    if steal_chunks is not None and steal_chunks < 1:
+        raise EngineError("steal_chunks must be positive")
     frozen = freeze_seed(seed)
+    fingerprint = graph_fingerprint(graph)
+
+    store: GraphStore | None = None
+    if graph_store is not None:
+        with span("store_open"):
+            store = (
+                graph_store
+                if isinstance(graph_store, GraphStore)
+                else GraphStore.open(graph_store)
+            )
+            if store.fingerprint != fingerprint:
+                raise EngineError(
+                    f"graph store {store.path} holds a different graph "
+                    f"(fingerprint {store.fingerprint[:12]}...) than the "
+                    "one passed to sample_cloud_pool; pass store.graph() "
+                    "to guarantee agreement"
+                )
 
     base: FrustrationCloud | None = None
     prior_blocks: tuple[Block, ...] = ()
@@ -350,9 +514,29 @@ def sample_cloud_pool(
                 swaps_per_state=swaps_per_state,
             )
             prior_blocks = meta.done_blocks or ((0, base.num_states, 1),)
+            recorded = meta.graph_store
+            if recorded is not None and os.path.exists(recorded):
+                # The original campaign ran against a packed store; if
+                # it is still around, its header must describe the same
+                # graph we are about to continue with (a repacked store
+                # means someone changed the graph under the campaign).
+                if GraphStore.read_header(recorded).fingerprint != fingerprint:
+                    raise CheckpointError(
+                        f"checkpoint records graph store {recorded}, whose "
+                        "current contents hold a different graph "
+                        "(fingerprint mismatch); refusing to resume "
+                        "against it"
+                    )
         else:
             prior_blocks = ((0, base.num_states, 1),)
         blocks = _remaining_blocks(prior_blocks, num_states, workers)
+        if steal_chunks is not None:
+            blocks = _split_blocks(blocks, steal_chunks)
+    elif steal_chunks is not None:
+        # Work-stealing: many fine contiguous blocks feed the shared
+        # executor queue; contiguous also keeps swap-chain replay
+        # bounded (see _contiguous_blocks).
+        blocks = _contiguous_blocks(num_states, steal_chunks)
     elif method == "swap":
         # Contiguous partition: strided blocks would make every swap
         # worker replay nearly the whole chain (see _contiguous_blocks).
@@ -367,6 +551,7 @@ def sample_cloud_pool(
         batch_size=batch_size,
         store_states=store_states,
         swaps_per_state=swaps_per_state,
+        graph_store=str(store.path) if store is not None else None,
     )
     base_states = base.num_states if base is not None else 0
     expected = base_states + sum(_block_len(b) for b in blocks)
@@ -418,6 +603,7 @@ def sample_cloud_pool(
             batch_size=batch_size,
             store_states=store_states,
             swaps_per_state=swaps_per_state,
+            graph_store=str(store.path) if store is not None else None,
             done_blocks=tuple(sorted(prior_blocks + tuple(done))),
             quarantined_blocks=quarantined,
         )
@@ -460,6 +646,8 @@ def sample_cloud_pool(
         blocks=len(blocks),
         vertices=graph.num_vertices,
         edges=graph.num_edges,
+        graph_store=str(store.path) if store is not None else None,
+        steal_chunks=steal_chunks,
     )
 
     def _block_event(name: str, block: Block, **extra) -> None:
@@ -485,9 +673,14 @@ def sample_cloud_pool(
                 partial_campaign=_partial_campaign,
                 checkpoint_path=checkpoint_path,
                 keep_checkpoints=keep_checkpoints,
+                graph_store=store,
             )
 
         if workers == 1 or len(blocks) == 1:
+            # The in-process path never touches the worker slot, but a
+            # slot populated by an earlier campaign in this process
+            # must not leak into whatever runs here next.
+            _reset_worker_slot()
             merged = (
                 base
                 if base is not None
@@ -504,7 +697,8 @@ def sample_cloud_pool(
                     )
                     done.append((block, local))
                     _block_event(
-                        "block_completed", block, states=local.num_states
+                        "block_completed", block, states=local.num_states,
+                        worker=getattr(local, "worker_pid", None),
                     )
                     merged.merge(local)
                     _absorb_metrics(local)
@@ -551,15 +745,21 @@ def sample_cloud_pool(
 
         completed: list[tuple[Block, FrustrationCloud]] = []
         failures: list[tuple[Block, BaseException]] = []
+        if store is not None:
+            initializer, initargs = (
+                _init_worker_store, (str(store.path), store.fingerprint),
+            )
+        else:
+            initializer, initargs = _init_worker, (graph, fingerprint)
         with ProcessPoolExecutor(
             max_workers=min(workers, len(blocks)),
-            initializer=_init_worker,
-            initargs=(graph,),
+            initializer=initializer,
+            initargs=initargs,
         ) as pool:
             futures = {
                 pool.submit(
                     _worker, method, kernel, frozen, block, store_states,
-                    batch_size, fault, swaps_per_state,
+                    batch_size, fault, swaps_per_state, fingerprint,
                 ): block
                 for block in blocks
             }
@@ -571,6 +771,9 @@ def sample_cloud_pool(
                         _block_event(
                             "block_completed", block,
                             states=completed[-1][1].num_states,
+                            worker=getattr(
+                                completed[-1][1], "worker_pid", None
+                            ),
                         )
                     except Exception as exc:
                         failures.append((block, exc))
@@ -605,6 +808,7 @@ def sample_cloud_pool(
                 ) from exc
             raise EngineError(detail) from exc
 
+        _steal_summary(completed, workers)
         return _finalize(_merge_completed(completed))
 
     with collecting() as metrics, span("campaign"):
@@ -621,6 +825,36 @@ def sample_cloud_pool(
     if report is not None:
         report.metrics = snap
     return cloud
+
+
+def _steal_summary(
+    completed: Sequence[tuple[Block, FrustrationCloud]], workers: int
+) -> None:
+    """Journal the per-worker block/state tallies of a pool campaign
+    and gauge the imbalance, so operators can see the dynamic schedule
+    work-stealing actually produced."""
+    per_worker: dict[int, list[int]] = {}
+    for block, local in completed:
+        pid = getattr(local, "worker_pid", None)
+        if pid is None:
+            continue
+        tally = per_worker.setdefault(int(pid), [0, 0])
+        tally[0] += 1
+        tally[1] += _block_len(block)
+    if not per_worker:
+        return
+    blocks_per_worker = [t[0] for t in per_worker.values()]
+    registry = get_registry()
+    registry.gauge("pool.workers_used", float(len(per_worker)))
+    registry.gauge("pool.steal_max_blocks", float(max(blocks_per_worker)))
+    registry.gauge("pool.steal_min_blocks", float(min(blocks_per_worker)))
+    journal_event(
+        "steal_summary",
+        workers=workers,
+        workers_used=len(per_worker),
+        blocks={str(pid): t[0] for pid, t in sorted(per_worker.items())},
+        states={str(pid): t[1] for pid, t in sorted(per_worker.items())},
+    )
 
 
 def _run_supervised_campaign(
@@ -642,6 +876,7 @@ def _run_supervised_campaign(
     partial_campaign,
     checkpoint_path,
     keep_checkpoints: int,
+    graph_store: GraphStore | None = None,
 ) -> FrustrationCloud:
     """Drive *blocks* through the self-healing supervisor and shape the
     outcome back into :func:`sample_cloud_pool`'s contract.
@@ -661,6 +896,7 @@ def _run_supervised_campaign(
         graph, blocks, method=method, kernel=kernel, seed=frozen,
         store_states=store_states, batch_size=batch_size, workers=workers,
         policy=policy, fault=fault, swaps_per_state=swaps_per_state,
+        graph_store=graph_store,
     )
     try:
         completed, report = supervisor.run()

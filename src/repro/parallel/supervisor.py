@@ -303,8 +303,28 @@ class CampaignSupervisor:
         policy: RetryPolicy,
         fault: Callable[[Block], None] | None = None,
         swaps_per_state: int = 1,
+        graph_store=None,
     ) -> None:
+        from repro.graph.store import GraphStore, graph_fingerprint
+
         self.graph = graph
+        # Zero-copy mode: workers map the packed store file instead of
+        # receiving a pickled graph, and every pool rebuild reopens the
+        # mapping (a header read) instead of re-pickling.  The campaign
+        # fingerprint pins the graph identity either way; each task
+        # carries it so a stale worker slot is detected (and, for
+        # store-backed workers, healed) rather than trusted.
+        if graph_store is not None and not isinstance(graph_store, GraphStore):
+            graph_store = GraphStore.open(graph_store)
+        self.graph_store: GraphStore | None = graph_store
+        self.fingerprint = graph_fingerprint(graph)
+        if graph_store is not None and (
+            graph_store.fingerprint != self.fingerprint
+        ):
+            raise SupervisorError(
+                f"graph store {graph_store.path} holds a different graph "
+                "than the one being supervised (fingerprint mismatch)"
+            )
         self.blocks = [tuple(int(x) for x in b) for b in blocks]
         self.method = method
         self.kernel = kernel
@@ -379,6 +399,7 @@ class CampaignSupervisor:
         journal_event(
             "block_completed", block=block[0], stop=block[1], step=block[2],
             states=getattr(local, "num_states", None),
+            worker=getattr(local, "worker_pid", None),
         )
 
     def _deadline_left(self) -> float | None:
@@ -437,12 +458,25 @@ class CampaignSupervisor:
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self.pool is None:
-            from repro.parallel.pool import _init_worker
+            from repro.parallel.pool import _init_worker, _init_worker_store
 
+            if self.graph_store is not None:
+                # Rebuilds cost a header read + mmap per worker, not a
+                # graph pickle; the page-cache copy is shared.
+                initializer = _init_worker_store
+                initargs = (str(self.graph_store.path), self.fingerprint)
+                mode = "store"
+            else:
+                initializer = _init_worker
+                initargs = (self.graph, self.fingerprint)
+                mode = "pickle"
             self.pool = ProcessPoolExecutor(
                 max_workers=self._pool_size(),
-                initializer=_init_worker,
-                initargs=(self.graph,),
+                initializer=initializer,
+                initargs=initargs,
+            )
+            journal_event(
+                "pool_initialized", mode=mode, workers=self._pool_size()
             )
         return self.pool
 
@@ -526,6 +560,7 @@ class CampaignSupervisor:
                             _pool_entry, self.method, self.kernel, self.seed,
                             block, self.store_states, self.batch_size,
                             self.fault, self.swaps_per_state,
+                            self.fingerprint,
                         )
                         inflight[fut] = (block, attempt, time.monotonic())
                 else:
@@ -535,6 +570,7 @@ class CampaignSupervisor:
                             _pool_entry, self.method, self.kernel, self.seed,
                             block, self.store_states, self.batch_size,
                             self.fault, self.swaps_per_state,
+                            self.fingerprint,
                         )
                         inflight[fut] = (block, attempt, time.monotonic())
             except (BrokenProcessPool, RuntimeError) as exc:
@@ -671,8 +707,12 @@ class CampaignSupervisor:
         retries and backoff apply, but there is no timeout rung — an
         in-process block cannot be interrupted — and no degradation
         rung, because execution is already in-process."""
-        from repro.parallel.pool import _run_block
+        from repro.parallel.pool import _reset_worker_slot, _run_block
 
+        # In-process execution bypasses the worker slot, but clear it
+        # anyway: a slot left behind by an earlier executor in this
+        # process must not survive into degraded/in-process reuse.
+        _reset_worker_slot()
         while queue:
             block, attempt = queue.popleft()
             while True:
@@ -734,8 +774,10 @@ class CampaignSupervisor:
     def _run_degraded(self) -> None:
         """Final rung: re-run stubborn blocks sequentially in the
         parent process."""
-        from repro.parallel.pool import _run_block
+        from repro.parallel.pool import _reset_worker_slot, _run_block
 
+        if self.degrade_queue:
+            _reset_worker_slot()
         while self.degrade_queue:
             left = self._deadline_left()
             if left is not None and left <= 0:
@@ -773,13 +815,14 @@ def _pool_entry(
     batch_size: int,
     fault: Callable[[Block], None] | None,
     swaps_per_state: int = 1,
+    fingerprint: str | None = None,
 ):
     """Picklable worker entry point (module-level for the executor)."""
     from repro.parallel.pool import _worker
 
     return _worker(
         method, kernel, seed, block, store_states, batch_size, fault,
-        swaps_per_state,
+        swaps_per_state, fingerprint,
     )
 
 
@@ -796,6 +839,7 @@ def run_supervised(
     policy: RetryPolicy,
     fault: Callable[[Block], None] | None = None,
     swaps_per_state: int = 1,
+    graph_store=None,
 ) -> tuple[list[tuple[Block, object]], RunReport]:
     """Run campaign *blocks* under the fault-handling ladder.
 
@@ -819,4 +863,5 @@ def run_supervised(
         policy=policy,
         fault=fault,
         swaps_per_state=swaps_per_state,
+        graph_store=graph_store,
     ).run()

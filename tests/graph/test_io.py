@@ -62,3 +62,40 @@ class TestNpz:
         np.savez(path, indptr=np.zeros(1))
         with pytest.raises(GraphFormatError):
             load_npz(path)
+
+
+class TestLoadNpzImmutability:
+    """Regression: load_npz used to hand out writable arrays, letting
+    callers silently mutate a graph that every layer assumes frozen."""
+
+    ARRAYS = (
+        "indptr", "adj_vertex", "adj_edge", "edge_u", "edge_v", "edge_sign",
+    )
+
+    def test_arrays_read_only(self, tmp_path):
+        g = make_connected_signed(30, 50, seed=5)
+        path = tmp_path / "graph.npz"
+        save_npz(g, path)
+        back = load_npz(path)
+        assert back == g
+        for name in self.ARRAYS:
+            arr = getattr(back, name)
+            assert not arr.flags.writeable, name
+            with pytest.raises((ValueError, RuntimeError)):
+                arr[0] = 0
+
+    def test_dtypes_canonical(self, tmp_path):
+        g = make_connected_signed(30, 50, seed=5)
+        path = tmp_path / "graph.npz"
+        save_npz(g, path)
+        back = load_npz(path)
+        for name in self.ARRAYS[:-1]:
+            assert getattr(back, name).dtype == np.int64, name
+        assert back.edge_sign.dtype == np.int8
+
+    def test_round_trip_stable_after_reload(self, tmp_path):
+        g = make_connected_signed(30, 50, seed=5)
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        save_npz(g, a)
+        save_npz(load_npz(a), b)
+        assert load_npz(b) == g

@@ -1,0 +1,142 @@
+"""Tests for the zero-copy mmap graph store (``repro.graph.store``)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.checkpoint import graph_fingerprint as checkpoint_fingerprint
+from repro.errors import GraphStoreError
+from repro.graph.store import FORMAT_VERSION, GraphStore, graph_fingerprint
+from repro.util.faults import flip_bits, truncate_file
+
+from tests.conftest import make_connected_signed
+
+ARRAY_NAMES = (
+    "indptr", "adj_vertex", "adj_edge", "edge_u", "edge_v", "edge_sign",
+)
+
+
+@pytest.fixture
+def graph():
+    return make_connected_signed(60, 140, seed=3)
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return tmp_path / "graph.rsgs"
+
+
+class TestPackOpen:
+    def test_round_trip(self, graph, store_path):
+        GraphStore.pack(graph, store_path)
+        loaded = GraphStore.open(store_path, verify=True).graph()
+        assert loaded == graph
+        for name in ARRAY_NAMES:
+            np.testing.assert_array_equal(
+                getattr(loaded, name), getattr(graph, name)
+            )
+
+    def test_arrays_read_only_plain_ndarray(self, graph, store_path):
+        loaded = GraphStore.pack(graph, store_path).graph()
+        for name in ARRAY_NAMES:
+            arr = getattr(loaded, name)
+            assert not arr.flags.writeable, name
+            # The memmap subclass is stripped so the graph pickles and
+            # compares like any other (workers never pickle it anyway).
+            assert type(arr) is np.ndarray, name
+            with pytest.raises((ValueError, RuntimeError)):
+                arr[0] = 0
+
+    def test_dtypes_canonical(self, graph, store_path):
+        loaded = GraphStore.pack(graph, store_path).graph()
+        for name in ARRAY_NAMES[:-1]:
+            assert getattr(loaded, name).dtype == np.int64, name
+        assert loaded.edge_sign.dtype == np.int8
+
+    def test_pack_deterministic(self, graph, tmp_path):
+        a, b = tmp_path / "a.rsgs", tmp_path / "b.rsgs"
+        GraphStore.pack(graph, a)
+        GraphStore.pack(graph, b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_graph_cached(self, graph, store_path):
+        store = GraphStore.pack(graph, store_path)
+        assert store.graph() is store.graph()
+
+    def test_header_metadata(self, graph, store_path):
+        store = GraphStore.pack(graph, store_path)
+        assert store.header.version == FORMAT_VERSION
+        assert store.num_vertices == graph.num_vertices
+        assert store.num_edges == graph.num_edges
+        header = GraphStore.read_header(store_path)
+        assert header == store.header
+
+    def test_fingerprint_matches_checkpoint_layer(self, graph, store_path):
+        """One canonical fingerprint across store files, checkpoints,
+        and in-memory graphs."""
+        store = GraphStore.pack(graph, store_path)
+        assert store.fingerprint == graph_fingerprint(graph)
+        assert store.fingerprint == checkpoint_fingerprint(graph)
+        assert graph_fingerprint(store.graph()) == store.fingerprint
+
+    def test_different_graphs_different_fingerprints(self, graph, tmp_path):
+        other = make_connected_signed(60, 140, seed=4)
+        a = GraphStore.pack(graph, tmp_path / "a.rsgs")
+        b = GraphStore.pack(other, tmp_path / "b.rsgs")
+        assert a.fingerprint != b.fingerprint
+
+    def test_alignment(self, graph, store_path):
+        store = GraphStore.pack(graph, store_path)
+        for _name, _dtype, _shape, offset, _nbytes in store.header.arrays:
+            assert offset % 64 == 0
+
+    def test_degrees_work_on_mapped_graph(self, graph, store_path):
+        loaded = GraphStore.pack(graph, store_path).graph()
+        np.testing.assert_array_equal(loaded.degrees, graph.degrees)
+
+
+class TestCorruption:
+    def test_not_a_store(self, tmp_path):
+        path = tmp_path / "junk.rsgs"
+        path.write_bytes(b"definitely not a graph store header")
+        with pytest.raises(GraphStoreError, match="bad magic"):
+            GraphStore.open(path)
+
+    def test_too_short(self, tmp_path):
+        path = tmp_path / "short.rsgs"
+        path.write_bytes(b"RS")
+        with pytest.raises(GraphStoreError, match="too short"):
+            GraphStore.open(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(GraphStoreError, match="cannot read"):
+            GraphStore.open(tmp_path / "nope.rsgs")
+
+    def test_truncated_payload(self, graph, store_path):
+        GraphStore.pack(graph, store_path)
+        truncate_file(store_path, keep_bytes=store_path.stat().st_size - 16)
+        with pytest.raises(GraphStoreError, match="truncated"):
+            GraphStore.open(store_path)
+
+    def test_bit_flip_fails_verification(self, graph, store_path):
+        GraphStore.pack(graph, store_path)
+        # flip_bits lands in the middle 80% of the file — well past the
+        # small JSON header, squarely in the payload.
+        flip_bits(store_path, seed=7)
+        with pytest.raises(GraphStoreError, match="checksum"):
+            GraphStore.open(store_path, verify=True)
+
+    def test_bit_flip_detected_by_explicit_verify(self, graph, store_path):
+        GraphStore.pack(graph, store_path)
+        flip_bits(store_path, seed=7)
+        store = GraphStore.open(store_path)  # lazy open trusts the header
+        with pytest.raises(GraphStoreError, match="checksum"):
+            store.verify()
+
+    def test_corrupt_header_json(self, graph, store_path):
+        GraphStore.pack(graph, store_path)
+        # Smash bytes inside the JSON header (right after the preamble).
+        with open(store_path, "r+b") as fh:
+            fh.seek(24)
+            fh.write(b"\xff\xff\xff\xff")
+        with pytest.raises(GraphStoreError):
+            GraphStore.open(store_path)

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cloud.cloud import sample_cloud
 from repro.errors import EngineError
@@ -53,3 +55,45 @@ class TestDistributedStatus:
         g = make_connected_signed(20, 40, seed=1)
         with pytest.raises(EngineError):
             distributed_status(g, 0, num_ranks=2, seed=0)
+
+
+class TestPartitionProperties:
+    """Property tests for the no-empty-partitions contract: surplus
+    ranks get no slice rather than a zero-length one (which downstream
+    journal accounting would count as real blocks of work)."""
+
+    @given(
+        num_items=st.integers(min_value=0, max_value=300),
+        num_ranks=st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_never_emits_empty_partitions(self, num_items, num_ranks):
+        parts = partition_indices(num_items, num_ranks)
+        assert all(len(p) > 0 for p in parts)
+        assert len(parts) <= num_ranks
+
+    @given(
+        num_items=st.integers(min_value=0, max_value=300),
+        num_ranks=st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_exact_disjoint_coverage(self, num_items, num_ranks):
+        parts = partition_indices(num_items, num_ranks)
+        joined = np.sort(np.concatenate(parts)) if parts else np.arange(0)
+        np.testing.assert_array_equal(joined, np.arange(num_items))
+
+    @given(
+        num_items=st.integers(min_value=1, max_value=300),
+        num_ranks=st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_balanced_within_one(self, num_items, num_ranks):
+        sizes = [len(p) for p in partition_indices(num_items, num_ranks)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_zero_items_yields_no_partitions(self):
+        assert partition_indices(0, 4) == []
+
+    def test_rejects_negative_items(self):
+        with pytest.raises(EngineError):
+            partition_indices(-1, 2)

@@ -29,6 +29,7 @@ MODULES = [
     "repro.graph.generators",
     "repro.graph.io",
     "repro.graph.io_formats",
+    "repro.graph.store",
     "repro.graph.subgraph",
     "repro.graph.validation",
     "repro.trees",

@@ -307,3 +307,81 @@ class TestObservabilityFlags:
         # no-metrics hint, but never an actual phase breakdown.
         assert "no spans recorded" in out or "no metrics recorded" in out
         assert "tree_sample" not in out
+
+
+class TestGraphStoreCli:
+    def test_pack_and_info(self, graph_file, tmp_path, capsys):
+        path, g = graph_file
+        store = tmp_path / "graph.rsgs"
+        assert main(
+            ["graph", "pack", path, str(store), "--verify"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "checksum verified" in out
+        assert "fingerprint" in out
+        assert store.exists()
+
+        assert main(["graph", "info", str(store)]) == 0
+        info = capsys.readouterr().out
+        assert f"{g.num_vertices:,}" in info
+        assert "indptr" in info and "edge_sign" in info
+
+    def test_store_loadable_as_graph_input(self, graph_file, tmp_path):
+        path, g = graph_file
+        store = tmp_path / "graph.rsgs"
+        assert main(["graph", "pack", path, str(store)]) == 0
+        loaded = load_graph_file(str(store))
+        assert loaded == g
+        assert not loaded.indptr.flags.writeable
+
+    def test_sharded_cloud_matches_sequential(
+        self, graph_file, tmp_path, capsys
+    ):
+        path, _g = graph_file
+        store = tmp_path / "graph.rsgs"
+        csv_shard = tmp_path / "shard.csv"
+        csv_seq = tmp_path / "seq.csv"
+        assert main(
+            ["cloud", path, "--states", "8", "--seed", "5",
+             "--shard-workers", "3", "--graph-store", str(store),
+             "--output", str(csv_shard)]
+        ) == 0
+        assert store.exists()
+        assert main(
+            ["cloud", path, "--states", "8", "--seed", "5",
+             "--output", str(csv_seq)]
+        ) == 0
+        assert csv_shard.read_text() == csv_seq.read_text()
+
+    def test_graph_store_reused_on_second_run(
+        self, graph_file, tmp_path, capsys
+    ):
+        path, _g = graph_file
+        store = tmp_path / "graph.rsgs"
+        args = ["cloud", path, "--states", "4", "--workers", "2",
+                "--graph-store", str(store)]
+        assert main(args) == 0
+        assert "packed" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "opened, zero-copy" in capsys.readouterr().out
+
+    def test_shard_workers_conflicts_with_workers(self, graph_file, capsys):
+        path, _g = graph_file
+        assert main(
+            ["cloud", path, "--states", "4", "--workers", "2",
+             "--shard-workers", "2"]
+        ) == 1
+        assert "not both" in capsys.readouterr().err
+
+    def test_mismatched_store_rejected(self, graph_file, tmp_path, capsys):
+        path, _g = graph_file
+        other = make_connected_signed(12, 20, seed=9)
+        from repro.graph.store import GraphStore
+
+        store = tmp_path / "other.rsgs"
+        GraphStore.pack(other, store)
+        assert main(
+            ["cloud", path, "--states", "4", "--workers", "2",
+             "--graph-store", str(store)]
+        ) == 1
+        assert "fingerprint mismatch" in capsys.readouterr().err
