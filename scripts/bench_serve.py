@@ -1,0 +1,276 @@
+#!/usr/bin/env python
+"""Benchmark the serve daemon: query latency and throughput.
+
+Runs an in-process ``repro serve`` daemon (no subprocess, no signals)
+and measures GET latency from a small pool of keep-alive HTTP clients
+over a fixed wall-clock window, in two scenarios:
+
+* ``idle`` — the growth campaign has finished; queries compete only
+  with each other.  This is the floor for query latency.
+* ``growing`` — a background campaign is actively sampling states and
+  publishing snapshots while the clients query.  The gap between this
+  row and ``idle`` is the price of background growth (GIL contention
+  plus snapshot publication).
+
+Writes a JSON report (``--out``) with per-scenario ``qps``,
+``p50_ms``, and ``p99_ms`` rows that
+``scripts/check_perf_regression.py`` can gate against
+``benchmarks/baselines/bench_serve_baseline.json``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_serve.py --smoke \
+        --out bench_serve.json
+    python scripts/check_perf_regression.py \
+        --baseline benchmarks/baselines/bench_serve_baseline.json \
+        --current bench_serve.json --warn-threshold 0.5 \
+        --fail-threshold 2.0 --out serve_comparison.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import http.client
+import json
+import platform
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.graph.components import largest_connected_component
+from repro.graph.generators import ensure_connected, erdos_renyi_signed
+from repro.perf.registry import reset_global_registry
+from repro.serve import ServeConfig, run_server
+
+#: The query mix one measurement thread cycles through.  Vertex and
+#: edge lookups dominate real traffic; the aggregate endpoints are the
+#: expensive tail.
+QUERY_MIX = (
+    "/vertex/0",
+    "/vertex/7",
+    "/edge/0",
+    "/edge/5",
+    "/snapshot",
+    "/frustration",
+)
+
+
+def build_graph(num_vertices: int, num_edges: int, seed: int):
+    """An LCC-reduced random signed graph, same recipe as bench_cloud."""
+    graph = ensure_connected(
+        erdos_renyi_signed(
+            num_vertices, num_edges, negative_fraction=0.3, seed=seed
+        ),
+        seed=seed,
+    )
+    sub, _ = largest_connected_component(graph)
+    return sub
+
+
+def percentile(sorted_values: list, q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list (0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(q * len(sorted_values) + 0.5) - 1))
+    return sorted_values[rank]
+
+
+@contextlib.contextmanager
+def _daemon(graph, **config_kwargs):
+    """run_server on a worker thread; yields the bound port."""
+    reset_global_registry()
+    config = ServeConfig(port=0, **config_kwargs)
+    stop = threading.Event()
+    ready = threading.Event()
+    box: dict = {}
+
+    def _run() -> None:
+        box["exit"] = run_server(
+            graph,
+            config,
+            stop_event=stop,
+            ready_callback=lambda port: (
+                box.__setitem__("port", port),
+                ready.set(),
+            ),
+        )
+
+    thread = threading.Thread(target=_run, daemon=True)
+    thread.start()
+    if not ready.wait(30):
+        raise RuntimeError("daemon never started listening")
+    try:
+        yield box["port"]
+    finally:
+        stop.set()
+        thread.join(30)
+        if thread.is_alive():
+            raise RuntimeError("daemon failed to drain")
+
+
+def _wait_states(port: int, count: int, budget: float = 60.0) -> None:
+    limit = time.monotonic() + budget
+    while time.monotonic() < limit:
+        with contextlib.suppress(OSError):
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", port, timeout=2.0
+            )
+            try:
+                conn.request("GET", "/snapshot")
+                resp = conn.getresponse()
+                body = resp.read()
+                if resp.status == 200 and json.loads(body)["states"] >= count:
+                    return
+            finally:
+                conn.close()
+        time.sleep(0.02)
+    raise RuntimeError(f"daemon never published {count} states")
+
+
+def _client(port: int, deadline: float, durations: list, errors: list) -> None:
+    """One keep-alive client hammering the query mix until *deadline*."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10.0)
+    try:
+        i = 0
+        while time.monotonic() < deadline:
+            path = QUERY_MIX[i % len(QUERY_MIX)]
+            i += 1
+            start = time.perf_counter()
+            try:
+                conn.request("GET", path)
+                resp = conn.getresponse()
+                resp.read()
+                status = resp.status
+            except OSError:
+                errors.append(path)
+                conn.close()
+                conn = http.client.HTTPConnection(
+                    "127.0.0.1", port, timeout=10.0
+                )
+                continue
+            durations.append(time.perf_counter() - start)
+            if status != 200:
+                errors.append(f"{path} -> {status}")
+    finally:
+        conn.close()
+
+
+def _measure(port: int, seconds: float, clients: int) -> dict:
+    """Fire *clients* threads at the daemon for *seconds*; return stats."""
+    durations: list = []
+    errors: list = []
+    deadline = time.monotonic() + seconds
+    threads = [
+        threading.Thread(
+            target=_client, args=(port, deadline, durations, errors)
+        )
+        for _ in range(clients)
+    ]
+    wall_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall_start
+    ordered = sorted(durations)
+    return {
+        "requests": len(durations),
+        "errors": len(errors),
+        "wall_seconds": round(wall, 4),
+        "qps": round(len(durations) / wall, 2) if wall > 0 else 0.0,
+        "p50_ms": round(percentile(ordered, 0.50) * 1e3, 4),
+        "p99_ms": round(percentile(ordered, 0.99) * 1e3, 4),
+    }
+
+
+def bench_idle(graph, *, states: int, seconds: float, clients: int) -> dict:
+    """Latency floor: grow to *states*, wait for quiescence, measure."""
+    with _daemon(graph, target_states=states, grow_step=states,
+                 seed=0) as port:
+        _wait_states(port, states)
+        row = _measure(port, seconds, clients)
+    row.update(scenario="idle", states=states)
+    return row
+
+
+def bench_growing(
+    graph, *, warm_states: int, seconds: float, clients: int
+) -> dict:
+    """Measure with an active background campaign publishing snapshots."""
+    with _daemon(
+        graph,
+        target_states=1_000_000,  # never finishes inside the window
+        grow_step=8,
+        seed=0,
+    ) as port:
+        _wait_states(port, warm_states)
+        row = _measure(port, seconds, clients)
+    row.update(scenario="growing", states=warm_states)
+    return row
+
+
+def main(argv=None) -> int:
+    """CLI entry point; see the module docstring."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small graph + short windows for CI")
+    parser.add_argument("--seconds", type=float, default=None,
+                        help="measurement window per scenario")
+    parser.add_argument("--clients", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        num_vertices, num_edges, states = 120, 220, 32
+        seconds = args.seconds or 2.0
+    else:
+        num_vertices, num_edges, states = 400, 900, 64
+        seconds = args.seconds or 6.0
+
+    graph = build_graph(num_vertices, num_edges, seed=0)
+    print(
+        f"bench_serve: {graph.num_vertices} vertices / "
+        f"{graph.num_edges} edges, {args.clients} clients, "
+        f"{seconds:.1f}s per scenario"
+    )
+    runs = [
+        bench_idle(graph, states=states, seconds=seconds,
+                   clients=args.clients),
+        bench_growing(graph, warm_states=8, seconds=seconds,
+                      clients=args.clients),
+    ]
+    for row in runs:
+        print(
+            f"  {row['scenario']:8s} qps={row['qps']:>9.1f} "
+            f"p50={row['p50_ms']:.3f}ms p99={row['p99_ms']:.3f}ms "
+            f"({row['requests']} requests, {row['errors']} errors)"
+        )
+        if row["errors"]:
+            print(f"error: scenario {row['scenario']} saw non-200 responses",
+                  file=sys.stderr)
+            return 1
+
+    report = {
+        "kind": "bench_serve",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "graph": {
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+        },
+        "clients": args.clients,
+        "seconds": seconds,
+        "runs": runs,
+    }
+    Path(args.out).write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,18 @@
 #!/usr/bin/env python
-"""Gate a fresh ``bench_cloud.py`` report against a committed baseline.
+"""Gate a fresh benchmark report against a committed baseline.
 
-Compares every matching configuration — keyed by ``(states, method,
-batch_size)`` within each graph entry — on two axes:
+Understands two report shapes, detected by the ``kind`` field:
+
+* ``bench_cloud.py`` reports (no ``kind``): compared per configuration
+  as described below.
+* ``bench_serve.py`` reports (``kind: bench_serve``): compared per
+  scenario (``idle``, ``growing``) on ``qps`` (higher is better) and
+  ``p50_ms`` / ``p99_ms`` (lower is better).  Serve latencies are
+  noisy on shared CI runners — gate them with generous thresholds
+  (e.g. ``--warn-threshold 0.5 --fail-threshold 2.0``).
+
+For cloud reports, compares every matching configuration — keyed by
+``(states, method, batch_size)`` within each graph entry — on two axes:
 
 * **Throughput** (``states_per_sec``): a drop beyond the fail
   threshold fails the gate; beyond the warn threshold it warns.
@@ -49,9 +59,14 @@ def _load(path: str) -> dict:
         print(f"error: {path} is not valid JSON: {exc}", file=sys.stderr)
         raise SystemExit(2)
     if not isinstance(data, dict) or "runs" not in data:
-        print(f"error: {path} is not a bench_cloud report", file=sys.stderr)
+        print(f"error: {path} is not a benchmark report", file=sys.stderr)
         raise SystemExit(2)
     return data
+
+
+def _is_serve(report: dict) -> bool:
+    """True for ``bench_serve.py`` reports (``kind: bench_serve``)."""
+    return report.get("kind") == "bench_serve"
 
 
 def _configs(report: dict) -> dict:
@@ -153,6 +168,57 @@ def compare(
     }
 
 
+def compare_serve(baseline: dict, current: dict, warn: float,
+                  fail: float) -> dict:
+    """Per-scenario serve comparison: ``qps`` higher-better,
+    ``p50_ms`` / ``p99_ms`` lower-better.  Same document shape as
+    :func:`compare` so the CI artifact and summary printing are
+    uniform."""
+    base_cfgs = {r["scenario"]: r for r in baseline.get("runs", [])}
+    cur_cfgs = {r["scenario"]: r for r in current.get("runs", [])}
+    checks: list[dict] = []
+    missing = sorted(k for k in base_cfgs if k not in cur_cfgs)
+    for scenario in sorted(base_cfgs):
+        if scenario not in cur_cfgs:
+            continue
+        b, c = base_cfgs[scenario], cur_cfgs[scenario]
+        for metric, higher_better in (
+            ("qps", True), ("p50_ms", False), ("p99_ms", False),
+        ):
+            b_v = float(b.get(metric, 0) or 0)
+            c_v = float(c.get(metric, 0) or 0)
+            if b_v <= 0 or c_v <= 0:
+                continue
+            regression = (b_v / c_v if higher_better else c_v / b_v) - 1.0
+            checks.append({
+                "scenario": scenario,
+                "metric": metric,
+                "label": f"serve:{scenario}",
+                "baseline": b_v,
+                "current": c_v,
+                "regression": round(regression, 4),
+                "status": _status(regression, warn, fail),
+            })
+    return {
+        "baseline_configs": len(base_cfgs),
+        "current_configs": len(cur_cfgs),
+        "missing_configs": missing,
+        "warn_threshold": warn,
+        "fail_threshold": fail,
+        "checks": checks,
+        "warnings": sum(1 for c in checks if c["status"] == "warn"),
+        "failures": sum(1 for c in checks if c["status"] == "fail"),
+    }
+
+
+def _label(check: dict) -> str:
+    """Human-readable configuration label for a summary line."""
+    if "label" in check:
+        return check["label"]
+    return (f"states={check['states']} method={check['method']} "
+            f"batch_size={check['batch_size']}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default=DEFAULT_BASELINE)
@@ -177,12 +243,23 @@ def main(argv=None) -> int:
 
     baseline = _load(args.baseline)
     current = _load(args.current)
-    result = compare(
-        baseline, current,
-        warn=args.warn_threshold,
-        fail=args.fail_threshold,
-        min_seconds=args.min_seconds,
-    )
+    if _is_serve(baseline) != _is_serve(current):
+        print("error: baseline and current reports are different kinds",
+              file=sys.stderr)
+        return 2
+    if _is_serve(baseline):
+        result = compare_serve(
+            baseline, current,
+            warn=args.warn_threshold,
+            fail=args.fail_threshold,
+        )
+    else:
+        result = compare(
+            baseline, current,
+            warn=args.warn_threshold,
+            fail=args.fail_threshold,
+            min_seconds=args.min_seconds,
+        )
     Path(args.out).write_text(json.dumps(result, indent=2) + "\n",
                               encoding="utf-8")
 
@@ -194,9 +271,8 @@ def main(argv=None) -> int:
         if check["status"] == "ok":
             continue
         direction = "slower" if check["regression"] > 0 else "faster"
-        print(f"{check['status'].upper()}: states={check['states']} "
-              f"method={check['method']} "
-              f"batch_size={check['batch_size']} {check['metric']}: "
+        print(f"{check['status'].upper()}: {_label(check)} "
+              f"{check['metric']}: "
               f"{check['baseline']} -> {check['current']} "
               f"({abs(check['regression']):.1%} {direction})")
     if result["missing_configs"]:

@@ -11,6 +11,7 @@ graph        pack/inspect zero-copy mmap graph stores (``graph pack``)
 model        modeled serial/OpenMP/CUDA campaign times (Tables 2–3)
 memory       Table-4 memory model for given sizes or a named dataset
 journal      summarize a campaign event journal (``cloud --journal``)
+serve        crash-only HTTP query daemon with background cloud growth
 
 Graph files are auto-detected by extension: ``.mtx`` (Matrix Market),
 ``.tsv`` (KONECT), ``.npz`` (repro snapshot), ``.rsgs`` (packed
@@ -585,6 +586,39 @@ def _cmd_memory(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import ServeConfig, run_server
+
+    graph = load_graph_file(args.input)
+    sub, _ids = _lcc(graph)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        port_file=args.port_file,
+        target_states=args.states,
+        grow_step=args.grow_step,
+        grow=not args.no_grow,
+        grow_delay_ms=args.grow_delay_ms,
+        method=args.method,
+        kernel=args.kernel,
+        seed=args.seed,
+        batch_size=args.batch_size,
+        swaps_per_state=args.swaps_per_state,
+        checkpoint=args.checkpoint,
+        keep_checkpoints=args.keep_checkpoints,
+        journal=args.journal,
+        qps=args.qps,
+        burst=args.burst,
+        cache_size=args.cache_size,
+        breaker_p99_ms=args.breaker_p99_ms,
+        breaker_window=args.breaker_window,
+        breaker_cooldown=args.breaker_cooldown,
+        drain_budget=args.drain_budget,
+        request_timeout=args.request_timeout,
+    )
+    return run_server(sub, config)
+
+
 # ----------------------------------------------------------------------
 def _batch_size_arg(value: str):
     """--batch-size accepts a positive int or the literal 'auto'."""
@@ -814,6 +848,80 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--vertices", type=int)
     p.add_argument("--edges", type=int)
     p.set_defaults(func=_cmd_memory)
+
+    p = sub.add_parser(
+        "serve",
+        help="crash-only frustration-cloud query daemon (HTTP)",
+        description="Serve consensus queries over HTTP while growing the "
+                    "cloud in the background.  Boot always recovers from "
+                    "the checkpoint chain (crash-only); SIGTERM drains "
+                    "in-flight requests, checkpoints, and exits 0.",
+    )
+    p.add_argument("input")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (default 0 = pick an ephemeral port "
+                        "and print it)")
+    p.add_argument("--port-file", metavar="PATH",
+                   help="write the bound port to PATH (atomic; for "
+                        "scripts/tests discovering an ephemeral port)")
+    p.add_argument("--states", type=int, default=256,
+                   help="grow the cloud to this many states (default 256)")
+    p.add_argument("--grow-step", type=int, default=16,
+                   help="states sampled per background growth round "
+                        "(also the checkpoint/snapshot cadence)")
+    p.add_argument("--no-grow", action="store_true",
+                   help="serve the recovered checkpoint only; no "
+                        "background growth")
+    p.add_argument("--grow-delay-ms", type=float, default=0.0,
+                   help="pause between growth rounds (throttles growth "
+                        "on busy hosts)")
+    p.add_argument("--method",
+                   choices=["bfs", "bfs-low-degree", "dfs", "wilson",
+                            "swap"],
+                   default=None,
+                   help="tree sampling method (default: inherit from the "
+                        "checkpoint's campaign, else bfs)")
+    p.add_argument("--kernel", choices=["walk", "lockstep", "parity"],
+                   default=None,
+                   help="balancing kernel (default: inherit, else lockstep)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="campaign seed (default: inherit, else 0)")
+    p.add_argument("--batch-size", type=int, default=None,
+                   help="trees per batched kernel call (default: inherit, "
+                        "else 1)")
+    p.add_argument("--swaps-per-state", type=int, default=None,
+                   help="edge swaps per state for --method swap")
+    p.add_argument("--checkpoint", metavar="PATH",
+                   help="checkpoint chain to recover from at boot and "
+                        "rewrite every growth round")
+    p.add_argument("--keep-checkpoints", type=int, default=2,
+                   help="rotated checkpoint files to keep (default 2)")
+    p.add_argument("--journal", metavar="PATH",
+                   help="append lifecycle/degradation events to this "
+                        "JSONL journal")
+    p.add_argument("--qps", type=float, default=0.0,
+                   help="admission-control rate in queries/sec "
+                        "(default 0 = unlimited)")
+    p.add_argument("--burst", type=int, default=32,
+                   help="admission token-bucket burst size (default 32)")
+    p.add_argument("--cache-size", type=int, default=1024,
+                   help="LRU result-cache entries (0 disables; "
+                        "default 1024)")
+    p.add_argument("--breaker-p99-ms", type=float, default=0.0,
+                   help="open the growth-shedding circuit breaker when "
+                        "query p99 exceeds this many ms (0 disables)")
+    p.add_argument("--breaker-window", type=int, default=128,
+                   help="requests in the breaker's sliding p99 window")
+    p.add_argument("--breaker-cooldown", type=float, default=2.0,
+                   help="healthy seconds before a tripped breaker closes")
+    p.add_argument("--drain-budget", type=float, default=10.0,
+                   help="seconds SIGTERM waits for in-flight requests "
+                        "(default 10)")
+    p.add_argument("--request-timeout", type=float, default=10.0,
+                   help="per-connection socket timeout bounding slow "
+                        "clients (default 10s)")
+    p.set_defaults(func=_cmd_serve)
 
     return parser
 

@@ -29,6 +29,8 @@ checkpoint layer therefore provides three guarantees:
 
 from __future__ import annotations
 
+import contextlib
+import errno
 import json
 import os
 from dataclasses import dataclass
@@ -183,13 +185,30 @@ def save_cloud(
     with span("checkpoint_write"):
         payload = _payload(cloud, campaign)
         tmp = path.with_name(path.name + ".tmp")
-        with open(tmp, "wb") as raw:
-            fh = _wrap_stream(raw)
-            np.savez_compressed(fh, **payload)
-            fh.flush()
-            os.fsync(raw.fileno())
-        _rotate(path, keep)
-        _replace(tmp, path)
+        try:
+            with open(tmp, "wb") as raw:
+                fh = _wrap_stream(raw)
+                np.savez_compressed(fh, **payload)
+                fh.flush()
+                os.fsync(raw.fileno())
+            _rotate(path, keep)
+            _replace(tmp, path)
+        except OSError as exc:
+            # A raw OSError here is an I/O failure (classically ENOSPC)
+            # mid-atomic-write: remove the partial temp file so the
+            # rotation chain stays clean, record what happened, and
+            # surface the failure as a CheckpointError the campaign
+            # layers already know how to degrade on.
+            with contextlib.suppress(OSError):
+                tmp.unlink()
+            kind = "disk_full" if exc.errno == errno.ENOSPC else "io_error"
+            get_registry().count(f"checkpoint.{kind}_total", 1)
+            journal_event(
+                kind, op="checkpoint_write", path=str(path), error=str(exc)
+            )
+            raise CheckpointError(
+                f"checkpoint write to {path} failed: {exc}"
+            ) from exc
         registry = get_registry()
         registry.count("checkpoint.writes_total", 1)
         registry.gauge("checkpoint.last_bytes", float(path.stat().st_size))

@@ -19,6 +19,7 @@ __all__ = [
     "SupervisorError",
     "CheckpointError",
     "JournalError",
+    "ServeError",
 ]
 
 
@@ -88,3 +89,10 @@ class JournalError(ReproError):
     """Raised when a campaign event journal cannot be opened, or when a
     strict read encounters a corrupt line before the final (possibly
     torn) one."""
+
+
+class ServeError(ReproError):
+    """Raised by the query daemon (:mod:`repro.serve`) for invalid
+    serve configurations and for query-time failures the HTTP layer
+    maps to 4xx/5xx responses (unknown vertex/edge ids, queries before
+    the first snapshot, malformed deadline headers)."""

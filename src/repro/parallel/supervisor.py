@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -167,7 +168,7 @@ class FaultEvent:
 
     t: float  #: seconds since campaign start
     kind: str  #: failure | timeout | backoff | suspect | pool_rebuild |
-    #:  requeue | degrade | quarantine | deadline
+    #:  requeue | degrade | quarantine | deadline | stop
     block: Block | None
     attempt: int
     detail: str
@@ -205,6 +206,7 @@ class RunReport:
     timeouts: int = 0
     pool_rebuilds: int = 0
     deadline_hit: bool = False
+    stopped: bool = False
     wall_seconds: float = 0.0
     started_at_unix: float = 0.0
     metrics: dict | None = None
@@ -212,7 +214,7 @@ class RunReport:
     @property
     def ok(self) -> bool:
         """True when every block completed: nothing quarantined,
-        nothing abandoned to the deadline."""
+        nothing abandoned to the deadline or a stop request."""
         return not self.quarantined and not self.remaining
 
     @property
@@ -239,6 +241,7 @@ class RunReport:
             "timeouts": self.timeouts,
             "pool_rebuilds": self.pool_rebuilds,
             "deadline_hit": self.deadline_hit,
+            "stopped": self.stopped,
             "wall_seconds": self.wall_seconds,
             "started_at_unix": self.started_at_unix,
             "metrics": self.metrics,
@@ -267,6 +270,8 @@ class RunReport:
             parts.append(f"{len(self.quarantined)} quarantined")
         if self.deadline_hit:
             parts.append("deadline hit")
+        if self.stopped:
+            parts.append("stopped on request")
         return "; ".join(parts)
 
 
@@ -304,6 +309,7 @@ class CampaignSupervisor:
         fault: Callable[[Block], None] | None = None,
         swaps_per_state: int = 1,
         graph_store=None,
+        stop_event: "threading.Event | None" = None,
     ) -> None:
         from repro.graph.store import GraphStore, graph_fingerprint
 
@@ -335,6 +341,7 @@ class CampaignSupervisor:
         self.policy = policy
         self.fault = fault
         self.swaps_per_state = swaps_per_state
+        self.stop_event = stop_event
 
         self.report = RunReport(policy=policy, blocks_total=len(self.blocks))
         self.completed: list[tuple[Block, object]] = []
@@ -370,6 +377,7 @@ class CampaignSupervisor:
         "pool_rebuild": "pool_rebuilt",
         "quarantine": "block_quarantined",
         "deadline": "deadline_hit",
+        "stop": "campaign_stopped",
     }
 
     def _event(
@@ -517,10 +525,17 @@ class CampaignSupervisor:
                 still.append((ready, block, attempt))
         self.cooling = still
 
-    def _abandon_to_deadline(self, inflight: dict) -> None:
-        """The campaign deadline expired: stop cleanly, recording every
+    def _stop_requested(self) -> bool:
+        return self.stop_event is not None and self.stop_event.is_set()
+
+    def _abandon_to_deadline(self, inflight: dict, kind: str = "deadline") -> None:
+        """The campaign deadline expired (or an external stop was
+        requested, ``kind="stop"``): stop cleanly, recording every
         block that did not finish."""
-        self.report.deadline_hit = True
+        if kind == "stop":
+            self.report.stopped = True
+        else:
+            self.report.deadline_hit = True
         left: list[Block] = []
         left += [b for b, _a in self.pending]
         left += [b for _r, b, _a in self.cooling]
@@ -534,16 +549,26 @@ class CampaignSupervisor:
         self.degrade_queue.clear()
         inflight.clear()
         self._teardown_pool()
-        self._event(
-            "deadline", None, 0,
-            f"campaign deadline of {self.policy.deadline:.3f}s expired; "
-            f"{len(self.report.remaining)} block(s) abandoned for a clean "
-            "checkpointed stop",
-        )
+        if kind == "stop":
+            detail = (
+                "external stop requested; "
+                f"{len(self.report.remaining)} block(s) abandoned for a "
+                "clean checkpointed stop"
+            )
+        else:
+            detail = (
+                f"campaign deadline of {self.policy.deadline:.3f}s expired; "
+                f"{len(self.report.remaining)} block(s) abandoned for a "
+                "clean checkpointed stop"
+            )
+        self._event(kind, None, 0, detail)
 
     def _run_pooled(self) -> None:
         inflight: dict = {}  # Future -> (block, attempt, t_submit)
         while self.pending or self.cooling or self.suspects or inflight:
+            if self._stop_requested():
+                self._abandon_to_deadline(inflight, kind="stop")
+                return
             left = self._deadline_left()
             if left is not None and left <= 0:
                 self._abandon_to_deadline(inflight)
@@ -716,12 +741,15 @@ class CampaignSupervisor:
         while queue:
             block, attempt = queue.popleft()
             while True:
+                stop = self._stop_requested()
                 left = self._deadline_left()
-                if left is not None and left <= 0:
+                if stop or (left is not None and left <= 0):
                     requeue: deque = deque([(block, attempt)])
                     requeue.extend(queue)
                     queue.clear()
-                    self._abandon_to_deadline({})
+                    self._abandon_to_deadline(
+                        {}, kind="stop" if stop else "deadline"
+                    )
                     self.report.remaining = sorted(
                         set(
                             self.report.remaining
@@ -779,6 +807,9 @@ class CampaignSupervisor:
         if self.degrade_queue:
             _reset_worker_slot()
         while self.degrade_queue:
+            if self._stop_requested():
+                self._abandon_to_deadline({}, kind="stop")
+                return
             left = self._deadline_left()
             if left is not None and left <= 0:
                 self._abandon_to_deadline({})
@@ -840,6 +871,7 @@ def run_supervised(
     fault: Callable[[Block], None] | None = None,
     swaps_per_state: int = 1,
     graph_store=None,
+    stop_event: "threading.Event | None" = None,
 ) -> tuple[list[tuple[Block, object]], RunReport]:
     """Run campaign *blocks* under the fault-handling ladder.
 
@@ -850,6 +882,14 @@ def run_supervised(
     by blocks are consumed by the ladder; only a parent-side
     :class:`KeyboardInterrupt` (and kin) propagates, so the caller can
     salvage-checkpoint and re-raise.
+
+    ``stop_event`` (a :class:`threading.Event`) requests a cooperative
+    stop from outside — e.g. the serve daemon draining on SIGTERM: the
+    supervisor finishes nothing new once the event is set, abandons
+    remaining blocks exactly like an expired deadline (clean teardown,
+    ``report.remaining`` populated, ``report.stopped = True``), and
+    returns the blocks that did complete so the caller can checkpoint
+    them.
     """
     return CampaignSupervisor(
         graph,
@@ -864,4 +904,5 @@ def run_supervised(
         fault=fault,
         swaps_per_state=swaps_per_state,
         graph_store=graph_store,
+        stop_event=stop_event,
     ).run()

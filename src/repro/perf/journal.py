@@ -30,7 +30,9 @@ changes results — it only appends to a side file.
 from __future__ import annotations
 
 import contextlib
+import errno
 import json
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
@@ -52,6 +54,11 @@ __all__ = [
 
 PathLike = Union[str, Path]
 
+# Fault-injection seam (see repro.util.faults): journal writes go
+# through this module attribute so disk-full tests can fail them
+# without touching the real file object.
+_wrap_stream = lambda fh: fh  # noqa: E731 - deliberate seam, like checkpoint's
+
 
 def _jsonable(value: Any) -> Any:
     """Coerce numpy scalars/arrays so campaign payloads serialize."""
@@ -65,18 +72,32 @@ def _jsonable(value: Any) -> Any:
 
 
 class Journal:
-    """An open, line-buffered append-only event journal."""
+    """An open, line-buffered append-only event journal.
+
+    Journal writes are best-effort by contract: an I/O failure on
+    *emit* (classically ENOSPC) must never kill the campaign or daemon
+    that was merely narrating its progress.  The first failed write
+    flips the journal into a **degraded** state — the failure is
+    counted (``journal.write_errors_total``) and every later emit
+    becomes a cheap no-op — rather than raising into code that treats
+    journaling as free.
+    """
 
     def __init__(self, path: PathLike) -> None:
         """Open (creating or appending to) the journal at *path*.
 
         When the file already has events, numbering continues after the
         last intact line — a resumed campaign's events sort after the
-        original run's.  A torn final line (crash mid-write) is
+        crash point.  A torn final line (crash mid-write) is
         truncated away first, so the next event starts on a fresh line
         instead of gluing itself onto the partial record.
         """
         self.path = Path(path)
+        self.degraded = False
+        # One journal is shared by every thread of a campaign or the
+        # serve daemon; the lock keeps (seq assignment, line write)
+        # atomic so records never interleave or reuse a seq.
+        self._lock = threading.Lock()
         try:
             if self.path.exists():
                 existing, torn, tail_offset = _read_lines(self.path)
@@ -93,21 +114,52 @@ class Journal:
             raise JournalError(f"cannot open journal {path}: {exc}") from exc
 
     def emit(self, kind: str, **fields: Any) -> int:
-        """Append one event line; returns its sequence number."""
-        seq = self._seq
-        record: Dict[str, Any] = {"seq": seq, "ts": time.time(), "kind": kind}
-        record.update(fields)
-        line = json.dumps(record, default=_jsonable, separators=(",", ":"))
-        self._fh.write(line + "\n")
-        self._fh.flush()
-        self._seq += 1
-        return seq
+        """Append one event line; returns its sequence number.
+
+        Returns ``-1`` without writing once the journal has degraded
+        (a previous write failed); the event is dropped, never raised.
+        """
+        with self._lock:
+            if self.degraded:
+                return -1
+            seq = self._seq
+            record: Dict[str, Any] = {
+                "seq": seq, "ts": time.time(), "kind": kind,
+            }
+            record.update(fields)
+            line = json.dumps(
+                record, default=_jsonable, separators=(",", ":")
+            )
+            try:
+                fh = _wrap_stream(self._fh)
+                fh.write(line + "\n")
+                fh.flush()
+            except OSError as exc:
+                self._degrade(exc)
+                return -1
+            self._seq += 1
+            return seq
+
+    def _degrade(self, exc: OSError) -> None:
+        """Flip into drop-everything mode after a failed write."""
+        # Import here: registry -> journal would otherwise be a cycle.
+        from repro.perf.registry import get_registry
+
+        self.degraded = True
+        registry = get_registry()
+        registry.count("journal.write_errors_total", 1)
+        if exc.errno == errno.ENOSPC:
+            registry.count("journal.disk_full_total", 1)
+        registry.gauge("journal.degraded", 1.0)
 
     def close(self) -> None:
-        """Flush and close the underlying file."""
+        """Flush and close the underlying file (best-effort: a full
+        disk at close time is already recorded, not re-raised)."""
         if not self._fh.closed:
-            self._fh.flush()
-            self._fh.close()
+            with contextlib.suppress(OSError):
+                self._fh.flush()
+            with contextlib.suppress(OSError):
+                self._fh.close()
 
     def __enter__(self) -> "Journal":
         """Context-manager entry: the journal itself."""

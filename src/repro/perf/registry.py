@@ -104,6 +104,27 @@ class Histogram:
         self.total += other.total
         self.sum += other.sum
 
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile (``0 <= q <= 1``) from the buckets.
+
+        Returns the upper edge of the bucket containing the target rank
+        (the overflow bucket reports the last edge), which is how
+        Prometheus's ``histogram_quantile`` resolves too: an upper
+        bound, exact to bucket granularity.  Returns 0.0 with no
+        observations.
+        """
+        if not 0 <= q <= 1:
+            raise ReproError(f"quantile must be in [0, 1], got {q}")
+        if self.total == 0:
+            return 0.0
+        rank = q * self.total
+        seen = 0
+        for edge, count in zip(self.edges, self.counts):
+            seen += count
+            if seen >= rank:
+                return edge
+        return self.edges[-1]
+
     def to_dict(self) -> dict:
         """JSON-ready snapshot of this histogram."""
         return {

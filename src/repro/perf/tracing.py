@@ -158,16 +158,33 @@ class TraceCollector:
     :func:`collecting_trace` scope) and every span closed while it is
     active appends an event.  Export to Chrome/Perfetto JSON with
     :func:`repro.perf.trace_export.spans_to_events`.
+
+    ``max_events`` bounds the buffer for long-lived processes (the
+    serve daemon traces indefinitely): once full, new events are
+    dropped and counted in ``dropped`` rather than growing without
+    limit.  The default 0 keeps the historical unbounded behaviour for
+    short campaign traces.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_events: int = 0) -> None:
+        if max_events < 0:
+            raise ValueError(
+                f"max_events must be >= 0 (0 = unbounded), got {max_events}"
+            )
+        self.max_events = max_events
+        self.dropped = 0
         self._lock = threading.Lock()
         self._events: List[SpanEvent] = []
 
     def record(self, path: str, start: float, end: float) -> None:
-        """Append one closed-span event (called from ``Span.__exit__``)."""
+        """Append one closed-span event (called from ``Span.__exit__``).
+
+        Drops (and counts) the event when the buffer is at capacity."""
         event = SpanEvent(path, start, end, threading.get_ident())
         with self._lock:
+            if self.max_events and len(self._events) >= self.max_events:
+                self.dropped += 1
+                return
             self._events.append(event)
 
     def events(self) -> List[SpanEvent]:

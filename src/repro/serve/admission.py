@@ -1,0 +1,81 @@
+"""Admission control: token-bucket rate limiting with honest backpressure.
+
+Under a load burst the daemon must stay *bounded* — answer what it can
+and refuse the rest cheaply — rather than queue unboundedly until it
+OOMs or every response blows its deadline.  The token bucket is the
+classic shape for that contract:
+
+* the bucket holds at most ``burst`` tokens and refills at ``rate``
+  tokens/second (continuous refill on the monotonic clock);
+* each admitted query spends one token; a query arriving to an empty
+  bucket is refused *immediately* with the number of seconds until a
+  token will exist — the ``Retry-After`` the HTTP layer returns with
+  its 503, so well-behaved clients back off exactly as long as needed.
+
+Refusal is O(1) and allocation-free, which is the point: shedding load
+must be the cheapest thing the server does.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Tuple
+
+from repro.errors import ServeError
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """Thread-safe continuous-refill token bucket.
+
+    ``rate <= 0`` disables admission control (every request admitted)
+    so small deployments can opt out without a separate code path.
+    """
+
+    def __init__(self, rate: float, burst: int) -> None:
+        """A bucket refilling at *rate* tokens/s, holding *burst* max."""
+        if rate < 0:
+            raise ServeError(f"admission rate must be >= 0, got {rate}")
+        if burst < 1:
+            raise ServeError(f"admission burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._lock = threading.Lock()
+        self._tokens = float(burst)
+        self._stamp = time.monotonic()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(
+                float(self.burst), self._tokens + elapsed * self.rate
+            )
+            self._stamp = now
+
+    def try_acquire(self) -> Tuple[bool, float]:
+        """Spend one token if available.
+
+        Returns ``(admitted, retry_after_seconds)``; *retry_after* is
+        0.0 when admitted and the time until the next token otherwise.
+        """
+        if self.rate == 0:
+            return True, 0.0
+        now = time.monotonic()
+        with self._lock:
+            self._refill(now)
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True, 0.0
+            deficit = 1.0 - self._tokens
+            return False, deficit / self.rate
+
+    def available(self) -> float:
+        """Tokens currently in the bucket (a gauge for metrics)."""
+        if self.rate == 0:
+            return float(self.burst)
+        now = time.monotonic()
+        with self._lock:
+            self._refill(now)
+            return self._tokens

@@ -1,0 +1,147 @@
+"""Latency circuit breaker: shed background growth when queries degrade.
+
+The daemon does two jobs on one machine: answer queries and grow the
+cloud.  Growth is the deprioritized tenant — when query tail latency
+(p99 over a sliding window of recent requests) climbs past its
+threshold, the breaker *opens* and the growth worker sheds its load
+(sleeps instead of sampling) until queries recover and a cool-down
+passes.  This mirrors the campaign supervisor's degradation ledger
+(:mod:`repro.parallel.supervisor`): every transition is journaled and
+exported as a metric, so an operator can reconstruct exactly when and
+why the daemon degraded.
+
+States:
+
+* **closed** — healthy; growth runs.
+* **open (degraded)** — p99 over the last ``window`` samples exceeded
+  ``p99_threshold``; growth sheds.  Recorded via journal event
+  ``serve_degraded`` and gauge ``serve.degraded = 1``.
+* recovery — after ``cooldown`` seconds with a healthy p99 the breaker
+  closes again (``serve_recovered`` / ``serve.degraded = 0``).
+
+The breaker never rejects queries — admission control owns refusal;
+the breaker only arbitrates between the two internal tenants.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List
+
+from repro.errors import ServeError
+from repro.perf.journal import journal_event
+from repro.perf.registry import get_registry
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Sliding-window p99 latency breaker over query durations.
+
+    ``p99_threshold <= 0`` disables the breaker (always closed), so
+    deployments without background growth pay nothing for it.
+    """
+
+    def __init__(
+        self,
+        p99_threshold: float = 0.25,
+        window: int = 128,
+        cooldown: float = 5.0,
+        min_samples: int = 20,
+    ) -> None:
+        """Breaker tripping when windowed p99 exceeds *p99_threshold*
+        seconds (over at least *min_samples* of the last *window*
+        requests), closing after *cooldown* healthy seconds."""
+        if window < 1:
+            raise ServeError(f"breaker window must be >= 1, got {window}")
+        if cooldown < 0:
+            raise ServeError(
+                f"breaker cooldown must be >= 0, got {cooldown}"
+            )
+        if min_samples < 1:
+            raise ServeError(
+                f"breaker min_samples must be >= 1, got {min_samples}"
+            )
+        self.p99_threshold = float(p99_threshold)
+        self.window = int(window)
+        self.cooldown = float(cooldown)
+        self.min_samples = int(min_samples)
+        self._lock = threading.Lock()
+        self._samples: List[float] = []
+        self._next = 0  # ring-buffer write cursor
+        self._open = False
+        self._opened_at = 0.0
+        self._last_trip_p99 = 0.0
+
+    @property
+    def is_open(self) -> bool:
+        """True while the breaker is open (growth should shed)."""
+        return self._open
+
+    def _p99(self) -> float:
+        """p99 of the current window (lock held)."""
+        ordered = sorted(self._samples)
+        index = max(0, int(0.99 * (len(ordered) - 1)))
+        return ordered[index]
+
+    def record(self, duration: float) -> None:
+        """Record one finished query's duration and re-evaluate state."""
+        if self.p99_threshold <= 0:
+            return
+        now = time.monotonic()
+        with self._lock:
+            if len(self._samples) < self.window:
+                self._samples.append(float(duration))
+            else:
+                self._samples[self._next] = float(duration)
+                self._next = (self._next + 1) % self.window
+            if len(self._samples) < self.min_samples:
+                return
+            p99 = self._p99()
+            if not self._open:
+                if p99 > self.p99_threshold:
+                    self._open = True
+                    self._opened_at = now
+                    self._last_trip_p99 = p99
+                    transition = "open"
+                else:
+                    return
+            else:
+                if p99 > self.p99_threshold:
+                    # Still unhealthy: restart the cool-down clock.
+                    self._opened_at = now
+                    return
+                if now - self._opened_at < self.cooldown:
+                    return
+                self._open = False
+                transition = "closed"
+        registry = get_registry()
+        if transition == "open":
+            registry.count("serve.breaker_trips_total", 1)
+            registry.gauge("serve.degraded", 1.0)
+            journal_event(
+                "serve_degraded",
+                p99_seconds=round(p99, 6),
+                threshold_seconds=self.p99_threshold,
+            )
+        else:
+            registry.gauge("serve.degraded", 0.0)
+            journal_event(
+                "serve_recovered",
+                p99_seconds=round(p99, 6),
+                cooldown_seconds=self.cooldown,
+            )
+
+    def snapshot(self) -> dict:
+        """Current breaker state for ``/snapshot`` and debugging."""
+        with self._lock:
+            samples = len(self._samples)
+            p99 = self._p99() if samples else 0.0
+            return {
+                "open": self._open,
+                "samples": samples,
+                "p99_seconds": round(p99, 6),
+                "threshold_seconds": self.p99_threshold,
+                "last_trip_p99_seconds": round(self._last_trip_p99, 6),
+            }

@@ -1,0 +1,90 @@
+"""Bounded LRU result cache keyed on ``(fingerprint, epoch, query)``.
+
+Query answers are pure functions of the published snapshot, so caching
+is safe by construction: the key embeds the snapshot's graph
+fingerprint *and* epoch, which means a newly published snapshot
+invalidates every older entry without any explicit flush — stale keys
+simply stop being generated and age out of the LRU tail.
+
+The cache is bounded in entries (not bytes) because serve responses
+are small (one vertex / one edge payload); the one potentially large
+answer — a full-membership bipartition — is capped by the handler
+before it reaches the cache.  All operations are O(1) under one lock,
+and hit/miss counts land in the metrics registry so the Prometheus
+export shows cache effectiveness live.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+from repro.errors import ServeError
+from repro.perf.registry import get_registry
+
+__all__ = ["ResultCache"]
+
+#: Cached value: (HTTP status, content type, body bytes).
+CachedResponse = Tuple[int, str, bytes]
+
+
+class ResultCache:
+    """Thread-safe bounded LRU over rendered responses.
+
+    ``max_entries <= 0`` disables caching entirely (every lookup
+    misses, nothing is stored) so operators can rule the cache out
+    when debugging without a separate code path.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        """Create a cache holding at most *max_entries* responses."""
+        if max_entries < 0:
+            raise ServeError(
+                f"cache max_entries must be >= 0, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, CachedResponse]" = OrderedDict()
+
+    def get(self, key: Hashable) -> Optional[CachedResponse]:
+        """The cached response for *key*, refreshing its LRU position;
+        ``None`` on a miss."""
+        if self.max_entries == 0:
+            get_registry().count("serve.cache_misses_total", 1)
+            return None
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+        registry = get_registry()
+        if value is None:
+            registry.count("serve.cache_misses_total", 1)
+        else:
+            registry.count("serve.cache_hits_total", 1)
+        return value
+
+    def put(self, key: Hashable, value: CachedResponse) -> None:
+        """Store *value* under *key*, evicting the LRU tail when full."""
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                get_registry().count("serve.cache_evictions_total", 1)
+            get_registry().gauge(
+                "serve.cache_entries", float(len(self._entries))
+            )
+
+    def clear(self) -> None:
+        """Drop every entry (tests and operator resets)."""
+        with self._lock:
+            self._entries.clear()
+        get_registry().gauge("serve.cache_entries", 0.0)
+
+    def __len__(self) -> int:
+        """Number of cached responses."""
+        with self._lock:
+            return len(self._entries)

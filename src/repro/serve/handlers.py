@@ -1,0 +1,212 @@
+"""Request deadline plumbing and endpoint rendering for the daemon.
+
+This module is the pure core of the HTTP layer: given a parsed request
+(path, query string, deadline) and the current
+:class:`~repro.serve.state.QuerySnapshot`, produce ``(status,
+content-type, body-bytes)``.  Keeping it free of sockets makes every
+endpoint unit-testable without a server and keeps ``server.py`` down
+to transport concerns (admission, draining, connection hygiene).
+
+Deadlines
+---------
+
+A client bounds a request with the ``X-Deadline-Ms`` header.  The
+handler materializes it into a :class:`Deadline` anchored on the
+monotonic clock and *checks it mid-query*: once after admission, once
+before rendering, and — for the one answer whose size scales with the
+graph (a full-membership bipartition) — again between build steps.  An
+expired deadline raises :class:`DeadlineExceeded`, which the transport
+maps to ``504 Gateway Timeout``; the contract tested in CI is that the
+504 lands within the deadline plus a small scheduling slop, i.e. the
+server never keeps burning cycles on an answer nobody is waiting for.
+
+Responses
+---------
+
+Every JSON body is rendered with
+:func:`~repro.serve.state.canonical_json`, so equal payloads are equal
+bytes — the property the chaos test's recovered-prefix diff and the
+result cache both build on.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ServeError
+from repro.perf.registry import get_registry
+from repro.serve.state import QuerySnapshot, canonical_json
+
+__all__ = [
+    "Deadline",
+    "DeadlineExceeded",
+    "render_metrics",
+    "route_query",
+]
+
+#: Rendered response: (HTTP status, content type, body bytes).
+Response = Tuple[int, str, bytes]
+
+_JSON = "application/json"
+_TEXT = "text/plain; charset=utf-8"
+
+
+class DeadlineExceeded(ServeError):
+    """Raised mid-query when the request's deadline has passed."""
+
+
+class Deadline:
+    """A per-request budget anchored on the monotonic clock.
+
+    ``Deadline(None)`` is the no-deadline sentinel: :meth:`check` is a
+    no-op, so unbounded requests pay one attribute test per checkpoint.
+    """
+
+    __slots__ = ("expires_at", "budget_ms")
+
+    def __init__(self, budget_ms: Optional[float]) -> None:
+        """A deadline *budget_ms* milliseconds from now (None = none)."""
+        if budget_ms is None:
+            self.budget_ms = None
+            self.expires_at = None
+        else:
+            if budget_ms <= 0:
+                raise ServeError(
+                    f"X-Deadline-Ms must be positive, got {budget_ms}"
+                )
+            self.budget_ms = float(budget_ms)
+            self.expires_at = time.monotonic() + budget_ms / 1000.0
+
+    @classmethod
+    def from_header(cls, value: Optional[str]) -> "Deadline":
+        """Parse an ``X-Deadline-Ms`` header value (absent = no deadline).
+
+        Malformed values raise :class:`~repro.errors.ServeError`, which
+        the transport maps to 400 — a client that asks for a bound it
+        cannot spell should learn immediately, not time out silently.
+        """
+        if value is None:
+            return cls(None)
+        try:
+            budget = float(value.strip())
+        except ValueError:
+            raise ServeError(
+                f"X-Deadline-Ms must be a number of milliseconds, "
+                f"got {value!r}"
+            ) from None
+        return cls(budget)
+
+    @property
+    def remaining(self) -> Optional[float]:
+        """Seconds left, or None for the unbounded sentinel."""
+        if self.expires_at is None:
+            return None
+        return self.expires_at - time.monotonic()
+
+    def check(self) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if self.expires_at is not None and time.monotonic() > self.expires_at:
+            raise DeadlineExceeded(
+                f"deadline of {self.budget_ms:g} ms exceeded"
+            )
+
+
+# ----------------------------------------------------------------------
+# Endpoint rendering
+# ----------------------------------------------------------------------
+def _id_from(path_rest: str, kind: str) -> int:
+    """Parse the trailing integer id of a ``/vertex/<id>`` style path."""
+    try:
+        return int(path_rest)
+    except ValueError:
+        raise ServeError(f"{kind} id must be an integer, got {path_rest!r}") \
+            from None
+
+
+def _flag(params: Dict[str, Any], name: str) -> bool:
+    """True when query param *name* is present and truthy ("1"/"true")."""
+    values = params.get(name)
+    if not values:
+        return False
+    return values[-1].lower() in ("1", "true", "yes")
+
+
+def route_query(
+    path: str, snapshot: QuerySnapshot, deadline: Deadline
+) -> Response:
+    """Render one query endpoint against *snapshot*.
+
+    *path* is the raw request target (path + optional query string).
+    Unknown paths return 404; bad ids 400.  Raises
+    :class:`DeadlineExceeded` when the deadline lapses mid-render.
+    """
+    deadline.check()
+    parts = urlsplit(path)
+    segments = [s for s in parts.path.split("/") if s]
+    params = parse_qs(parts.query)
+    if not segments:
+        payload = snapshot.info_payload()
+    elif segments[0] == "snapshot" and len(segments) == 1:
+        payload = snapshot.info_payload()
+    elif segments[0] == "vertex" and len(segments) == 2:
+        payload = snapshot.vertex_payload(_id_from(segments[1], "vertex"))
+    elif segments[0] == "edge" and len(segments) == 2:
+        payload = snapshot.edge_payload(_id_from(segments[1], "edge"))
+    elif segments[0] == "frustration" and len(segments) == 1:
+        payload = snapshot.frustration_payload()
+    elif segments[0] == "bipartition" and len(segments) == 1:
+        # The one answer whose size scales with the graph: re-check the
+        # deadline between deciding to include members and building the
+        # list, so an expired request stops before the expensive part.
+        include_members = _flag(params, "members")
+        deadline.check()
+        payload = snapshot.bipartition_payload(include_members)
+    else:
+        return (
+            404,
+            _JSON,
+            canonical_json({"error": f"unknown path {parts.path!r}"}),
+        )
+    deadline.check()
+    return 200, _JSON, canonical_json(payload)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text export
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    """Map a registry metric name to a Prometheus-legal one."""
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def render_metrics() -> Response:
+    """Render the active metrics registry in Prometheus text format.
+
+    Counters and gauges map 1:1; histograms export cumulative
+    ``_bucket{le=...}`` series plus ``_sum`` and ``_count``, matching
+    the ``le`` semantics the registry's buckets already use.
+    """
+    snap = get_registry().snapshot()
+    lines = []
+    for name, value in sorted(snap["counters"].items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {value:g}")
+    for name, value in sorted(snap["gauges"].items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {value:g}")
+    for name, hist in sorted(snap["histograms"].items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for edge, count in zip(hist["edges"], hist["counts"]):
+            cumulative += count
+            lines.append(f'{prom}_bucket{{le="{edge:g}"}} {cumulative}')
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {hist["total"]}')
+        lines.append(f"{prom}_sum {hist['sum']:g}")
+        lines.append(f"{prom}_count {hist['total']}")
+    body = ("\n".join(lines) + "\n").encode("utf-8")
+    return 200, _TEXT, body

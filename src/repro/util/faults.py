@@ -20,6 +20,14 @@ bit rot), and :class:`WorkerCrash` is a picklable hook the pool driver
 test can kill one specific worker — either by raising
 :class:`SimulatedCrash` or by hard ``os._exit`` process death.
 
+Beyond crashes, the harness simulates *resource* faults: the
+``disk_full_*`` context managers route checkpoint / journal writes
+through a :class:`DiskFullStream` that raises a genuine
+``OSError(ENOSPC)`` (which the writers must degrade on, not die on),
+:class:`SlowClient` trickles bytes at the serve daemon to exercise its
+slow-client timeout, and :func:`kill_process` SIGKILLs a daemon
+subprocess for the crash-only recovery chaos tests.
+
 All injected crashes raise :class:`SimulatedCrash`, which deliberately
 does **not** derive from :class:`~repro.errors.ReproError`: no library
 handler may swallow it, just as no handler can catch a real SIGKILL.
@@ -27,6 +35,7 @@ handler may swallow it, just as no handler can catch a real SIGKILL.
 
 from __future__ import annotations
 
+import errno
 import os
 import random
 import time
@@ -35,11 +44,16 @@ from pathlib import Path
 from typing import IO, Iterator, Tuple, Union
 
 __all__ = [
+    "DiskFullStream",
     "SimulatedCrash",
+    "SlowClient",
     "TruncatingStream",
     "WorkerCrash",
+    "disk_full_checkpoints",
+    "disk_full_journal",
     "kill_mid_write",
     "kill_before_replace",
+    "kill_process",
     "truncate_file",
     "flip_bits",
 ]
@@ -124,6 +138,161 @@ def kill_before_replace(after_calls: int = 0) -> Iterator[None]:
         yield
     finally:
         checkpoint._replace = previous
+
+
+class DiskFullStream:
+    """File wrapper whose writes fail with ``ENOSPC`` after a budget.
+
+    Unlike :class:`TruncatingStream` (which simulates a *kill*, raising
+    :class:`SimulatedCrash` that nothing may catch), this simulates the
+    operating system refusing bytes: the raised :class:`OSError` is
+    exactly what a full filesystem produces, so it exercises the
+    degrade-don't-crash paths in the checkpoint and journal writers.
+    """
+
+    def __init__(self, fh: IO, limit: int = 0) -> None:
+        """Fail writes once *limit* bytes have been accepted (0 = the
+        very first write fails)."""
+        self._fh = fh
+        self._limit = limit
+        self._written = 0
+
+    def write(self, data) -> int:
+        """Accept bytes up to the budget, then raise ``ENOSPC``."""
+        size = len(data)
+        if self._written + size > self._limit:
+            room = self._limit - self._written
+            if room > 0:
+                self._fh.write(data[:room])
+                self._written = self._limit
+                self._fh.flush()
+            raise OSError(errno.ENOSPC, "No space left on device (simulated)")
+        self._written += size
+        return self._fh.write(data)
+
+    def __getattr__(self, name):
+        return getattr(self._fh, name)
+
+
+@contextmanager
+def disk_full_checkpoints(limit_bytes: int = 0) -> Iterator[None]:
+    """Within the block, checkpoint saves hit ``ENOSPC`` after
+    *limit_bytes* of payload — the checkpoint layer must clean up its
+    temp file, record a ``disk_full`` event, and raise a
+    :class:`~repro.errors.CheckpointError` (not a raw OSError)."""
+    from repro.cloud import checkpoint
+
+    previous = checkpoint._wrap_stream
+    checkpoint._wrap_stream = lambda fh: DiskFullStream(fh, limit_bytes)
+    try:
+        yield
+    finally:
+        checkpoint._wrap_stream = previous
+
+
+@contextmanager
+def disk_full_journal(limit_bytes: int = 0) -> Iterator[None]:
+    """Within the block, journal emits hit ``ENOSPC`` after
+    *limit_bytes* — the journal must degrade to a silent no-op (drop
+    events, count the failure) rather than crash its campaign."""
+    from repro.perf import journal as journal_mod
+
+    previous = journal_mod._wrap_stream
+    budget = {"written": 0}
+
+    def _wrap(fh):
+        # One shared budget across emits: the "disk" has limit_bytes
+        # free in total, not per line.
+        stream = DiskFullStream(fh, limit_bytes)
+        stream._written = budget["written"]
+
+        class _Shared:
+            def write(self, data):
+                try:
+                    return stream.write(data)
+                finally:
+                    budget["written"] = stream._written
+
+            def __getattr__(self, name):
+                return getattr(stream, name)
+
+        return _Shared()
+
+    journal_mod._wrap_stream = _wrap
+    try:
+        yield
+    finally:
+        journal_mod._wrap_stream = previous
+
+
+class SlowClient:
+    """A deliberately slow HTTP client for slow-loris style tests.
+
+    Opens a raw socket to the daemon and trickles a request at
+    *byte_delay* second intervals (or stalls entirely after
+    ``stall_after`` bytes), so tests can assert that the server's
+    per-connection timeout reaps the connection instead of letting it
+    pin a handler thread.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        byte_delay: float = 0.2,
+        stall_after: int | None = None,
+    ) -> None:
+        """Connect to ``host:port``; configure the trickle cadence."""
+        import socket
+
+        self.byte_delay = byte_delay
+        self.stall_after = stall_after
+        self.sock = socket.create_connection((host, port), timeout=30)
+
+    def trickle(self, request: bytes) -> int:
+        """Send *request* one byte at a time; returns bytes sent.
+
+        Stops early (leaving the connection open and idle) once
+        ``stall_after`` bytes have been sent — the stalled-forever
+        client shape.
+        """
+        sent = 0
+        for i in range(len(request)):
+            if self.stall_after is not None and sent >= self.stall_after:
+                break
+            self.sock.sendall(request[i:i + 1])
+            sent += 1
+            time.sleep(self.byte_delay)
+        return sent
+
+    def close(self) -> None:
+        """Close the raw socket (ignoring already-dead connections)."""
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "SlowClient":
+        """Context-manager entry: the client itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Close the socket on scope exit; never swallows exceptions."""
+        self.close()
+        return False
+
+
+def kill_process(pid: int) -> None:
+    """SIGKILL *pid* — the real thing, for subprocess chaos tests.
+
+    A tiny wrapper so chaos tests read as intent (``kill_process``)
+    rather than signal plumbing, and so the kill is uncatchable by
+    construction — the daemon gets no chance to flush or checkpoint,
+    which is exactly the crash-only recovery contract under test.
+    """
+    import signal as _signal
+
+    os.kill(pid, _signal.SIGKILL)
 
 
 def truncate_file(

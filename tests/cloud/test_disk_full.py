@@ -1,0 +1,95 @@
+"""ENOSPC fault injection: writers degrade cleanly when the disk fills."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.checkpoint import recover_cloud, save_cloud
+from repro.cloud.cloud import sample_cloud
+from repro.errors import CheckpointError
+from repro.perf.journal import Journal, journaling, read_journal
+from repro.perf.registry import collecting
+from repro.util.faults import disk_full_checkpoints, disk_full_journal
+
+from tests.conftest import make_connected_signed
+
+
+@pytest.fixture()
+def cloud():
+    graph = make_connected_signed(14, 12, seed=6)
+    return sample_cloud(graph, 6, seed=6)
+
+
+class TestCheckpointDiskFull:
+    def test_raises_checkpoint_error_not_oserror(self, cloud, tmp_path):
+        path = tmp_path / "ck.npz"
+        with disk_full_checkpoints():
+            with pytest.raises(CheckpointError, match="No space left"):
+                save_cloud(cloud, path)
+        assert not path.exists()
+
+    def test_tmp_file_cleaned_up(self, cloud, tmp_path):
+        path = tmp_path / "ck.npz"
+        with disk_full_checkpoints(limit_bytes=64):
+            with pytest.raises(CheckpointError):
+                save_cloud(cloud, path)
+        assert not (tmp_path / "ck.npz.tmp").exists()
+
+    def test_previous_checkpoint_survives(self, cloud, tmp_path):
+        path = tmp_path / "ck.npz"
+        save_cloud(cloud, path)
+        with disk_full_checkpoints():
+            with pytest.raises(CheckpointError):
+                save_cloud(cloud, path, keep=2)
+        recovered, _, source = recover_cloud(path, cloud.graph)
+        assert recovered.num_states == cloud.num_states
+        assert source == path
+
+    def test_disk_full_event_journaled_and_counted(self, cloud, tmp_path):
+        journal_path = tmp_path / "j.jsonl"
+        with collecting(merge=False) as metrics:
+            with journaling(journal_path):
+                with disk_full_checkpoints():
+                    with pytest.raises(CheckpointError):
+                        save_cloud(cloud, tmp_path / "ck.npz")
+            assert metrics.counter("checkpoint.disk_full_total") == 1
+        kinds = [e["kind"] for e in read_journal(journal_path)]
+        assert "disk_full" in kinds
+
+
+class TestJournalDiskFull:
+    def test_emit_degrades_instead_of_raising(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        assert journal.emit("before") == 0
+        with disk_full_journal():
+            assert journal.emit("during") == -1  # dropped, not raised
+        assert journal.degraded
+        assert journal.emit("after") == -1  # stays degraded
+        journal.close()
+        events = read_journal(tmp_path / "j.jsonl")
+        assert [e["kind"] for e in events] == ["before"]
+
+    def test_degradation_is_counted(self, tmp_path):
+        with collecting(merge=False) as metrics:
+            journal = Journal(tmp_path / "j.jsonl")
+            with disk_full_journal():
+                journal.emit("x")
+            journal.close()
+            assert metrics.counter("journal.write_errors_total") == 1
+            assert metrics.counter("journal.disk_full_total") == 1
+            assert metrics.gauges()["journal.degraded"] == 1.0
+
+    def test_partial_budget_tears_at_line_boundary_semantics(self, tmp_path):
+        """A write that half-fits leaves a torn tail the next open heals."""
+        journal = Journal(tmp_path / "j.jsonl")
+        with disk_full_journal(limit_bytes=20):
+            journal.emit("long_event_name", payload="y" * 100)
+        journal.close()
+        # The reader sees no intact events (the only line is torn)...
+        assert read_journal(tmp_path / "j.jsonl") == []
+        # ...and a successor writer truncates and starts clean.
+        healed = Journal(tmp_path / "j.jsonl")
+        healed.emit("fresh")
+        healed.close()
+        events = read_journal(tmp_path / "j.jsonl", strict=True)
+        assert [e["kind"] for e in events] == ["fresh"]

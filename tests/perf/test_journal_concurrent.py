@@ -1,0 +1,97 @@
+"""Concurrent journal access: a reader tailing while a writer appends.
+
+The serve daemon journals from several threads while operators (and the
+chaos tests) tail the same file; the contract is that a reader using
+:func:`repro.perf.journal.read_journal` never sees a corrupt record —
+at worst it sees a *prefix* of the events plus a torn final line that
+is silently dropped (and that a crashed writer's successor truncates).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import JournalError
+from repro.perf.journal import Journal, read_journal
+from repro.util.faults import truncate_file
+
+
+def test_reader_tailing_live_writer_never_sees_corruption(tmp_path):
+    """Property: at every instant during a 400-event write, a reader
+    observes a clean prefix — parseable events with contiguous seqs."""
+    path = tmp_path / "j.jsonl"
+    stop = threading.Event()
+    failures = []
+
+    def reader() -> None:
+        while not stop.is_set():
+            if not path.exists():
+                continue
+            try:
+                events = read_journal(path)
+            except JournalError as exc:  # pragma: no cover - the failure
+                failures.append(f"reader raised: {exc}")
+                return
+            seqs = [e["seq"] for e in events]
+            if seqs != list(range(len(seqs))):
+                failures.append(f"non-contiguous seqs: {seqs[:10]}...")
+                return
+
+    tail = threading.Thread(target=reader)
+    tail.start()
+    with Journal(path) as journal:
+        for i in range(400):
+            journal.emit("tick", i=i, payload="x" * (i % 97))
+    stop.set()
+    tail.join(30)
+    assert not tail.is_alive()
+    assert not failures, failures[0]
+    assert len(read_journal(path)) == 400
+
+
+def test_torn_tail_mid_line_is_invisible_to_readers(tmp_path):
+    """Tear the file mid-record (as a crash would): readers drop the
+    torn tail, and the next writer truncates it and continues the seq."""
+    path = tmp_path / "j.jsonl"
+    with Journal(path) as journal:
+        for i in range(20):
+            journal.emit("tick", i=i)
+    # Chop mid-way through the final record.
+    truncate_file(path, keep_bytes=path.stat().st_size - 7)
+    events = read_journal(path)
+    assert len(events) == 19
+    assert all(e["i"] == e["seq"] for e in events)
+    with pytest.raises(JournalError, match="torn"):
+        read_journal(path, strict=True)
+    # A successor writer heals the tail and appends after the crash.
+    with Journal(path) as journal:
+        journal.emit("resumed")
+    healed = read_journal(path, strict=True)
+    assert [e["kind"] for e in healed[-2:]] == ["tick", "resumed"]
+    assert healed[-1]["seq"] == 19  # replaces the torn record's slot
+
+
+def test_interleaved_writers_through_one_journal_object(tmp_path):
+    """Threads sharing one Journal (the daemon's shape) interleave
+    whole lines, never fragments."""
+    path = tmp_path / "j.jsonl"
+    with Journal(path) as journal:
+        def writer(tag: int) -> None:
+            for i in range(100):
+                journal.emit("w", tag=tag, i=i)
+
+        threads = [
+            threading.Thread(target=writer, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    lines = path.read_text().splitlines()
+    assert len(lines) == 400
+    for line in lines:
+        record = json.loads(line)  # every line parses
+        assert record["kind"] == "w"

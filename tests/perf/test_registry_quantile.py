@@ -1,0 +1,67 @@
+"""Histogram quantile estimation and the bounded trace collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.perf.registry import Histogram
+from repro.perf.tracing import TraceCollector
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_is_zero(self):
+        assert Histogram((1.0, 2.0)).quantile(0.99) == 0.0
+
+    def test_reports_bucket_upper_edge(self):
+        hist = Histogram((0.01, 0.1, 1.0))
+        for _ in range(99):
+            hist.observe(0.005)  # le=0.01 bucket
+        hist.observe(0.5)  # le=1.0 bucket
+        assert hist.quantile(0.5) == 0.01
+        assert hist.quantile(0.99) == 0.01
+        assert hist.quantile(1.0) == 1.0
+
+    def test_overflow_bucket_reports_last_edge(self):
+        hist = Histogram((0.01, 0.1))
+        hist.observe(5.0)  # above every edge
+        assert hist.quantile(0.99) == 0.1
+
+    def test_out_of_range_raises(self):
+        hist = Histogram((1.0,))
+        with pytest.raises(ReproError):
+            hist.quantile(1.5)
+        with pytest.raises(ReproError):
+            hist.quantile(-0.1)
+
+    def test_quantiles_survive_merge(self):
+        a, b = Histogram((0.01, 1.0)), Histogram((0.01, 1.0))
+        for _ in range(10):
+            a.observe(0.001)
+            b.observe(0.5)
+        a.merge(b)
+        assert a.quantile(0.25) == 0.01
+        assert a.quantile(0.75) == 1.0
+
+
+class TestBoundedTraceCollector:
+    def test_unbounded_by_default(self):
+        collector = TraceCollector()
+        for i in range(1000):
+            collector.record("s", float(i), float(i) + 1)
+        assert len(collector) == 1000
+        assert collector.dropped == 0
+
+    def test_drops_and_counts_past_capacity(self):
+        collector = TraceCollector(max_events=5)
+        for i in range(12):
+            collector.record("s", float(i), float(i) + 1)
+        assert len(collector) == 5
+        assert collector.dropped == 7
+        # The retained events are the oldest (head of the run), so a
+        # truncated daemon trace still shows the boot sequence.
+        assert [e.start for e in collector.events()] == [0, 1, 2, 3, 4]
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceCollector(max_events=-1)

@@ -1,0 +1,84 @@
+"""The bounded LRU result cache and its epoch-keyed invalidation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ServeError
+from repro.perf.registry import collecting
+from repro.serve.cache import ResultCache
+
+
+def _resp(tag: str):
+    return (200, "application/json", tag.encode())
+
+
+def test_hit_miss_and_lru_eviction():
+    with collecting(merge=False) as metrics:
+        cache = ResultCache(max_entries=2)
+        assert cache.get("a") is None
+        cache.put("a", _resp("a"))
+        cache.put("b", _resp("b"))
+        assert cache.get("a") == _resp("a")  # refreshes a's position
+        cache.put("c", _resp("c"))  # evicts b, the LRU tail
+        assert cache.get("b") is None
+        assert cache.get("a") == _resp("a")
+        assert cache.get("c") == _resp("c")
+        assert len(cache) == 2
+        assert metrics.counter("serve.cache_evictions_total") == 1
+        assert metrics.counter("serve.cache_hits_total") == 3
+        assert metrics.counter("serve.cache_misses_total") == 2
+
+
+def test_epoch_in_key_invalidates_without_flush():
+    cache = ResultCache(max_entries=8)
+    cache.put(("fp", 1, "/vertex/0"), _resp("old"))
+    # A new snapshot epoch means new keys; the old entry is simply
+    # never addressed again.
+    assert cache.get(("fp", 2, "/vertex/0")) is None
+    cache.put(("fp", 2, "/vertex/0"), _resp("new"))
+    assert cache.get(("fp", 2, "/vertex/0")) == _resp("new")
+
+
+def test_zero_entries_disables():
+    cache = ResultCache(max_entries=0)
+    cache.put("a", _resp("a"))
+    assert cache.get("a") is None
+    assert len(cache) == 0
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ServeError):
+        ResultCache(max_entries=-1)
+
+
+def test_clear():
+    cache = ResultCache(max_entries=4)
+    cache.put("a", _resp("a"))
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.get("a") is None
+
+
+def test_concurrent_access_stays_bounded():
+    cache = ResultCache(max_entries=16)
+    errors = []
+
+    def worker(base: int) -> None:
+        try:
+            for i in range(300):
+                key = (base, i % 37)
+                cache.put(key, _resp(str(key)))
+                cache.get((base, (i * 7) % 37))
+        except Exception as exc:  # pragma: no cover - failure capture
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(cache) <= 16

@@ -1,0 +1,154 @@
+"""In-process daemon tests: probes, admission, deadlines, cache, drain."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.registry import get_registry
+
+from tests.conftest import make_connected_signed
+from tests.serve.conftest import daemon
+
+
+def test_queries_and_probes_end_to_end(tmp_path):
+    with daemon(
+        target_states=24,
+        grow_step=8,
+        checkpoint=tmp_path / "ck.npz",
+        journal=tmp_path / "j.jsonl",
+    ) as d:
+        d.wait_ready()
+        assert d.request("/healthz")[0] == 200
+        status, _, body = d.request("/vertex/0")
+        assert status == 200
+        payload = json.loads(body)
+        assert {"status", "influence", "side", "epoch"} <= set(payload)
+        status, _, body = d.request("/edge/0")
+        assert json.loads(body)["frustration"] == pytest.approx(
+            1.0 - json.loads(body)["agreement"]
+        )
+        assert d.request("/nope")[0] == 404
+        assert d.request("/vertex/not-a-number")[0] == 400
+        status, _, body = d.request("/metrics")
+        assert status == 200 and b"repro_serve_requests_total" in body
+        d.wait_states(24)
+    assert d.exit_code == 0
+    # Drain wrote a final checkpoint and journaled the lifecycle.
+    assert (tmp_path / "ck.npz").exists()
+    kinds = [
+        json.loads(line)["kind"]
+        for line in (tmp_path / "j.jsonl").read_text().splitlines()
+    ]
+    assert "server_started" in kinds
+    assert "serve_snapshot_published" in kinds
+    assert "server_draining" in kinds
+    assert kinds[-1] == "server_stopped"
+
+
+def test_readyz_is_503_before_first_snapshot():
+    with daemon(grow=False, target_states=0) as d:
+        status, headers, _ = d.request("/readyz")
+        assert status == 503
+        assert d.request("/healthz")[0] == 200  # alive, just not ready
+        status, headers, body = d.request("/vertex/0")
+        assert status == 503
+        assert "Retry-After" in headers
+        assert "warming up" in json.loads(body)["error"]
+    assert d.exit_code == 0
+
+
+def test_admission_refuses_with_retry_after():
+    with daemon(target_states=8, grow_step=8, qps=0.5, burst=2) as d:
+        d.wait_ready()
+        statuses = [d.request("/snapshot")[0] for _ in range(6)]
+        assert 200 in statuses and 503 in statuses
+        # Refusals carry an honest Retry-After and never hang.
+        status, headers, body = d.request("/snapshot")
+        if status == 503:
+            assert int(headers["Retry-After"]) >= 1
+            assert json.loads(body)["error"] == "overloaded"
+        assert get_registry().counter("serve.throttled_total") >= 1
+    assert d.exit_code == 0
+
+
+def test_expired_deadline_is_504_within_budget():
+    import time
+
+    with daemon(target_states=8, grow_step=8) as d:
+        d.wait_ready()
+        start = time.monotonic()
+        status, _, body = d.request(
+            "/bipartition?members=1", headers={"X-Deadline-Ms": "0.001"}
+        )
+        elapsed = time.monotonic() - start
+        assert status == 504
+        assert "deadline" in json.loads(body)["error"]
+        assert elapsed < 0.001 + 0.5  # bounded: deadline + small slop
+        assert get_registry().counter("serve.deadline_exceeded_total") >= 1
+        # Malformed deadline is a 400, immediately.
+        assert d.request("/vertex/0", headers={"X-Deadline-Ms": "x"})[0] == 400
+    assert d.exit_code == 0
+
+
+def test_cache_hits_within_an_epoch():
+    with daemon(target_states=8, grow_step=8) as d:
+        d.wait_states(8)  # campaign done: epoch stops moving
+        first = d.request("/vertex/1")
+        second = d.request("/vertex/1")
+        assert first[0] == second[0] == 200
+        assert first[2] == second[2]
+        assert get_registry().counter("serve.cache_hits_total") >= 1
+    assert d.exit_code == 0
+
+
+def test_responses_identical_across_cache_and_epochs(tmp_path):
+    """The same (fingerprint, states) must render identical bytes no
+    matter whether the answer came from cache or a fresh render."""
+    with daemon(
+        target_states=16, grow_step=4, checkpoint=tmp_path / "ck.npz"
+    ) as d:
+        d.wait_states(16)
+        bodies = {d.request("/frustration")[2] for _ in range(5)}
+        assert len(bodies) == 1
+
+
+def test_drain_rejects_new_queries_and_exits_zero(tmp_path):
+    with daemon(
+        target_states=4000,  # long campaign: drain interrupts it
+        grow_step=4,
+        grow_delay_ms=10.0,
+        checkpoint=tmp_path / "ck.npz",
+        journal=tmp_path / "j.jsonl",
+    ) as d:
+        d.wait_ready()
+        d.stop.set()  # begin drain while growth is mid-campaign
+        d.thread.join(30)
+        assert not d.thread.is_alive()
+    assert d.exit_code == 0
+    assert (tmp_path / "ck.npz").exists()
+    events = [
+        json.loads(line)
+        for line in (tmp_path / "j.jsonl").read_text().splitlines()
+    ]
+    stopped = [e for e in events if e["kind"] == "server_stopped"]
+    assert stopped and stopped[-1]["drained"] is True
+
+
+def test_slow_client_cannot_pin_a_handler_thread():
+    from repro.util.faults import SlowClient
+
+    with daemon(target_states=8, grow_step=8, request_timeout=0.3) as d:
+        d.wait_ready()
+        with SlowClient(
+            "127.0.0.1", d.port, byte_delay=0.0, stall_after=10
+        ) as slow:
+            sent = slow.trickle(b"GET /vertex/0 HTTP/1.1\r\nHost: x\r\n\r\n")
+            assert sent == 10  # stalled mid-request-line
+            import time
+
+            time.sleep(0.6)  # > request_timeout: server reaps the conn
+            # The daemon still answers healthy clients promptly.
+            assert d.request("/vertex/0", timeout=3.0)[0] == 200
+    assert d.exit_code == 0

@@ -1,0 +1,100 @@
+"""Snapshot immutability, canonical JSON, and the atomic snapshot store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.cloud import sample_cloud
+from repro.errors import ServeError
+from repro.serve.state import QuerySnapshot, SnapshotStore, canonical_json
+
+from tests.conftest import make_connected_signed
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    graph = make_connected_signed(20, 25, seed=3)
+    return sample_cloud(graph, 12, seed=3)
+
+
+def test_canonical_json_is_byte_stable():
+    a = canonical_json({"b": 1, "a": [1.5, 2]})
+    b = canonical_json({"a": [1.5, 2], "b": 1})
+    assert a == b
+    assert a.endswith(b"\n")
+
+
+def test_snapshot_arrays_are_read_only(cloud):
+    snap = QuerySnapshot(cloud, epoch=1, fingerprint="fp")
+    for name in ("status", "influence", "edge_agreement", "sides"):
+        arr = getattr(snap, name)
+        assert not arr.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            arr[0] = 0
+
+
+def test_snapshot_does_not_alias_cloud():
+    graph = make_connected_signed(15, 12, seed=8)
+    local = sample_cloud(graph, 6, seed=8)
+    snap = QuerySnapshot(local, epoch=1, fingerprint="fp")
+    before = snap.status.copy()
+    # Keep growing the source cloud: the snapshot must not move.
+    local.merge(sample_cloud(graph, 30, seed=99))
+    np.testing.assert_array_equal(snap.status, before)
+
+
+def test_empty_cloud_cannot_snapshot(cloud):
+    from repro.cloud.cloud import FrustrationCloud
+
+    with pytest.raises(ServeError, match="empty cloud"):
+        QuerySnapshot(FrustrationCloud(cloud.graph), 1, "fp")
+
+
+def test_payload_bounds(cloud):
+    snap = QuerySnapshot(cloud, epoch=1, fingerprint="fp")
+    with pytest.raises(ServeError, match="out of range"):
+        snap.vertex_payload(snap.num_vertices)
+    with pytest.raises(ServeError, match="out of range"):
+        snap.edge_payload(-1)
+
+
+def test_bipartition_members_match_sides(cloud):
+    snap = QuerySnapshot(cloud, epoch=1, fingerprint="fp")
+    payload = snap.bipartition_payload(include_members=True)
+    assert payload["members"] == [int(s) for s in snap.sides]
+    assert sum(payload["sizes"]) == snap.num_vertices
+    assert payload["sizes"][1] == sum(payload["members"])
+
+
+def test_store_publish_increments_epoch(cloud):
+    store = SnapshotStore()
+    assert store.get() is None
+    with pytest.raises(ServeError, match="no snapshot"):
+        store.require()
+    s1 = store.publish(cloud, "fp")
+    s2 = store.publish(cloud, "fp")
+    assert (s1.epoch, s2.epoch) == (1, 2)
+    assert store.epoch == 2
+    assert store.require() is s2
+
+
+def test_identical_clouds_serialize_identically(cloud):
+    """Two snapshots of equal clouds render byte-identical payloads —
+    the in-process statement of the chaos test's recovery contract."""
+    graph = cloud.graph
+    a = sample_cloud(graph, 10, seed=7)
+    b = sample_cloud(graph, 10, seed=7)
+    sa = QuerySnapshot(a, epoch=5, fingerprint="fp")
+    sb = QuerySnapshot(b, epoch=5, fingerprint="fp")
+    for v in range(sa.num_vertices):
+        assert canonical_json(sa.vertex_payload(v)) == canonical_json(
+            sb.vertex_payload(v)
+        )
+    for e in range(sa.num_edges):
+        assert canonical_json(sa.edge_payload(e)) == canonical_json(
+            sb.edge_payload(e)
+        )
+    assert canonical_json(sa.frustration_payload()) == canonical_json(
+        sb.frustration_payload()
+    )

@@ -97,6 +97,14 @@ MODULES = [
     "repro.perf.timeline",
     "repro.perf.trace_export",
     "repro.perf.journal",
+    "repro.serve",
+    "repro.serve.admission",
+    "repro.serve.breaker",
+    "repro.serve.cache",
+    "repro.serve.growth",
+    "repro.serve.handlers",
+    "repro.serve.server",
+    "repro.serve.state",
     "repro.util",
     "repro.util.arrays",
     "repro.util.faults",
