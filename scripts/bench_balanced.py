@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Benchmark the balanced-subgraph workloads (extract + tolerance).
+
+Runs both workloads on a planted-partition signed graph (two positive
+communities joined by negative edges, plus sign noise — the ground
+truth these algorithms are supposed to dig out) and reports, per
+workload row:
+
+* ``subgraph_size`` — kept vertices; **higher is better** and fully
+  deterministic for a given seed, so the CI gate catches quality
+  regressions exactly.
+* ``wall_seconds`` — best-of ``--repeat`` wall time for the complete
+  portfolio run (eigen + rounding + polish over all restarts);
+  **lower is better**, gated with the usual noise floor.
+
+Every row is audited in-process with the independent checker
+(:func:`repro.balanced.tolerance.tolerance_violations`) before it is
+written; a report whose subgraphs fail their own audit exits non-zero
+rather than gating garbage.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_balanced.py --smoke \
+        --out bench_balanced.json
+    python scripts/check_perf_regression.py \
+        --baseline benchmarks/baselines/bench_balanced_baseline.json \
+        --current bench_balanced.json --warn-threshold 0.5 \
+        --fail-threshold 2.0 --out balanced_comparison.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.balanced import run_balanced
+from repro.balanced.tolerance import tolerance_violations
+from repro.graph.generators import ensure_connected, planted_partition_signed
+
+#: (workload, tolerance) rows every report carries, in gate-key order.
+WORKLOADS = (
+    ("extract", 0),
+    ("tolerance", 2),
+)
+
+
+def build_graph(group_size: int, seed: int):
+    """Two planted communities with 10% sign noise, connected."""
+    return ensure_connected(
+        planted_partition_signed(
+            [group_size, group_size],
+            intra_degree=6.0,
+            inter_degree=2.0,
+            flip_noise=0.10,
+            seed=seed,
+        ),
+        seed=seed,
+    )
+
+
+def bench_workload(
+    graph, workload: str, tolerance: int, *, restarts: int, repeat: int
+) -> dict:
+    """One report row: best-of-*repeat* wall time plus the (identical
+    across repeats) subgraph quality numbers."""
+    best_wall = None
+    report = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        report = run_balanced(
+            graph,
+            workload=workload,
+            tolerance=tolerance,
+            restarts=restarts,
+            seed=0,
+        )
+        wall = time.perf_counter() - start
+        best_wall = wall if best_wall is None else min(best_wall, wall)
+    assert report is not None
+    violations = tolerance_violations(
+        graph, report.best.vertices, report.best.sides
+    )
+    audit_max = int(violations.max()) if len(violations) else 0
+    return {
+        "workload": workload,
+        "tolerance": tolerance,
+        "restarts": restarts,
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "subgraph_size": report.best.num_vertices,
+        "subgraph_edges": report.best.num_edges,
+        "unsatisfied_edges": report.best.unsatisfied_edges,
+        "seed_label": report.best.seed_label,
+        "audit_max_violations": audit_max,
+        "audit_ok": audit_max <= tolerance,
+        "wall_seconds": round(best_wall, 4),
+    }
+
+
+def main(argv=None) -> int:
+    """CLI entry point; see the module docstring."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_balanced.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small graph for CI")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="wall-time repetitions; best is reported "
+                             "(default 3)")
+    parser.add_argument("--restarts", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    group_size = 400 if args.smoke else 1500
+    graph = build_graph(group_size, seed=1)
+    print(f"bench_balanced: {graph.num_vertices} vertices / "
+          f"{graph.num_edges} edges, {args.restarts} restarts, "
+          f"best of {args.repeat}")
+
+    runs = []
+    for workload, tolerance in WORKLOADS:
+        row = bench_workload(
+            graph, workload, tolerance,
+            restarts=args.restarts, repeat=args.repeat,
+        )
+        runs.append(row)
+        print(f"  {workload:10s} t={tolerance} "
+              f"size={row['subgraph_size']:>6,}/{row['vertices']:,} "
+              f"edges={row['subgraph_edges']:>7,} "
+              f"wall={row['wall_seconds']:.3f}s "
+              f"(seed {row['seed_label']}, audit "
+              f"{'ok' if row['audit_ok'] else 'FAILED'})")
+        if not row["audit_ok"]:
+            print(f"error: {workload} subgraph failed its independent "
+                  f"audit (max violations {row['audit_max_violations']} "
+                  f"> tolerance {tolerance})", file=sys.stderr)
+            return 1
+
+    report = {
+        "kind": "bench_balanced",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "graph": {
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+            "generator": f"planted_partition[{group_size},{group_size}]",
+        },
+        "restarts": args.restarts,
+        "repeat": args.repeat,
+        "runs": runs,
+    }
+    Path(args.out).write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

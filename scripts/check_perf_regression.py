@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Gate a fresh benchmark report against a committed baseline.
 
-Understands two report shapes, detected by the ``kind`` field:
+Understands three report shapes, detected by the ``kind`` field:
 
 * ``bench_cloud.py`` reports (no ``kind``): compared per configuration
   as described below.
@@ -10,6 +10,11 @@ Understands two report shapes, detected by the ``kind`` field:
   ``p50_ms`` / ``p99_ms`` (lower is better).  Serve latencies are
   noisy on shared CI runners — gate them with generous thresholds
   (e.g. ``--warn-threshold 0.5 --fail-threshold 2.0``).
+* ``bench_balanced.py`` reports (``kind: bench_balanced``): compared
+  per ``(workload, tolerance)`` row on ``subgraph_size`` (higher is
+  better — deterministic, so a drop is a real quality regression) and
+  ``wall_seconds`` (lower is better; rows below the ``--min-seconds``
+  noise floor in both reports are skipped).
 
 For cloud reports, compares every matching configuration — keyed by
 ``(states, method, batch_size)`` within each graph entry — on two axes:
@@ -64,9 +69,10 @@ def _load(path: str) -> dict:
     return data
 
 
-def _is_serve(report: dict) -> bool:
-    """True for ``bench_serve.py`` reports (``kind: bench_serve``)."""
-    return report.get("kind") == "bench_serve"
+def _kind(report: dict) -> str:
+    """Report family: ``cloud`` (legacy, no ``kind`` field),
+    ``bench_serve``, or ``bench_balanced``."""
+    return report.get("kind") or "cloud"
 
 
 def _configs(report: dict) -> dict:
@@ -211,6 +217,70 @@ def compare_serve(baseline: dict, current: dict, warn: float,
     }
 
 
+def compare_balanced(
+    baseline: dict,
+    current: dict,
+    warn: float,
+    fail: float,
+    min_seconds: float,
+) -> dict:
+    """Per-workload balanced comparison: ``subgraph_size``
+    higher-better, ``wall_seconds`` lower-better with the noise floor.
+    Rows key as ``(workload, tolerance)``; document shape matches
+    :func:`compare`."""
+    def rows(report: dict) -> dict:
+        return {
+            (r["workload"], r.get("tolerance", 0)): r
+            for r in report.get("runs", [])
+        }
+
+    base_cfgs = rows(baseline)
+    cur_cfgs = rows(current)
+    checks: list[dict] = []
+    missing = sorted(str(k) for k in base_cfgs if k not in cur_cfgs)
+    for key in sorted(base_cfgs):
+        if key not in cur_cfgs:
+            continue
+        b, c = base_cfgs[key], cur_cfgs[key]
+        workload, tolerance = key
+        label = f"balanced:{workload} t={tolerance}"
+        for metric, higher_better in (
+            ("subgraph_size", True), ("wall_seconds", False),
+        ):
+            b_v = float(b.get(metric, 0) or 0)
+            c_v = float(c.get(metric, 0) or 0)
+            if b_v <= 0 or c_v <= 0:
+                continue
+            if (
+                metric == "wall_seconds"
+                and b_v < min_seconds
+                and c_v < min_seconds
+            ):
+                continue  # too small to time reliably
+            regression = (b_v / c_v if higher_better else c_v / b_v) - 1.0
+            checks.append({
+                "workload": workload,
+                "tolerance": tolerance,
+                "metric": metric,
+                "label": label,
+                "baseline": b_v,
+                "current": c_v,
+                "regression": round(regression, 4),
+                "status": _status(regression, warn, fail),
+            })
+    return {
+        "baseline_configs": len(base_cfgs),
+        "current_configs": len(cur_cfgs),
+        "missing_configs": missing,
+        "warn_threshold": warn,
+        "fail_threshold": fail,
+        "min_seconds": min_seconds,
+        "checks": checks,
+        "warnings": sum(1 for c in checks if c["status"] == "warn"),
+        "failures": sum(1 for c in checks if c["status"] == "fail"),
+    }
+
+
 def _label(check: dict) -> str:
     """Human-readable configuration label for a summary line."""
     if "label" in check:
@@ -243,15 +313,23 @@ def main(argv=None) -> int:
 
     baseline = _load(args.baseline)
     current = _load(args.current)
-    if _is_serve(baseline) != _is_serve(current):
-        print("error: baseline and current reports are different kinds",
-              file=sys.stderr)
+    kind = _kind(baseline)
+    if kind != _kind(current):
+        print(f"error: baseline and current reports are different kinds "
+              f"({kind} vs {_kind(current)})", file=sys.stderr)
         return 2
-    if _is_serve(baseline):
+    if kind == "bench_serve":
         result = compare_serve(
             baseline, current,
             warn=args.warn_threshold,
             fail=args.fail_threshold,
+        )
+    elif kind == "bench_balanced":
+        result = compare_balanced(
+            baseline, current,
+            warn=args.warn_threshold,
+            fail=args.fail_threshold,
+            min_seconds=args.min_seconds,
         )
     else:
         result = compare(

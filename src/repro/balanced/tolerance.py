@@ -1,0 +1,106 @@
+"""Tolerance-based balanced subgraphs (arXiv:2402.05006 style).
+
+Chen, Peng & Zhang relax strict balance: a subgraph is *balanced with
+tolerance t* when there is a two-sided vertex partition under which
+every vertex has at most ``t`` unbalanced incident edges inside the
+subgraph.  ``t = 0`` recovers the exact workload of
+:mod:`repro.balanced.extract`; small positive ``t`` typically keeps a
+much larger fraction of the graph.
+
+The search machinery is shared — the peel's stopping rule and the
+polish's admission rule are already tolerance-aware — so this module
+is the thin workload surface plus the **independent auditor**
+(:func:`tolerance_violations`) that recomputes per-vertex violation
+counts from nothing but the host graph and the returned
+``(vertices, sides)``, the way ``core/verify.py`` audits balanced
+states.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.balanced.extract import BalancedSubgraph
+from repro.errors import BalancedSearchError
+from repro.graph.csr import SignedGraph
+
+__all__ = ["extract_tolerant", "tolerance_violations"]
+
+
+def extract_tolerant(
+    graph: SignedGraph,
+    tolerance: int,
+    restarts: int = 4,
+    seed: int = 0,
+    peel_frac: float | None = None,
+    polish: bool = True,
+) -> BalancedSubgraph:
+    """Best tolerance-*t* subgraph across the standard seed portfolio.
+
+    Same portfolio and determinism contract as
+    :func:`repro.balanced.extract.extract_balanced`; only the per-vertex
+    violation budget differs.
+    """
+    from repro.balanced.extract import DEFAULT_PEEL_FRAC, extract_balanced
+
+    if tolerance < 0:
+        raise BalancedSearchError(
+            f"tolerance must be >= 0, got {tolerance}"
+        )
+    return extract_balanced(
+        graph,
+        tolerance=tolerance,
+        restarts=restarts,
+        seed=seed,
+        peel_frac=DEFAULT_PEEL_FRAC if peel_frac is None else peel_frac,
+        polish=polish,
+    )
+
+
+def tolerance_violations(
+    graph: SignedGraph, vertices: np.ndarray, sides: np.ndarray
+) -> np.ndarray:
+    """Independent audit: per-kept-vertex unbalanced-edge counts.
+
+    Recomputed from scratch against the *host* graph's edge arrays —
+    no state from the search is trusted.  ``result[i]`` is the number
+    of induced edges incident to ``vertices[i]`` whose sign contradicts
+    the product of its endpoints' sides; a tolerance-*t* subgraph must
+    satisfy ``result.max() <= t`` (and an exactly balanced one,
+    ``result.max() == 0``, which is equivalent to
+    :func:`repro.core.verify.check_balance` passing on the induced
+    subgraph with ``sides`` as the switching).
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    sides = np.asarray(sides, dtype=np.int8)
+    if vertices.shape != sides.shape:
+        raise BalancedSearchError(
+            "vertices and sides must have matching shapes"
+        )
+    if len(np.unique(vertices)) != len(vertices):
+        raise BalancedSearchError("duplicate vertex ids in subgraph")
+    if len(vertices) and (
+        vertices.min() < 0 or vertices.max() >= graph.num_vertices
+    ):
+        raise BalancedSearchError("vertex ids out of range")
+    if len(sides) and not np.all(np.abs(sides) == 1):
+        raise BalancedSearchError("sides must be +1 or -1")
+
+    side_full = np.zeros(graph.num_vertices, dtype=np.int8)
+    side_full[vertices] = sides
+    kept = np.zeros(graph.num_vertices, dtype=bool)
+    kept[vertices] = True
+    induced = kept[graph.edge_u] & kept[graph.edge_v]
+    unsat = induced & (
+        graph.edge_sign.astype(np.int16)
+        * side_full[graph.edge_u].astype(np.int16)
+        * side_full[graph.edge_v].astype(np.int16)
+        < 0
+    )
+    counts = np.bincount(
+        graph.edge_u[unsat], minlength=graph.num_vertices
+    )
+    counts += np.bincount(
+        graph.edge_v[unsat], minlength=graph.num_vertices
+    )
+    return counts[vertices]

@@ -12,6 +12,7 @@ model        modeled serial/OpenMP/CUDA campaign times (Tables 2–3)
 memory       Table-4 memory model for given sizes or a named dataset
 journal      summarize a campaign event journal (``cloud --journal``)
 serve        crash-only HTTP query daemon with background cloud growth
+balanced     balanced-subgraph discovery (``extract`` / ``tolerance``)
 
 Graph files are auto-detected by extension: ``.mtx`` (Matrix Market),
 ``.tsv`` (KONECT), ``.npz`` (repro snapshot), ``.rsgs`` (packed
@@ -619,6 +620,79 @@ def _cmd_serve(args) -> int:
     return run_server(sub, config)
 
 
+def _balanced_output(report, args) -> None:
+    """Write a balanced-workload report as JSON or per-vertex CSV.
+
+    The format follows ``--format`` when given, else the output path's
+    extension (``.csv`` means CSV, anything else JSON).
+    """
+    import json
+
+    path = Path(args.output)
+    fmt = args.format
+    if fmt is None:
+        fmt = "csv" if path.suffix.lower() == ".csv" else "json"
+    if fmt == "json":
+        path.write_text(
+            json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    else:
+        best = report.best
+        lines = ["vertex,side"]
+        lines.extend(
+            f"{int(v)},{int(s)}"
+            for v, s in zip(best.vertices, best.sides)
+        )
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    print(f"{fmt} report written to {args.output}")
+
+
+def _cmd_balanced(args) -> int:
+    from repro.balanced import run_balanced
+
+    workload = args.balanced_command
+    tolerance = getattr(args, "tolerance", 0)
+    # .rsgs inputs go to the runner as paths so pool workers share the
+    # zero-copy mapping; everything else is loaded here.
+    if Path(args.input).suffix.lower() == ".rsgs":
+        source = args.input
+    else:
+        source = load_graph_file(args.input)
+    report = run_balanced(
+        source,
+        workload=workload,
+        tolerance=tolerance,
+        restarts=args.restarts,
+        seed=args.seed,
+        peel_frac=args.peel_frac,
+        polish=not args.no_polish,
+        workers=args.workers,
+    )
+    best = report.best
+    print(f"{workload}: kept {best.num_vertices:,}/"
+          f"{report.num_vertices:,} vertices, {best.num_edges:,} edges "
+          f"({best.unsatisfied_edges:,} unsatisfied, tolerance "
+          f"{report.tolerance}) from seed '{best.seed_label}' "
+          f"in {report.wall_seconds:.3f}s")
+    for row in report.per_seed:
+        print(f"  seed {row['label']:10s} {row['num_vertices']:6,} "
+              f"vertices {row['num_edges']:7,} edges "
+              f"{row['unsatisfied_edges']:5,} unsatisfied")
+    if report.degraded_restarts:
+        print(f"  ({report.degraded_restarts} restart(s) degraded to "
+              "in-process execution after worker failures)")
+    if args.metrics_out:
+        from repro.perf.export import write_metrics
+        from repro.perf.registry import get_registry
+
+        write_metrics(get_registry().snapshot(), args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    if args.output:
+        _balanced_output(report, args)
+    return 0
+
+
 # ----------------------------------------------------------------------
 def _batch_size_arg(value: str):
     """--batch-size accepts a positive int or the literal 'auto'."""
@@ -922,6 +996,63 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-connection socket timeout bounding slow "
                         "clients (default 10s)")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "balanced",
+        help="balanced-subgraph discovery workloads",
+        description="Find large (near-)balanced vertex subsets: "
+                    "'extract' deletes vertices until the induced "
+                    "subgraph is exactly balanced; 'tolerance' allows "
+                    "each kept vertex up to t unbalanced incident "
+                    "edges.",
+    )
+    bsub = p.add_subparsers(dest="balanced_command", required=True)
+
+    def _balanced_common(bp) -> None:
+        bp.add_argument("input",
+                        help="graph file; .rsgs stores are mapped "
+                             "zero-copy and shared with pool workers")
+        bp.add_argument("--restarts", type=int, default=4,
+                        help="spanning-tree seed restarts besides the "
+                             "spectral seed (default 4)")
+        bp.add_argument("--seed", type=int, default=0)
+        bp.add_argument("--peel-frac", type=float, default=0.25,
+                        help="fraction of over-budget vertices removed "
+                             "per peel round (default 0.25; smaller = "
+                             "slower, slightly larger subgraphs)")
+        bp.add_argument("--no-polish", action="store_true",
+                        help="skip the local-search re-admission pass")
+        bp.add_argument("--workers", type=int, default=0,
+                        help="distribute restarts over N pool workers "
+                             "(default 0 = single-process; results are "
+                             "identical either way)")
+        bp.add_argument("--output", metavar="PATH",
+                        help="write the report (JSON) or the kept "
+                             "vertex/side table (CSV) to PATH")
+        bp.add_argument("--format", choices=["json", "csv"], default=None,
+                        help="output format (default: by PATH extension)")
+        bp.add_argument("--metrics-out", metavar="PATH",
+                        help="write the metrics-registry JSON snapshot "
+                             "(balanced_extract > eigen/rounding/polish "
+                             "spans) to PATH")
+        bp.set_defaults(func=_cmd_balanced)
+
+    be = bsub.add_parser(
+        "extract",
+        help="largest exactly-balanced subgraph (arXiv:2002.00775)",
+    )
+    _balanced_common(be)
+
+    bt = bsub.add_parser(
+        "tolerance",
+        help="balanced subgraph with per-vertex tolerance "
+             "(arXiv:2402.05006)",
+    )
+    bt.add_argument("--tolerance", "-t", type=int, default=1,
+                    metavar="T",
+                    help="max unbalanced incident edges per kept vertex "
+                         "(default 1)")
+    _balanced_common(bt)
 
     return parser
 

@@ -20,6 +20,7 @@ __all__ = [
     "CheckpointError",
     "JournalError",
     "ServeError",
+    "BalancedSearchError",
 ]
 
 
@@ -89,6 +90,12 @@ class JournalError(ReproError):
     """Raised when a campaign event journal cannot be opened, or when a
     strict read encounters a corrupt line before the final (possibly
     torn) one."""
+
+
+class BalancedSearchError(ReproError):
+    """Raised by the balanced-subgraph workloads
+    (:mod:`repro.balanced`) for invalid search parameters (negative
+    tolerance, malformed side assignments, bad peel fractions)."""
 
 
 class ServeError(ReproError):

@@ -1,0 +1,110 @@
+"""The ``repro balanced`` CLI surface: both subcommands, JSON/CSV
+output selection, ``.rsgs`` inputs, and the metrics dump."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph.io import write_edgelist
+from repro.graph.store import GraphStore
+from tests.conftest import make_connected_signed
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return make_connected_signed(50, 110, seed=8)
+
+
+@pytest.fixture(scope="module")
+def edges_path(graph, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "graph.txt"
+    write_edgelist(graph, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def store_path(graph, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "graph.rsgs"
+    GraphStore.pack(graph, path)
+    return path
+
+
+class TestBalancedCli:
+    def test_extract_json_output(self, edges_path, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main(["balanced", "extract", str(edges_path),
+                     "--output", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["workload"] == "extract"
+        assert doc["tolerance"] == 0
+        assert doc["result"]["num_vertices"] == len(
+            doc["result"]["vertices"]
+        )
+        assert "kept" in capsys.readouterr().out
+
+    def test_csv_by_extension(self, edges_path, tmp_path):
+        out = tmp_path / "subgraph.csv"
+        assert main(["balanced", "extract", str(edges_path),
+                     "--output", str(out)]) == 0
+        lines = out.read_text().strip().splitlines()
+        assert lines[0] == "vertex,side"
+        for line in lines[1:]:
+            vertex, side = line.split(",")
+            assert int(side) in (-1, 1)
+            assert 0 <= int(vertex)
+
+    def test_format_flag_overrides_extension(self, edges_path, tmp_path):
+        out = tmp_path / "report.json"
+        assert main(["balanced", "extract", str(edges_path),
+                     "--output", str(out), "--format", "csv"]) == 0
+        assert out.read_text().startswith("vertex,side")
+
+    def test_tolerance_subcommand(self, edges_path, tmp_path):
+        out = tmp_path / "tol.json"
+        assert main(["balanced", "tolerance", str(edges_path),
+                     "-t", "2", "--output", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["workload"] == "tolerance"
+        assert doc["tolerance"] == 2
+
+    def test_rsgs_input_matches_edgelist(
+        self, edges_path, store_path, tmp_path
+    ):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["balanced", "extract", str(edges_path),
+                     "--output", str(a)]) == 0
+        assert main(["balanced", "extract", str(store_path),
+                     "--output", str(b)]) == 0
+        assert (
+            json.loads(a.read_text())["result"]
+            == json.loads(b.read_text())["result"]
+        )
+
+    def test_no_polish_flag(self, edges_path, tmp_path):
+        polished, rough = tmp_path / "p.json", tmp_path / "r.json"
+        assert main(["balanced", "extract", str(edges_path),
+                     "--output", str(polished)]) == 0
+        assert main(["balanced", "extract", str(edges_path),
+                     "--no-polish", "--output", str(rough)]) == 0
+        assert (
+            json.loads(polished.read_text())["result"]["num_vertices"]
+            >= json.loads(rough.read_text())["result"]["num_vertices"]
+        )
+
+    def test_metrics_out(self, edges_path, tmp_path):
+        metrics = tmp_path / "metrics.json"
+        assert main(["balanced", "extract", str(edges_path),
+                     "--metrics-out", str(metrics)]) == 0
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["counters"]["balanced.runs_total"] >= 1
+        assert "balanced.best_size" in snapshot["gauges"]
+
+    def test_seed_table_printed(self, edges_path, capsys):
+        assert main(["balanced", "extract", str(edges_path),
+                     "--restarts", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "seed spectral" in out
+        assert "seed tree:0" in out

@@ -1,0 +1,119 @@
+"""Tolerance-based extraction (arXiv:2402.05006 relaxation) and its
+independent auditor.  The auditor is the contract: it recomputes
+violation counts from nothing but the host graph and the returned
+``(vertices, sides)``, so these tests never trust the search's own
+bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.balanced.extract import extract_balanced
+from repro.balanced.tolerance import extract_tolerant, tolerance_violations
+from repro.errors import BalancedSearchError
+from repro.graph.build import from_edges
+from repro.graph.generators import ensure_connected, planted_partition_signed
+from tests.conftest import make_connected_signed
+
+
+@pytest.fixture(scope="module")
+def noisy_graph():
+    return ensure_connected(
+        planted_partition_signed([50, 50], flip_noise=0.1, seed=11),
+        seed=11,
+    )
+
+
+class TestExtractTolerant:
+    def test_zero_tolerance_matches_exact_workload(self, noisy_graph):
+        exact = extract_balanced(noisy_graph, restarts=3, seed=0)
+        relaxed = extract_tolerant(noisy_graph, 0, restarts=3, seed=0)
+        assert np.array_equal(exact.vertices, relaxed.vertices)
+        assert np.array_equal(exact.sides, relaxed.sides)
+        assert exact.seed_label == relaxed.seed_label
+
+    @pytest.mark.parametrize("tolerance", [1, 2, 4])
+    def test_audit_within_budget(self, noisy_graph, tolerance):
+        result = extract_tolerant(noisy_graph, tolerance, restarts=3)
+        violations = tolerance_violations(
+            noisy_graph, result.vertices, result.sides
+        )
+        assert int(violations.max()) <= tolerance
+        assert result.tolerance == tolerance
+
+    def test_slack_buys_vertices(self, noisy_graph):
+        strict = extract_tolerant(noisy_graph, 0, restarts=3)
+        loose = extract_tolerant(noisy_graph, 3, restarts=3)
+        assert loose.num_vertices >= strict.num_vertices
+
+    def test_negative_tolerance_rejected(self, noisy_graph):
+        with pytest.raises(BalancedSearchError, match="tolerance"):
+            extract_tolerant(noisy_graph, -1)
+
+    def test_neg_triangle_tolerance_one_keeps_all(self, neg_triangle):
+        result = extract_tolerant(neg_triangle, 1)
+        assert result.num_vertices == 3
+        violations = tolerance_violations(
+            neg_triangle, result.vertices, result.sides
+        )
+        assert int(violations.max()) <= 1
+
+
+class TestAuditor:
+    def test_counts_by_hand(self):
+        # Negative triangle, everyone on side +1: the one negative edge
+        # (1,2) is unsatisfied, charging each endpoint once.
+        graph = from_edges([(0, 1, 1), (1, 2, -1), (0, 2, 1)])
+        counts = tolerance_violations(
+            graph, np.array([0, 1, 2]), np.array([1, 1, 1])
+        )
+        assert counts.tolist() == [0, 1, 1]
+
+    def test_subset_only_counts_induced_edges(self):
+        graph = from_edges([(0, 1, -1), (1, 2, 1)])
+        # Dropping vertex 0 removes the negative edge from scope.
+        counts = tolerance_violations(
+            graph, np.array([1, 2]), np.array([1, 1])
+        )
+        assert counts.tolist() == [0, 0]
+
+    def test_shape_mismatch_rejected(self, triangle):
+        with pytest.raises(BalancedSearchError, match="shape"):
+            tolerance_violations(
+                triangle, np.array([0, 1]), np.array([1, 1, 1])
+            )
+
+    def test_duplicate_vertices_rejected(self, triangle):
+        with pytest.raises(BalancedSearchError, match="duplicate"):
+            tolerance_violations(
+                triangle, np.array([0, 0]), np.array([1, 1])
+            )
+
+    def test_out_of_range_ids_rejected(self, triangle):
+        with pytest.raises(BalancedSearchError, match="range"):
+            tolerance_violations(
+                triangle, np.array([0, 7]), np.array([1, 1])
+            )
+
+    def test_non_pm1_sides_rejected(self, triangle):
+        with pytest.raises(BalancedSearchError, match=r"\+1 or -1"):
+            tolerance_violations(
+                triangle, np.array([0, 1]), np.array([1, 2])
+            )
+
+    def test_empty_subgraph_is_vacuously_fine(self, triangle):
+        counts = tolerance_violations(
+            triangle,
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int8),
+        )
+        assert len(counts) == 0
+
+    def test_agrees_with_result_bookkeeping(self):
+        graph = make_connected_signed(90, 200, seed=13)
+        result = extract_tolerant(graph, 2, restarts=3)
+        violations = tolerance_violations(
+            graph, result.vertices, result.sides
+        )
+        assert int(violations.sum()) == 2 * result.unsatisfied_edges

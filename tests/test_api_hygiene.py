@@ -79,6 +79,11 @@ MODULES = [
     "repro.parallel.pool",
     "repro.parallel.supervisor",
     "repro.parallel.mpi_model",
+    "repro.balanced",
+    "repro.balanced.extract",
+    "repro.balanced.runner",
+    "repro.balanced.seeds",
+    "repro.balanced.tolerance",
     "repro.analysis",
     "repro.analysis.clustering_metrics",
     "repro.analysis.spectral",

@@ -1,7 +1,13 @@
 """Tests for the CI perf gate (``scripts/check_perf_regression.py``):
 a clean report passes (exit 0), a doctored 2x phase slowdown fails
 (exit 1), unusable input exits 2, and sub-noise-floor phases are
-skipped rather than flagged."""
+skipped rather than flagged.
+
+The gate dispatches on the report's ``kind`` field — legacy cloud
+reports, ``bench_serve`` (qps higher-better, latencies lower-better),
+and ``bench_balanced`` (subgraph size higher-better, wall time
+lower-better with the noise floor) — so each family gets its own
+direction-of-goodness tests plus a mismatch check."""
 
 from __future__ import annotations
 
@@ -167,3 +173,177 @@ class TestPerfGate:
         for run in cfgs.values():
             assert run["states_per_sec"] > 0
             assert run["phases"]
+
+
+def _make_serve_report(**overrides) -> dict:
+    runs = [
+        {"scenario": "idle", "qps": 900.0, "p50_ms": 0.8, "p99_ms": 2.5},
+        {"scenario": "growing", "qps": 500.0, "p50_ms": 1.4, "p99_ms": 6.0},
+    ]
+    for run in runs:
+        run.update(overrides.get(run["scenario"], {}))
+    return {"kind": "bench_serve", "runs": runs}
+
+
+class TestServeKind:
+    """``bench_serve`` dispatch: qps is higher-better, latencies are
+    lower-better, and scenarios key the comparison."""
+
+    def _run(self, tmp_path, baseline, current, *extra) -> int:
+        b, c = tmp_path / "b.json", tmp_path / "c.json"
+        b.write_text(json.dumps(baseline))
+        c.write_text(json.dumps(current))
+        return gate.main(["--baseline", str(b), "--current", str(c),
+                          "--out", str(tmp_path / "cmp.json"), *extra])
+
+    def test_identical_passes(self, tmp_path):
+        assert self._run(
+            tmp_path, _make_serve_report(), _make_serve_report()
+        ) == 0
+
+    def test_qps_drop_fails(self, tmp_path):
+        slow = _make_serve_report(idle={"qps": 250.0})  # 3.6x fewer qps
+        assert self._run(
+            tmp_path, _make_serve_report(), slow,
+            "--warn-threshold", "0.5", "--fail-threshold", "2.0",
+        ) == 1
+        cmp_doc = json.loads((tmp_path / "cmp.json").read_text())
+        failed = [c for c in cmp_doc["checks"] if c["status"] == "fail"]
+        assert [c["metric"] for c in failed] == ["qps"]
+        assert failed[0]["label"] == "serve:idle"
+
+    def test_latency_rise_fails(self, tmp_path):
+        laggy = _make_serve_report(growing={"p99_ms": 60.0})  # 10x p99
+        assert self._run(
+            tmp_path, _make_serve_report(), laggy,
+            "--warn-threshold", "0.5", "--fail-threshold", "2.0",
+        ) == 1
+
+    def test_faster_and_leaner_passes(self, tmp_path):
+        better = _make_serve_report(
+            idle={"qps": 2000.0, "p50_ms": 0.3, "p99_ms": 1.0},
+            growing={"qps": 1000.0, "p50_ms": 0.6, "p99_ms": 2.0},
+        )
+        assert self._run(
+            tmp_path, _make_serve_report(), better
+        ) == 0
+
+    def test_qps_rise_is_not_a_latency_regression(self, tmp_path):
+        # Direction matters: doubling qps must not be read as "metric
+        # went up, therefore worse".
+        better = _make_serve_report(idle={"qps": 1800.0})
+        assert self._run(
+            tmp_path, _make_serve_report(), better
+        ) == 0
+
+
+def _make_balanced_report(**overrides) -> dict:
+    runs = [
+        {"workload": "extract", "tolerance": 0,
+         "subgraph_size": 624, "wall_seconds": 0.015},
+        {"workload": "tolerance", "tolerance": 2,
+         "subgraph_size": 780, "wall_seconds": 0.009},
+    ]
+    for run in runs:
+        run.update(overrides.get(run["workload"], {}))
+    return {"kind": "bench_balanced", "runs": runs}
+
+
+class TestBalancedKind:
+    """``bench_balanced`` dispatch: subgraph size is higher-better,
+    wall time lower-better, and sub-noise-floor wall times are skipped
+    instead of gated."""
+
+    def _run(self, tmp_path, baseline, current, *extra) -> int:
+        b, c = tmp_path / "b.json", tmp_path / "c.json"
+        b.write_text(json.dumps(baseline))
+        c.write_text(json.dumps(current))
+        return gate.main(["--baseline", str(b), "--current", str(c),
+                          "--out", str(tmp_path / "cmp.json"), *extra])
+
+    def test_identical_passes(self, tmp_path):
+        assert self._run(
+            tmp_path, _make_balanced_report(), _make_balanced_report()
+        ) == 0
+
+    def test_size_drop_fails(self, tmp_path):
+        shrunk = _make_balanced_report(extract={"subgraph_size": 100})
+        assert self._run(
+            tmp_path, _make_balanced_report(), shrunk,
+            "--warn-threshold", "0.5", "--fail-threshold", "3.0",
+        ) == 1
+        cmp_doc = json.loads((tmp_path / "cmp.json").read_text())
+        failed = [c for c in cmp_doc["checks"] if c["status"] == "fail"]
+        assert [c["metric"] for c in failed] == ["subgraph_size"]
+        assert failed[0]["label"] == "balanced:extract t=0"
+
+    def test_wall_blowup_fails(self, tmp_path):
+        slow = _make_balanced_report(extract={"wall_seconds": 0.5})
+        assert self._run(
+            tmp_path, _make_balanced_report(), slow,
+            "--warn-threshold", "0.5", "--fail-threshold", "3.0",
+        ) == 1
+
+    def test_bigger_subgraph_passes(self, tmp_path):
+        better = _make_balanced_report(extract={"subgraph_size": 700})
+        assert self._run(
+            tmp_path, _make_balanced_report(), better
+        ) == 0
+
+    def test_sub_noise_floor_wall_is_skipped(self, tmp_path):
+        # 4 ms vs 1 ms is a 4x "regression" but both sit under the 5 ms
+        # floor: the gate must not flag it, while still checking sizes.
+        base = _make_balanced_report(extract={"wall_seconds": 0.001})
+        cur = _make_balanced_report(extract={"wall_seconds": 0.004})
+        assert self._run(tmp_path, base, cur) == 0
+        cmp_doc = json.loads((tmp_path / "cmp.json").read_text())
+        extract_metrics = [
+            c["metric"] for c in cmp_doc["checks"]
+            if c["label"] == "balanced:extract t=0"
+        ]
+        assert "wall_seconds" not in extract_metrics
+        assert "subgraph_size" in extract_metrics
+
+    def test_rows_key_on_workload_and_tolerance(self, tmp_path):
+        # A baseline row with no counterpart (different tolerance) is
+        # reported missing, not silently compared against the wrong row.
+        cur = _make_balanced_report()
+        cur["runs"][1]["tolerance"] = 5
+        assert self._run(tmp_path, _make_balanced_report(), cur) == 0
+        cmp_doc = json.loads((tmp_path / "cmp.json").read_text())
+        assert cmp_doc["missing_configs"] == ["('tolerance', 2)"]
+
+    def test_committed_balanced_baseline_is_loadable(self):
+        path = (Path(__file__).resolve().parents[1] / "benchmarks"
+                / "baselines" / "bench_balanced_baseline.json")
+        report = json.loads(path.read_text())
+        assert report["kind"] == "bench_balanced"
+        keys = {(r["workload"], r["tolerance"]) for r in report["runs"]}
+        assert keys == {("extract", 0), ("tolerance", 2)}
+        for run in report["runs"]:
+            assert run["subgraph_size"] > 0
+            assert run["audit_ok"]
+
+
+class TestKindDispatch:
+    def test_mismatched_kinds_exit_2(self, tmp_path):
+        b, c = tmp_path / "b.json", tmp_path / "c.json"
+        b.write_text(json.dumps(_make_serve_report()))
+        c.write_text(json.dumps(_make_balanced_report()))
+        assert gate.main(["--baseline", str(b), "--current", str(c),
+                          "--out", str(tmp_path / "cmp.json")]) == 2
+
+    def test_cloud_vs_kinded_exit_2(self, reports):
+        _, base_path, tmp = reports
+        cur = tmp / "serve.json"
+        cur.write_text(json.dumps(_make_serve_report()))
+        assert gate.main(["--baseline", str(base_path),
+                          "--current", str(cur),
+                          "--out", str(tmp / "cmp.json")]) == 2
+
+    def test_kind_detection(self):
+        assert gate._kind({"runs": []}) == "cloud"
+        assert gate._kind({"kind": "bench_serve", "runs": []}) == \
+            "bench_serve"
+        assert gate._kind({"kind": "bench_balanced", "runs": []}) == \
+            "bench_balanced"

@@ -1,0 +1,44 @@
+"""Repository hygiene: generated artifacts must never be committed.
+
+A stray ``scripts/__pycache__/`` once rode along on disk; bytecode in
+the index would poison every fresh clone (stale ``.pyc`` files shadow
+edited sources on some importers) and bloat diffs, so this is a test,
+not a review convention.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Path fragments that mark a file as generated, never source.
+FORBIDDEN_FRAGMENTS = ("__pycache__", ".pyc", ".pyo", ".egg-info")
+
+
+def _tracked_files() -> list[str]:
+    out = subprocess.run(
+        ["git", "-C", str(REPO_ROOT), "ls-files"],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return out.stdout.splitlines()
+
+
+def test_no_tracked_bytecode_or_caches():
+    offenders = [
+        path
+        for path in _tracked_files()
+        if any(fragment in path for fragment in FORBIDDEN_FRAGMENTS)
+    ]
+    assert not offenders, (
+        "generated artifacts are tracked by git (remove with "
+        f"'git rm -r --cached'): {offenders}"
+    )
+
+
+def test_gitignore_covers_bytecode():
+    ignored = (REPO_ROOT / ".gitignore").read_text()
+    assert "__pycache__" in ignored
