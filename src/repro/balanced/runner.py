@@ -39,7 +39,20 @@ from repro.balanced.extract import (
 from repro.errors import BalancedSearchError
 from repro.graph.csr import SignedGraph
 from repro.perf.registry import get_registry
-from repro.perf.tracing import span
+from repro.perf.tracectx import (
+    TraceContext,
+    current_trace,
+    pop_trace,
+    push_trace,
+)
+from repro.perf.tracing import (
+    TraceCollector,
+    absorb_shard,
+    collector_shard,
+    get_trace_collector,
+    set_trace_collector,
+    span,
+)
 
 __all__ = ["BalancedReport", "run_balanced"]
 
@@ -115,19 +128,42 @@ def _pool_search(
     peel_frac: float,
     polish: bool,
     fingerprint: str | None,
-) -> BalancedSubgraph:
-    """Picklable pool entry: one restart against the worker-slot graph."""
+    trace: dict | None = None,
+) -> tuple[BalancedSubgraph, dict | None]:
+    """Picklable pool entry: one restart against the worker-slot graph.
+
+    Returns ``(subgraph, span_shard)`` — :class:`BalancedSubgraph` is a
+    frozen dataclass, so unlike the campaign clouds the worker's spans
+    cannot ride it as a dynamic attribute; they travel as the second
+    element instead (``None`` when the parent was not tracing).
+    """
     from repro.parallel.pool import _worker_graph
 
     graph = _worker_graph(fingerprint)
-    return search_from_sides(
-        graph,
-        sides,
-        tolerance=tolerance,
-        peel_frac=peel_frac,
-        polish=polish,
-        seed_label=label,
-    )
+    ctx = TraceContext.from_dict(trace) if trace is not None else None
+    collector: TraceCollector | None = None
+    if ctx is not None and get_trace_collector() is None:
+        collector = TraceCollector(max_events=256)
+        set_trace_collector(collector)
+    if ctx is not None:
+        push_trace(ctx)
+    try:
+        with span("restart"):
+            result = search_from_sides(
+                graph,
+                sides,
+                tolerance=tolerance,
+                peel_frac=peel_frac,
+                polish=polish,
+                seed_label=label,
+            )
+    finally:
+        if ctx is not None:
+            pop_trace()
+        if collector is not None:
+            set_trace_collector(None)
+    shard = collector_shard(collector) if collector is not None else None
+    return result, shard
 
 
 def _run_pool(
@@ -164,6 +200,10 @@ def _run_pool(
 
     degraded = 0
     results: list[BalancedSubgraph] = []
+    # Restart spans chain under the ambient context (the
+    # balanced_extract span's) whenever the parent collects a trace.
+    ctx = current_trace()
+    trace = ctx.to_dict() if ctx is not None else None
     with ProcessPoolExecutor(
         max_workers=workers, initializer=initializer, initargs=initargs
     ) as pool:
@@ -176,12 +216,18 @@ def _run_pool(
                 peel_frac,
                 polish,
                 fingerprint,
+                trace,
             )
             for label, assignment in seeds
         ]
         for (label, assignment), future in zip(seeds, futures):
             try:
-                results.append(future.result())
+                result, shard = future.result()
+                if shard:
+                    collector = get_trace_collector()
+                    if collector is not None:
+                        absorb_shard(collector, shard)
+                results.append(result)
             except Exception:
                 # Restart-granular degradation: recompute in-process so
                 # a sick pool changes wall time, never the answer.

@@ -23,6 +23,7 @@ list.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -263,6 +264,7 @@ def _run_cloud_campaign(args, sub, policy):
                 policy=policy,
                 graph_store=store,
                 steal_chunks=args.steal_chunks,
+                flight_dir=args.flight_dir,
             )
         return resume_cloud(
             cloud,
@@ -288,6 +290,7 @@ def _run_cloud_campaign(args, sub, policy):
             policy=policy,
             graph_store=store,
             steal_chunks=args.steal_chunks,
+            flight_dir=args.flight_dir,
         )
     return sample_cloud(
         sub, args.states, method=method, seed=seed,
@@ -322,6 +325,15 @@ def _cmd_cloud(args) -> int:
             from repro.perf.tracing import collecting_trace
 
             collector = scopes.enter_context(collecting_trace())
+        if args.flight_dir:
+            from repro.perf.flight import (
+                get_flight_recorder,
+                install_flight_recorder,
+                set_flight_recorder,
+            )
+
+            scopes.callback(set_flight_recorder, get_flight_recorder())
+            install_flight_recorder(args.flight_dir, role="campaign-driver")
         cloud = _run_cloud_campaign(args, sub, policy)
     if args.journal:
         print(f"event journal written to {args.journal}")
@@ -509,7 +521,69 @@ def _cmd_journal(args) -> int:
     return 0
 
 
+def _trace_show(args) -> int:
+    """``repro trace show FILE``: summarize a Chrome trace document."""
+    import json
+
+    from repro.perf.trace_export import load_chrome_trace
+
+    if not args.trace_file:
+        print("trace show: provide the trace JSON path", file=sys.stderr)
+        return 2
+    doc = load_chrome_trace(args.trace_file)
+    events = [e for e in doc.get("traceEvents", []) if e.get("ph") == "X"]
+    by_trace: dict = {}
+    by_name: dict = {}
+    pids = set()
+    for e in events:
+        pids.add(e["pid"])
+        args_ = e.get("args", {})
+        tid = args_.get("trace_id")
+        if tid:
+            by_trace.setdefault(tid, []).append(e)
+        name = e["name"]
+        total, calls = by_name.get(name, (0.0, 0))
+        by_name[name] = (total + float(e.get("dur", 0.0)) / 1e6, calls + 1)
+    summary = {
+        "file": args.trace_file,
+        "events": len(events),
+        "processes": sorted(pids),
+        "traces": {
+            tid: {
+                "spans": len(evs),
+                "processes": sorted({e["pid"] for e in evs}),
+                "wall_seconds": round(
+                    (max(e["ts"] + e["dur"] for e in evs)
+                     - min(e["ts"] for e in evs)) / 1e6, 6),
+            }
+            for tid, evs in sorted(by_trace.items())
+        },
+        "spans": {
+            name: {"seconds": round(total, 6), "calls": calls}
+            for name, (total, calls) in sorted(
+                by_name.items(), key=lambda kv: kv[1][0], reverse=True)
+        },
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"{args.trace_file}: {len(events)} span events across "
+          f"{len(pids)} process(es)")
+    for tid, info in summary["traces"].items():
+        procs = ", ".join(str(p) for p in info["processes"])
+        print(f"  trace {tid}: {info['spans']} spans over "
+              f"{info['wall_seconds']:.4f}s on pids [{procs}]")
+    print("  hottest spans:")
+    for name, stat in list(summary["spans"].items())[:10]:
+        print(f"    {name:<24} {stat['seconds']:>10.4f}s  "
+              f"x{stat['calls']}")
+    return 0
+
+
 def _cmd_trace(args) -> int:
+    if args.input == "show":
+        return _trace_show(args)
+
     from repro.core.trace import trace_cycle
     from repro.trees import TreeSampler
 
@@ -525,6 +599,46 @@ def _cmd_trace(args) -> int:
         print(trace_cycle(sub, tree, int(e)).describe())
         print()
     return 0
+
+
+def _cmd_flight(args) -> int:
+    """``repro flight dump PATH``: print crash flight-recorder dumps."""
+    import json
+    import os
+
+    from repro.perf.flight import find_flight_dumps, read_flight_dump
+
+    paths = (
+        find_flight_dumps(args.path)
+        if os.path.isdir(args.path)
+        else [args.path]
+    )
+    if not paths:
+        print(f"no flight dumps under {args.path}", file=sys.stderr)
+        return 1
+    shown = 0
+    for path in paths:
+        try:
+            doc = read_flight_dump(path)
+        except Exception as exc:  # torn/alien file: report, keep going
+            print(f"{path}: unreadable ({exc})", file=sys.stderr)
+            continue
+        shown += 1
+        if args.json:
+            print(json.dumps(doc, sort_keys=True))
+            continue
+        inflight = doc.get("inflight")
+        print(f"{path}: pid {doc['pid']}, {len(doc['events'])} events")
+        if inflight:
+            detail = {k: v for k, v in inflight.items() if k != "since"}
+            print(f"  IN FLIGHT at last dump: {detail}")
+        else:
+            print("  nothing in flight at last dump")
+        for event in doc["events"][-args.events:]:
+            fields = {k: v for k, v in event.items()
+                      if k not in ("kind", "wall")}
+            print(f"    {event['kind']}: {fields}")
+    return 0 if shown else 1
 
 
 def _cmd_communities(args) -> int:
@@ -616,6 +730,11 @@ def _cmd_serve(args) -> int:
         breaker_cooldown=args.breaker_cooldown,
         drain_budget=args.drain_budget,
         request_timeout=args.request_timeout,
+        access_log=args.access_log,
+        debug_trace=args.debug_trace,
+        flight_dir=args.flight_dir,
+        trace_max_events=args.trace_max_events,
+        grow_workers=args.grow_workers,
     )
     return run_server(sub, config)
 
@@ -829,6 +948,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", metavar="PATH",
                    help="write the campaign's span timeline as Chrome "
                         "trace JSON (open in Perfetto / chrome://tracing)")
+    p.add_argument("--flight-dir", metavar="DIR",
+                   help="arm crash flight recorders in the driver and "
+                        "every pool worker; a killed process leaves "
+                        "DIR/flight-<pid>.json naming its in-flight "
+                        "block (`repro flight dump DIR`)")
     p.set_defaults(func=_cmd_cloud)
 
     p = sub.add_parser("frustration", help="frustration-index bounds")
@@ -895,12 +1019,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the summary as JSON instead of text")
     p.set_defaults(func=_cmd_journal)
 
-    p = sub.add_parser("trace", help="narrate cycle traversals (Fig. 6 style)")
-    p.add_argument("input")
+    p = sub.add_parser(
+        "trace",
+        help="narrate cycle traversals (Fig. 6 style), or `trace show "
+             "FILE` to summarize a Chrome trace",
+    )
+    p.add_argument("input",
+                   help="graph file to narrate, or the literal word "
+                        "'show' to inspect a recorded trace")
+    p.add_argument("trace_file", nargs="?", default=None,
+                   help="with 'show': path to a --trace-out / "
+                        "/debug/trace Chrome trace JSON")
     p.add_argument("--cycles", type=int, default=3,
                    help="number of fundamental cycles to narrate")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="with 'show': print the summary as JSON")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "flight",
+        help="read crash flight-recorder dumps (--flight-dir)",
+        description="Dump the black boxes: print every readable "
+                    "flight-<pid>.json under DIR (or one file), "
+                    "including what each process had in flight when "
+                    "it last dumped.",
+    )
+    p.add_argument("action", choices=["dump"],
+                   help="dump: print the recorded events per process")
+    p.add_argument("path", help="a flight dump file or the directory "
+                                "holding flight-*.json dumps")
+    p.add_argument("--json", action="store_true",
+                   help="print raw dump documents as JSON lines")
+    p.add_argument("--events", type=int, default=8,
+                   help="trailing ring events to show per process "
+                        "(default 8)")
+    p.set_defaults(func=_cmd_flight)
 
     p = sub.add_parser("communities", help="consensus communities from the cloud")
     p.add_argument("input")
@@ -995,6 +1149,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--request-timeout", type=float, default=10.0,
                    help="per-connection socket timeout bounding slow "
                         "clients (default 10s)")
+    p.add_argument("--access-log", metavar="PATH",
+                   help="append one structured JSONL line per query "
+                        "(request_id, path, status, latency_ms, cache, "
+                        "outcome); off by default")
+    p.add_argument("--debug-trace", action="store_true",
+                   help="collect request-scoped spans and enable the "
+                        "/debug/trace and /debug/grow endpoints")
+    p.add_argument("--flight-dir", metavar="DIR",
+                   help="arm crash flight recorders (daemon + growth "
+                        "pool workers); dumps land as DIR/flight-<pid>"
+                        ".json, readable via `repro flight dump DIR`")
+    p.add_argument("--trace-max-events", type=int, default=4096,
+                   help="span-buffer bound while --debug-trace is on "
+                        "(default 4096; oldest requests drop first)")
+    p.add_argument("--grow-workers", type=int, default=1,
+                   help="processes per growth round (>1 fans rounds "
+                        "over the supervised pool; default 1)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -1069,6 +1240,12 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `repro flight dump | head`);
+        # a truncated listing is the reader's choice, not an error.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

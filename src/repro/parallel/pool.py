@@ -62,9 +62,27 @@ from repro.core.balancer import balance
 from repro.errors import CheckpointError, EngineError, SupervisorError
 from repro.graph.csr import SignedGraph
 from repro.graph.store import GraphStore, graph_fingerprint
+from repro.perf.flight import (
+    get_flight_recorder,
+    install_flight_recorder,
+    set_flight_recorder,
+)
 from repro.perf.journal import journal_event
 from repro.perf.registry import collecting, get_registry
-from repro.perf.tracing import span
+from repro.perf.tracectx import (
+    TraceContext,
+    current_trace,
+    pop_trace,
+    push_trace,
+)
+from repro.perf.tracing import (
+    TraceCollector,
+    absorb_shard,
+    collector_shard,
+    get_trace_collector,
+    set_trace_collector,
+    span,
+)
 from repro.rng import SeedLike, freeze_seed
 from repro.trees.sampler import TreeSampler
 
@@ -90,9 +108,36 @@ _WORKER_FINGERPRINT: str | None = None
 _WORKER_STORE: str | None = None
 
 
-def _init_worker(graph: SignedGraph, fingerprint: str | None = None) -> None:
+#: Bound on the span events one block shard ships back with its cloud
+#: (a straggler block can close thousands of tree_sample spans; the
+#: shard keeps the first N and counts the rest as dropped).
+_SHARD_MAX_EVENTS = 512
+
+
+def _init_worker_flight(flight_dir: str | None) -> None:
+    """Reset fork-inherited observability state and arm the worker's
+    flight recorder when the campaign asked for one.
+
+    Fork-start workers inherit the parent's trace collector and flight
+    recorder by memory copy; both are the *parent's* identity (its
+    dump path, its in-memory event sink) and must not be trusted here —
+    the collector especially, because a worker only ships a span shard
+    when no collector is installed.
+    """
+    set_trace_collector(None)
+    set_flight_recorder(None)
+    if flight_dir is not None:
+        install_flight_recorder(flight_dir, role="pool-worker")
+
+
+def _init_worker(
+    graph: SignedGraph,
+    fingerprint: str | None = None,
+    flight_dir: str | None = None,
+) -> None:
     """Legacy initializer: install a pickled graph in the worker slot."""
     global _WORKER_GRAPH, _WORKER_FINGERPRINT, _WORKER_STORE
+    _init_worker_flight(flight_dir)
     _WORKER_GRAPH = graph
     _WORKER_FINGERPRINT = (
         fingerprint if fingerprint is not None else graph_fingerprint(graph)
@@ -100,7 +145,11 @@ def _init_worker(graph: SignedGraph, fingerprint: str | None = None) -> None:
     _WORKER_STORE = None
 
 
-def _init_worker_store(path: str, fingerprint: str | None = None) -> None:
+def _init_worker_store(
+    path: str,
+    fingerprint: str | None = None,
+    flight_dir: str | None = None,
+) -> None:
     """Zero-copy initializer: map the packed graph store read-only.
 
     The arrays are ``np.memmap`` views, so every worker on the machine
@@ -108,6 +157,7 @@ def _init_worker_store(path: str, fingerprint: str | None = None) -> None:
     expected fingerprint cross the process boundary.
     """
     global _WORKER_GRAPH, _WORKER_FINGERPRINT, _WORKER_STORE
+    _init_worker_flight(flight_dir)
     store = GraphStore.open(path)
     if fingerprint is not None and store.fingerprint != fingerprint:
         raise EngineError(
@@ -172,10 +222,25 @@ def _run_block(
     batch_size: int,
     fault: Callable[[Block], None] | None = None,
     swaps_per_state: int = 1,
+    trace: dict | None = None,
 ) -> FrustrationCloud:
     """Balance the tree indices ``range(*block)`` and return the local
     cloud.  *fault* is the fault-injection hook (see
-    :mod:`repro.util.faults`), invoked with the block before any work."""
+    :mod:`repro.util.faults`), invoked with the block before any work.
+
+    *trace* is a :meth:`~repro.perf.tracectx.TraceContext.to_dict`
+    payload naming the parent span this block hangs under.  In a worker
+    process (no trace collector installed) the block records its spans
+    into a bounded local collector and ships them back as
+    ``cloud.trace_shard``; in the parent (in-process / degraded
+    execution) spans chain under the ambient context directly.
+    """
+    recorder = get_flight_recorder()
+    if recorder is not None:
+        # Dumped before any work: a SIGKILL mid-block leaves a dump
+        # naming exactly this block.
+        recorder.mark_inflight(what="block", block=list(block),
+                               method=method)
     if fault is not None:
         fault(block)
     indices = range(*block)
@@ -183,6 +248,42 @@ def _run_block(
         graph, method=method, seed=seed, swaps_per_state=swaps_per_state
     )
     cloud = FrustrationCloud(graph, store_states=store_states)
+    ctx = TraceContext.from_dict(trace) if trace is not None else None
+    shard: TraceCollector | None = None
+    if ctx is not None and get_trace_collector() is None:
+        shard = TraceCollector(_SHARD_MAX_EVENTS)
+        set_trace_collector(shard)
+    if ctx is not None:
+        push_trace(ctx)
+    try:
+        cloud = _run_block_body(
+            graph, method, kernel, sampler, indices, cloud, batch_size
+        )
+    finally:
+        if ctx is not None:
+            pop_trace()
+        if shard is not None:
+            set_trace_collector(None)
+    if shard is not None:
+        # Dynamic attribute like `metrics` below: survives pickling, so
+        # the parent can stitch the worker's spans into its collector.
+        cloud.trace_shard = collector_shard(shard)
+    if recorder is not None:
+        recorder.clear_inflight(block=list(block), states=cloud.num_states)
+    return cloud
+
+
+def _run_block_body(
+    graph: SignedGraph,
+    method: str,
+    kernel: str,
+    sampler: TreeSampler,
+    indices: range,
+    cloud: FrustrationCloud,
+    batch_size: int,
+) -> FrustrationCloud:
+    """The measured heart of :func:`_run_block` (split out so the trace
+    scope installed around it stays readable)."""
     # Detached metrics window: the snapshot rides back with the cloud
     # and the parent merges it exactly once (merge=True here would
     # double-count blocks that degrade to in-process execution).
@@ -238,24 +339,33 @@ def _worker(
     fault: Callable[[Block], None] | None = None,
     swaps_per_state: int = 1,
     fingerprint: str | None = None,
+    trace: dict | None = None,
 ) -> FrustrationCloud:
     """Pool entry point: run a block against the worker-slot graph
     (fingerprint-checked; see :func:`_worker_graph`)."""
     graph = _worker_graph(fingerprint)
     return _run_block(
         graph, method, kernel, seed, block, store_states,
-        batch_size, fault, swaps_per_state,
+        batch_size, fault, swaps_per_state, trace,
     )
 
 
 def _absorb_metrics(local: FrustrationCloud) -> None:
-    """Fold a block cloud's metrics snapshot into the active registry,
-    exactly once (the snapshot is cleared after merging, so re-merging
-    a cloud — e.g. salvage followed by resume — is a no-op)."""
+    """Fold a block cloud's metrics snapshot — and its span shard, when
+    the parent is collecting a trace — into the active registry/
+    collector, exactly once (both are cleared after merging, so
+    re-merging a cloud — e.g. salvage followed by resume — is a
+    no-op)."""
     snap = getattr(local, "metrics", None)
     if snap:
         get_registry().merge_snapshot(snap)
         local.metrics = None
+    shard = getattr(local, "trace_shard", None)
+    if shard:
+        collector = get_trace_collector()
+        if collector is not None:
+            absorb_shard(collector, shard)
+        local.trace_shard = None
 
 
 def _merge_intervals(done: Sequence[Block]) -> list[tuple[int, int]]:
@@ -408,6 +518,7 @@ def sample_cloud_pool(
     swaps_per_state: int = 1,
     graph_store: StoreLike | None = None,
     steal_chunks: int | None = None,
+    flight_dir: str | None = None,
 ) -> FrustrationCloud:
     """Alg. 2 with tree-level process parallelism.
 
@@ -457,6 +568,20 @@ def sample_cloud_pool(
     the next block and stragglers delay only themselves.  Results stay
     bit-identical to the sequential campaign — blocks merge in sorted
     index order regardless of which worker ran them.
+
+    ``flight_dir`` arms a crash flight recorder in every worker process
+    (and uses the parent's, if one is installed, for in-process
+    blocks): each block dumps ``flight-<pid>.json`` there before it
+    starts, so a killed worker leaves a readable record naming its
+    in-flight block (see :mod:`repro.perf.flight`).
+
+    When a trace collector is installed in the parent
+    (:func:`~repro.perf.tracing.collecting_trace` / ``--trace-out``),
+    the campaign's trace context rides every task payload; workers
+    ship their spans back as bounded shards on the block clouds, and
+    the parent stitches them — rebased onto its own clock, under the
+    same trace_id — into one causal tree across all paths (pool,
+    steal, degraded, salvage, resume).
     """
     from repro.cloud.checkpoint import (
         CampaignMeta,
@@ -674,6 +799,7 @@ def sample_cloud_pool(
                 checkpoint_path=checkpoint_path,
                 keep_checkpoints=keep_checkpoints,
                 graph_store=store,
+                flight_dir=flight_dir,
             )
 
         if workers == 1 or len(blocks) == 1:
@@ -747,10 +873,17 @@ def sample_cloud_pool(
         failures: list[tuple[Block, BaseException]] = []
         if store is not None:
             initializer, initargs = (
-                _init_worker_store, (str(store.path), store.fingerprint),
+                _init_worker_store,
+                (str(store.path), store.fingerprint, flight_dir),
             )
         else:
-            initializer, initargs = _init_worker, (graph, fingerprint)
+            initializer, initargs = (
+                _init_worker, (graph, fingerprint, flight_dir),
+            )
+        # The campaign span's context (when a collector is installed)
+        # is what every worker's block span chains under.
+        ctx = current_trace()
+        trace = ctx.to_dict() if ctx is not None else None
         with ProcessPoolExecutor(
             max_workers=min(workers, len(blocks)),
             initializer=initializer,
@@ -759,7 +892,7 @@ def sample_cloud_pool(
             futures = {
                 pool.submit(
                     _worker, method, kernel, frozen, block, store_states,
-                    batch_size, fault, swaps_per_state, fingerprint,
+                    batch_size, fault, swaps_per_state, fingerprint, trace,
                 ): block
                 for block in blocks
             }
@@ -877,6 +1010,7 @@ def _run_supervised_campaign(
     checkpoint_path,
     keep_checkpoints: int,
     graph_store: GraphStore | None = None,
+    flight_dir: str | None = None,
 ) -> FrustrationCloud:
     """Drive *blocks* through the self-healing supervisor and shape the
     outcome back into :func:`sample_cloud_pool`'s contract.
@@ -896,7 +1030,7 @@ def _run_supervised_campaign(
         graph, blocks, method=method, kernel=kernel, seed=frozen,
         store_states=store_states, batch_size=batch_size, workers=workers,
         policy=policy, fault=fault, swaps_per_state=swaps_per_state,
-        graph_store=graph_store,
+        graph_store=graph_store, flight_dir=flight_dir,
     )
     try:
         completed, report = supervisor.run()

@@ -72,6 +72,7 @@ from repro.errors import SupervisorError
 from repro.graph.csr import SignedGraph
 from repro.perf.journal import journal_event
 from repro.perf.registry import get_registry
+from repro.perf.tracectx import current_trace
 
 __all__ = [
     "RetryPolicy",
@@ -310,6 +311,7 @@ class CampaignSupervisor:
         swaps_per_state: int = 1,
         graph_store=None,
         stop_event: "threading.Event | None" = None,
+        flight_dir: str | None = None,
     ) -> None:
         from repro.graph.store import GraphStore, graph_fingerprint
 
@@ -342,6 +344,13 @@ class CampaignSupervisor:
         self.fault = fault
         self.swaps_per_state = swaps_per_state
         self.stop_event = stop_event
+        self.flight_dir = flight_dir
+        # The ambient trace context (the campaign span's, or a serve
+        # request's) at construction time is what every pool task's
+        # block span chains under; None when no trace is being
+        # collected, keeping task payloads unchanged.
+        ctx = current_trace()
+        self.trace = ctx.to_dict() if ctx is not None else None
 
         self.report = RunReport(policy=policy, blocks_total=len(self.blocks))
         self.completed: list[tuple[Block, object]] = []
@@ -472,11 +481,14 @@ class CampaignSupervisor:
                 # Rebuilds cost a header read + mmap per worker, not a
                 # graph pickle; the page-cache copy is shared.
                 initializer = _init_worker_store
-                initargs = (str(self.graph_store.path), self.fingerprint)
+                initargs = (
+                    str(self.graph_store.path), self.fingerprint,
+                    self.flight_dir,
+                )
                 mode = "store"
             else:
                 initializer = _init_worker
-                initargs = (self.graph, self.fingerprint)
+                initargs = (self.graph, self.fingerprint, self.flight_dir)
                 mode = "pickle"
             self.pool = ProcessPoolExecutor(
                 max_workers=self._pool_size(),
@@ -585,7 +597,7 @@ class CampaignSupervisor:
                             _pool_entry, self.method, self.kernel, self.seed,
                             block, self.store_states, self.batch_size,
                             self.fault, self.swaps_per_state,
-                            self.fingerprint,
+                            self.fingerprint, self.trace,
                         )
                         inflight[fut] = (block, attempt, time.monotonic())
                 else:
@@ -595,7 +607,7 @@ class CampaignSupervisor:
                             _pool_entry, self.method, self.kernel, self.seed,
                             block, self.store_states, self.batch_size,
                             self.fault, self.swaps_per_state,
-                            self.fingerprint,
+                            self.fingerprint, self.trace,
                         )
                         inflight[fut] = (block, attempt, time.monotonic())
             except (BrokenProcessPool, RuntimeError) as exc:
@@ -847,13 +859,14 @@ def _pool_entry(
     fault: Callable[[Block], None] | None,
     swaps_per_state: int = 1,
     fingerprint: str | None = None,
+    trace: dict | None = None,
 ):
     """Picklable worker entry point (module-level for the executor)."""
     from repro.parallel.pool import _worker
 
     return _worker(
         method, kernel, seed, block, store_states, batch_size, fault,
-        swaps_per_state, fingerprint,
+        swaps_per_state, fingerprint, trace,
     )
 
 
@@ -872,6 +885,7 @@ def run_supervised(
     swaps_per_state: int = 1,
     graph_store=None,
     stop_event: "threading.Event | None" = None,
+    flight_dir: str | None = None,
 ) -> tuple[list[tuple[Block, object]], RunReport]:
     """Run campaign *blocks* under the fault-handling ladder.
 
@@ -905,4 +919,5 @@ def run_supervised(
         swaps_per_state=swaps_per_state,
         graph_store=graph_store,
         stop_event=stop_event,
+        flight_dir=flight_dir,
     ).run()

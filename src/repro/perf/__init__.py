@@ -31,6 +31,19 @@ and observability-related:
 """
 
 from repro.perf.compat import Counters, PhaseTimer, RegionStat
+from repro.perf.flight import (
+    FlightRecorder,
+    find_flight_dumps,
+    flight_clear_inflight,
+    flight_dump,
+    flight_event,
+    flight_mark_inflight,
+    get_flight_recorder,
+    install_flight_recorder,
+    iter_flight_dumps,
+    read_flight_dump,
+    set_flight_recorder,
+)
 from repro.perf.export import (
     phase_seconds,
     phase_table,
@@ -78,6 +91,7 @@ from repro.perf.timeline import (
 )
 from repro.perf.trace_export import (
     REQUIRED_EVENT_KEYS,
+    events_for_trace,
     load_chrome_trace,
     profile_to_events,
     spans_to_events,
@@ -85,13 +99,21 @@ from repro.perf.trace_export import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.perf.tracectx import (
+    TraceContext,
+    current_trace,
+    mint_trace,
+    trace_scope,
+)
 from repro.perf.tracing import (
     SPAN_PREFIX,
     Span,
     SpanEvent,
     TraceCollector,
     Tracer,
+    absorb_shard,
     collecting_trace,
+    collector_shard,
     get_trace_collector,
     get_tracer,
     set_trace_collector,
@@ -125,17 +147,35 @@ __all__ = [
     "Span",
     "SpanEvent",
     "TraceCollector",
+    "TraceContext",
     "Tracer",
+    "absorb_shard",
     "collecting_trace",
+    "collector_shard",
+    "current_trace",
     "get_trace_collector",
     "get_tracer",
+    "mint_trace",
     "set_trace_collector",
     "span",
+    "trace_scope",
+    "FlightRecorder",
+    "find_flight_dumps",
+    "flight_clear_inflight",
+    "flight_dump",
+    "flight_event",
+    "flight_mark_inflight",
+    "get_flight_recorder",
+    "install_flight_recorder",
+    "iter_flight_dumps",
+    "read_flight_dump",
+    "set_flight_recorder",
     "TimelineSegment",
     "ExecutionTimeline",
     "KernelLaunch",
     "MachineProfile",
     "REQUIRED_EVENT_KEYS",
+    "events_for_trace",
     "spans_to_events",
     "timeline_to_events",
     "profile_to_events",

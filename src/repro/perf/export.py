@@ -54,33 +54,62 @@ def _prom_value(value: float) -> str:
     return repr(value)
 
 
+def _prom_label_value(value) -> str:
+    """Escape a label value per the text exposition format: backslash,
+    double quote, and newline must be backslash-escaped inside the
+    quoted label value."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_help_text(text: str) -> str:
+    """Escape a ``# HELP`` line body (backslash and newline only)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def to_prometheus(snapshot: Mapping) -> str:
     """Render a snapshot in the Prometheus text exposition format.
 
-    Counters and gauges map directly; histograms emit cumulative
-    ``_bucket{le=...}`` series plus ``_sum`` and ``_count``, matching
-    the ``le`` bucket semantics of
-    :class:`~repro.perf.registry.Histogram`.
+    Every metric gets a ``# HELP`` line (carrying its original dotted
+    registry name) and a ``# TYPE`` line.  Counters and gauges map
+    directly; histograms emit cumulative ``_bucket{le=...}`` series
+    plus ``_sum`` and ``_count``, matching the ``le`` bucket semantics
+    of :class:`~repro.perf.registry.Histogram` — the ``+Inf`` bucket
+    equals ``_count`` (total observations), per the exposition spec.
+    Label values are escaped with :func:`_prom_label_value`, so a
+    hostile metric edge can never break line framing.
     """
     lines: list[str] = []
+
+    def _header(metric: str, kind: str, name: str) -> None:
+        lines.append(
+            f"# HELP {metric} "
+            f"{_prom_help_text(f'repro {kind} {name}')}"
+        )
+        lines.append(f"# TYPE {metric} {kind}")
+
     for name in sorted(snapshot.get("counters", {})):
         metric = _prom_name(name)
-        lines.append(f"# TYPE {metric} counter")
+        _header(metric, "counter", name)
         lines.append(f"{metric} {_prom_value(snapshot['counters'][name])}")
     for name in sorted(snapshot.get("gauges", {})):
         metric = _prom_name(name)
-        lines.append(f"# TYPE {metric} gauge")
+        _header(metric, "gauge", name)
         lines.append(f"{metric} {_prom_value(snapshot['gauges'][name])}")
     for name in sorted(snapshot.get("histograms", {})):
         hist = snapshot["histograms"][name]
         metric = _prom_name(name)
-        lines.append(f"# TYPE {metric} histogram")
+        _header(metric, "histogram", name)
         cumulative = 0
         for edge, count in zip(hist["edges"], hist["counts"]):
             cumulative += count
-            lines.append(f'{metric}_bucket{{le="{edge}"}} {cumulative}')
-        cumulative += hist["counts"][-1]
-        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+            le = _prom_label_value(edge)
+            lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist["total"]}')
         lines.append(f"{metric}_sum {_prom_value(hist['sum'])}")
         lines.append(f"{metric}_count {hist['total']}")
     return "\n".join(lines) + "\n"

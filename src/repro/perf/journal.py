@@ -308,6 +308,10 @@ def summarize_journal(path: PathLike) -> Dict[str, Any]:
         "checkpoints": 0,
         "completed": False,
         "frustration_bound": None,
+        "serve_degraded": 0,
+        "serve_recovered": 0,
+        "disk_full": 0,
+        "steal": None,
     }
     for event in events:
         kind = event["kind"]
@@ -341,6 +345,21 @@ def summarize_journal(path: PathLike) -> Dict[str, Any]:
         elif kind == "convergence":
             if "frustration_upper_bound" in event:
                 summary["frustration_bound"] = event["frustration_upper_bound"]
+        elif kind == "serve_degraded":
+            summary["serve_degraded"] += 1
+        elif kind == "serve_recovered":
+            summary["serve_recovered"] += 1
+        elif kind == "disk_full":
+            summary["disk_full"] += 1
+        elif kind == "steal_summary":
+            # Keep the last summary: a resumed campaign's final steal
+            # picture supersedes the pre-crash one.
+            summary["steal"] = {
+                "workers": int(event.get("workers", 0)),
+                "workers_used": int(event.get("workers_used", 0)),
+                "blocks": dict(event.get("blocks", {})),
+                "states": dict(event.get("states", {})),
+            }
     return summary
 
 
@@ -375,6 +394,23 @@ def render_summary(summary: Dict[str, Any]) -> str:
         lines.append(
             f"  last frustration upper bound: {summary['frustration_bound']}"
         )
+    if summary.get("serve_degraded") or summary.get("serve_recovered"):
+        lines.append(
+            f"  breaker: degraded {summary.get('serve_degraded', 0)}x, "
+            f"recovered {summary.get('serve_recovered', 0)}x"
+        )
+    if summary.get("disk_full"):
+        lines.append(f"  disk-full events: {summary['disk_full']}")
+    steal = summary.get("steal")
+    if steal:
+        per_worker = ", ".join(
+            f"pid {pid}: {count}"
+            for pid, count in sorted(steal["blocks"].items())
+        )
+        lines.append(
+            f"  steal: {steal['workers_used']}/{steal['workers']} workers "
+            f"took blocks ({per_worker})"
+        )
     other = {
         k: v for k, v in sorted(summary["kinds"].items())
         if k not in (
@@ -382,6 +418,8 @@ def render_summary(summary: Dict[str, Any]) -> str:
             "block_retried", "block_timeout", "pool_rebuilt",
             "block_quarantined", "block_degraded", "deadline_hit",
             "checkpoint_written", "convergence",
+            "serve_degraded", "serve_recovered", "disk_full",
+            "steal_summary",
         )
     }
     if other:

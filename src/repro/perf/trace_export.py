@@ -32,6 +32,7 @@ from repro.perf.tracing import SpanEvent
 __all__ = [
     "REQUIRED_EVENT_KEYS",
     "spans_to_events",
+    "events_for_trace",
     "timeline_to_events",
     "profile_to_events",
     "write_chrome_trace",
@@ -68,29 +69,58 @@ def spans_to_events(
     """Convert collected span events to Chrome trace events.
 
     Timestamps are rebased so the earliest span starts at 0 µs; thread
-    ids are remapped to small consecutive integers (tid 0 = the thread
-    that opened the first span), each named in a metadata event.
+    ids are remapped to small consecutive integers per process row
+    (tid 0 = the thread that opened the first span), each named in a
+    metadata event.  Events absorbed from worker shards (nonzero
+    ``SpanEvent.pid``) land on their own process row named
+    ``worker-<pid>``, already rebased onto the parent's clock by
+    :func:`~repro.perf.tracing.absorb_shard`, so one stitched document
+    shows the parent and every worker on a shared time axis.  Span
+    trace identity (``trace_id``/``span_id``/``parent_id``) rides in
+    each event's ``args`` for tooling that reassembles causal trees.
     """
     if not span_events:
         return _meta(pid, process_name)
     base = min(e.start for e in span_events)
-    tid_map: Dict[int, int] = {}
+    tid_maps: Dict[int, Dict[int, int]] = {}
     events: List[Dict[str, Any]] = _meta(pid, process_name)
+    seen_pids = {pid}
     for e in sorted(span_events, key=lambda e: e.start):
+        row_pid = e.pid or pid
+        if row_pid not in seen_pids:
+            seen_pids.add(row_pid)
+            events.extend(_meta(row_pid, f"worker-{row_pid}"))
+        tid_map = tid_maps.setdefault(row_pid, {})
         tid = tid_map.setdefault(e.thread, len(tid_map))
+        args: Dict[str, Any] = {"path": e.path}
+        if e.trace_id:
+            args["trace_id"] = e.trace_id
+            args["span_id"] = e.span_id
+            args["parent_id"] = e.parent_id
         events.append({
             "ph": "X",
             "ts": (e.start - base) * _US,
             "dur": e.duration * _US,
-            "pid": pid,
+            "pid": row_pid,
             "tid": tid,
             "name": e.path.rsplit("/", 1)[-1],
-            "args": {"path": e.path},
+            "args": args,
         })
-    for thread, tid in tid_map.items():
-        events.extend(_meta(pid, process_name, tid,
-                            thread_name=f"thread-{tid}")[1:])
+    for row_pid, tid_map in tid_maps.items():
+        name = process_name if row_pid == pid else f"worker-{row_pid}"
+        for _, tid in tid_map.items():
+            events.extend(_meta(row_pid, name, tid,
+                                thread_name=f"thread-{tid}")[1:])
     return events
+
+
+def events_for_trace(
+    span_events: Sequence[SpanEvent], trace_id: str
+) -> List[SpanEvent]:
+    """The subset of *span_events* belonging to causal tree
+    *trace_id* — how the serve ``/debug/trace`` endpoint slices one
+    request's spans out of the daemon's long-lived collector."""
+    return [e for e in span_events if e.trace_id == trace_id]
 
 
 def timeline_to_events(

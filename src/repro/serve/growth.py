@@ -37,6 +37,7 @@ from repro.cloud.cloud import FrustrationCloud
 from repro.errors import CheckpointError, ServeError
 from repro.graph.csr import SignedGraph
 from repro.parallel.supervisor import RetryPolicy, run_supervised
+from repro.perf.flight import flight_clear_inflight, flight_mark_inflight
 from repro.perf.journal import journal_event
 from repro.perf.registry import get_registry
 from repro.perf.tracing import span
@@ -79,14 +80,24 @@ class GrowthWorker:
         breaker: CircuitBreaker | None = None,
         round_delay: float = 0.0,
         max_round_failures: int = 5,
+        workers: int = 1,
+        flight_dir=None,
     ) -> None:
-        """Configure a worker growing *cloud* to *target_states*."""
+        """Configure a worker growing *cloud* to *target_states*.
+
+        ``workers > 1`` fans each round's block over the supervised
+        process pool (the round is split into per-worker sub-blocks so
+        the pool rung actually engages); ``flight_dir`` rides into the
+        supervisor so pool workers arm flight recorders there.
+        """
         if grow_step < 1:
             raise ServeError(f"grow_step must be >= 1, got {grow_step}")
         if target_states < 0:
             raise ServeError(
                 f"target_states must be >= 0, got {target_states}"
             )
+        if workers < 1:
+            raise ServeError(f"workers must be >= 1, got {workers}")
         self.graph = graph
         self.cloud = cloud
         self.snapshots = snapshots
@@ -104,10 +115,16 @@ class GrowthWorker:
         self.breaker = breaker
         self.round_delay = round_delay
         self.max_round_failures = max_round_failures
+        self.workers = workers
+        self.flight_dir = str(flight_dir) if flight_dir is not None else None
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._failures = 0
         self.abandoned = False
+        # Serializes (round, checkpoint, publish) between the
+        # background loop and grow_once() callers — the worker stays
+        # the only writer even when a debug request drives a round.
+        self._round_lock = threading.Lock()
 
     # -- lifecycle ------------------------------------------------------
     @property
@@ -179,11 +196,39 @@ class GrowthWorker:
             )
 
     # -- growth loop ----------------------------------------------------
+    def _round_blocks(self, start: int, stop: int) -> list:
+        """Split one round's index range into supervised blocks.
+
+        ``workers == 1`` keeps the historical single block.  With more
+        workers the range is chunked so the supervisor's pool rung
+        engages (it requires more than one block) and the round's
+        spans come back from real worker processes.  The round only
+        merges when *every* chunk completed, so chunking cannot break
+        the contiguous-prefix checkpoint invariant.
+        """
+        count = stop - start
+        chunks = min(self.workers, count)
+        if chunks <= 1:
+            return [(start, stop, 1)]
+        size = -(-count // chunks)  # ceil
+        blocks = []
+        lo = start
+        while lo < stop:
+            hi = min(stop, lo + size)
+            blocks.append((lo, hi, 1))
+            lo = hi
+        return blocks
+
     def _grow_round(self) -> bool:
-        """Run one supervised block; True when states were merged."""
+        """Run one supervised round; True when states were merged."""
         start = self.cloud.num_states
         stop = min(self.target_states, start + self.grow_step)
-        blocks = [(start, stop, 1)]
+        blocks = self._round_blocks(start, stop)
+        # Dump-before-compute: a SIGKILL mid-round leaves a flight
+        # dump naming exactly this block range as in-flight.
+        flight_mark_inflight(
+            what="growth_round", block_start=start, block_stop=stop
+        )
         with span("serve_growth_round"):
             completed, report = run_supervised(
                 self.graph,
@@ -193,14 +238,20 @@ class GrowthWorker:
                 seed=self.seed,
                 store_states=self.cloud.store_states,
                 batch_size=self.batch_size,
-                workers=1,
+                workers=self.workers,
                 policy=self.policy,
                 swaps_per_state=self.swaps_per_state,
                 stop_event=self._stop,
+                flight_dir=self.flight_dir,
             )
-        if report.stopped and not completed:
+        flight_clear_inflight(
+            what="growth_round", block_start=start, block_stop=stop,
+            ok=report.ok, completed=len(completed),
+        )
+        whole_round = len(completed) == len(blocks)
+        if report.stopped and not whole_round:
             return False
-        if not report.ok or not completed:
+        if not report.ok or not whole_round:
             self._failures += 1
             get_registry().count("serve.growth_failures_total", 1)
             journal_event(
@@ -218,8 +269,15 @@ class GrowthWorker:
                 )
             return False
         self._failures = 0
+        from repro.parallel.pool import _absorb_metrics
+
         for _block, local in sorted(completed, key=lambda kv: kv[0]):
             self.cloud.merge(local)
+            # Folds each block's metrics snapshot — and its span shard,
+            # when the daemon is tracing — into the process registry/
+            # collector, so worker-side spans stitch into the trace
+            # the round ran under.
+            _absorb_metrics(local)
         return True
 
     def _publish(self) -> None:
@@ -233,6 +291,28 @@ class GrowthWorker:
             states=snapshot.num_states,
         )
 
+    def grow_once(self) -> bool:
+        """Synchronously run one full round (grow, checkpoint, publish)
+        on the *calling* thread; True when states were merged.
+
+        This is the seam the gated ``/debug/grow`` endpoint uses: run
+        inside a request's trace scope, the round's supervisor — and
+        its pool workers — chain their spans under the request, so one
+        stitched trace shows the HTTP request causing cross-process
+        growth.  Serialized with the background loop via the round
+        lock, preserving the single-writer contract.
+        """
+        if self.done:
+            return False
+        with self._round_lock:
+            if self.done:
+                return False
+            if not self._grow_round():
+                return False
+            self.checkpoint()
+            self._publish()
+            return True
+
     def _run(self) -> None:
         while not self._stop.is_set() and not self.done:
             if self.breaker is not None and self.breaker.is_open:
@@ -241,9 +321,14 @@ class GrowthWorker:
                 get_registry().count("serve.growth_shed_total", 1)
                 self._stop.wait(_SHED_POLL)
                 continue
-            if self._grow_round():
-                self.checkpoint()
-                self._publish()
+            with self._round_lock:
+                grew = False
+                if not self.done:
+                    grew = self._grow_round()
+                    if grew:
+                        self.checkpoint()
+                        self._publish()
+            if grew:
                 if self.round_delay > 0:
                     self._stop.wait(self.round_delay)
             elif not self._stop.is_set() and not self.abandoned:

@@ -176,37 +176,16 @@ def route_query(
 # ----------------------------------------------------------------------
 # Prometheus text export
 # ----------------------------------------------------------------------
-def _prom_name(name: str) -> str:
-    """Map a registry metric name to a Prometheus-legal one."""
-    return "repro_" + name.replace(".", "_").replace("-", "_")
-
-
 def render_metrics() -> Response:
     """Render the active metrics registry in Prometheus text format.
 
-    Counters and gauges map 1:1; histograms export cumulative
-    ``_bucket{le=...}`` series plus ``_sum`` and ``_count``, matching
-    the ``le`` semantics the registry's buckets already use.
+    A thin transport shim over :func:`repro.perf.export.to_prometheus`
+    — the one renderer shared by ``/metrics``, ``--metrics-out``, and
+    :func:`~repro.perf.export.write_metrics`, so the scrape endpoint
+    can never drift from the file exporters (``# HELP``/``# TYPE``
+    headers, label-value escaping, ``+Inf == _count`` and all).
     """
-    snap = get_registry().snapshot()
-    lines = []
-    for name, value in sorted(snap["counters"].items()):
-        prom = _prom_name(name)
-        lines.append(f"# TYPE {prom} counter")
-        lines.append(f"{prom} {value:g}")
-    for name, value in sorted(snap["gauges"].items()):
-        prom = _prom_name(name)
-        lines.append(f"# TYPE {prom} gauge")
-        lines.append(f"{prom} {value:g}")
-    for name, hist in sorted(snap["histograms"].items()):
-        prom = _prom_name(name)
-        lines.append(f"# TYPE {prom} histogram")
-        cumulative = 0
-        for edge, count in zip(hist["edges"], hist["counts"]):
-            cumulative += count
-            lines.append(f'{prom}_bucket{{le="{edge:g}"}} {cumulative}')
-        lines.append(f'{prom}_bucket{{le="+Inf"}} {hist["total"]}')
-        lines.append(f"{prom}_sum {hist['sum']:g}")
-        lines.append(f"{prom}_count {hist['total']}")
-    body = ("\n".join(lines) + "\n").encode("utf-8")
+    from repro.perf.export import to_prometheus
+
+    body = to_prometheus(get_registry().snapshot()).encode("utf-8")
     return 200, _TEXT, body

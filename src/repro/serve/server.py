@@ -31,7 +31,9 @@ handler, which must do nothing but set an event.
 
 from __future__ import annotations
 
+import collections
 import contextlib
+import json
 import math
 import signal
 import threading
@@ -40,6 +42,7 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.cloud.checkpoint import recover_cloud, validate_campaign
 from repro.cloud.cloud import FrustrationCloud
@@ -47,8 +50,22 @@ from repro.errors import ServeError
 from repro.graph.csr import SignedGraph
 from repro.graph.store import graph_fingerprint
 from repro.parallel.supervisor import RetryPolicy
-from repro.perf.journal import journal_event, journaling
+from repro.perf.flight import (
+    flight_dump,
+    get_flight_recorder,
+    install_flight_recorder,
+    set_flight_recorder,
+)
+from repro.perf.journal import Journal, journal_event, journaling
 from repro.perf.registry import get_registry
+from repro.perf.trace_export import events_for_trace, spans_to_events
+from repro.perf.tracectx import TraceContext, trace_scope
+from repro.perf.tracing import (
+    TraceCollector,
+    get_trace_collector,
+    set_trace_collector,
+    span,
+)
 from repro.serve.admission import TokenBucket
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.cache import ResultCache
@@ -107,11 +124,25 @@ class ServeConfig:
     # -- lifecycle ------------------------------------------------------
     drain_budget: float = 10.0
     request_timeout: float = 10.0  # slow-client guard, seconds
+    # -- observability --------------------------------------------------
+    access_log: Optional[Path] = None  # JSONL, one line per query
+    debug_trace: bool = False  # /debug/trace + /debug/grow + collector
+    flight_dir: Optional[Path] = None  # crash flight-recorder dumps
+    trace_max_events: int = 4096  # span buffer bound while tracing
+    grow_workers: int = 1  # >1 fans growth rounds over a process pool
 
     def __post_init__(self) -> None:
         """Normalize paths and reject nonsensical combinations early."""
         if self.port < 0:
             raise ServeError(f"port must be >= 0, got {self.port}")
+        if self.grow_workers < 1:
+            raise ServeError(
+                f"grow_workers must be >= 1, got {self.grow_workers}"
+            )
+        if self.trace_max_events < 0:
+            raise ServeError(
+                f"trace_max_events must be >= 0, got {self.trace_max_events}"
+            )
         if self.drain_budget < 0:
             raise ServeError(
                 f"drain_budget must be >= 0, got {self.drain_budget}"
@@ -126,6 +157,10 @@ class ServeConfig:
             self.journal = Path(self.journal)
         if self.port_file is not None:
             self.port_file = Path(self.port_file)
+        if self.access_log is not None:
+            self.access_log = Path(self.access_log)
+        if self.flight_dir is not None:
+            self.flight_dir = Path(self.flight_dir)
 
 
 class _RequestHandler(BaseHTTPRequestHandler):
@@ -145,6 +180,13 @@ class _RequestHandler(BaseHTTPRequestHandler):
     disable_nagle_algorithm = True
     server: "FrustrationServer"
 
+    # Per-request identity, minted in do_GET after the probe check.
+    _request_id = ""
+    _request_ctx: Optional[TraceContext] = None
+    _status = 0
+    _cache_state = ""
+    _outcome = "ok"
+
     def setup(self) -> None:
         """Arm the per-connection slow-client timeout before reading."""
         self.timeout = self.server.config.request_timeout
@@ -152,6 +194,28 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     def log_message(self, format: str, *args) -> None:
         """Silence per-request stderr chatter (metrics cover it)."""
+
+    # -- request identity ----------------------------------------------
+    def _mint_identity(self) -> None:
+        """Adopt or mint this request's trace identity.
+
+        A valid incoming ``traceparent`` joins the client's trace (the
+        request span becomes its child); otherwise a fresh root trace
+        is minted.  ``X-Request-Id`` is honoured when the client sent
+        one, else the trace id doubles as the request id — either way
+        both go back out as response headers on every answer.
+        """
+        header = self.headers.get("traceparent")
+        ctx = TraceContext.from_traceparent(header) if header else None
+        if ctx is None:
+            ctx = TraceContext.mint()
+        else:
+            # Joining the client's trace: the response must name *our*
+            # position in it, not echo the client's span id back.
+            ctx = ctx.child()
+        rid = (self.headers.get("X-Request-Id") or "").strip()
+        self._request_ctx = ctx
+        self._request_id = (rid or ctx.trace_id)[:128]
 
     # -- response plumbing ---------------------------------------------
     def _respond(
@@ -164,6 +228,12 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", ctype)
         self.send_header("Content-Length", str(len(body)))
+        if self._request_id:
+            self.send_header("X-Request-Id", self._request_id)
+        if self._request_ctx is not None:
+            self.send_header(
+                "traceparent", self._request_ctx.to_traceparent()
+            )
         if retry_after is not None:
             self.send_header("Retry-After", str(max(1, math.ceil(retry_after))))
         if self.server.draining:
@@ -171,6 +241,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
+        self._status = status
         get_registry().count(f"serve.http_{status}_total", 1)
 
     def _respond_json(
@@ -208,9 +279,22 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     # -- the query path -------------------------------------------------
     def do_GET(self) -> None:
-        """Route one GET through probes or the hardened query path."""
+        """Route one GET through probes, debug, or the query path."""
         try:
-            if self._probe(self.path.split("?", 1)[0]):
+            base = self.path.split("?", 1)[0]
+            self._request_id = ""
+            self._request_ctx = None
+            self._status = 0
+            if self._probe(base):
+                return
+            self._mint_identity()
+            if base == "/debug/trace":
+                start = time.monotonic()
+                self._debug_trace()
+                self._access(start, outcome="debug")
+                return
+            if base == "/debug/grow":
+                self._debug_grow()
                 return
             if not self.server.begin_request():
                 self._respond_json(
@@ -226,13 +310,116 @@ class _RequestHandler(BaseHTTPRequestHandler):
             # loudly — the connection thread just winds down.
             self.close_connection = True
 
+    # -- debug endpoints (gated behind config.debug_trace) --------------
+    def _debug_trace(self) -> None:
+        """Render one request's stitched spans as a Chrome trace doc.
+
+        ``/debug/trace?request_id=<id>`` (or ``trace_id=<32hex>``)
+        slices the daemon's long-lived collector down to one causal
+        tree — HTTP request span, growth rounds it caused, and any
+        absorbed worker-process spans — ready to save and load in
+        Perfetto.  404 unless ``debug_trace`` is on.
+        """
+        server = self.server
+        if not server.config.debug_trace:
+            self._respond_json(404, {"error": "debug endpoints disabled"})
+            return
+        params = parse_qs(urlsplit(self.path).query)
+        trace_id = (params.get("trace_id") or [""])[-1].strip()
+        request_id = (params.get("request_id") or [""])[-1].strip()
+        if not trace_id and request_id:
+            trace_id = server.lookup_request(request_id) or ""
+        if not trace_id:
+            self._respond_json(
+                404,
+                {"error": "unknown request_id (pass request_id= or "
+                          "trace_id=)"},
+            )
+            return
+        collector = get_trace_collector()
+        events = collector.events() if collector is not None else []
+        selected = events_for_trace(events, trace_id)
+        if not selected:
+            self._respond_json(
+                404, {"error": f"no spans recorded for trace {trace_id}"}
+            )
+            return
+        doc = {
+            "traceEvents": spans_to_events(
+                selected, process_name="repro-serve"
+            ),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "trace_id": trace_id, "request_id": request_id,
+            },
+        }
+        body = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+        self._respond(200, _JSON, body)
+
+    def _debug_grow(self) -> None:
+        """Synchronously drive one growth round under this request's
+        trace, so the stitched trace shows the request *causing* the
+        cross-process growth work.  404 unless ``debug_trace`` is on."""
+        server = self.server
+        if not server.config.debug_trace or server.growth is None:
+            self._respond_json(404, {"error": "debug endpoints disabled"})
+            return
+        ctx = self._request_ctx
+        start = time.monotonic()
+        with trace_scope(ctx), span("serve_request"):
+            grew = server.growth.grow_once()
+        server.remember_request(self._request_id, ctx.trace_id)
+        self._respond_json(
+            200,
+            {
+                "grew": bool(grew),
+                "states": server.growth.cloud.num_states,
+                "request_id": self._request_id,
+                "trace_id": ctx.trace_id,
+            },
+        )
+        self._access(start, outcome="ok" if grew else "no_growth")
+
+    # -- access log ------------------------------------------------------
+    def _access(self, wall_start: float, *, outcome: str) -> None:
+        """Emit one structured access-log line (no-op when disabled)."""
+        log = self.server.access_log
+        if log is None:
+            return
+        ctx = self._request_ctx
+        log.emit(
+            "serve_access",
+            request_id=self._request_id,
+            trace_id=ctx.trace_id if ctx is not None else "",
+            path=self.path,
+            status=self._status,
+            latency_ms=round((time.monotonic() - wall_start) * 1000.0, 3),
+            cache=self._cache_state,
+            outcome=outcome,
+        )
+
     def _handle_query(self) -> None:
         server = self.server
         registry = get_registry()
         registry.count("serve.requests_total", 1)
+        ctx = self._request_ctx
+        wall_start = time.monotonic()
+        self._cache_state = ""
+        self._outcome = "ok"
+        try:
+            with trace_scope(ctx), span("serve_request"):
+                self._answer_query()
+        finally:
+            server.remember_request(self._request_id, ctx.trace_id)
+            self._access(wall_start, outcome=self._outcome)
+
+    def _answer_query(self) -> None:
+        server = self.server
+        registry = get_registry()
         admitted, retry_after = server.bucket.try_acquire()
         if not admitted:
             registry.count("serve.throttled_total", 1)
+            self._outcome = "shed"
             self._respond_json(
                 503,
                 {"error": "overloaded", "retry_after_s": round(retry_after, 3)},
@@ -244,6 +431,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
             deadline = Deadline.from_header(self.headers.get("X-Deadline-Ms"))
             snapshot = server.snapshots.get()
             if snapshot is None:
+                self._outcome = "no_snapshot"
                 self._respond_json(
                     503,
                     {"error": "no snapshot published yet; warming up"},
@@ -253,21 +441,27 @@ class _RequestHandler(BaseHTTPRequestHandler):
             key = (snapshot.fingerprint, snapshot.epoch, self.path)
             response = server.cache.get(key)
             if response is None:
+                self._cache_state = "miss"
                 response = route_query(self.path, snapshot, deadline)
                 if response[0] == 200:
                     server.cache.put(key, response)
+            else:
+                self._cache_state = "hit"
             deadline.check()
             status, ctype, body = response
             self._respond(status, ctype, body)
         except DeadlineExceeded as exc:
             registry.count("serve.deadline_exceeded_total", 1)
+            self._outcome = "deadline"
             self._respond_json(504, {"error": str(exc)})
         except ServeError as exc:
+            self._outcome = "bad_request"
             self._respond_json(400, {"error": str(exc)})
         except (BrokenPipeError, ConnectionResetError):
             raise
         except Exception as exc:  # never let a handler bug kill the thread
             registry.count("serve.internal_errors_total", 1)
+            self._outcome = "error"
             journal_event("serve_internal_error", error=repr(exc))
             with contextlib.suppress(Exception):
                 self._respond_json(500, {"error": "internal error"})
@@ -290,6 +484,10 @@ class FrustrationServer(ThreadingHTTPServer):
     daemon_threads = True
     block_on_close = False
 
+    #: How many recent request → trace mappings the daemon remembers
+    #: for ``/debug/trace?request_id=`` lookups.
+    RECENT_REQUESTS = 1024
+
     def __init__(
         self,
         address: Tuple[str, int],
@@ -298,6 +496,7 @@ class FrustrationServer(ThreadingHTTPServer):
         bucket: TokenBucket,
         cache: ResultCache,
         breaker: Optional[CircuitBreaker],
+        access_log: Optional[Journal] = None,
     ) -> None:
         """Bind the listener and attach the serve-layer components."""
         super().__init__(address, _RequestHandler)
@@ -306,9 +505,31 @@ class FrustrationServer(ThreadingHTTPServer):
         self.bucket = bucket
         self.cache = cache
         self.breaker = breaker
+        self.access_log = access_log
+        self.growth: Optional[GrowthWorker] = None
         self.draining = False
         self._inflight = 0
         self._inflight_lock = threading.Condition()
+        self._recent_lock = threading.Lock()
+        self._recent: "collections.OrderedDict[str, str]" = (
+            collections.OrderedDict()
+        )
+
+    # -- request → trace identity ring ----------------------------------
+    def remember_request(self, request_id: str, trace_id: str) -> None:
+        """Record one answered request's trace id (bounded LRU ring)."""
+        if not request_id:
+            return
+        with self._recent_lock:
+            self._recent[request_id] = trace_id
+            self._recent.move_to_end(request_id)
+            while len(self._recent) > self.RECENT_REQUESTS:
+                self._recent.popitem(last=False)
+
+    def lookup_request(self, request_id: str) -> Optional[str]:
+        """The trace id of a recently answered request, or ``None``."""
+        with self._recent_lock:
+            return self._recent.get(request_id)
 
     # -- in-flight ledger (drives graceful drain) -----------------------
     def begin_request(self) -> bool:
@@ -425,6 +646,22 @@ def run_server(
     with contextlib.ExitStack() as stack:
         if config.journal is not None:
             stack.enter_context(journaling(config.journal))
+        # Observability plumbing, all opt-in: the bounded span
+        # collector backs /debug/trace, the flight recorder leaves
+        # crash dumps, the access log narrates every query.  Previous
+        # process-global sinks are restored on exit (LIFO) so
+        # embedded/test daemons don't leak state into their host.
+        if config.debug_trace:
+            stack.callback(set_trace_collector, get_trace_collector())
+            set_trace_collector(TraceCollector(config.trace_max_events))
+        if config.flight_dir is not None:
+            stack.callback(set_flight_recorder, get_flight_recorder())
+            install_flight_recorder(
+                str(config.flight_dir), role="serve-daemon"
+            )
+        access_log = None
+        if config.access_log is not None:
+            access_log = stack.enter_context(Journal(config.access_log))
         cloud, campaign = _boot_cloud(graph, config)
         snapshots = SnapshotStore()
         if cloud.num_states > 0:
@@ -455,6 +692,8 @@ def run_server(
             policy=RetryPolicy(),
             breaker=breaker,
             round_delay=config.grow_delay_ms / 1000.0,
+            workers=config.grow_workers,
+            flight_dir=config.flight_dir,
         )
         server = FrustrationServer(
             (config.host, config.port),
@@ -463,7 +702,9 @@ def run_server(
             TokenBucket(config.qps, config.burst),
             ResultCache(config.cache_size),
             breaker,
+            access_log=access_log,
         )
+        server.growth = growth
         stack.callback(server.server_close)
         port = server.server_address[1]
         _write_port_file(config, port)
@@ -508,6 +749,7 @@ def run_server(
             drained=drained,
             states=cloud.num_states,
         )
+        flight_dump()  # last black-box write of a clean shutdown
         print(
             f"drained ({cloud.num_states} states checkpointed), exiting",
             flush=True,

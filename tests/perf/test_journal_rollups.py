@@ -1,0 +1,113 @@
+"""Tests for the serve/ops rollups in ``summarize_journal`` — the
+breaker, disk-full, and work-stealing kinds the ``repro journal
+summarize`` command reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf.journal import (
+    Journal,
+    render_summary,
+    summarize_journal,
+)
+
+
+def _write(path, events):
+    with Journal(path) as journal:
+        for kind, fields in events:
+            journal.emit(kind, **fields)
+
+
+class TestServeRollups:
+    def test_breaker_transitions_counted(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [
+            ("serve_degraded", {"p95_ms": 120.0}),
+            ("serve_recovered", {"p95_ms": 8.0}),
+            ("serve_degraded", {"p95_ms": 300.0}),
+        ])
+        summary = summarize_journal(path)
+        assert summary["serve_degraded"] == 2
+        assert summary["serve_recovered"] == 1
+        text = render_summary(summary)
+        assert "breaker: degraded 2x, recovered 1x" in text
+        # Rolled-up kinds must not double-report as "other events".
+        assert "serve_degraded" not in text
+
+    def test_disk_full_counted(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [
+            ("disk_full", {"op": "checkpoint_write"}),
+            ("disk_full", {"op": "checkpoint_write"}),
+        ])
+        summary = summarize_journal(path)
+        assert summary["disk_full"] == 2
+        assert "disk-full events: 2" in render_summary(summary)
+
+    def test_last_steal_summary_wins(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [
+            ("steal_summary", {
+                "workers": 3, "workers_used": 1,
+                "blocks": {"100": 6}, "states": {"100": 12},
+            }),
+            ("steal_summary", {
+                "workers": 3, "workers_used": 2,
+                "blocks": {"100": 4, "101": 2},
+                "states": {"100": 8, "101": 4},
+            }),
+        ])
+        summary = summarize_journal(path)
+        assert summary["steal"] == {
+            "workers": 3, "workers_used": 2,
+            "blocks": {"100": 4, "101": 2},
+            "states": {"100": 8, "101": 4},
+        }
+        text = render_summary(summary)
+        assert "steal: 2/3 workers took blocks" in text
+        assert "pid 100: 4" in text and "pid 101: 2" in text
+
+    def test_absent_kinds_render_nothing(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [("campaign_started", {"driver": "pool"})])
+        summary = summarize_journal(path)
+        assert summary["serve_degraded"] == 0
+        assert summary["steal"] is None
+        text = render_summary(summary)
+        assert "breaker" not in text
+        assert "disk-full" not in text
+        assert "steal" not in text
+
+
+class TestJournalCli:
+    @pytest.fixture()
+    def journal_file(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [
+            ("serve_degraded", {"p95_ms": 99.0}),
+            ("serve_recovered", {"p95_ms": 5.0}),
+            ("disk_full", {"op": "checkpoint_write"}),
+            ("steal_summary", {
+                "workers": 2, "workers_used": 2,
+                "blocks": {"7": 3, "8": 3}, "states": {"7": 6, "8": 6},
+            }),
+        ])
+        return path
+
+    def test_summarize_table(self, journal_file, capsys):
+        assert main(["journal", "summarize", str(journal_file)]) == 0
+        out = capsys.readouterr().out
+        assert "breaker: degraded 1x, recovered 1x" in out
+        assert "disk-full events: 1" in out
+        assert "steal: 2/2 workers took blocks" in out
+
+    def test_summarize_json(self, journal_file, capsys):
+        assert main(["journal", "summarize", str(journal_file), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["serve_degraded"] == 1
+        assert doc["disk_full"] == 1
+        assert doc["steal"]["workers_used"] == 2

@@ -1,0 +1,107 @@
+"""Regression tests pinning the Prometheus text exposition format.
+
+The grammar checked here is the subset of the exposition spec the
+exporter promises: every sample series is preceded by matching
+``# HELP``/``# TYPE`` lines, label values are escaped so hostile
+metric names can never break line framing, and histogram ``+Inf``
+buckets equal ``_count``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.perf.export import to_prometheus
+from repro.perf.registry import MetricsRegistry
+
+# One sample line: name, optional {labels}, space, value.
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? [^ ]+$"
+)
+_LABEL_RE = re.compile(r'^\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"\}$')
+
+
+def _grammar_check(text: str) -> dict:
+    """Validate exposition-format grammar; returns {metric: type}."""
+    assert text.endswith("\n")
+    helped: set = set()
+    typed: dict = {}
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            helped.add(line.split()[2])
+            continue
+        if line.startswith("# TYPE "):
+            _, _, metric, kind = line.split()
+            assert kind in ("counter", "gauge", "histogram")
+            typed[metric] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        m = _SAMPLE_RE.match(line)
+        assert m, f"malformed sample line: {line!r}"
+        name, labels = m.groups()
+        if labels:
+            assert _LABEL_RE.match(labels), f"bad labels: {labels!r}"
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        assert base in typed or name in typed, (
+            f"sample {name!r} has no # TYPE header"
+        )
+        assert base in helped or name in helped, (
+            f"sample {name!r} has no # HELP header"
+        )
+    return typed
+
+
+class TestExpositionGrammar:
+    def _snapshot(self):
+        reg = MetricsRegistry()
+        reg.count("campaign.trees_total", 7)
+        reg.gauge("serve.snapshot_epoch", 3.0)
+        for value in (0.1, 0.4, 2.0, 50.0):
+            reg.observe("span.block", value)
+        return reg.snapshot()
+
+    def test_every_series_has_help_and_type(self):
+        typed = _grammar_check(to_prometheus(self._snapshot()))
+        assert typed["repro_campaign_trees_total"] == "counter"
+        assert typed["repro_serve_snapshot_epoch"] == "gauge"
+        assert typed["repro_span_block"] == "histogram"
+
+    def test_help_carries_original_dotted_name(self):
+        text = to_prometheus(self._snapshot())
+        assert (
+            "# HELP repro_campaign_trees_total "
+            "repro counter campaign.trees_total" in text
+        )
+
+    def test_inf_bucket_equals_count(self):
+        text = to_prometheus(self._snapshot())
+        inf = re.search(r'_bucket\{le="\+Inf"\} (\d+)', text)
+        count = re.search(r"repro_span_block_count (\d+)", text)
+        assert inf and count
+        assert inf.group(1) == count.group(1) == "4"
+
+    def test_buckets_are_cumulative_and_monotone(self):
+        text = to_prometheus(self._snapshot())
+        counts = [
+            int(m.group(1))
+            for m in re.finditer(r"repro_span_block_bucket\{[^}]*\} (\d+)",
+                                 text)
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+
+    def test_label_values_escaped(self):
+        """A hostile histogram name cannot break line framing: the
+        bucket edge label value is escaped per the exposition spec."""
+        reg = MetricsRegistry()
+        reg.observe("weird", 1.0)
+        snap = reg.snapshot()
+        # Force edges that would break quoting if left unescaped.
+        snap["histograms"]["weird"]["edges"] = ['a"b\\c\nd']
+        snap["histograms"]["weird"]["counts"] = [1]
+        text = to_prometheus(snap)
+        assert '{le="a\\"b\\\\c\\nd"}' in text
+        _grammar_check(text)
+
+    def test_empty_snapshot_renders(self):
+        assert to_prometheus({}) == "\n"

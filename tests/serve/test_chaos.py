@@ -103,7 +103,8 @@ def graph_file(tmp_path):
 def test_sigkill_then_restart_serves_byte_identical_prefix(
     tmp_path, graph_file
 ):
-    proc = _spawn(tmp_path)
+    flight_dir = tmp_path / "flight"
+    proc = _spawn(tmp_path, "--flight-dir", str(flight_dir))
     try:
         port = _wait_port(tmp_path, proc)
         _wait_states(port, 12)  # genuinely mid-growth (target is 300)
@@ -114,6 +115,23 @@ def test_sigkill_then_restart_serves_byte_identical_prefix(
         if proc.poll() is None:
             proc.kill()
     (tmp_path / "port.txt").unlink()
+
+    # The black box survived the kill: the daemon's flight dump is
+    # readable and names the growth round that was in flight (the
+    # dump-before-compute discipline needs no exit hook to fire).
+    from repro.perf.flight import find_flight_dumps, read_flight_dump
+
+    dumps = find_flight_dumps(str(flight_dir))
+    assert dumps, "SIGKILL'd daemon left no flight dump"
+    daemon_doc = next(
+        (d for d in map(read_flight_dump, dumps) if d["pid"] == proc.pid),
+        None,
+    )
+    assert daemon_doc is not None
+    rounds = [e for e in daemon_doc["events"]
+              if e["kind"] == "inflight" and e.get("what") == "growth_round"]
+    assert rounds, "no growth round was recorded before the kill"
+    assert rounds[-1]["block_stop"] - rounds[-1]["block_start"] <= 4
 
     # Restart; boot must recover from the checkpoint chain alone.
     proc2 = _spawn(tmp_path, "--no-grow")

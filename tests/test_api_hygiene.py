@@ -98,6 +98,8 @@ MODULES = [
     "repro.perf.report",
     "repro.perf.registry",
     "repro.perf.tracing",
+    "repro.perf.tracectx",
+    "repro.perf.flight",
     "repro.perf.export",
     "repro.perf.timeline",
     "repro.perf.trace_export",

@@ -385,3 +385,50 @@ class TestGraphStoreCli:
              "--graph-store", str(store)]
         ) == 1
         assert "fingerprint mismatch" in capsys.readouterr().err
+
+
+class TestTraceShow:
+    @pytest.fixture()
+    def trace_json(self, tmp_path):
+        from repro.perf.tracing import SpanEvent, TraceCollector
+        from repro.perf.trace_export import spans_to_events, write_chrome_trace
+
+        collector = TraceCollector()
+        tid = "ab" * 16
+        collector.record_event(SpanEvent(
+            "campaign", 0.0, 2.0, 1, tid, "a" * 16, ""))
+        collector.record_event(SpanEvent(
+            "campaign/block", 0.5, 1.5, 2, tid, "b" * 16, "a" * 16,
+            pid=4242))
+        path = tmp_path / "trace.json"
+        write_chrome_trace(spans_to_events(collector.events()), path)
+        return str(path)
+
+    def test_show_human(self, trace_json, capsys):
+        assert main(["trace", "show", trace_json]) == 0
+        out = capsys.readouterr().out
+        assert "2 span events across 2 process(es)" in out
+        assert "trace " + "ab" * 16 in out
+        assert "hottest spans" in out
+        assert "campaign" in out
+
+    def test_show_json(self, trace_json, capsys):
+        import json
+
+        assert main(["trace", "show", trace_json, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["events"] == 2
+        info = doc["traces"]["ab" * 16]
+        assert info["spans"] == 2
+        assert len(info["processes"]) == 2
+        assert doc["spans"]["campaign"]["calls"] == 1
+
+    def test_show_without_file_is_usage_error(self, capsys):
+        assert main(["trace", "show"]) == 2
+        assert "provide the trace" in capsys.readouterr().err
+
+    def test_graph_trace_still_works(self, graph_file, capsys):
+        # Backward compatibility: `repro trace <graph>` is untouched.
+        path, _g = graph_file
+        assert main(["trace", path, "--cycles", "1"]) == 0
+        assert "cycle of non-tree edge" in capsys.readouterr().out
